@@ -1,0 +1,34 @@
+//! Criterion micro-version of Figure 7: time of the serial Aε* scheduler for
+//! ε ∈ {0 (exact), 0.2, 0.5} on one random graph per CCR.  The experiment
+//! binary `figure7` produces the full deviation / time-ratio series on the
+//! parallel scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use optsched_bench::{workload_problem, ExperimentOptions, CCRS};
+use optsched_core::AEpsScheduler;
+
+fn bench_aeps(c: &mut Criterion) {
+    let opts = ExperimentOptions::default();
+    let size = 11;
+    let mut group = c.benchmark_group("aeps");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for &ccr in &CCRS {
+        let problem = workload_problem(size, ccr, &opts);
+        for eps in [0.0, 0.2, 0.5] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ccr{ccr}"), format!("eps{eps}")),
+                &problem,
+                |b, p| b.iter(|| black_box(AEpsScheduler::new(p, eps).run().schedule_length)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aeps);
+criterion_main!(benches);

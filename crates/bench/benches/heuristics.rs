@@ -1,0 +1,55 @@
+//! Criterion benches of the polynomial-time building blocks: level
+//! computation, the upper-bound list heuristic and the Chen & Yu bound
+//! evaluation, on graphs far larger than the optimal searches can handle.
+//! These are the `O(v + e)` / `O(v log v)` paths whose cheapness the paper's
+//! cost-function argument relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use optsched_bench::workload_graph;
+use optsched_listsched::{upper_bound_schedule, list_schedule, ListConfig, ProcessorPolicy};
+use optsched_procnet::ProcNetwork;
+use optsched_taskgraph::{GraphLevels, LevelKind};
+
+fn bench_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("levels");
+    for size in [100usize, 500, 2000] {
+        let graph = workload_graph(size, 1.0, 1);
+        group.bench_with_input(BenchmarkId::new("compute", size), &graph, |b, g| {
+            b.iter(|| black_box(GraphLevels::compute(g).critical_path_length()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_scheduling");
+    let net = ProcNetwork::fully_connected(8);
+    for size in [100usize, 500] {
+        let graph = workload_graph(size, 1.0, 2);
+        group.bench_with_input(BenchmarkId::new("upper_bound", size), &graph, |b, g| {
+            b.iter(|| black_box(upper_bound_schedule(g, &net).makespan()))
+        });
+        group.bench_with_input(BenchmarkId::new("insertion_eft", size), &graph, |b, g| {
+            b.iter(|| {
+                black_box(
+                    list_schedule(
+                        g,
+                        &net,
+                        ListConfig {
+                            priority: LevelKind::BLevel,
+                            policy: ProcessorPolicy::EarliestFinish,
+                            insertion: true,
+                        },
+                    )
+                    .makespan(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels, bench_list_scheduling);
+criterion_main!(benches);

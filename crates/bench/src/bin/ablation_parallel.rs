@@ -1,0 +1,119 @@
+//! Ablation study of the parallel-search design choices of Section 3.3:
+//! the PPE interconnection topology (which limits whom a PPE may exchange
+//! states with), the minimum communication period (the floor of the
+//! exponentially decreasing schedule T = v/2, v/4, …), and the heuristic
+//! (paper vs. tight vs. none).
+//!
+//! Reported per configuration: wall-clock time, total states expanded across
+//! all PPEs (the redundant-work measure), and the load imbalance between the
+//! busiest and laziest PPE.  Every configuration must return the optimal
+//! schedule length.
+//!
+//! Usage: `cargo run --release -p optsched-bench --bin ablation_parallel -- [--sizes ...] [--budget-ms N]`
+
+use optsched_bench::{workload_problem, CsvWriter, ExperimentOptions};
+use optsched_core::{AStarScheduler, HeuristicKind, SearchLimits, SearchOutcome};
+use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};
+use optsched_procnet::Topology;
+
+fn main() {
+    let mut opts = ExperimentOptions::parse(std::env::args().skip(1));
+    if opts.sizes == ExperimentOptions::default().sizes {
+        opts.sizes = vec![12, 14];
+    }
+    let ccr = 1.0;
+    let q = 8;
+    let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
+    let mut csv = CsvWriter::new(
+        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,load_imbalance",
+    );
+
+    println!("Parallel-design ablation (q = {q} PPEs, CCR = {ccr})");
+    for &size in &opts.sizes {
+        let problem = workload_problem(size, ccr, &opts);
+        let serial = AStarScheduler::new(&problem).with_limits(limits).run();
+        if serial.outcome != SearchOutcome::Optimal {
+            println!("\nv = {size}: serial reference exceeded the budget, skipped");
+            continue;
+        }
+        println!(
+            "\nv = {size} (serial: {} ms, {} expansions, optimum {})",
+            serial.elapsed.as_millis(),
+            serial.stats.expanded,
+            serial.schedule_length
+        );
+        println!(
+            "{:<44} {:>10} {:>12} {:>10} {:>10}",
+            "configuration", "time ms", "expanded", "redund.", "imbalance"
+        );
+
+        let base = ParallelConfig { num_ppes: q, limits, ..Default::default() };
+        let configs: Vec<(String, ParallelConfig)> = vec![
+            ("fully connected PPEs".to_string(), base),
+            (
+                "mesh PPEs (Paragon-like)".to_string(),
+                ParallelConfig { limits, ..ParallelConfig::paragon_like(q) },
+            ),
+            (
+                "ring PPEs".to_string(),
+                ParallelConfig { ppe_topology: Some(Topology::Ring), ..base },
+            ),
+            (
+                "chain PPEs".to_string(),
+                ParallelConfig { ppe_topology: Some(Topology::Chain), ..base },
+            ),
+            (
+                "min comm period 16 (lazier exchange)".to_string(),
+                ParallelConfig { min_comm_period: 16, ..base },
+            ),
+            (
+                "min comm period 1 (eager exchange)".to_string(),
+                ParallelConfig { min_comm_period: 1, ..base },
+            ),
+            (
+                "tight heuristic".to_string(),
+                ParallelConfig { heuristic: HeuristicKind::TightStaticLevel, ..base },
+            ),
+            (
+                "zero heuristic (uniform-cost)".to_string(),
+                ParallelConfig { heuristic: HeuristicKind::Zero, ..base },
+            ),
+        ];
+
+        for (name, cfg) in configs {
+            let r = ParallelAStarScheduler::new(&problem, cfg).run();
+            if r.outcome == SearchOutcome::Optimal {
+                assert_eq!(
+                    r.schedule_length(),
+                    serial.schedule_length,
+                    "parallel search must stay optimal ({name})"
+                );
+            }
+            let ms = r.elapsed.as_secs_f64() * 1e3;
+            let redundant = r.total_expanded() as f64 / serial.stats.expanded.max(1) as f64;
+            let imbalance = r.load_imbalance();
+            println!(
+                "{:<44} {:>10.1} {:>12} {:>10.2} {:>10.2}",
+                name,
+                ms,
+                r.total_expanded(),
+                redundant,
+                imbalance
+            );
+            csv.row(&[
+                size.to_string(),
+                name.replace(' ', "_"),
+                r.schedule_length().to_string(),
+                format!("{ms:.3}"),
+                r.total_expanded().to_string(),
+                format!("{redundant:.3}"),
+                format!("{imbalance:.3}"),
+            ]);
+        }
+    }
+
+    match csv.write("ablation_parallel.csv") {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results CSV: {e}"),
+    }
+}

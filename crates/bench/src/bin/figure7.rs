@@ -1,0 +1,92 @@
+//! Regenerates **Figure 7** of the paper: quality and cost of the parallel
+//! Aε* scheduler relative to the exact parallel A* scheduler, for ε = 0.2 and
+//! ε = 0.5 on 16 PPEs.
+//!
+//! Two quantities are reported for every CCR ∈ {0.1, 1.0, 10.0} and graph
+//! size:
+//!
+//! * **deviation** — percentage by which the Aε* schedule exceeds the optimal
+//!   schedule length (plots (a) and (c) of the figure); by Theorem 2 it can
+//!   never exceed 100·ε %, and the paper observes it is usually far smaller;
+//! * **time ratio** — Aε* scheduling time divided by the exact parallel A*
+//!   scheduling time (plots (b) and (d)); the paper reports savings of
+//!   roughly 10–40 % for ε = 0.2 and 50–70 % for ε = 0.5.
+//!
+//! Usage: `cargo run --release -p optsched-bench --bin figure7 -- [--sizes ...] [--budget-ms N] [--tpes P] [--seed S] `
+
+use optsched_bench::{workload_problem, CsvWriter, ExperimentOptions, CCRS};
+use optsched_core::SearchLimits;
+use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};
+
+const PPES: usize = 16;
+const EPSILONS: [f64; 2] = [0.2, 0.5];
+
+fn main() {
+    let opts = ExperimentOptions::parse(std::env::args().skip(1));
+    let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
+    let mut csv = CsvWriter::new(
+        "ccr,size,epsilon,optimal_length,approx_length,deviation_pct,exact_ms,approx_ms,time_ratio,exact_expanded,approx_expanded",
+    );
+
+    println!("Figure 7 reproduction — parallel Aε* deviation from optimal and time ratio ({PPES} PPEs)");
+    println!("TPEs = {}, seed = {}", opts.num_tpes, opts.seed);
+
+    for &eps in &EPSILONS {
+        println!("\nε = {eps}");
+        println!(
+            "{:>5} | {:>8} | {:>10} {:>10} {:>12} | {:>12} {:>12} {:>10}",
+            "size", "CCR", "optimal", "Aε*", "deviation %", "A* ms", "Aε* ms", "time ratio"
+        );
+        for &ccr in &CCRS {
+            for &size in &opts.sizes {
+                let problem = workload_problem(size, ccr, &opts);
+
+                let exact_cfg = ParallelConfig { limits, ..ParallelConfig::paragon_like(PPES) };
+                let exact = ParallelAStarScheduler::new(&problem, exact_cfg).run();
+                let approx_cfg = ParallelConfig {
+                    limits,
+                    epsilon: Some(eps),
+                    ..ParallelConfig::paragon_like(PPES)
+                };
+                let approx = ParallelAStarScheduler::new(&problem, approx_cfg).run();
+
+                let optimal_len = exact.schedule_length() as f64;
+                let approx_len = approx.schedule_length() as f64;
+                let deviation = 100.0 * (approx_len - optimal_len) / optimal_len;
+                let exact_ms = exact.elapsed.as_secs_f64() * 1e3;
+                let approx_ms = approx.elapsed.as_secs_f64() * 1e3;
+                let ratio = approx_ms / exact_ms.max(1e-6);
+
+                if exact.is_optimal() && approx.is_optimal() {
+                    assert!(
+                        approx_len <= (optimal_len * (1.0 + eps)).floor() + 1e-9,
+                        "Aε* exceeded its bound: {approx_len} vs {optimal_len} (ε = {eps})"
+                    );
+                }
+
+                println!(
+                    "{:>5} | {:>8} | {:>10} {:>10} {:>12.2} | {:>12.1} {:>12.1} {:>10.2}",
+                    size, ccr, exact.schedule_length(), approx.schedule_length(), deviation, exact_ms, approx_ms, ratio
+                );
+                csv.row(&[
+                    ccr.to_string(),
+                    size.to_string(),
+                    eps.to_string(),
+                    exact.schedule_length().to_string(),
+                    approx.schedule_length().to_string(),
+                    format!("{deviation:.3}"),
+                    format!("{exact_ms:.3}"),
+                    format!("{approx_ms:.3}"),
+                    format!("{ratio:.3}"),
+                    exact.total_expanded().to_string(),
+                    approx.total_expanded().to_string(),
+                ]);
+            }
+        }
+    }
+
+    match csv.write("figure7.csv") {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results CSV: {e}"),
+    }
+}

@@ -1,0 +1,224 @@
+//! Shared infrastructure for the experiment binaries and Criterion benches
+//! that regenerate every table and figure of the paper's evaluation
+//! (Section 4).
+//!
+//! The paper's experiments run on an Intel Paragon and report wall-clock
+//! seconds for graphs of 10–32 nodes; this reproduction runs on a commodity
+//! host, so every experiment binary
+//!
+//! * uses the same workload generator (random graphs with CCR ∈ {0.1, 1, 10},
+//!   sizes 10, 12, …), seeded for reproducibility,
+//! * reports both wall-clock time and machine-independent state counts, and
+//! * accepts a per-run time budget so that the exponential configurations
+//!   (Chen & Yu, A* without pruning) can be cut off and reported as such,
+//!   exactly like the "—" entry for the 32-node graph in Table 1.
+//!
+//! Results are printed as text tables and also written as CSV files under
+//! `results/` so `EXPERIMENTS.md` can reference them.
+
+use std::fs;
+use std::path::Path;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use optsched_core::SchedulingProblem;
+use optsched_procnet::ProcNetwork;
+use optsched_taskgraph::TaskGraph;
+use optsched_workload::{generate_random_dag, RandomDagConfig};
+
+/// Seed used by every experiment binary so runs are reproducible.
+pub const EXPERIMENT_SEED: u64 = 19980814; // ICPP'98 was held in August 1998.
+
+/// The CCR values of the paper's three experiment sets.
+pub const CCRS: [f64; 3] = [0.1, 1.0, 10.0];
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Graph sizes to evaluate.
+    pub sizes: Vec<usize>,
+    /// Per-algorithm-run time budget in milliseconds (None = unlimited).
+    pub budget_ms: Option<u64>,
+    /// Number of target processors (TPEs) to schedule onto.
+    pub num_tpes: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            // The paper sweeps 10..=32; the default here stays in the range a
+            // laptop handles in minutes.  Pass --sizes to extend it.
+            sizes: vec![10, 12, 14, 16],
+            budget_ms: Some(30_000),
+            num_tpes: 4,
+            seed: EXPERIMENT_SEED,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses `--sizes 10,12,14`, `--budget-ms 5000`, `--tpes 4`, `--seed N`
+    /// from the given iterator (typically `std::env::args().skip(1)`).
+    pub fn parse(args: impl Iterator<Item = String>) -> ExperimentOptions {
+        let mut opts = ExperimentOptions::default();
+        let argv: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--sizes" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        opts.sizes = v
+                            .split(',')
+                            .filter_map(|s| s.trim().parse().ok())
+                            .filter(|&n| n >= 2)
+                            .collect();
+                        i += 1;
+                    }
+                }
+                "--budget-ms" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        opts.budget_ms = v.trim().parse().ok();
+                        i += 1;
+                    }
+                }
+                "--no-budget" => opts.budget_ms = None,
+                "--tpes" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        if let Ok(n) = v.trim().parse() {
+                            opts.num_tpes = n;
+                        }
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        if let Ok(n) = v.trim().parse() {
+                            opts.seed = n;
+                        }
+                        i += 1;
+                    }
+                }
+                other => eprintln!("ignoring unknown argument `{other}`"),
+            }
+            i += 1;
+        }
+        if opts.sizes.is_empty() {
+            opts.sizes = ExperimentOptions::default().sizes;
+        }
+        opts
+    }
+}
+
+/// A reproducible random problem instance of the paper's workload.
+pub fn workload_graph(size: usize, ccr: f64, seed: u64) -> TaskGraph {
+    // Derive a per-(size, ccr) seed so each instance is independent yet stable.
+    let derived = seed ^ ((size as u64) << 32) ^ (ccr * 1000.0) as u64;
+    let mut rng = StdRng::seed_from_u64(derived);
+    generate_random_dag(&RandomDagConfig { nodes: size, ccr, ..Default::default() }, &mut rng)
+}
+
+/// Builds the scheduling problem for one workload instance.
+pub fn workload_problem(size: usize, ccr: f64, opts: &ExperimentOptions) -> SchedulingProblem {
+    let graph = workload_graph(size, ccr, opts.seed);
+    SchedulingProblem::new(graph, ProcNetwork::fully_connected(opts.num_tpes))
+}
+
+/// Formats a duration in milliseconds with one decimal.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// A CSV accumulator that writes under `results/`.
+#[derive(Debug, Default)]
+pub struct CsvWriter {
+    lines: Vec<String>,
+}
+
+impl CsvWriter {
+    /// Starts a CSV with the given header row.
+    pub fn new(header: &str) -> CsvWriter {
+        CsvWriter { lines: vec![header.to_string()] }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, fields: &[String]) {
+        self.lines.push(fields.join(","));
+    }
+
+    /// Number of data rows written so far.
+    pub fn len(&self) -> usize {
+        self.lines.len().saturating_sub(1)
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the CSV to `results/<name>` (creating the directory), returning
+    /// the path written to.
+    pub fn write(&self, name: &str) -> std::io::Result<String> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        fs::write(&path, self.lines.join("\n") + "\n")?;
+        Ok(path.display().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_all_flags() {
+        let opts = ExperimentOptions::parse(
+            ["--sizes", "10,12", "--budget-ms", "500", "--tpes", "3", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.sizes, vec![10, 12]);
+        assert_eq!(opts.budget_ms, Some(500));
+        assert_eq!(opts.num_tpes, 3);
+        assert_eq!(opts.seed, 9);
+
+        let nb = ExperimentOptions::parse(["--no-budget"].iter().map(|s| s.to_string()));
+        assert_eq!(nb.budget_ms, None);
+    }
+
+    #[test]
+    fn options_fall_back_to_defaults_on_garbage() {
+        let opts = ExperimentOptions::parse(
+            ["--sizes", "x", "--whatever"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(opts.sizes, ExperimentOptions::default().sizes);
+        assert_eq!(opts.num_tpes, 4);
+    }
+
+    #[test]
+    fn workload_graph_is_reproducible_and_size_correct() {
+        let a = workload_graph(12, 1.0, 1);
+        let b = workload_graph(12, 1.0, 1);
+        let c = workload_graph(12, 10.0, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.num_nodes(), 12);
+    }
+
+    #[test]
+    fn csv_writer_accumulates_rows() {
+        let mut w = CsvWriter::new("a,b");
+        assert!(w.is_empty());
+        w.row(&["1".into(), "2".into()]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn fmt_ms_has_one_decimal() {
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.5");
+    }
+}

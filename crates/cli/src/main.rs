@@ -1,0 +1,264 @@
+//! `optsched` — command-line front end for the DAG schedulers.
+//!
+//! ```text
+//! optsched schedule --input graph.json [--procs 4] [--topology ring|mesh|full|chain|star|hypercube]
+//!                   [--algorithm astar|aeps|chenyu|list|parallel] [--epsilon 0.2] [--ppes 4]
+//!                   [--budget-ms N] [--gantt] [--json]
+//! optsched generate --nodes 20 --ccr 1.0 [--seed 7] [--output graph.json]
+//! optsched example
+//! optsched levels --input graph.json
+//! ```
+//!
+//! Graph files are the `serde_json` serialisation of
+//! [`optsched_taskgraph::TaskGraph`] (produced by `optsched generate`).
+
+use std::process::ExitCode;
+
+use optsched_core::{
+    AEpsScheduler, AStarScheduler, ChenYuScheduler, SchedulingProblem, SearchLimits,
+};
+use optsched_listsched::upper_bound_schedule;
+use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};
+use optsched_procnet::{ProcNetwork, Topology};
+use optsched_schedule::{render_gantt, Schedule};
+use optsched_taskgraph::{paper_example_dag, GraphLevels, TaskGraph};
+use optsched_workload::{generate_random_dag, RandomDagConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    pairs.push((key.to_string(), argv[i + 1].clone()));
+                    i += 1;
+                } else {
+                    flags.push(key.to_string());
+                }
+            }
+            i += 1;
+        }
+        Args { pairs, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  optsched schedule --input graph.json [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--ppes Q] [--budget-ms N] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json\n  optsched example"
+    );
+    ExitCode::FAILURE
+}
+
+fn load_graph(args: &Args) -> Result<TaskGraph, String> {
+    match args.get("input") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+        }
+        None => Err("missing --input <graph.json> (or use `optsched example`)".to_string()),
+    }
+}
+
+fn build_network(args: &Args, default_procs: usize) -> ProcNetwork {
+    let p = args.get_parse("procs", default_procs);
+    match args.get("topology").unwrap_or("full") {
+        "ring" => ProcNetwork::ring(p),
+        "chain" => ProcNetwork::chain(p),
+        "star" => ProcNetwork::star(p),
+        "hypercube" => ProcNetwork::hypercube(p.next_power_of_two()),
+        "mesh" => {
+            let rows = (p as f64).sqrt().floor().max(1.0) as usize;
+            let rows = (1..=rows).rev().find(|r| p % r == 0).unwrap_or(1);
+            ProcNetwork::with_topology(Topology::Mesh { rows, cols: p / rows }, p)
+        }
+        _ => ProcNetwork::fully_connected(p),
+    }
+}
+
+fn report(schedule: &Schedule, graph: &TaskGraph, net: &ProcNetwork, args: &Args, label: &str) {
+    if let Err(e) = schedule.validate(graph, net) {
+        eprintln!("internal error: produced an invalid schedule: {e}");
+    }
+    if args.has("json") {
+        println!("{}", serde_json::to_string_pretty(schedule).expect("schedules serialise"));
+        return;
+    }
+    println!("algorithm      : {label}");
+    println!("schedule length: {}", schedule.makespan());
+    println!("processors used: {}", schedule.procs_used());
+    if args.has("gantt") {
+        println!("{}", render_gantt(schedule, graph));
+    }
+}
+
+fn cmd_schedule(args: &Args, graph: TaskGraph) -> ExitCode {
+    let net = build_network(args, 4);
+    let problem = SchedulingProblem::new(graph.clone(), net.clone());
+    let limits = SearchLimits {
+        max_millis: args.get("budget-ms").and_then(|v| v.parse().ok()),
+        ..Default::default()
+    };
+    let algorithm = args.get("algorithm").unwrap_or("astar");
+    match algorithm {
+        "astar" => {
+            let r = AStarScheduler::new(&problem).with_limits(limits).run();
+            report(r.expect_schedule(), &graph, &net, args, "serial A* (optimal)");
+            if !r.is_optimal() {
+                eprintln!("note: the search hit its budget; the schedule is the best incumbent, not proven optimal");
+            }
+        }
+        "aeps" => {
+            let eps = args.get_parse("epsilon", 0.2);
+            let r = AEpsScheduler::new(&problem, eps).with_limits(limits).run();
+            report(r.expect_schedule(), &graph, &net, args, &format!("Aε* (ε = {eps})"));
+        }
+        "chenyu" => {
+            let r = ChenYuScheduler::new(&problem).with_limits(limits).run();
+            report(r.expect_schedule(), &graph, &net, args, "Chen & Yu branch-and-bound");
+        }
+        "list" => {
+            let s = upper_bound_schedule(&graph, &net);
+            report(&s, &graph, &net, args, "list-scheduling heuristic");
+        }
+        "parallel" => {
+            let q = args.get_parse("ppes", 4);
+            let eps = args.get("epsilon").and_then(|v| v.parse().ok());
+            let cfg = ParallelConfig { num_ppes: q, epsilon: eps, limits, ..Default::default() };
+            let r = ParallelAStarScheduler::new(&problem, cfg).run();
+            report(&r.schedule, &graph, &net, args, &format!("parallel A* ({q} PPEs)"));
+        }
+        other => {
+            eprintln!("unknown algorithm `{other}` (expected astar|aeps|chenyu|list|parallel)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_generate(args: &Args) -> ExitCode {
+    let nodes = args.get_parse("nodes", 20usize);
+    let ccr = args.get_parse("ccr", 1.0f64);
+    let seed = args.get_parse("seed", 7u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generate_random_dag(&RandomDagConfig { nodes, ccr, ..Default::default() }, &mut rng);
+    let json = serde_json::to_string_pretty(&graph).expect("graphs serialise");
+    match args.get("output") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {nodes}-node graph (CCR {ccr}, seed {seed}) to {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_levels(graph: &TaskGraph) -> ExitCode {
+    let levels = GraphLevels::compute(graph);
+    println!("{:<8} {:>8} {:>10} {:>10} {:>10}", "node", "weight", "sl", "b-level", "t-level");
+    for n in graph.node_ids() {
+        println!(
+            "{:<8} {:>8} {:>10} {:>10} {:>10}",
+            n.to_string(),
+            graph.weight(n),
+            levels.static_level(n),
+            levels.b_level(n),
+            levels.t_level(n)
+        );
+    }
+    println!("critical path length = {}", levels.critical_path_length());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { return usage() };
+    let args = Args::parse(&argv[1..]);
+    match cmd.as_str() {
+        "schedule" => match load_graph(&args) {
+            Ok(g) => cmd_schedule(&args, g),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "generate" => cmd_generate(&args),
+        "levels" => match load_graph(&args) {
+            Ok(g) => cmd_levels(&g),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "example" => {
+            let graph = paper_example_dag();
+            let net = ProcNetwork::ring(3);
+            let problem = SchedulingProblem::new(graph.clone(), net.clone());
+            let r = AStarScheduler::new(&problem).run();
+            println!("paper example (Figure 1): optimal schedule length = {}", r.schedule_length);
+            println!("{}", render_gantt(r.expect_schedule(), &graph));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parser_handles_pairs_and_flags() {
+        let argv: Vec<String> =
+            ["--nodes", "12", "--gantt", "--ccr", "0.5"].iter().map(|s| s.to_string()).collect();
+        let a = Args::parse(&argv);
+        assert_eq!(a.get("nodes"), Some("12"));
+        assert_eq!(a.get_parse("ccr", 1.0), 0.5);
+        assert_eq!(a.get_parse("missing", 3usize), 3);
+        assert!(a.has("gantt"));
+        assert!(!a.has("json"));
+    }
+
+    #[test]
+    fn build_network_topologies() {
+        let argv: Vec<String> = ["--procs", "6", "--topology", "mesh"].iter().map(|s| s.to_string()).collect();
+        let net = build_network(&Args::parse(&argv), 4);
+        assert_eq!(net.num_procs(), 6);
+        let ring: Vec<String> = ["--procs", "5", "--topology", "ring"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(build_network(&Args::parse(&ring), 4).degree(optsched_procnet::ProcId(0)), 2);
+        let hyper: Vec<String> = ["--procs", "5", "--topology", "hypercube"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(build_network(&Args::parse(&hyper), 4).num_procs(), 8);
+    }
+
+    #[test]
+    fn example_problem_solves_to_14() {
+        let graph = paper_example_dag();
+        let problem = SchedulingProblem::new(graph, ProcNetwork::ring(3));
+        assert_eq!(AStarScheduler::new(&problem).run().schedule_length, 14);
+    }
+}

@@ -1,0 +1,306 @@
+//! The approximate Aε* scheduling algorithm (Section 3.4).
+//!
+//! Following Pearl & Kim's semi-admissible search, the algorithm keeps a
+//! FOCAL subset of the OPEN list containing every state whose cost is within
+//! a factor `(1 + ε)` of the smallest cost in OPEN, and always expands a
+//! state from FOCAL — preferring the one with the smallest `h`, i.e. the one
+//! closest to a complete schedule.  The first goal state expanded is
+//! guaranteed to be within `(1 + ε)` of the optimal schedule length
+//! (Theorem 2), while the search typically expands far fewer states than A*.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use optsched_schedule::Schedule;
+use optsched_taskgraph::Cost;
+
+use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
+use crate::problem::SchedulingProblem;
+use crate::state::{SearchState, StateSignature};
+use crate::stats::{SearchOutcome, SearchResult, SearchStats};
+
+/// Approximate Aε* scheduler with a bounded deviation from the optimum.
+#[derive(Debug, Clone)]
+pub struct AEpsScheduler<'a> {
+    problem: &'a SchedulingProblem,
+    epsilon: f64,
+    pruning: PruningConfig,
+    heuristic: HeuristicKind,
+    limits: SearchLimits,
+}
+
+impl<'a> AEpsScheduler<'a> {
+    /// A scheduler with approximation factor `epsilon` (the paper evaluates
+    /// ε = 0.2 and ε = 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(problem: &'a SchedulingProblem, epsilon: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon >= 0.0, "epsilon must be a non-negative number");
+        AEpsScheduler {
+            problem,
+            epsilon,
+            pruning: PruningConfig::all(),
+            heuristic: HeuristicKind::PaperStaticLevel,
+            limits: SearchLimits::unlimited(),
+        }
+    }
+
+    /// The approximation factor ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Selects which pruning techniques to use.
+    pub fn with_pruning(mut self, pruning: PruningConfig) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Selects the admissible heuristic.
+    pub fn with_heuristic(mut self, heuristic: HeuristicKind) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Applies resource limits to the run.
+    pub fn with_limits(mut self, limits: SearchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Largest cost admitted into FOCAL when the smallest OPEN cost is `fmin`.
+    fn focal_threshold(&self, fmin: Cost) -> Cost {
+        ((fmin as f64) * (1.0 + self.epsilon)).floor() as Cost
+    }
+
+    /// Runs the search.  The returned schedule's length is at most
+    /// `(1 + ε) ·` the optimal schedule length whenever the outcome is
+    /// [`SearchOutcome::Optimal`] (which here means "completed within the
+    /// configured bound").
+    pub fn run(&self) -> SearchResult {
+        let start_time = Instant::now();
+        let mut stats = SearchStats::default();
+
+        let mut arena: Vec<SearchState> = Vec::new();
+        // Two views of OPEN with lazy deletion: by f (for fmin / fallback) and
+        // by (h, f) (for the FOCAL selection rule).
+        let mut open_f: BinaryHeap<(Reverse<(Cost, u64)>, usize)> = BinaryHeap::new();
+        let mut open_h: BinaryHeap<(Reverse<(Cost, Cost, u64)>, usize)> = BinaryHeap::new();
+        let mut in_open: Vec<bool> = Vec::new();
+        let mut seen: HashMap<StateSignature, ()> = HashMap::new();
+        let mut counter: u64 = 0;
+
+        let mut incumbent: Schedule = self.problem.upper_bound_schedule().clone();
+        let mut incumbent_len: Cost = incumbent.makespan();
+
+        let initial = SearchState::initial(self.problem);
+        arena.push(initial);
+        in_open.push(true);
+        open_f.push((Reverse((0, counter)), 0));
+        open_h.push((Reverse((0, 0, counter)), 0));
+        stats.generated += 1;
+
+        let outcome = loop {
+            // Clean stale entries from the f-ordered heap and read fmin.
+            let fmin = loop {
+                match open_f.peek() {
+                    None => break None,
+                    Some(&(Reverse((f, _)), idx)) if in_open[idx] => break Some(f),
+                    Some(_) => {
+                        open_f.pop();
+                    }
+                }
+            };
+            let Some(fmin) = fmin else { break SearchOutcome::Exhausted };
+            let threshold = self.focal_threshold(fmin);
+
+            // Prefer the smallest-h state within FOCAL; fall back to the
+            // smallest-f state (which is trivially in FOCAL).
+            let mut chosen: Option<usize> = None;
+            while let Some(&(Reverse((_h, f, _c)), idx)) = open_h.peek() {
+                if !in_open[idx] {
+                    open_h.pop();
+                    continue;
+                }
+                if f <= threshold {
+                    chosen = Some(idx);
+                    open_h.pop();
+                }
+                break;
+            }
+            let idx = match chosen {
+                Some(idx) => idx,
+                None => {
+                    let (_, idx) = open_f.pop().expect("fmin was just observed");
+                    idx
+                }
+            };
+            in_open[idx] = false;
+            stats.max_open_size = stats.max_open_size.max(open_f.len());
+
+            if arena[idx].is_goal(self.problem) {
+                incumbent = arena[idx].to_schedule(self.problem);
+                break SearchOutcome::Optimal;
+            }
+
+            if let Some(max_exp) = self.limits.max_expansions {
+                if stats.expanded >= max_exp {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(max_gen) = self.limits.max_generated {
+                if stats.generated >= max_gen {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(ms) = self.limits.max_millis {
+                if start_time.elapsed().as_millis() as u64 >= ms {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(target) = self.limits.target_cost {
+                if incumbent_len <= target {
+                    break SearchOutcome::TargetReached;
+                }
+            }
+
+            stats.expanded += 1;
+            let candidates =
+                arena[idx].expansion_candidates(self.problem, &self.pruning, &mut stats);
+            for (node, proc) in candidates {
+                let child = arena[idx].schedule_node(self.problem, node, proc, self.heuristic);
+                stats.heuristic_evaluations += 1;
+                let cf = child.f();
+                if self.pruning.upper_bound_pruning && cf > incumbent_len {
+                    stats.pruned_upper_bound += 1;
+                    continue;
+                }
+                let signature = child.signature();
+                if seen.contains_key(&signature) {
+                    stats.duplicates += 1;
+                    continue;
+                }
+                seen.insert(signature, ());
+                if child.is_goal(self.problem) && child.g() < incumbent_len {
+                    incumbent_len = child.g();
+                    incumbent = child.to_schedule(self.problem);
+                }
+                counter += 1;
+                let idx_new = arena.len();
+                open_f.push((Reverse((cf, counter)), idx_new));
+                open_h.push((Reverse((child.h(), cf, counter)), idx_new));
+                arena.push(child);
+                in_open.push(true);
+                stats.generated += 1;
+            }
+        };
+
+        SearchResult {
+            schedule_length: incumbent.makespan(),
+            schedule: Some(incumbent),
+            outcome,
+            stats,
+            elapsed: start_time.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::AStarScheduler;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+    use optsched_workload::{generate_random_dag, RandomDagConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example_problem() -> SchedulingProblem {
+        SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3))
+    }
+
+    #[test]
+    fn epsilon_zero_is_exact() {
+        let prob = example_problem();
+        let r = AEpsScheduler::new(&prob, 0.0).run();
+        assert!(r.is_optimal());
+        assert_eq!(r.schedule_length, 14);
+    }
+
+    #[test]
+    fn result_is_within_bound_for_paper_epsilons() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for ccr in [0.1, 1.0, 10.0] {
+            let g = generate_random_dag(
+                &RandomDagConfig { nodes: 10, ccr, ..Default::default() },
+                &mut rng,
+            );
+            let prob = SchedulingProblem::new(g, ProcNetwork::fully_connected(3));
+            let optimal = AStarScheduler::new(&prob).run();
+            assert!(optimal.is_optimal());
+            for eps in [0.2, 0.5] {
+                let approx = AEpsScheduler::new(&prob, eps).run();
+                assert!(approx.is_optimal());
+                let bound = (optimal.schedule_length as f64 * (1.0 + eps)).floor() as Cost;
+                assert!(
+                    approx.schedule_length <= bound,
+                    "ccr={ccr} eps={eps}: {} > {}",
+                    approx.schedule_length,
+                    bound
+                );
+                approx.expect_schedule().validate(prob.graph(), prob.network()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_expands_no_more_states() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = generate_random_dag(
+            &RandomDagConfig { nodes: 12, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let prob = SchedulingProblem::new(g, ProcNetwork::fully_connected(3));
+        let tight = AEpsScheduler::new(&prob, 0.0).run();
+        let loose = AEpsScheduler::new(&prob, 0.5).run();
+        assert!(loose.stats.expanded <= tight.stats.expanded);
+    }
+
+    #[test]
+    fn focal_threshold_rounds_down() {
+        let prob = example_problem();
+        let s = AEpsScheduler::new(&prob, 0.2);
+        assert_eq!(s.focal_threshold(10), 12);
+        assert_eq!(s.focal_threshold(14), 16); // 16.8 -> 16
+        assert_eq!(s.epsilon(), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_epsilon_rejected() {
+        let prob = example_problem();
+        let _ = AEpsScheduler::new(&prob, -0.1);
+    }
+
+    #[test]
+    fn limits_are_honoured() {
+        let prob = example_problem();
+        let r = AEpsScheduler::new(&prob, 0.2).with_limits(SearchLimits::expansions(1)).run();
+        assert_eq!(r.outcome, SearchOutcome::LimitReached);
+        r.expect_schedule().validate(prob.graph(), prob.network()).unwrap();
+    }
+
+    #[test]
+    fn pruning_config_and_heuristic_are_composable() {
+        let prob = example_problem();
+        let r = AEpsScheduler::new(&prob, 0.2)
+            .with_pruning(PruningConfig::none())
+            .with_heuristic(HeuristicKind::TightStaticLevel)
+            .run();
+        assert!(r.is_optimal());
+        assert!(r.schedule_length <= (14.0 * 1.2) as Cost);
+    }
+}

@@ -1,0 +1,409 @@
+//! The serial A* scheduling algorithm (Section 3.1) with the state-space
+//! pruning techniques of Section 3.2.
+//!
+//! The algorithm keeps an OPEN list of un-expanded states ordered by
+//! `f = g + h` and a CLOSED set of already-seen partial schedules.  At every
+//! iteration the state with the smallest `f` is removed; if it is a goal
+//! state the schedule it represents is optimal (the cost function is
+//! admissible, Theorem 1), otherwise the state is expanded by assigning every
+//! ready node to every candidate processor.
+//!
+//! ```
+//! use optsched_core::{AStarScheduler, SchedulingProblem};
+//! use optsched_procnet::ProcNetwork;
+//! use optsched_taskgraph::paper_example_dag;
+//!
+//! let problem = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+//! let result = AStarScheduler::new(&problem).run();
+//! assert!(result.is_optimal());
+//! assert_eq!(result.schedule_length, 14);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use optsched_schedule::Schedule;
+use optsched_taskgraph::Cost;
+
+use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
+use crate::problem::SchedulingProblem;
+use crate::state::{SearchState, StateSignature};
+use crate::stats::{SearchOutcome, SearchResult, SearchStats};
+
+/// Serial A* optimal scheduler.
+#[derive(Debug, Clone)]
+pub struct AStarScheduler<'a> {
+    problem: &'a SchedulingProblem,
+    pruning: PruningConfig,
+    heuristic: HeuristicKind,
+    limits: SearchLimits,
+}
+
+/// Key ordering the OPEN list: smallest `f` first, then smallest `h`
+/// (prefers deeper states, reaching goals sooner), then FIFO.
+type OpenKey = (Cost, Cost, u64);
+
+impl<'a> AStarScheduler<'a> {
+    /// A scheduler with every pruning technique enabled and the paper's heuristic.
+    pub fn new(problem: &'a SchedulingProblem) -> Self {
+        AStarScheduler {
+            problem,
+            pruning: PruningConfig::all(),
+            heuristic: HeuristicKind::PaperStaticLevel,
+            limits: SearchLimits::unlimited(),
+        }
+    }
+
+    /// Selects which pruning techniques to use.
+    pub fn with_pruning(mut self, pruning: PruningConfig) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Selects the admissible heuristic.
+    pub fn with_heuristic(mut self, heuristic: HeuristicKind) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Applies resource limits to the run.
+    pub fn with_limits(mut self, limits: SearchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The problem being solved.
+    pub fn problem(&self) -> &SchedulingProblem {
+        self.problem
+    }
+
+    /// Runs the search to completion (or until a limit is hit).
+    pub fn run(&self) -> SearchResult {
+        let start_time = Instant::now();
+        let mut stats = SearchStats::default();
+
+        let mut arena: Vec<SearchState> = Vec::new();
+        let mut open: BinaryHeap<(Reverse<OpenKey>, usize)> = BinaryHeap::new();
+        let mut seen: HashMap<StateSignature, ()> = HashMap::new();
+        let mut counter: u64 = 0;
+
+        // Incumbent: best complete schedule known so far.  Initialised from
+        // the list heuristic so the upper-bound pruning rule of Section 3.2
+        // is available from the first expansion.
+        let mut incumbent: Schedule = self.problem.upper_bound_schedule().clone();
+        let mut incumbent_len: Cost = incumbent.makespan();
+        let prune_bound = |len: Cost, enabled: bool| if enabled { Some(len) } else { None };
+
+        let initial = SearchState::initial(self.problem);
+        arena.push(initial);
+        open.push((Reverse((0, 0, counter)), 0));
+        stats.generated += 1;
+
+        let outcome = loop {
+            let Some((Reverse((f, _h, _c)), idx)) = open.pop() else {
+                break SearchOutcome::Exhausted;
+            };
+            stats.max_open_size = stats.max_open_size.max(open.len() + 1);
+
+            // Goal test at expansion time: the first goal removed from OPEN
+            // has minimal f among all open states, hence is optimal.
+            if arena[idx].is_goal(self.problem) {
+                incumbent = arena[idx].to_schedule(self.problem);
+                break SearchOutcome::Optimal;
+            }
+
+            // Limits.
+            if let Some(max_exp) = self.limits.max_expansions {
+                if stats.expanded >= max_exp {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(max_gen) = self.limits.max_generated {
+                if stats.generated >= max_gen {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(ms) = self.limits.max_millis {
+                if start_time.elapsed().as_millis() as u64 >= ms {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(target) = self.limits.target_cost {
+                if incumbent_len <= target {
+                    break SearchOutcome::TargetReached;
+                }
+            }
+
+            stats.expanded += 1;
+            let candidates =
+                arena[idx].expansion_candidates(self.problem, &self.pruning, &mut stats);
+            for (node, proc) in candidates {
+                let child = arena[idx].schedule_node(self.problem, node, proc, self.heuristic);
+                stats.heuristic_evaluations += 1;
+                let cf = child.f();
+
+                // Upper-bound pruning: a state whose f already exceeds the best
+                // known complete schedule can never improve on it.
+                if let Some(bound) = prune_bound(incumbent_len, self.pruning.upper_bound_pruning) {
+                    if cf > bound {
+                        stats.pruned_upper_bound += 1;
+                        continue;
+                    }
+                }
+
+                // Duplicate detection (OPEN ∪ CLOSED): an identical partial
+                // schedule has the same f, so a second copy is never useful.
+                let signature = child.signature();
+                if seen.contains_key(&signature) {
+                    stats.duplicates += 1;
+                    continue;
+                }
+                seen.insert(signature, ());
+
+                // Track incumbents discovered at generation time so that a
+                // limit-bounded run still returns its best complete schedule.
+                if child.is_goal(self.problem) && child.g() < incumbent_len {
+                    incumbent_len = child.g();
+                    incumbent = child.to_schedule(self.problem);
+                }
+
+                counter += 1;
+                let key = (cf, child.h(), counter);
+                arena.push(child);
+                open.push((Reverse(key), arena.len() - 1));
+                stats.generated += 1;
+            }
+            let _ = f;
+        };
+
+        SearchResult {
+            schedule_length: incumbent.makespan(),
+            schedule: Some(incumbent),
+            outcome,
+            stats,
+            elapsed: start_time.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive_optimal;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+    use optsched_workload::{fork_join, generate_random_dag, RandomDagConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example_problem() -> SchedulingProblem {
+        SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3))
+    }
+
+    /// Figure 4: the optimal schedule of the example DAG on the 3-PE ring has
+    /// length 14.
+    #[test]
+    fn fig4_optimal_schedule_length_is_14() {
+        let prob = example_problem();
+        let result = AStarScheduler::new(&prob).run();
+        assert!(result.is_optimal());
+        assert_eq!(result.schedule_length, 14);
+        let schedule = result.expect_schedule();
+        schedule.validate(prob.graph(), prob.network()).unwrap();
+        assert_eq!(schedule.makespan(), 14);
+    }
+
+    /// Figure 3: with all pruning techniques the example search stays tiny
+    /// (the paper reports 26 generated / 9 expanded states versus an
+    /// exhaustive tree of more than 3^6 = 729 states; the exact counts depend
+    /// on tie-breaking among the many f = 14 states, so this test pins the
+    /// order of magnitude rather than the precise figure).
+    #[test]
+    fn fig3_search_tree_is_small_with_pruning() {
+        let prob = example_problem();
+        let with = AStarScheduler::new(&prob).run();
+        assert!(with.is_optimal());
+        assert!(
+            with.stats.generated <= 100,
+            "expected a few dozen states, generated {}",
+            with.stats.generated
+        );
+        assert!(with.stats.expanded <= 50, "expanded {}", with.stats.expanded);
+
+        let without = AStarScheduler::new(&prob).with_pruning(PruningConfig::none()).run();
+        assert!(without.is_optimal());
+        assert_eq!(without.schedule_length, 14);
+        assert!(
+            without.stats.generated > with.stats.generated,
+            "pruning must shrink the search: {} vs {}",
+            without.stats.generated,
+            with.stats.generated
+        );
+    }
+
+    #[test]
+    fn every_pruning_combination_stays_optimal_on_example() {
+        let prob = example_problem();
+        for mask in 0u8..16 {
+            let cfg = PruningConfig {
+                processor_isomorphism: mask & 1 != 0,
+                node_equivalence: mask & 2 != 0,
+                upper_bound_pruning: mask & 4 != 0,
+                priority_ordering: mask & 8 != 0,
+            };
+            let r = AStarScheduler::new(&prob).with_pruning(cfg).run();
+            assert!(r.is_optimal(), "{}", cfg.describe());
+            assert_eq!(r.schedule_length, 14, "{}", cfg.describe());
+            r.expect_schedule().validate(prob.graph(), prob.network()).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_heuristics_agree_on_the_optimum() {
+        let prob = example_problem();
+        for h in [HeuristicKind::PaperStaticLevel, HeuristicKind::TightStaticLevel, HeuristicKind::Zero] {
+            let r = AStarScheduler::new(&prob).with_heuristic(h).run();
+            assert!(r.is_optimal());
+            assert_eq!(r.schedule_length, 14, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn tight_heuristic_expands_no_more_states() {
+        let prob = example_problem();
+        let paper = AStarScheduler::new(&prob).run();
+        let tight =
+            AStarScheduler::new(&prob).with_heuristic(HeuristicKind::TightStaticLevel).run();
+        assert!(tight.stats.expanded <= paper.stats.expanded);
+        let zero = AStarScheduler::new(&prob).with_heuristic(HeuristicKind::Zero).run();
+        assert!(zero.stats.expanded >= paper.stats.expanded);
+    }
+
+    #[test]
+    fn single_processor_gives_serial_length() {
+        let prob = SchedulingProblem::new(paper_example_dag(), ProcNetwork::fully_connected(1));
+        let r = AStarScheduler::new(&prob).run();
+        assert!(r.is_optimal());
+        assert_eq!(r.schedule_length, prob.graph().total_computation());
+    }
+
+    #[test]
+    fn more_processors_never_hurt() {
+        let g = paper_example_dag();
+        let mut prev = Cost::MAX;
+        for p in 1..=4 {
+            let prob = SchedulingProblem::new(g.clone(), ProcNetwork::fully_connected(p));
+            let r = AStarScheduler::new(&prob).run();
+            assert!(r.is_optimal());
+            assert!(r.schedule_length <= prev, "p={p}");
+            prev = r.schedule_length;
+        }
+    }
+
+    #[test]
+    fn optimal_never_exceeds_heuristic_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let g = generate_random_dag(
+                &RandomDagConfig { nodes: 9, ccr: 1.0, ..Default::default() },
+                &mut rng,
+            );
+            let prob = SchedulingProblem::new(g, ProcNetwork::fully_connected(3));
+            let r = AStarScheduler::new(&prob).run();
+            assert!(r.is_optimal());
+            assert!(r.schedule_length <= prob.upper_bound());
+            assert!(r.schedule_length >= prob.lower_bound());
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_search_on_small_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for ccr in [0.1, 1.0, 10.0] {
+            let g = generate_random_dag(
+                &RandomDagConfig { nodes: 7, ccr, ..Default::default() },
+                &mut rng,
+            );
+            let prob = SchedulingProblem::new(g, ProcNetwork::ring(3));
+            let astar = AStarScheduler::new(&prob).run();
+            let brute = exhaustive_optimal(&prob);
+            assert!(astar.is_optimal());
+            assert_eq!(astar.schedule_length, brute, "ccr={ccr}");
+        }
+    }
+
+    #[test]
+    fn fork_join_on_enough_processors_is_perfectly_parallel() {
+        let g = fork_join(3, 4, 0);
+        let prob = SchedulingProblem::new(g, ProcNetwork::fully_connected(3));
+        let r = AStarScheduler::new(&prob).run();
+        assert!(r.is_optimal());
+        assert_eq!(r.schedule_length, 12); // fork + worker + join, no comm
+    }
+
+    #[test]
+    fn expansion_limit_reports_limit_reached_with_incumbent() {
+        let prob = example_problem();
+        let r = AStarScheduler::new(&prob).with_limits(SearchLimits::expansions(1)).run();
+        assert_eq!(r.outcome, SearchOutcome::LimitReached);
+        // The incumbent is at worst the list-heuristic schedule, which is complete.
+        let s = r.expect_schedule();
+        s.validate(prob.graph(), prob.network()).unwrap();
+        assert!(r.schedule_length >= 14);
+        assert!(r.schedule_length <= prob.upper_bound());
+    }
+
+    #[test]
+    fn generation_and_time_limits_are_honoured() {
+        let prob = example_problem();
+        let r = AStarScheduler::new(&prob)
+            .with_limits(SearchLimits { max_generated: Some(2), ..Default::default() })
+            .run();
+        assert_eq!(r.outcome, SearchOutcome::LimitReached);
+
+        let r2 = AStarScheduler::new(&prob)
+            .with_limits(SearchLimits { max_millis: Some(0), ..Default::default() })
+            .run();
+        assert_eq!(r2.outcome, SearchOutcome::LimitReached);
+    }
+
+    #[test]
+    fn target_cost_stops_early() {
+        let prob = example_problem();
+        // The list-heuristic incumbent already meets a loose target.
+        let loose_target = prob.upper_bound();
+        let r = AStarScheduler::new(&prob)
+            .with_limits(SearchLimits { target_cost: Some(loose_target), ..Default::default() })
+            .run();
+        assert_eq!(r.outcome, SearchOutcome::TargetReached);
+        assert!(r.schedule_length <= loose_target);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let prob = example_problem();
+        let r = AStarScheduler::new(&prob).run();
+        assert!(r.stats.generated >= r.stats.expanded);
+        assert!(r.stats.max_open_size > 0);
+        // Every heuristic evaluation corresponds to a generated child that was
+        // then either kept, discarded by the upper bound, or a duplicate.
+        assert_eq!(
+            r.stats.heuristic_evaluations,
+            (r.stats.generated - 1) + r.stats.pruned_upper_bound + r.stats.duplicates
+        );
+        assert!(r.elapsed.as_secs() < 10);
+    }
+
+    #[test]
+    fn heterogeneous_processors_send_work_to_the_fast_one() {
+        let g = fork_join(2, 4, 1);
+        let net = ProcNetwork::fully_connected(2).with_cycle_times(&[1, 10]);
+        let prob = SchedulingProblem::new(g, net);
+        let r = AStarScheduler::new(&prob).run();
+        assert!(r.is_optimal());
+        // Serial on the fast processor: 4 tasks x 4 units = 16; using the slow
+        // processor for a worker would cost 1 + 1 + 40 + ... far more.
+        assert_eq!(r.schedule_length, 16);
+    }
+}

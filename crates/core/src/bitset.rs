@@ -1,0 +1,150 @@
+//! A small fixed-capacity bit set used to track which nodes of the DAG are
+//! already scheduled in a search state.
+//!
+//! Task graphs in the paper have at most 32 nodes, but the search must not
+//! impose that limit, so the set stores `ceil(n / 64)` words inline in a
+//! boxed slice.  Equality and hashing are derived, which lets the bit set be
+//! part of a state signature.
+
+/// Fixed-capacity bit set over node indices `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold `len` elements.
+    pub fn new(len: usize) -> BitSet {
+        BitSet { words: vec![0; len.div_ceil(64).max(1)].into_boxed_slice(), len }
+    }
+
+    /// Capacity of the set.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`; returns true if it was not present before.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range 0..{}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `i`; returns true if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range 0..{}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// True if `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if every element `0..capacity` is set.
+    pub fn is_full(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// Iterator over the set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(64), "double insert reports false");
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(63));
+        assert!(!s.contains(62));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.count(), 3);
+        assert!(!s.is_empty());
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn full_set() {
+        let mut s = BitSet::new(65);
+        for i in 0..65 {
+            s.insert(i);
+        }
+        assert!(s.is_full());
+        assert_eq!(s.iter().collect::<Vec<_>>(), (0..65).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_set_is_full_and_empty() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.is_full());
+        assert_eq!(s.capacity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn equal_sets_hash_equal() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        for i in [1usize, 5, 69] {
+            a.insert(i);
+            b.insert(i);
+        }
+        assert_eq!(a, b);
+        let hash = |s: &BitSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        b.insert(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iter_order_is_increasing() {
+        let mut s = BitSet::new(128);
+        for i in [90usize, 3, 64, 127, 0] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 64, 90, 127]);
+    }
+}

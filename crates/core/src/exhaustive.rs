@@ -1,0 +1,86 @@
+//! Brute-force optimal scheduling for very small instances.
+//!
+//! A plain depth-first enumeration of every `(ready node, processor)`
+//! decision, with duplicate-state elimination and pruning only against the
+//! best complete schedule found so far (which preserves exactness because
+//! `g` never decreases along a path).  Exponential — intended solely as the
+//! ground truth for the unit and property tests of the search algorithms.
+
+use std::collections::HashSet;
+
+use optsched_taskgraph::Cost;
+
+use crate::config::HeuristicKind;
+use crate::problem::SchedulingProblem;
+use crate::state::{SearchState, StateSignature};
+
+/// Returns the optimal schedule length of `problem` by exhaustive enumeration.
+///
+/// Use only for small instances (roughly `v <= 8` and `p <= 4`); the tests of
+/// this workspace use it to certify the optimality of the A* results.
+pub fn exhaustive_optimal(problem: &SchedulingProblem) -> Cost {
+    let mut best = problem.upper_bound();
+    let mut seen: HashSet<StateSignature> = HashSet::new();
+    let mut stack = vec![SearchState::initial(problem)];
+    while let Some(state) = stack.pop() {
+        if state.is_goal(problem) {
+            best = best.min(state.g());
+            continue;
+        }
+        for node in state.ready_nodes(problem) {
+            for proc in problem.network().proc_ids() {
+                let child = state.schedule_node(problem, node, proc, HeuristicKind::Zero);
+                if child.g() >= best && child.is_goal(problem) {
+                    continue;
+                }
+                if child.g() > best {
+                    // g only grows along a path, so this subtree cannot improve.
+                    continue;
+                }
+                if seen.insert(child.signature()) {
+                    stack.push(child);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::{paper_example_dag, GraphBuilder};
+    use optsched_workload::chain;
+
+    #[test]
+    fn exhaustive_finds_14_on_the_example() {
+        let prob = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+        assert_eq!(exhaustive_optimal(&prob), 14);
+    }
+
+    #[test]
+    fn chain_cannot_be_parallelised() {
+        let prob = SchedulingProblem::new(chain(5, 3, 1), ProcNetwork::fully_connected(3));
+        assert_eq!(exhaustive_optimal(&prob), 15);
+    }
+
+    #[test]
+    fn independent_tasks_spread_over_processors() {
+        // Two independent tasks joined by nothing but a common sink with zero cost.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(5);
+        let c = b.add_node(5);
+        let sink = b.add_node(1);
+        b.add_edge(a, sink, 0).unwrap();
+        b.add_edge(c, sink, 0).unwrap();
+        let prob = SchedulingProblem::new(b.build().unwrap(), ProcNetwork::fully_connected(2));
+        assert_eq!(exhaustive_optimal(&prob), 6);
+    }
+
+    #[test]
+    fn single_processor_is_serial() {
+        let prob = SchedulingProblem::new(paper_example_dag(), ProcNetwork::fully_connected(1));
+        assert_eq!(exhaustive_optimal(&prob), 19);
+    }
+}

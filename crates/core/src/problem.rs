@@ -1,0 +1,167 @@
+//! The [`SchedulingProblem`]: a task graph, a processor network and the
+//! precomputed attributes shared by every search algorithm.
+
+use optsched_listsched::upper_bound_schedule;
+use optsched_procnet::{ProcId, ProcNetwork};
+use optsched_schedule::Schedule;
+use optsched_taskgraph::{Cost, GraphLevels, NodeId, TaskGraph};
+
+/// An instance of the static scheduling problem of Section 2: schedule every
+/// node of `graph` onto `network` so that the schedule length is minimal and
+/// all precedence constraints are met.
+///
+/// The struct also carries everything the searches precompute once per
+/// instance: the level attributes, the node-equivalence representatives
+/// (Definition 3), the interchangeability classes of the processors
+/// (Definition 2) and the upper-bound schedule of the list heuristic.
+#[derive(Debug, Clone)]
+pub struct SchedulingProblem {
+    graph: TaskGraph,
+    network: ProcNetwork,
+    levels: GraphLevels,
+    /// For every node, the smallest node id it is equivalent to (itself if none).
+    equivalence_rep: Vec<NodeId>,
+    /// For every processor, the smallest processor id it is interchangeable with.
+    interchange_rep: Vec<ProcId>,
+    /// The list-heuristic schedule used as the upper bound `U`.
+    upper_bound_schedule: Schedule,
+}
+
+impl SchedulingProblem {
+    /// Builds a problem instance and performs all per-instance precomputation.
+    pub fn new(graph: TaskGraph, network: ProcNetwork) -> SchedulingProblem {
+        let levels = GraphLevels::compute(&graph);
+
+        let mut equivalence_rep: Vec<NodeId> = graph.node_ids().collect();
+        for class in graph.equivalence_classes() {
+            let rep = class[0];
+            for &n in &class {
+                equivalence_rep[n.index()] = rep;
+            }
+        }
+
+        let mut interchange_rep: Vec<ProcId> = network.proc_ids().collect();
+        for class in network.interchangeability_classes() {
+            let rep = class[0];
+            for &p in &class {
+                interchange_rep[p.index()] = rep;
+            }
+        }
+
+        let ub = upper_bound_schedule(&graph, &network);
+        SchedulingProblem {
+            graph,
+            network,
+            levels,
+            equivalence_rep,
+            interchange_rep,
+            upper_bound_schedule: ub,
+        }
+    }
+
+    /// The task graph.
+    #[inline]
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The target processor network.
+    #[inline]
+    pub fn network(&self) -> &ProcNetwork {
+        &self.network
+    }
+
+    /// The precomputed level attributes.
+    #[inline]
+    pub fn levels(&self) -> &GraphLevels {
+        &self.levels
+    }
+
+    /// Number of task nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of target processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.network.num_procs()
+    }
+
+    /// The priority used to order ready nodes: b-level + t-level.
+    #[inline]
+    pub fn priority(&self, n: NodeId) -> Cost {
+        self.levels.b_plus_t(n)
+    }
+
+    /// The smallest node id equivalent to `n` under Definition 3.
+    #[inline]
+    pub fn equivalence_representative(&self, n: NodeId) -> NodeId {
+        self.equivalence_rep[n.index()]
+    }
+
+    /// The smallest processor id interchangeable with `p` under Definition 2(i).
+    #[inline]
+    pub fn interchange_representative(&self, p: ProcId) -> ProcId {
+        self.interchange_rep[p.index()]
+    }
+
+    /// The schedule produced by the linear-time upper-bound heuristic.
+    pub fn upper_bound_schedule(&self) -> &Schedule {
+        &self.upper_bound_schedule
+    }
+
+    /// The upper bound `U` on the optimal schedule length.
+    pub fn upper_bound(&self) -> Cost {
+        self.upper_bound_schedule.makespan()
+    }
+
+    /// A simple lower bound on the optimal schedule length (the static
+    /// critical path); used for sanity checks and progress reporting.
+    pub fn lower_bound(&self) -> Cost {
+        self.graph.schedule_length_lower_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+
+    #[test]
+    fn precomputations_on_the_example() {
+        let p = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+        assert_eq!(p.num_nodes(), 6);
+        assert_eq!(p.num_procs(), 3);
+        // n2 and n3 are equivalent; n3's representative is n2.
+        assert_eq!(p.equivalence_representative(NodeId(2)), NodeId(1));
+        assert_eq!(p.equivalence_representative(NodeId(1)), NodeId(1));
+        assert_eq!(p.equivalence_representative(NodeId(0)), NodeId(0));
+        // All three ring PEs are interchangeable.
+        for pe in p.network().proc_ids() {
+            assert_eq!(p.interchange_representative(pe), ProcId(0));
+        }
+        // Bounds bracket the optimum (14).
+        assert!(p.lower_bound() <= 14);
+        assert!(p.upper_bound() >= 14);
+        assert_eq!(p.priority(NodeId(0)), 19);
+        assert_eq!(p.priority(NodeId(3)), 14);
+    }
+
+    #[test]
+    fn upper_bound_schedule_is_valid() {
+        let p = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+        p.upper_bound_schedule().validate(p.graph(), p.network()).unwrap();
+        assert_eq!(p.upper_bound(), p.upper_bound_schedule().makespan());
+    }
+
+    #[test]
+    fn star_network_representatives() {
+        let p = SchedulingProblem::new(paper_example_dag(), ProcNetwork::star(4));
+        assert_eq!(p.interchange_representative(ProcId(0)), ProcId(0));
+        assert_eq!(p.interchange_representative(ProcId(2)), ProcId(1));
+        assert_eq!(p.interchange_representative(ProcId(3)), ProcId(1));
+    }
+}

@@ -1,0 +1,510 @@
+//! Search-state representation and the expansion operator (Section 3.1).
+//!
+//! A state is a *partial schedule*: a subset of the DAG's nodes assigned to
+//! processors with concrete start/finish times.  The initial state is the
+//! empty schedule, the expansion operator assigns one ready node to one
+//! processor (appending after the processor's last task), and a goal state is
+//! a complete schedule.
+
+use std::cmp::Reverse;
+
+use optsched_procnet::ProcId;
+use optsched_schedule::Schedule;
+use optsched_taskgraph::{Cost, NodeId};
+
+use crate::bitset::BitSet;
+use crate::config::{HeuristicKind, PruningConfig};
+use crate::problem::SchedulingProblem;
+use crate::stats::SearchStats;
+
+/// Marker for "not assigned to any processor yet".
+const UNASSIGNED: u16 = u16::MAX;
+
+/// Exact identity of a partial schedule, used for duplicate detection.
+///
+/// Two states with the same signature assign the same nodes to the same
+/// processors with the same start times, hence have identical `g`, `h` and
+/// future expansions; only one needs to be kept.
+///
+/// The representation packs, for every node, the pair `(processor, start
+/// time)` into one 64-bit word (`u64::MAX` marks an unscheduled node), so a
+/// signature is a single allocation and hashes quickly even for large graphs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateSignature(Box<[u64]>);
+
+/// A partial schedule together with its cost `f = g + h`.
+#[derive(Debug, Clone)]
+pub struct SearchState {
+    scheduled: BitSet,
+    /// Processor of each node (`UNASSIGNED` when unscheduled).
+    proc_of: Box<[u16]>,
+    /// Start time of each scheduled node.
+    start: Box<[Cost]>,
+    /// Finish time of each scheduled node.
+    finish: Box<[Cost]>,
+    /// Ready time of each processor (finish of its last task).
+    proc_ready: Box<[Cost]>,
+    /// Number of unscheduled predecessors of each node.
+    missing_preds: Box<[u16]>,
+    /// Number of scheduled nodes.
+    num_scheduled: u16,
+    /// Node with the largest finish time (`n_max` in the paper), if any.
+    max_finish_node: Option<NodeId>,
+    /// Partial schedule length `g(s)`.
+    g: Cost,
+    /// Heuristic estimate `h(s)` of the remaining schedule length.
+    h: Cost,
+}
+
+impl SearchState {
+    /// The initial (empty) state with `f = 0`.
+    pub fn initial(problem: &SchedulingProblem) -> SearchState {
+        let v = problem.num_nodes();
+        let p = problem.num_procs();
+        let graph = problem.graph();
+        let missing: Vec<u16> =
+            graph.node_ids().map(|n| graph.in_degree(n) as u16).collect();
+        SearchState {
+            scheduled: BitSet::new(v),
+            proc_of: vec![UNASSIGNED; v].into_boxed_slice(),
+            start: vec![0; v].into_boxed_slice(),
+            finish: vec![0; v].into_boxed_slice(),
+            proc_ready: vec![0; p].into_boxed_slice(),
+            missing_preds: missing.into_boxed_slice(),
+            num_scheduled: 0,
+            max_finish_node: None,
+            g: 0,
+            h: 0,
+        }
+    }
+
+    /// `g(s)`: the length of the partial schedule (max finish time).
+    #[inline]
+    pub fn g(&self) -> Cost {
+        self.g
+    }
+
+    /// `h(s)`: the admissible estimate of the remaining schedule length.
+    #[inline]
+    pub fn h(&self) -> Cost {
+        self.h
+    }
+
+    /// `f(s) = g(s) + h(s)`.
+    #[inline]
+    pub fn f(&self) -> Cost {
+        self.g + self.h
+    }
+
+    /// Number of nodes scheduled so far.
+    #[inline]
+    pub fn depth(&self) -> u16 {
+        self.num_scheduled
+    }
+
+    /// True when every node is scheduled (goal state).
+    pub fn is_goal(&self, problem: &SchedulingProblem) -> bool {
+        self.num_scheduled as usize == problem.num_nodes()
+    }
+
+    /// The node with the largest finish time, if any node is scheduled.
+    pub fn max_finish_node(&self) -> Option<NodeId> {
+        self.max_finish_node
+    }
+
+    /// True if `n` is scheduled in this state.
+    #[inline]
+    pub fn is_scheduled(&self, n: NodeId) -> bool {
+        self.scheduled.contains(n.index())
+    }
+
+    /// Processor of `n`, if scheduled.
+    pub fn proc_of(&self, n: NodeId) -> Option<ProcId> {
+        let p = self.proc_of[n.index()];
+        (p != UNASSIGNED).then(|| ProcId(u32::from(p)))
+    }
+
+    /// Finish time of `n`, if scheduled.
+    pub fn finish_time(&self, n: NodeId) -> Option<Cost> {
+        self.is_scheduled(n).then(|| self.finish[n.index()])
+    }
+
+    /// Ready time `RT_i` of processor `p` (Definition 1).
+    #[inline]
+    pub fn proc_ready_time(&self, p: ProcId) -> Cost {
+        self.proc_ready[p.index()]
+    }
+
+    /// True if no task has been placed on `p` yet.
+    pub fn proc_is_empty(&self, p: ProcId) -> bool {
+        let pi = p.index() as u16;
+        !self.proc_of.iter().any(|&x| x == pi)
+    }
+
+    /// The ready nodes: unscheduled nodes whose predecessors are all scheduled.
+    pub fn ready_nodes(&self, problem: &SchedulingProblem) -> Vec<NodeId> {
+        problem
+            .graph()
+            .node_ids()
+            .filter(|&n| !self.is_scheduled(n) && self.missing_preds[n.index()] == 0)
+            .collect()
+    }
+
+    /// Earliest start time of ready node `n` on processor `p` (append-only),
+    /// honouring the processor ready time and the arrival of every parent
+    /// message.
+    pub fn earliest_start(&self, problem: &SchedulingProblem, n: NodeId, p: ProcId) -> Cost {
+        let net = problem.network();
+        let mut est = self.proc_ready[p.index()];
+        for &(parent, comm) in problem.graph().predecessors(n) {
+            debug_assert!(self.is_scheduled(parent), "expanding a non-ready node");
+            let parent_proc = ProcId(u32::from(self.proc_of[parent.index()]));
+            let arrival = self.finish[parent.index()] + net.comm_cost(comm, parent_proc, p);
+            est = est.max(arrival);
+        }
+        est
+    }
+
+    /// Creates the successor state obtained by scheduling ready node `n` on
+    /// processor `p` at its earliest start time.
+    pub fn schedule_node(
+        &self,
+        problem: &SchedulingProblem,
+        n: NodeId,
+        p: ProcId,
+        heuristic: HeuristicKind,
+    ) -> SearchState {
+        let mut next = self.clone();
+        let est = self.earliest_start(problem, n, p);
+        let dur = problem.network().exec_time(problem.graph().weight(n), p);
+        let finish = est + dur;
+
+        next.scheduled.insert(n.index());
+        next.proc_of[n.index()] = p.index() as u16;
+        next.start[n.index()] = est;
+        next.finish[n.index()] = finish;
+        next.proc_ready[p.index()] = finish;
+        next.num_scheduled += 1;
+        for &(child, _) in problem.graph().successors(n) {
+            next.missing_preds[child.index()] -= 1;
+        }
+        if finish >= next.g {
+            next.g = finish;
+            next.max_finish_node = Some(n);
+        }
+        next.h = next.compute_h(problem, heuristic);
+        next
+    }
+
+    /// Evaluates the heuristic `h(s)` for this state.
+    fn compute_h(&self, problem: &SchedulingProblem, heuristic: HeuristicKind) -> Cost {
+        let graph = problem.graph();
+        let levels = problem.levels();
+        match heuristic {
+            HeuristicKind::Zero => 0,
+            HeuristicKind::PaperStaticLevel => {
+                let Some(nmax) = self.max_finish_node else { return 0 };
+                graph
+                    .successors(nmax)
+                    .iter()
+                    .filter(|&&(c, _)| !self.is_scheduled(c))
+                    .map(|&(c, _)| levels.static_level(c))
+                    .max()
+                    .unwrap_or(0)
+            }
+            HeuristicKind::TightStaticLevel => {
+                let mut bound = self.g;
+                for n in graph.node_ids().filter(|&n| self.is_scheduled(n)) {
+                    let tail = graph
+                        .successors(n)
+                        .iter()
+                        .filter(|&&(c, _)| !self.is_scheduled(c))
+                        .map(|&(c, _)| levels.static_level(c))
+                        .max()
+                        .unwrap_or(0);
+                    bound = bound.max(self.finish[n.index()] + tail);
+                }
+                // Unscheduled entry-like nodes (all of whose predecessors are
+                // unscheduled too) still need at least their static level.
+                for n in graph.node_ids().filter(|&n| !self.is_scheduled(n)) {
+                    if graph.predecessors(n).iter().all(|&(p, _)| !self.is_scheduled(p)) {
+                        bound = bound.max(levels.static_level(n));
+                    }
+                }
+                bound - self.g
+            }
+        }
+    }
+
+    /// The exact signature of this partial schedule (for duplicate detection).
+    pub fn signature(&self) -> StateSignature {
+        let words: Vec<u64> = (0..self.proc_of.len())
+            .map(|i| {
+                if self.scheduled.contains(i) {
+                    debug_assert!(self.start[i] < (1 << 48), "start time exceeds the packed range");
+                    (u64::from(self.proc_of[i]) << 48) | self.start[i]
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
+        StateSignature(words.into_boxed_slice())
+    }
+
+    /// Enumerates the `(ready node, processor)` pairs the expansion operator
+    /// should try, applying the node-equivalence, processor-isomorphism and
+    /// priority-ordering rules according to `config`.
+    pub fn expansion_candidates(
+        &self,
+        problem: &SchedulingProblem,
+        config: &PruningConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<(NodeId, ProcId)> {
+        let mut ready = self.ready_nodes(problem);
+        if config.priority_ordering {
+            ready.sort_by_key(|&n| (Reverse(problem.priority(n)), n));
+        }
+
+        // Node equivalence: among ready nodes of the same equivalence class,
+        // keep only the smallest id (Definition 3 guarantees the discarded
+        // orderings lead to schedules of identical length).
+        if config.node_equivalence {
+            let mut kept: Vec<NodeId> = Vec::with_capacity(ready.len());
+            for &n in &ready {
+                let rep = problem.equivalence_representative(n);
+                let duplicate = kept.iter().any(|&m| problem.equivalence_representative(m) == rep);
+                if duplicate {
+                    stats.pruned_node_equivalence += 1;
+                } else {
+                    kept.push(n);
+                }
+            }
+            ready = kept;
+        }
+
+        // Processor isomorphism: among *empty*, mutually interchangeable
+        // processors keep only the smallest id (Definition 2).
+        let mut procs: Vec<ProcId> = Vec::with_capacity(problem.num_procs());
+        if config.processor_isomorphism {
+            let mut kept_empty_reps: Vec<ProcId> = Vec::new();
+            for p in problem.network().proc_ids() {
+                if self.proc_is_empty(p) && self.proc_ready[p.index()] == 0 {
+                    let rep = problem.interchange_representative(p);
+                    if kept_empty_reps.contains(&rep) {
+                        stats.pruned_processor_isomorphism += 1;
+                        continue;
+                    }
+                    kept_empty_reps.push(rep);
+                }
+                procs.push(p);
+            }
+        } else {
+            procs.extend(problem.network().proc_ids());
+        }
+
+        let mut out = Vec::with_capacity(ready.len() * procs.len());
+        for &n in &ready {
+            for &p in &procs {
+                out.push((n, p));
+            }
+        }
+        out
+    }
+
+    /// Converts a goal state (or any partial state) into a [`Schedule`].
+    pub fn to_schedule(&self, problem: &SchedulingProblem) -> Schedule {
+        let mut s = Schedule::new(problem.num_nodes(), problem.num_procs());
+        for n in problem.graph().node_ids() {
+            if self.is_scheduled(n) {
+                s.assign(
+                    n,
+                    ProcId(u32::from(self.proc_of[n.index()])),
+                    self.start[n.index()],
+                    self.finish[n.index()],
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+
+    fn example_problem() -> SchedulingProblem {
+        SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3))
+    }
+
+    #[test]
+    fn initial_state_matches_paper() {
+        let prob = example_problem();
+        let s = SearchState::initial(&prob);
+        assert_eq!(s.f(), 0, "the paper sets f(initial) = 0");
+        assert_eq!(s.depth(), 0);
+        assert!(!s.is_goal(&prob));
+        assert_eq!(s.ready_nodes(&prob), vec![NodeId(0)]);
+        assert!(s.proc_is_empty(ProcId(0)));
+    }
+
+    /// The root expansion of Figure 3: scheduling n1 to PE0 gives f = 2 + 10.
+    #[test]
+    fn fig3_root_state_cost() {
+        let prob = example_problem();
+        let s0 = SearchState::initial(&prob);
+        let s1 = s0.schedule_node(&prob, NodeId(0), ProcId(0), HeuristicKind::PaperStaticLevel);
+        assert_eq!(s1.g(), 2);
+        assert_eq!(s1.h(), 10);
+        assert_eq!(s1.f(), 12);
+        assert_eq!(s1.max_finish_node(), Some(NodeId(0)));
+        assert_eq!(s1.proc_of(NodeId(0)), Some(ProcId(0)));
+        assert_eq!(s1.finish_time(NodeId(0)), Some(2));
+    }
+
+    /// Level-2 states of Figure 3: n2→PE0 f=5+7, n2→PE1 f=6+7,
+    /// n4→PE0 f=6+2, n4→PE1 f=8+2.
+    #[test]
+    fn fig3_second_level_costs() {
+        let prob = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let s1 = SearchState::initial(&prob).schedule_node(&prob, NodeId(0), ProcId(0), h);
+
+        let n2_pe0 = s1.schedule_node(&prob, NodeId(1), ProcId(0), h);
+        assert_eq!((n2_pe0.g(), n2_pe0.h()), (5, 7));
+
+        let n2_pe1 = s1.schedule_node(&prob, NodeId(1), ProcId(1), h);
+        assert_eq!((n2_pe1.g(), n2_pe1.h()), (6, 7));
+
+        let n4_pe0 = s1.schedule_node(&prob, NodeId(3), ProcId(0), h);
+        assert_eq!((n4_pe0.g(), n4_pe0.h()), (6, 2));
+
+        let n4_pe1 = s1.schedule_node(&prob, NodeId(3), ProcId(1), h);
+        assert_eq!((n4_pe1.g(), n4_pe1.h()), (8, 2));
+    }
+
+    #[test]
+    fn ready_set_evolves_with_scheduling() {
+        let prob = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let s1 = SearchState::initial(&prob).schedule_node(&prob, NodeId(0), ProcId(0), h);
+        assert_eq!(s1.ready_nodes(&prob), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let s2 = s1.schedule_node(&prob, NodeId(1), ProcId(0), h);
+        let s3 = s2.schedule_node(&prob, NodeId(2), ProcId(1), h);
+        // n5 becomes ready only after both n2 and n3 are scheduled.
+        assert!(s3.ready_nodes(&prob).contains(&NodeId(4)));
+        assert!(!s2.ready_nodes(&prob).contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn expansion_candidates_with_all_pruning_at_root() {
+        let prob = example_problem();
+        let s0 = SearchState::initial(&prob);
+        let mut stats = SearchStats::default();
+        let cands = s0.expansion_candidates(&prob, &PruningConfig::all(), &mut stats);
+        // Only n1 is ready and all three empty ring PEs are interchangeable:
+        // exactly one state is generated, as in Figure 3.
+        assert_eq!(cands, vec![(NodeId(0), ProcId(0))]);
+        assert_eq!(stats.pruned_processor_isomorphism, 2);
+    }
+
+    #[test]
+    fn expansion_candidates_without_pruning_at_root() {
+        let prob = example_problem();
+        let s0 = SearchState::initial(&prob);
+        let mut stats = SearchStats::default();
+        let cands = s0.expansion_candidates(&prob, &PruningConfig::none(), &mut stats);
+        assert_eq!(cands.len(), 3); // n1 × {PE0, PE1, PE2}
+        assert_eq!(stats.total_pruned(), 0);
+    }
+
+    /// Figure 3, second expansion: with pruning, only n2 and n4 are tried
+    /// (n3 is equivalent to n2) on PE0 and PE1 (PE1/PE2 interchangeable),
+    /// giving exactly four candidate states.
+    #[test]
+    fn fig3_second_expansion_candidates() {
+        let prob = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let s1 = SearchState::initial(&prob).schedule_node(&prob, NodeId(0), ProcId(0), h);
+        let mut stats = SearchStats::default();
+        let cands = s1.expansion_candidates(&prob, &PruningConfig::all(), &mut stats);
+        assert_eq!(cands.len(), 4);
+        let nodes: std::collections::BTreeSet<NodeId> = cands.iter().map(|&(n, _)| n).collect();
+        assert_eq!(nodes.into_iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(stats.pruned_node_equivalence, 1); // n3 dropped
+        assert!(stats.pruned_processor_isomorphism >= 1); // PE2 dropped
+        // Priority ordering puts n2 (b+t = 19) before n4 (b+t = 14).
+        assert_eq!(cands[0].0, NodeId(1));
+    }
+
+    #[test]
+    fn goal_state_converts_to_valid_schedule() {
+        let prob = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut s = SearchState::initial(&prob);
+        // Schedule everything on PE0 in topological id order.
+        for n in prob.graph().node_ids() {
+            s = s.schedule_node(&prob, n, ProcId(0), h);
+        }
+        assert!(s.is_goal(&prob));
+        assert_eq!(s.h(), 0, "goal state has no remaining work");
+        let schedule = s.to_schedule(&prob);
+        schedule.validate(prob.graph(), prob.network()).unwrap();
+        assert_eq!(schedule.makespan(), s.g());
+        assert_eq!(schedule.makespan(), prob.graph().total_computation());
+    }
+
+    #[test]
+    fn identical_partial_schedules_share_a_signature() {
+        let prob = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let s1 = SearchState::initial(&prob).schedule_node(&prob, NodeId(0), ProcId(0), h);
+        // Schedule n2 then n4 on different PEs, and n4 then n2: same partial schedule.
+        let a = s1
+            .schedule_node(&prob, NodeId(1), ProcId(0), h)
+            .schedule_node(&prob, NodeId(3), ProcId(1), h);
+        let b = s1
+            .schedule_node(&prob, NodeId(3), ProcId(1), h)
+            .schedule_node(&prob, NodeId(1), ProcId(0), h);
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.f(), b.f());
+        // A genuinely different placement has a different signature.
+        let c = s1
+            .schedule_node(&prob, NodeId(1), ProcId(1), h)
+            .schedule_node(&prob, NodeId(3), ProcId(1), h);
+        assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn tight_heuristic_dominates_paper_heuristic() {
+        let prob = example_problem();
+        let s1 = SearchState::initial(&prob).schedule_node(
+            &prob,
+            NodeId(0),
+            ProcId(0),
+            HeuristicKind::PaperStaticLevel,
+        );
+        let paper_h = s1.h();
+        let tight =
+            SearchState::initial(&prob).schedule_node(&prob, NodeId(0), ProcId(0), HeuristicKind::TightStaticLevel);
+        assert!(tight.h() >= paper_h);
+        let zero =
+            SearchState::initial(&prob).schedule_node(&prob, NodeId(0), ProcId(0), HeuristicKind::Zero);
+        assert_eq!(zero.h(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_execution_time_in_expansion() {
+        let prob = SchedulingProblem::new(
+            paper_example_dag(),
+            ProcNetwork::fully_connected(2).with_cycle_times(&[1, 2]),
+        );
+        let h = HeuristicKind::PaperStaticLevel;
+        let s0 = SearchState::initial(&prob);
+        let fast = s0.schedule_node(&prob, NodeId(0), ProcId(0), h);
+        let slow = s0.schedule_node(&prob, NodeId(0), ProcId(1), h);
+        assert_eq!(fast.finish_time(NodeId(0)), Some(2));
+        assert_eq!(slow.finish_time(NodeId(0)), Some(4));
+    }
+}

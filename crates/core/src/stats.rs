@@ -1,0 +1,133 @@
+//! Search statistics and results.
+
+use std::time::Duration;
+
+use optsched_schedule::Schedule;
+use optsched_taskgraph::Cost;
+
+/// Machine-independent counters collected during a search run.
+///
+/// The paper reports running times on the Intel Paragon; this reproduction
+/// additionally reports states generated/expanded so the Table 1 comparison
+/// can be made independent of the host machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// States created and inserted into OPEN.
+    pub generated: u64,
+    /// States removed from OPEN and expanded.
+    pub expanded: u64,
+    /// Candidate (node, processor) pairs skipped by processor isomorphism.
+    pub pruned_processor_isomorphism: u64,
+    /// Ready nodes skipped by node equivalence.
+    pub pruned_node_equivalence: u64,
+    /// Generated states discarded because `f` exceeded the upper bound.
+    pub pruned_upper_bound: u64,
+    /// Generated states discarded because an identical partial schedule had
+    /// already been seen (OPEN or CLOSED duplicate).
+    pub duplicates: u64,
+    /// Largest size of the OPEN list observed.
+    pub max_open_size: usize,
+    /// Heuristic evaluations performed (one per generated state; the Chen &
+    /// Yu baseline additionally counts its per-path evaluations here).
+    pub heuristic_evaluations: u64,
+    /// Total execution-path segments enumerated by the Chen & Yu bound
+    /// (zero for the A* family); a proxy for the cost-function evaluation
+    /// expense highlighted in Section 4.2.
+    pub path_segments_enumerated: u64,
+}
+
+impl SearchStats {
+    /// Sum of all states discarded by any pruning rule.
+    pub fn total_pruned(&self) -> u64 {
+        self.pruned_processor_isomorphism
+            + self.pruned_node_equivalence
+            + self.pruned_upper_bound
+            + self.duplicates
+    }
+}
+
+/// Why a search run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A goal state with minimal `f` was expanded: the schedule is optimal
+    /// (or, for Aε*, within the configured bound of optimal).
+    Optimal,
+    /// The search hit the configured target cost and returned the incumbent.
+    TargetReached,
+    /// The search ran out of the configured expansion/generation/time budget;
+    /// the best incumbent (if any) is returned without an optimality claim.
+    LimitReached,
+    /// The search space was exhausted without finding a complete schedule
+    /// (cannot happen for a connected processor network, kept for totality).
+    Exhausted,
+}
+
+/// Result of a search run: the schedule (if one was found), its length, the
+/// guarantee that applies to it, and the collected statistics.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best complete schedule found, if any.
+    pub schedule: Option<Schedule>,
+    /// Schedule length of `schedule` (0 when none was found).
+    pub schedule_length: Cost,
+    /// Why the search stopped.
+    pub outcome: SearchOutcome,
+    /// Counters.
+    pub stats: SearchStats,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl SearchResult {
+    /// True if the result carries an optimality guarantee.
+    pub fn is_optimal(&self) -> bool {
+        self.outcome == SearchOutcome::Optimal
+    }
+
+    /// The schedule, panicking with a clear message if none was produced.
+    pub fn expect_schedule(&self) -> &Schedule {
+        self.schedule.as_ref().expect("search did not produce a schedule")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_pruned_sums_every_category() {
+        let s = SearchStats {
+            pruned_processor_isomorphism: 1,
+            pruned_node_equivalence: 2,
+            pruned_upper_bound: 3,
+            duplicates: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.total_pruned(), 10);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = SearchResult {
+            schedule: None,
+            schedule_length: 0,
+            outcome: SearchOutcome::LimitReached,
+            stats: SearchStats::default(),
+            elapsed: Duration::from_millis(5),
+        };
+        assert!(!r.is_optimal());
+    }
+
+    #[test]
+    #[should_panic(expected = "did not produce a schedule")]
+    fn expect_schedule_panics_without_schedule() {
+        let r = SearchResult {
+            schedule: None,
+            schedule_length: 0,
+            outcome: SearchOutcome::Exhausted,
+            stats: SearchStats::default(),
+            elapsed: Duration::ZERO,
+        };
+        r.expect_schedule();
+    }
+}

@@ -1,0 +1,40 @@
+//! Parallel A* / Aε* DAG scheduling (Section 3.3 of Kwok & Ahmad, ICPP'98).
+//!
+//! The paper parallelises the A* scheduler over the *physical* processing
+//! elements (PPEs) of an Intel Paragon: every PPE keeps its own OPEN and
+//! CLOSED lists, PPEs are connected by a mesh and only communicate with their
+//! topological neighbours, work is balanced with a round-robin load-sharing
+//! scheme, and the communication period decreases exponentially
+//! (T = v/2, v/4, …, down to 2 expansions) as the search converges.
+//!
+//! **Substitution note** (see `DESIGN.md`): the Paragon is replaced by a
+//! thread-based PPE simulator.  Each PPE is an OS thread with private search
+//! lists; the PPE interconnection topology is virtual (any
+//! [`Topology`](optsched_procnet::Topology)); states travel between
+//! neighbouring PPEs over `crossbeam` channels; the incumbent schedule,
+//! per-PPE best costs and termination flag live behind shared atomics/locks.
+//! The control flow — initial distribution cases 1–3, neighbour-only
+//! communication, best-state election, round-robin sharing, exponentially
+//! shrinking periods, goal broadcast — follows Section 3.3.
+//!
+//! ```
+//! use optsched_core::SchedulingProblem;
+//! use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};
+//! use optsched_procnet::ProcNetwork;
+//! use optsched_taskgraph::paper_example_dag;
+//!
+//! let problem = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+//! let config = ParallelConfig { num_ppes: 2, ..Default::default() };
+//! let result = ParallelAStarScheduler::new(&problem, config).run();
+//! assert_eq!(result.schedule_length(), 14);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod result;
+pub mod scheduler;
+
+pub use config::ParallelConfig;
+pub use result::ParallelSearchResult;
+pub use scheduler::ParallelAStarScheduler;

@@ -1,0 +1,109 @@
+//! Results of a parallel search run.
+
+use std::time::Duration;
+
+use optsched_core::{SearchOutcome, SearchStats};
+use optsched_schedule::Schedule;
+use optsched_taskgraph::Cost;
+
+/// Outcome of a parallel A* / Aε* run, including per-PPE statistics.
+#[derive(Debug, Clone)]
+pub struct ParallelSearchResult {
+    /// The best complete schedule found.
+    pub schedule: Schedule,
+    /// Why the run stopped (same meaning as for the serial schedulers; for
+    /// an ε-bounded run, `Optimal` means "within the configured bound").
+    pub outcome: SearchOutcome,
+    /// Statistics of every PPE, indexed by PPE id.
+    pub per_ppe_stats: Vec<SearchStats>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Number of PPE threads used.
+    pub num_ppes: usize,
+}
+
+impl ParallelSearchResult {
+    /// Schedule length of the returned schedule.
+    pub fn schedule_length(&self) -> Cost {
+        self.schedule.makespan()
+    }
+
+    /// True if the run carries its optimality (or ε-bound) guarantee.
+    pub fn is_optimal(&self) -> bool {
+        self.outcome == SearchOutcome::Optimal
+    }
+
+    /// Aggregated statistics over all PPEs.
+    pub fn total_stats(&self) -> SearchStats {
+        let mut total = SearchStats::default();
+        for s in &self.per_ppe_stats {
+            total.generated += s.generated;
+            total.expanded += s.expanded;
+            total.pruned_processor_isomorphism += s.pruned_processor_isomorphism;
+            total.pruned_node_equivalence += s.pruned_node_equivalence;
+            total.pruned_upper_bound += s.pruned_upper_bound;
+            total.duplicates += s.duplicates;
+            total.max_open_size = total.max_open_size.max(s.max_open_size);
+            total.heuristic_evaluations += s.heuristic_evaluations;
+            total.path_segments_enumerated += s.path_segments_enumerated;
+        }
+        total
+    }
+
+    /// Total states expanded across all PPEs.
+    pub fn total_expanded(&self) -> u64 {
+        self.per_ppe_stats.iter().map(|s| s.expanded).sum()
+    }
+
+    /// Ratio between the busiest and the least busy PPE (1.0 = perfectly even).
+    ///
+    /// A rough indicator of how well the round-robin load sharing balanced
+    /// the search; returns 1.0 when fewer than two PPEs did any work.
+    pub fn load_imbalance(&self) -> f64 {
+        let counts: Vec<u64> = self.per_ppe_stats.iter().map(|s| s.expanded).collect();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_core::SearchStats;
+
+    fn dummy(expanded: Vec<u64>) -> ParallelSearchResult {
+        ParallelSearchResult {
+            schedule: Schedule::new(1, 1),
+            outcome: SearchOutcome::Optimal,
+            per_ppe_stats: expanded
+                .into_iter()
+                .map(|e| SearchStats { expanded: e, generated: e * 2, ..Default::default() })
+                .collect(),
+            elapsed: Duration::from_millis(1),
+            num_ppes: 2,
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_counters() {
+        let r = dummy(vec![10, 30]);
+        assert_eq!(r.total_expanded(), 40);
+        assert_eq!(r.total_stats().generated, 80);
+        assert!((r.load_imbalance() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_imbalance_edge_cases() {
+        assert_eq!(dummy(vec![0, 0]).load_imbalance(), 1.0);
+        assert_eq!(dummy(vec![5, 0]).load_imbalance(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,670 @@
+//! The thread-based parallel A* / Aε* scheduler.
+//!
+//! Every PPE (thread) runs the same best-first loop as the serial scheduler
+//! on its private OPEN/CLOSED lists; the pieces that make it the *parallel*
+//! algorithm of Section 3.3 are:
+//!
+//! * **Initial distribution** — the frontier obtained by repeatedly expanding
+//!   the initial empty state until at least `q` states exist is dealt to the
+//!   PPEs in the interleaved order of the paper (best to PPE 0, second best
+//!   to PPE q−1, third to PPE 1, …), extras round-robin (cases 1–3).
+//! * **Neighbour communication** — every `T` expansions a PPE sends its best
+//!   OPEN state to its topological neighbours and balances OPEN sizes by
+//!   dealing surplus states round-robin to deficit neighbours.  `T` starts at
+//!   `v/2` and halves after every phase down to the configured floor.
+//! * **Goal broadcast / termination** — the best complete schedule lives in a
+//!   shared incumbent; a PPE that can prove no open or in-flight state can
+//!   beat the incumbent (within the ε bound, if any) raises the global
+//!   termination flag.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use optsched_core::state::StateSignature;
+use optsched_core::{SchedulingProblem, SearchOutcome, SearchState, SearchStats};
+use optsched_schedule::Schedule;
+use optsched_taskgraph::Cost;
+
+use crate::config::ParallelConfig;
+use crate::result::ParallelSearchResult;
+
+/// Number of FOCAL candidates inspected per selection in the ε-bounded mode.
+const FOCAL_SCAN_LIMIT: usize = 64;
+
+/// An OPEN entry ordered by `(f, h, insertion counter)` ascending.
+struct HeapEntry {
+    key: (Cost, Cost, u64),
+    state: SearchState,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the smallest key is on top.
+        Reverse(self.key).cmp(&Reverse(other.key))
+    }
+}
+
+/// State shared by all PPE threads.
+struct Shared {
+    /// Best complete schedule known so far and its length.
+    incumbent: Mutex<(Cost, Schedule)>,
+    /// Smallest f in each PPE's OPEN list (u64::MAX when empty).
+    local_min_f: Vec<AtomicU64>,
+    /// Size of each PPE's OPEN list (for load sharing).
+    open_sizes: Vec<AtomicUsize>,
+    /// States currently travelling between PPEs.
+    in_flight: AtomicI64,
+    /// Global stop flag.
+    terminate: AtomicBool,
+    /// Set when a resource limit caused the stop.
+    limit_hit: AtomicBool,
+    /// Set when the target cost caused the stop.
+    target_hit: AtomicBool,
+    /// Expansions across all PPEs (for the global expansion limit).
+    total_expanded: AtomicU64,
+    /// Generations across all PPEs (for the global generation limit).
+    total_generated: AtomicU64,
+}
+
+impl Shared {
+    fn new(q: usize, incumbent_len: Cost, incumbent: Schedule) -> Shared {
+        Shared {
+            incumbent: Mutex::new((incumbent_len, incumbent)),
+            local_min_f: (0..q).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            open_sizes: (0..q).map(|_| AtomicUsize::new(0)).collect(),
+            in_flight: AtomicI64::new(0),
+            terminate: AtomicBool::new(false),
+            limit_hit: AtomicBool::new(false),
+            target_hit: AtomicBool::new(false),
+            total_expanded: AtomicU64::new(0),
+            total_generated: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Parallel A* (and Aε*) scheduler over a virtual PPE network.
+#[derive(Debug, Clone)]
+pub struct ParallelAStarScheduler<'a> {
+    problem: &'a SchedulingProblem,
+    config: ParallelConfig,
+}
+
+impl<'a> ParallelAStarScheduler<'a> {
+    /// Creates a scheduler for `problem` with the given parallel configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_ppes == 0` or if a configured ε is negative.
+    pub fn new(problem: &'a SchedulingProblem, config: ParallelConfig) -> Self {
+        assert!(config.num_ppes >= 1, "at least one PPE is required");
+        if let Some(eps) = config.epsilon {
+            assert!(eps.is_finite() && eps >= 0.0, "epsilon must be non-negative");
+        }
+        ParallelAStarScheduler { problem, config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+
+    /// Builds the initial work distribution (Section 3.3, cases 1–3):
+    /// repeatedly expands the lowest-cost frontier state, starting from the
+    /// empty schedule, until at least `q` states exist (or nothing is left to
+    /// expand), then deals the frontier out in the interleaved order.
+    fn initial_distribution(&self, stats: &mut SearchStats) -> Vec<Vec<SearchState>> {
+        let q = self.config.num_ppes;
+        let mut frontier: Vec<SearchState> = Vec::new();
+
+        let initial = SearchState::initial(self.problem);
+        let mut to_expand = vec![initial];
+        while frontier.len() + to_expand.len() < q.max(1) && !to_expand.is_empty() {
+            // Expand the most promising expandable state.
+            to_expand.sort_by_key(|s| Reverse(s.f()));
+            let state = to_expand.pop().expect("loop guard ensures non-empty");
+            if state.is_goal(self.problem) {
+                frontier.push(state);
+                continue;
+            }
+            stats.expanded += 1;
+            for (node, proc) in
+                state.expansion_candidates(self.problem, &self.config.pruning, stats)
+            {
+                let child = state.schedule_node(self.problem, node, proc, self.config.heuristic);
+                stats.heuristic_evaluations += 1;
+                stats.generated += 1;
+                to_expand.push(child);
+            }
+        }
+        frontier.extend(to_expand);
+        // Sort by increasing cost and deal out: best -> PPE 0, next -> PPE q-1,
+        // then PPE 1, PPE q-2, ... and the extras round-robin.
+        frontier.sort_by_key(|s| (s.f(), s.h()));
+        let mut buckets: Vec<Vec<SearchState>> = vec![Vec::new(); q];
+        for (j, state) in frontier.into_iter().enumerate() {
+            let target = if j < q {
+                if j % 2 == 0 {
+                    j / 2
+                } else {
+                    q - 1 - j / 2
+                }
+            } else {
+                j % q
+            };
+            buckets[target].push(state);
+        }
+        buckets
+    }
+
+    /// Runs the parallel search and returns the best schedule with per-PPE
+    /// statistics.
+    pub fn run(&self) -> ParallelSearchResult {
+        let start = Instant::now();
+        let cfg = self.config;
+        let q = cfg.num_ppes;
+
+        let mut setup_stats = SearchStats::default();
+        let buckets = self.initial_distribution(&mut setup_stats);
+
+        let ub_schedule = self.problem.upper_bound_schedule().clone();
+        let shared = Shared::new(q, ub_schedule.makespan(), ub_schedule);
+        // Seed every PPE's published frontier cost from its initial bucket so
+        // that no thread can observe an all-empty frontier (and terminate)
+        // before the other threads have published their real minima.
+        for (i, bucket) in buckets.iter().enumerate() {
+            let min_f = bucket.iter().map(|s| s.f()).min().unwrap_or(u64::MAX);
+            shared.local_min_f[i].store(min_f, Ordering::SeqCst);
+        }
+        let neighbors = cfg.ppe_neighbors();
+        let deadline = cfg.limits.max_millis.map(|ms| start + Duration::from_millis(ms));
+
+        let channels: Vec<(Sender<SearchState>, Receiver<SearchState>)> =
+            (0..q).map(|_| unbounded()).collect();
+        let txs: Vec<Sender<SearchState>> = channels.iter().map(|(t, _)| t.clone()).collect();
+        let mut rxs: Vec<Option<Receiver<SearchState>>> =
+            channels.into_iter().map(|(_, r)| Some(r)).collect();
+
+        let mut per_ppe_stats: Vec<SearchStats> = Vec::with_capacity(q);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(q);
+            for (id, bucket) in buckets.into_iter().enumerate() {
+                let rx = rxs[id].take().expect("one receiver per PPE");
+                let txs = txs.clone();
+                let shared = &shared;
+                let neighbors = neighbors[id].clone();
+                let problem = self.problem;
+                handles.push(scope.spawn(move || {
+                    ppe_worker(id, problem, &cfg, &neighbors, shared, rx, &txs, bucket, deadline)
+                }));
+            }
+            for h in handles {
+                per_ppe_stats.push(h.join().expect("PPE thread panicked"));
+            }
+        });
+
+        // Attribute the setup expansion work to PPE 0 so no counted state is lost.
+        if let Some(first) = per_ppe_stats.first_mut() {
+            first.generated += setup_stats.generated;
+            first.expanded += setup_stats.expanded;
+            first.heuristic_evaluations += setup_stats.heuristic_evaluations;
+            first.pruned_processor_isomorphism += setup_stats.pruned_processor_isomorphism;
+            first.pruned_node_equivalence += setup_stats.pruned_node_equivalence;
+        }
+
+        let (len, schedule) = shared.incumbent.into_inner();
+        debug_assert_eq!(len, schedule.makespan());
+        let outcome = if shared.limit_hit.load(Ordering::SeqCst) {
+            SearchOutcome::LimitReached
+        } else if shared.target_hit.load(Ordering::SeqCst) {
+            SearchOutcome::TargetReached
+        } else {
+            SearchOutcome::Optimal
+        };
+
+        ParallelSearchResult {
+            schedule,
+            outcome,
+            per_ppe_stats,
+            elapsed: start.elapsed(),
+            num_ppes: q,
+        }
+    }
+}
+
+/// Selects the next state to expand: plain best-first for the exact search,
+/// or a FOCAL-style "deepest state within (1+ε)·fmin" for the ε-bounded one.
+fn select_state(open: &mut BinaryHeap<HeapEntry>, epsilon: Option<f64>) -> HeapEntry {
+    let Some(eps) = epsilon else {
+        return open.pop().expect("select_state called on a non-empty OPEN");
+    };
+    let fmin = open.peek().expect("non-empty OPEN").key.0;
+    let threshold = (fmin as f64 * (1.0 + eps)).floor() as Cost;
+    let mut focal: Vec<HeapEntry> = Vec::new();
+    while focal.len() < FOCAL_SCAN_LIMIT {
+        match open.peek() {
+            Some(e) if e.key.0 <= threshold => focal.push(open.pop().expect("peeked")),
+            _ => break,
+        }
+    }
+    // Pick the FOCAL member with the smallest h (closest to a goal).
+    let best_idx = focal
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| (e.key.1, e.key.0, e.key.2))
+        .map(|(i, _)| i)
+        .expect("focal contains at least the fmin state");
+    let chosen = focal.swap_remove(best_idx);
+    for e in focal {
+        open.push(e);
+    }
+    chosen
+}
+
+/// The per-PPE search loop.
+#[allow(clippy::too_many_arguments)]
+fn ppe_worker(
+    id: usize,
+    problem: &SchedulingProblem,
+    cfg: &ParallelConfig,
+    neighbors: &[usize],
+    shared: &Shared,
+    rx: Receiver<SearchState>,
+    txs: &[Sender<SearchState>],
+    initial: Vec<SearchState>,
+    deadline: Option<Instant>,
+) -> SearchStats {
+    let mut stats = SearchStats::default();
+    let mut open: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut seen: HashMap<StateSignature, ()> = HashMap::new();
+    let mut counter: u64 = 0;
+
+    let bound_factor = cfg.epsilon.map_or(1.0, |e| 1.0 + e);
+    let v = problem.num_nodes() as u64;
+    let mut comm_period = (v / 2).max(cfg.min_comm_period);
+    let mut since_comm: u64 = 0;
+    let mut idle_spins: u32 = 0;
+
+    let push_state = |open: &mut BinaryHeap<HeapEntry>,
+                          seen: &mut HashMap<StateSignature, ()>,
+                          counter: &mut u64,
+                          stats: &mut SearchStats,
+                          state: SearchState,
+                          count_generated: bool| {
+        let incumbent_len = shared.incumbent.lock().0;
+        if cfg.pruning.upper_bound_pruning && state.f() > incumbent_len {
+            stats.pruned_upper_bound += 1;
+            return;
+        }
+        let sig = state.signature();
+        if seen.contains_key(&sig) {
+            stats.duplicates += 1;
+            return;
+        }
+        seen.insert(sig, ());
+        if state.is_goal(problem) {
+            let mut inc = shared.incumbent.lock();
+            if state.g() < inc.0 {
+                *inc = (state.g(), state.to_schedule(problem));
+            }
+        }
+        *counter += 1;
+        if count_generated {
+            stats.generated += 1;
+            shared.total_generated.fetch_add(1, Ordering::Relaxed);
+        }
+        open.push(HeapEntry { key: (state.f(), state.h(), *counter), state });
+    };
+
+    for s in initial {
+        push_state(&mut open, &mut seen, &mut counter, &mut stats, s, false);
+    }
+
+    loop {
+        if shared.terminate.load(Ordering::SeqCst) {
+            break;
+        }
+
+        // Import states sent by neighbours.  The published minimum and the
+        // in-flight counter are updated in an order that never lets another
+        // PPE observe "nothing in flight" while this state is still invisible.
+        while let Ok(s) = rx.try_recv() {
+            push_state(&mut open, &mut seen, &mut counter, &mut stats, s, false);
+            let min_f = open.peek().map_or(u64::MAX, |e| e.key.0);
+            shared.local_min_f[id].store(min_f, Ordering::SeqCst);
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+
+        // Publish this PPE's frontier cost and OPEN size.
+        let min_f = open.peek().map_or(u64::MAX, |e| e.key.0);
+        shared.local_min_f[id].store(min_f, Ordering::SeqCst);
+        shared.open_sizes[id].store(open.len(), Ordering::Relaxed);
+        stats.max_open_size = stats.max_open_size.max(open.len());
+
+        // Global termination test: nothing in flight and no frontier state
+        // anywhere can improve on the incumbent (within the ε bound).
+        let incumbent_len = shared.incumbent.lock().0;
+        if shared.in_flight.load(Ordering::SeqCst) == 0 {
+            let global_min = shared
+                .local_min_f
+                .iter()
+                .map(|a| a.load(Ordering::SeqCst))
+                .min()
+                .unwrap_or(u64::MAX);
+            let done = global_min == u64::MAX
+                || (incumbent_len as f64) <= bound_factor * (global_min as f64);
+            if done {
+                shared.terminate.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+
+        // Resource limits (evaluated on the global counters).
+        if let Some(max_exp) = cfg.limits.max_expansions {
+            if shared.total_expanded.load(Ordering::Relaxed) >= max_exp {
+                shared.limit_hit.store(true, Ordering::SeqCst);
+                shared.terminate.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        if let Some(max_gen) = cfg.limits.max_generated {
+            if shared.total_generated.load(Ordering::Relaxed) >= max_gen {
+                shared.limit_hit.store(true, Ordering::SeqCst);
+                shared.terminate.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                shared.limit_hit.store(true, Ordering::SeqCst);
+                shared.terminate.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        if let Some(target) = cfg.limits.target_cost {
+            if incumbent_len <= target {
+                shared.target_hit.store(true, Ordering::SeqCst);
+                shared.terminate.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+
+        if open.is_empty() {
+            // Idle: wait for work from neighbours or for global termination.
+            idle_spins += 1;
+            if idle_spins > 64 {
+                std::thread::sleep(Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        idle_spins = 0;
+
+        let entry = select_state(&mut open, cfg.epsilon);
+        let state = entry.state;
+        if state.is_goal(problem) {
+            // Goal broadcast: publish and keep searching until the global
+            // termination condition proves it cannot be beaten.
+            let mut inc = shared.incumbent.lock();
+            if state.g() < inc.0 {
+                *inc = (state.g(), state.to_schedule(problem));
+            }
+            continue;
+        }
+
+        stats.expanded += 1;
+        shared.total_expanded.fetch_add(1, Ordering::Relaxed);
+        since_comm += 1;
+
+        for (node, proc) in state.expansion_candidates(problem, &cfg.pruning, &mut stats) {
+            let child = state.schedule_node(problem, node, proc, cfg.heuristic);
+            stats.heuristic_evaluations += 1;
+            push_state(&mut open, &mut seen, &mut counter, &mut stats, child, true);
+        }
+
+        // Communication phase: neighbour exchange + round-robin load sharing.
+        if since_comm >= comm_period && !neighbors.is_empty() {
+            since_comm = 0;
+            comm_period = (comm_period / 2).max(cfg.min_comm_period);
+
+            // Best-state election: offer this PPE's best state to every
+            // neighbour (each neighbour keeps the best offer it receives by
+            // simply inserting it into its own OPEN list).
+            if let Some(best) = open.peek() {
+                for &nb in neighbors {
+                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    if txs[nb].send(best.state.clone()).is_err() {
+                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+
+            // Round-robin load sharing of surplus states to deficit neighbours.
+            let neighbor_sizes: Vec<(usize, usize)> = neighbors
+                .iter()
+                .map(|&nb| (nb, shared.open_sizes[nb].load(Ordering::Relaxed)))
+                .collect();
+            let total: usize =
+                open.len() + neighbor_sizes.iter().map(|&(_, s)| s).sum::<usize>();
+            let avg = total / (neighbor_sizes.len() + 1);
+            if open.len() > avg + 1 {
+                let deficits: Vec<usize> = neighbor_sizes
+                    .iter()
+                    .filter(|&&(_, s)| s < avg)
+                    .map(|&(nb, _)| nb)
+                    .collect();
+                if !deficits.is_empty() {
+                    let surplus = open.len() - avg;
+                    // Keep the best state locally; deal the following ones out.
+                    let keep = open.pop();
+                    let mut sent = 0usize;
+                    let mut outgoing = Vec::with_capacity(surplus);
+                    while sent < surplus {
+                        match open.pop() {
+                            Some(e) => {
+                                outgoing.push(e.state);
+                                sent += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if let Some(k) = keep {
+                        open.push(k);
+                    }
+                    for (i, s) in outgoing.into_iter().enumerate() {
+                        // Shipping a state away transfers ownership of it: forget
+                        // its signature so that, should another PPE later send the
+                        // same partial schedule back, it is accepted rather than
+                        // dropped as a duplicate (otherwise two PPEs exchanging
+                        // their copies of one state could silently lose it).
+                        seen.remove(&s.signature());
+                        let target = deficits[i % deficits.len()];
+                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                        if txs[target].send(s).is_err() {
+                            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_core::{AStarScheduler, PruningConfig, SearchLimits};
+    use optsched_procnet::{ProcNetwork, Topology};
+    use optsched_taskgraph::paper_example_dag;
+    use optsched_workload::{generate_random_dag, RandomDagConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example_problem() -> SchedulingProblem {
+        SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3))
+    }
+
+    #[test]
+    fn parallel_finds_14_on_the_example_for_various_ppe_counts() {
+        let prob = example_problem();
+        for q in [1, 2, 3, 4, 8] {
+            let r = ParallelAStarScheduler::new(&prob, ParallelConfig::exact(q)).run();
+            assert!(r.is_optimal(), "q={q}");
+            assert_eq!(r.schedule_length(), 14, "q={q}");
+            r.schedule.validate(prob.graph(), prob.network()).unwrap();
+            assert_eq!(r.num_ppes, q);
+            assert_eq!(r.per_ppe_stats.len(), q);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for ccr in [0.1, 1.0, 10.0] {
+            let g = generate_random_dag(
+                &RandomDagConfig { nodes: 10, ccr, ..Default::default() },
+                &mut rng,
+            );
+            let prob = SchedulingProblem::new(g, ProcNetwork::fully_connected(3));
+            let serial = AStarScheduler::new(&prob).run();
+            let parallel =
+                ParallelAStarScheduler::new(&prob, ParallelConfig::exact(4)).run();
+            assert!(serial.is_optimal() && parallel.is_optimal());
+            assert_eq!(serial.schedule_length, parallel.schedule_length(), "ccr={ccr}");
+            parallel.schedule.validate(prob.graph(), prob.network()).unwrap();
+        }
+    }
+
+    #[test]
+    fn mesh_topology_like_the_paragon_works() {
+        let prob = example_problem();
+        let r = ParallelAStarScheduler::new(&prob, ParallelConfig::paragon_like(4)).run();
+        assert!(r.is_optimal());
+        assert_eq!(r.schedule_length(), 14);
+    }
+
+    #[test]
+    fn ring_topology_works() {
+        let prob = example_problem();
+        let cfg = ParallelConfig {
+            num_ppes: 4,
+            ppe_topology: Some(Topology::Ring),
+            ..Default::default()
+        };
+        let r = ParallelAStarScheduler::new(&prob, cfg).run();
+        assert!(r.is_optimal());
+        assert_eq!(r.schedule_length(), 14);
+    }
+
+    #[test]
+    fn parallel_aeps_respects_the_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generate_random_dag(
+            &RandomDagConfig { nodes: 12, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let prob = SchedulingProblem::new(g, ProcNetwork::fully_connected(3));
+        let optimal = AStarScheduler::new(&prob).run();
+        for eps in [0.2, 0.5] {
+            let r = ParallelAStarScheduler::new(&prob, ParallelConfig::approximate(4, eps)).run();
+            assert!(r.is_optimal());
+            let bound = (optimal.schedule_length as f64 * (1.0 + eps)).floor() as Cost;
+            assert!(
+                r.schedule_length() <= bound,
+                "eps={eps}: {} > {}",
+                r.schedule_length(),
+                bound
+            );
+            r.schedule.validate(prob.graph(), prob.network()).unwrap();
+        }
+    }
+
+    #[test]
+    fn without_pruning_the_parallel_search_is_still_exact() {
+        let prob = example_problem();
+        let cfg = ParallelConfig {
+            num_ppes: 3,
+            pruning: PruningConfig::none(),
+            ..Default::default()
+        };
+        let r = ParallelAStarScheduler::new(&prob, cfg).run();
+        assert!(r.is_optimal());
+        assert_eq!(r.schedule_length(), 14);
+    }
+
+    #[test]
+    fn expansion_limit_reports_limit_reached() {
+        let prob = example_problem();
+        let cfg = ParallelConfig {
+            num_ppes: 2,
+            limits: SearchLimits::expansions(1),
+            ..Default::default()
+        };
+        let r = ParallelAStarScheduler::new(&prob, cfg).run();
+        // The incumbent from the list heuristic is always available.
+        r.schedule.validate(prob.graph(), prob.network()).unwrap();
+        assert!(matches!(r.outcome, SearchOutcome::LimitReached | SearchOutcome::Optimal));
+    }
+
+    #[test]
+    fn target_cost_stops_early() {
+        let prob = example_problem();
+        let cfg = ParallelConfig {
+            num_ppes: 2,
+            limits: SearchLimits { target_cost: Some(prob.upper_bound()), ..Default::default() },
+            ..Default::default()
+        };
+        let r = ParallelAStarScheduler::new(&prob, cfg).run();
+        assert!(matches!(r.outcome, SearchOutcome::TargetReached | SearchOutcome::Optimal));
+        assert!(r.schedule_length() <= prob.upper_bound());
+    }
+
+    #[test]
+    fn total_stats_cover_the_whole_search() {
+        let prob = example_problem();
+        let r = ParallelAStarScheduler::new(&prob, ParallelConfig::exact(2)).run();
+        let total = r.total_stats();
+        assert!(total.generated > 0);
+        assert!(total.expanded > 0);
+        assert!(r.load_imbalance() >= 1.0);
+        assert!(r.elapsed.as_secs() < 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PPE")]
+    fn zero_ppes_rejected() {
+        let prob = example_problem();
+        let _ = ParallelAStarScheduler::new(&prob, ParallelConfig { num_ppes: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn initial_distribution_covers_all_ppes_for_large_q() {
+        let prob = example_problem();
+        let sched = ParallelAStarScheduler::new(&prob, ParallelConfig::exact(6));
+        let mut stats = SearchStats::default();
+        let buckets = sched.initial_distribution(&mut stats);
+        assert_eq!(buckets.len(), 6);
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        assert!(total >= 6, "frontier of {total} states should cover every PPE");
+        // The best state goes to PPE 0 (interleaved dealing).
+        assert!(!buckets[0].is_empty());
+    }
+}

@@ -1,0 +1,434 @@
+//! The processor network: processors, links, hop distances and the
+//! communication-cost model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+
+/// Identifier of a target processing element (TPE). Dense indices `0..p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// A single processing element.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Time a unit of computation takes on this processor.  A homogeneous
+    /// system uses `1` everywhere; a processor with `cycle_time = 2` runs
+    /// every task twice as slowly as the reference processor.
+    pub cycle_time: u64,
+    /// Optional human-readable label.
+    pub label: Option<String>,
+}
+
+impl Default for Processor {
+    fn default() -> Self {
+        Processor { cycle_time: 1, label: None }
+    }
+}
+
+/// How a task-graph edge weight is converted into an inter-processor
+/// communication delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CommModel {
+    /// The classic model used by the paper's cost function: the delay equals
+    /// the edge weight whenever the two tasks are on *different* processors
+    /// and zero when they are co-located.  Link homogeneity means the delay
+    /// does not depend on which pair of processors is involved.
+    #[default]
+    UniformLatency,
+    /// The delay is the edge weight multiplied by the hop distance between
+    /// the two processors (store-and-forward routing).  Used to model sparser
+    /// topologies more faithfully and by the Chen & Yu style bound, which
+    /// matches execution paths against the processor graph.
+    HopScaled,
+}
+
+/// An immutable processor network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcNetwork {
+    procs: Vec<Processor>,
+    /// Sorted neighbour lists.
+    adj: Vec<Vec<ProcId>>,
+    /// All-pairs hop distances (`u32::MAX` = unreachable).
+    dist: Vec<Vec<u32>>,
+    comm_model: CommModel,
+    topology: Option<Topology>,
+}
+
+impl ProcNetwork {
+    /// Builds a network of `p` homogeneous processors with the given topology.
+    pub fn with_topology(topology: Topology, p: usize) -> ProcNetwork {
+        Self::from_parts(vec![Processor::default(); p], topology.edges(p), Some(topology))
+    }
+
+    /// `p` homogeneous, fully connected processors.
+    pub fn fully_connected(p: usize) -> ProcNetwork {
+        Self::with_topology(Topology::FullyConnected, p)
+    }
+
+    /// `p` homogeneous processors in a ring (the 3-processor target of
+    /// Figure 1(b) is `ProcNetwork::ring(3)`).
+    pub fn ring(p: usize) -> ProcNetwork {
+        Self::with_topology(Topology::Ring, p)
+    }
+
+    /// `p` homogeneous processors in a chain.
+    pub fn chain(p: usize) -> ProcNetwork {
+        Self::with_topology(Topology::Chain, p)
+    }
+
+    /// A `rows x cols` homogeneous mesh.
+    pub fn mesh(rows: usize, cols: usize) -> ProcNetwork {
+        Self::with_topology(Topology::Mesh { rows, cols }, rows * cols)
+    }
+
+    /// A homogeneous hypercube with `p` processors (`p` must be a power of two).
+    pub fn hypercube(p: usize) -> ProcNetwork {
+        Self::with_topology(Topology::Hypercube, p)
+    }
+
+    /// A homogeneous star with processor 0 as hub.
+    pub fn star(p: usize) -> ProcNetwork {
+        Self::with_topology(Topology::Star, p)
+    }
+
+    /// Builds an arbitrary network from a processor list and an undirected
+    /// edge list.
+    pub fn from_parts(
+        procs: Vec<Processor>,
+        edges: Vec<(usize, usize)>,
+        topology: Option<Topology>,
+    ) -> ProcNetwork {
+        let p = procs.len();
+        assert!(p > 0, "a processor network needs at least one processor");
+        let mut adj: Vec<Vec<ProcId>> = vec![Vec::new(); p];
+        for &(a, b) in &edges {
+            assert!(a < p && b < p, "edge ({a}, {b}) references an unknown processor");
+            assert_ne!(a, b, "self links are not allowed");
+            if !adj[a].contains(&ProcId(b as u32)) {
+                adj[a].push(ProcId(b as u32));
+                adj[b].push(ProcId(a as u32));
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let dist = all_pairs_hops(&adj);
+        ProcNetwork { procs, adj, dist, comm_model: CommModel::UniformLatency, topology }
+    }
+
+    /// Returns a copy of this network using the given communication model.
+    pub fn with_comm_model(mut self, model: CommModel) -> ProcNetwork {
+        self.comm_model = model;
+        self
+    }
+
+    /// Returns a copy of this network with per-processor cycle times
+    /// (heterogeneous speeds). `cycle_times.len()` must equal the processor count.
+    pub fn with_cycle_times(mut self, cycle_times: &[u64]) -> ProcNetwork {
+        assert_eq!(cycle_times.len(), self.procs.len());
+        assert!(cycle_times.iter().all(|&c| c > 0), "cycle times must be positive");
+        for (p, &c) in self.procs.iter_mut().zip(cycle_times) {
+            p.cycle_time = c;
+        }
+        self
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Iterator over all processor ids.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.procs.len() as u32).map(ProcId)
+    }
+
+    /// The processor record.
+    #[inline]
+    pub fn processor(&self, p: ProcId) -> &Processor {
+        &self.procs[p.index()]
+    }
+
+    /// The topology this network was created from, if it was a named one.
+    pub fn topology(&self) -> Option<Topology> {
+        self.topology
+    }
+
+    /// The communication model in force.
+    pub fn comm_model(&self) -> CommModel {
+        self.comm_model
+    }
+
+    /// Sorted neighbour list of `p`.
+    #[inline]
+    pub fn neighbors(&self, p: ProcId) -> &[ProcId] {
+        &self.adj[p.index()]
+    }
+
+    /// Degree of `p` in the processor graph.
+    #[inline]
+    pub fn degree(&self, p: ProcId) -> usize {
+        self.adj[p.index()].len()
+    }
+
+    /// Hop distance between `a` and `b` (0 if equal, `u32::MAX` if unreachable).
+    #[inline]
+    pub fn hops(&self, a: ProcId, b: ProcId) -> u32 {
+        self.dist[a.index()][b.index()]
+    }
+
+    /// True if every processor can reach every other processor.
+    pub fn is_connected(&self) -> bool {
+        self.dist.iter().all(|row| row.iter().all(|&d| d != u32::MAX))
+    }
+
+    /// True if all processors have the same speed.
+    pub fn is_homogeneous(&self) -> bool {
+        self.procs.windows(2).all(|w| w[0].cycle_time == w[1].cycle_time)
+    }
+
+    /// Execution time of a task with computation cost `weight` on processor `p`.
+    #[inline]
+    pub fn exec_time(&self, weight: u64, p: ProcId) -> u64 {
+        weight * self.procs[p.index()].cycle_time
+    }
+
+    /// Communication delay for a task-graph edge of weight `comm` when the
+    /// parent runs on `from` and the child on `to`.
+    #[inline]
+    pub fn comm_cost(&self, comm: u64, from: ProcId, to: ProcId) -> u64 {
+        if from == to {
+            return 0;
+        }
+        match self.comm_model {
+            CommModel::UniformLatency => comm,
+            CommModel::HopScaled => comm * u64::from(self.hops(from, to).max(1)),
+        }
+    }
+
+    /// True if swapping processors `a` and `b` (leaving everything else in
+    /// place) is an automorphism of the processor graph and both processors
+    /// run at the same speed.
+    ///
+    /// This is the structural half of the paper's *processor isomorphism*
+    /// pruning rule (Definition 2(i): same degree and same neighbourhood);
+    /// the scheduler additionally requires both processors to be empty
+    /// (Definition 2(ii)) before collapsing them.  Requiring a genuine
+    /// transposition automorphism keeps the pruning *safe*: any schedule that
+    /// uses `b` can be relabelled to use `a` with identical timing.
+    pub fn interchangeable(&self, a: ProcId, b: ProcId) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.procs[a.index()].cycle_time != self.procs[b.index()].cycle_time {
+            return false;
+        }
+        if self.degree(a) != self.degree(b) {
+            return false;
+        }
+        // Neighbour sets must coincide once the two processors themselves are
+        // ignored (so that e.g. all PEs of a triangle/fully-connected network
+        // are pairwise interchangeable).
+        let na: Vec<ProcId> = self.neighbors(a).iter().copied().filter(|&x| x != b).collect();
+        let nb: Vec<ProcId> = self.neighbors(b).iter().copied().filter(|&x| x != a).collect();
+        na == nb
+    }
+
+    /// Groups all processors into interchangeability classes (transitive
+    /// closure of [`ProcNetwork::interchangeable`] applied pairwise).
+    ///
+    /// The relation as defined is reflexive and symmetric; for the symmetric
+    /// topologies used in practice (fully connected, star leaves, K3 ring) it
+    /// is also transitive.  The grouping below unions pairwise-related
+    /// processors, which is what the search uses to pick one representative
+    /// empty processor per class.
+    pub fn interchangeability_classes(&self) -> Vec<Vec<ProcId>> {
+        let p = self.num_procs();
+        let mut class_of: Vec<Option<usize>> = vec![None; p];
+        let mut classes: Vec<Vec<ProcId>> = Vec::new();
+        for i in self.proc_ids() {
+            if class_of[i.index()].is_some() {
+                continue;
+            }
+            let idx = classes.len();
+            class_of[i.index()] = Some(idx);
+            let mut members = vec![i];
+            for j in self.proc_ids() {
+                if j > i && class_of[j.index()].is_none() && self.interchangeable(i, j) {
+                    class_of[j.index()] = Some(idx);
+                    members.push(j);
+                }
+            }
+            classes.push(members);
+        }
+        classes
+    }
+}
+
+/// BFS from every processor over the neighbour lists.
+fn all_pairs_hops(adj: &[Vec<ProcId>]) -> Vec<Vec<u32>> {
+    let p = adj.len();
+    let mut dist = vec![vec![u32::MAX; p]; p];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..p {
+        dist[s][s] = 0;
+        queue.clear();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[s][u];
+            for &v in &adj[u] {
+                if dist[s][v.index()] == u32::MAX {
+                    dist[s][v.index()] = du + 1;
+                    queue.push_back(v.index());
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring3_all_pairs_interchangeable() {
+        let net = ProcNetwork::ring(3);
+        for a in net.proc_ids() {
+            for b in net.proc_ids() {
+                assert!(net.interchangeable(a, b), "{a} vs {b}");
+            }
+        }
+        assert_eq!(net.interchangeability_classes().len(), 1);
+    }
+
+    #[test]
+    fn ring4_adjacent_not_interchangeable() {
+        let net = ProcNetwork::ring(4);
+        // In a 4-ring, swapping two adjacent PEs is not an automorphism that
+        // fixes the rest: PE0's other neighbour is PE3, PE1's is PE2.
+        assert!(!net.interchangeable(ProcId(0), ProcId(1)));
+        // Swapping opposite PEs (0 and 2) fixes neighbours {1, 3} on both sides.
+        assert!(net.interchangeable(ProcId(0), ProcId(2)));
+    }
+
+    #[test]
+    fn fully_connected_all_interchangeable() {
+        let net = ProcNetwork::fully_connected(6);
+        assert_eq!(net.interchangeability_classes(), vec![net.proc_ids().collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn star_hub_differs_from_leaves() {
+        let net = ProcNetwork::star(5);
+        let classes = net.interchangeability_classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], vec![ProcId(0)]);
+        assert_eq!(classes[1].len(), 4);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_block_interchangeability() {
+        let net = ProcNetwork::fully_connected(3).with_cycle_times(&[1, 2, 1]);
+        assert!(!net.interchangeable(ProcId(0), ProcId(1)));
+        assert!(net.interchangeable(ProcId(0), ProcId(2)));
+        assert!(!net.is_homogeneous());
+        assert_eq!(net.exec_time(10, ProcId(1)), 20);
+        assert_eq!(net.exec_time(10, ProcId(0)), 10);
+    }
+
+    #[test]
+    fn chain_hop_distances() {
+        let net = ProcNetwork::chain(5);
+        assert_eq!(net.hops(ProcId(0), ProcId(4)), 4);
+        assert_eq!(net.hops(ProcId(2), ProcId(2)), 0);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn mesh_hop_distances_manhattan() {
+        let net = ProcNetwork::mesh(3, 3);
+        // Corner (0,0) to corner (2,2): Manhattan distance 4.
+        assert_eq!(net.hops(ProcId(0), ProcId(8)), 4);
+        assert_eq!(net.degree(ProcId(4)), 4); // centre
+        assert_eq!(net.degree(ProcId(0)), 2); // corner
+    }
+
+    #[test]
+    fn hypercube_hop_distance_is_hamming() {
+        let net = ProcNetwork::hypercube(8);
+        assert_eq!(net.hops(ProcId(0), ProcId(7)), 3);
+        assert_eq!(net.hops(ProcId(1), ProcId(5)), 1);
+    }
+
+    #[test]
+    fn disconnected_network_detected() {
+        let net = ProcNetwork::from_parts(vec![Processor::default(); 4], vec![(0, 1), (2, 3)], None);
+        assert!(!net.is_connected());
+        assert_eq!(net.hops(ProcId(0), ProcId(3)), u32::MAX);
+    }
+
+    #[test]
+    fn comm_cost_models() {
+        let uniform = ProcNetwork::chain(4);
+        assert_eq!(uniform.comm_cost(10, ProcId(0), ProcId(3)), 10);
+        assert_eq!(uniform.comm_cost(10, ProcId(1), ProcId(1)), 0);
+
+        let hops = ProcNetwork::chain(4).with_comm_model(CommModel::HopScaled);
+        assert_eq!(hops.comm_cost(10, ProcId(0), ProcId(3)), 30);
+        assert_eq!(hops.comm_cost(10, ProcId(0), ProcId(1)), 10);
+        assert_eq!(hops.comm_cost(10, ProcId(2), ProcId(2)), 0);
+        assert_eq!(hops.comm_model(), CommModel::HopScaled);
+    }
+
+    #[test]
+    fn single_processor_network() {
+        let net = ProcNetwork::fully_connected(1);
+        assert_eq!(net.num_procs(), 1);
+        assert!(net.is_connected());
+        assert_eq!(net.degree(ProcId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_panics() {
+        ProcNetwork::fully_connected(0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapsed() {
+        let net =
+            ProcNetwork::from_parts(vec![Processor::default(); 3], vec![(0, 1), (1, 0), (0, 1)], None);
+        assert_eq!(net.degree(ProcId(0)), 1);
+        assert_eq!(net.degree(ProcId(1)), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = ProcNetwork::mesh(2, 2).with_cycle_times(&[1, 1, 2, 2]);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: ProcNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn display_of_proc_id() {
+        assert_eq!(ProcId(2).to_string(), "PE2");
+    }
+}

@@ -1,0 +1,173 @@
+//! Named interconnection topologies and their edge lists.
+
+use serde::{Deserialize, Serialize};
+
+/// A named interconnection topology, used both for the *target* processors
+/// (TPEs, the machine the DAG is scheduled onto) and for the *physical*
+/// processors of the parallel search (PPEs, e.g. the mesh of the Intel
+/// Paragon in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every processor is directly connected to every other processor.
+    FullyConnected,
+    /// Processors 0..p arranged in a cycle.
+    Ring,
+    /// Processors 0..p arranged in a line (no wrap-around link).
+    Chain,
+    /// A `rows x cols` 2-D mesh without wrap-around (the Paragon topology).
+    Mesh {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A binary hypercube; the processor count must be a power of two.
+    Hypercube,
+    /// Processor 0 is the hub, all others are leaves connected only to it.
+    Star,
+}
+
+impl Topology {
+    /// Generates the undirected edge list `(a, b)` with `a < b` for a
+    /// topology over `p` processors.
+    ///
+    /// # Panics
+    ///
+    /// * `Mesh { rows, cols }` panics if `rows * cols != p`.
+    /// * `Hypercube` panics if `p` is not a power of two.
+    pub fn edges(&self, p: usize) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        match *self {
+            Topology::FullyConnected => {
+                for a in 0..p {
+                    for b in (a + 1)..p {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            Topology::Ring => {
+                if p == 2 {
+                    edges.push((0, 1));
+                } else if p > 2 {
+                    for a in 0..p {
+                        let b = (a + 1) % p;
+                        edges.push((a.min(b), a.max(b)));
+                    }
+                    edges.sort_unstable();
+                    edges.dedup();
+                }
+            }
+            Topology::Chain => {
+                for a in 0..p.saturating_sub(1) {
+                    edges.push((a, a + 1));
+                }
+            }
+            Topology::Mesh { rows, cols } => {
+                assert_eq!(rows * cols, p, "mesh dimensions must multiply to the processor count");
+                let id = |r: usize, c: usize| r * cols + c;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        if c + 1 < cols {
+                            edges.push((id(r, c), id(r, c + 1)));
+                        }
+                        if r + 1 < rows {
+                            edges.push((id(r, c), id(r + 1, c)));
+                        }
+                    }
+                }
+            }
+            Topology::Hypercube => {
+                assert!(p.is_power_of_two(), "hypercube size must be a power of two");
+                for a in 0..p {
+                    let mut bit = 1usize;
+                    while bit < p {
+                        let b = a ^ bit;
+                        if a < b {
+                            edges.push((a, b));
+                        }
+                        bit <<= 1;
+                    }
+                }
+            }
+            Topology::Star => {
+                for b in 1..p {
+                    edges.push((0, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Number of edges the topology has over `p` processors.
+    pub fn num_edges(&self, p: usize) -> usize {
+        self.edges(p).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_edge_count() {
+        assert_eq!(Topology::FullyConnected.num_edges(5), 10);
+        assert_eq!(Topology::FullyConnected.num_edges(1), 0);
+    }
+
+    #[test]
+    fn ring_edge_count_and_degenerate_sizes() {
+        assert_eq!(Topology::Ring.num_edges(5), 5);
+        assert_eq!(Topology::Ring.num_edges(3), 3);
+        assert_eq!(Topology::Ring.num_edges(2), 1);
+        assert_eq!(Topology::Ring.num_edges(1), 0);
+    }
+
+    #[test]
+    fn chain_edge_count() {
+        assert_eq!(Topology::Chain.num_edges(5), 4);
+        assert_eq!(Topology::Chain.num_edges(1), 0);
+    }
+
+    #[test]
+    fn mesh_edges() {
+        let e = Topology::Mesh { rows: 2, cols: 3 }.edges(6);
+        // 2x3 mesh: 3 vertical + 4 horizontal = 7 edges.
+        assert_eq!(e.len(), 7);
+        assert!(e.contains(&(0, 1)));
+        assert!(e.contains(&(0, 3)));
+        assert!(!e.contains(&(2, 3))); // no wrap from end of row 0 to start of row 1
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh dimensions")]
+    fn mesh_dimension_mismatch_panics() {
+        Topology::Mesh { rows: 2, cols: 2 }.edges(6);
+    }
+
+    #[test]
+    fn hypercube_edges() {
+        let e = Topology::Hypercube.edges(8);
+        assert_eq!(e.len(), 12); // 8 * 3 / 2
+        assert!(e.contains(&(0, 4)));
+        assert!(e.contains(&(3, 7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn hypercube_non_power_of_two_panics() {
+        Topology::Hypercube.edges(6);
+    }
+
+    #[test]
+    fn star_edges() {
+        let e = Topology::Star.edges(4);
+        assert_eq!(e, vec![(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topology::Mesh { rows: 4, cols: 4 };
+        let s = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<Topology>(&s).unwrap(), t);
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text Gantt-chart rendering of schedules (the textual analogue of
+//! Figure 4 in the paper).
+
+use std::fmt::Write as _;
+
+use optsched_procnet::ProcId;
+use optsched_taskgraph::TaskGraph;
+
+use crate::schedule::Schedule;
+
+/// Renders a schedule as a per-processor task table followed by a scaled
+/// ASCII time chart.
+///
+/// Example output for the paper's optimal schedule (length 14):
+///
+/// ```text
+/// schedule length = 14
+/// PE0: n0[0-2) n1[2-5) n4[6-11) n5[12-14)
+/// PE1: n2[3-6) n3[4-8)
+/// ...
+/// ```
+pub fn render_gantt(schedule: &Schedule, graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    writeln!(out, "schedule length = {}", schedule.makespan()).unwrap();
+    for p in 0..schedule.num_procs() {
+        let proc = ProcId(p as u32);
+        let tasks = schedule.tasks_on(proc);
+        let mut line = format!("{proc}:");
+        for t in &tasks {
+            let label = graph
+                .node(t.node)
+                .label
+                .clone()
+                .unwrap_or_else(|| format!("n{}", t.node.0));
+            write!(line, " {}[{}-{})", label, t.start, t.finish).unwrap();
+        }
+        writeln!(out, "{line}").unwrap();
+    }
+    // Scaled bar chart (one character per `scale` time units, max 80 columns).
+    let makespan = schedule.makespan();
+    if makespan > 0 {
+        let scale = (makespan as usize).div_ceil(78).max(1);
+        writeln!(out, "time 0..{makespan} ({scale} unit(s)/char)").unwrap();
+        for p in 0..schedule.num_procs() {
+            let proc = ProcId(p as u32);
+            let mut row = vec![b'.'; (makespan as usize).div_ceil(scale)];
+            for t in schedule.tasks_on(proc) {
+                let ch = char::from(b'A' + (t.node.0 % 26) as u8) as u8;
+                let lo = t.start as usize / scale;
+                let hi = ((t.finish as usize).div_ceil(scale)).min(row.len());
+                for cell in &mut row[lo..hi.max(lo)] {
+                    *cell = ch;
+                }
+            }
+            writeln!(out, "{proc:>4} |{}|", String::from_utf8_lossy(&row)).unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_procnet::{ProcId, ProcNetwork};
+    use optsched_taskgraph::paper_example_dag;
+
+    #[test]
+    fn gantt_lists_every_processor_and_task() {
+        let g = paper_example_dag();
+        let net = ProcNetwork::ring(3);
+        let mut s = Schedule::new(g.num_nodes(), net.num_procs());
+        let mut t = 0;
+        for n in g.node_ids() {
+            s.assign(n, ProcId(0), t, t + g.weight(n));
+            t += g.weight(n);
+        }
+        let text = render_gantt(&s, &g);
+        assert!(text.contains("schedule length = 19"));
+        assert!(text.contains("PE0:"));
+        assert!(text.contains("PE2:"));
+        assert!(text.contains("n1[0-2)"));
+        assert!(text.contains("n6[17-19)"));
+        // Bar chart rows exist for all three PEs.
+        assert_eq!(text.matches('|').count(), 6);
+    }
+
+    #[test]
+    fn gantt_of_empty_schedule_has_no_bars() {
+        let g = paper_example_dag();
+        let s = Schedule::new(g.num_nodes(), 2);
+        let text = render_gantt(&s, &g);
+        assert!(text.contains("schedule length = 0"));
+        assert!(!text.contains('|'));
+    }
+
+    #[test]
+    fn long_schedules_are_scaled_to_fit() {
+        let g = paper_example_dag();
+        let mut s = Schedule::new(g.num_nodes(), 1);
+        let mut t = 0;
+        for n in g.node_ids() {
+            let w = g.weight(n) * 1000;
+            s.assign(n, ProcId(0), t, t + w);
+            t += w;
+        }
+        let text = render_gantt(&s, &g);
+        let bar_line = text.lines().find(|l| l.contains("PE0 |")).unwrap();
+        assert!(bar_line.len() <= 90, "bar line too long: {}", bar_line.len());
+    }
+}

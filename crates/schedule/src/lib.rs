@@ -1,0 +1,27 @@
+//! Schedule substrate: mapping of task-graph nodes to processors and time
+//! slots, with validation and rendering.
+//!
+//! A [`Schedule`] assigns every (or, while it is being built, some) node of a
+//! [`TaskGraph`](optsched_taskgraph::TaskGraph) a processor, a start time and
+//! a finish time.  The *schedule length* (makespan) is the largest finish
+//! time.  [`Schedule::validate`] checks the two correctness conditions of the
+//! scheduling model in Section 2 of the paper:
+//!
+//! 1. **Precedence + communication**: a node cannot start before every parent
+//!    has finished and, if the parent is on a different processor, before the
+//!    parent's message (edge weight, possibly hop-scaled) has arrived.
+//! 2. **Exclusive processors**: tasks on the same processor never overlap and
+//!    execute for exactly `exec_time(w, proc)` time units (no preemption).
+//!
+//! The crate also provides [`est`], the earliest-start-time computation shared
+//! by the list-scheduling heuristics and the optimal searches.
+
+#![warn(missing_docs)]
+
+pub mod est;
+pub mod gantt;
+pub mod schedule;
+
+pub use est::{earliest_start_time, earliest_start_time_insertion};
+pub use gantt::render_gantt;
+pub use schedule::{Schedule, ScheduleError, ScheduledTask};

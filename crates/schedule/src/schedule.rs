@@ -1,0 +1,387 @@
+//! The [`Schedule`] type: assignments, makespan and validation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use optsched_procnet::{ProcId, ProcNetwork};
+use optsched_taskgraph::{Cost, NodeId, TaskGraph};
+
+/// One scheduled task: where and when it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledTask {
+    /// The task.
+    pub node: NodeId,
+    /// Processor it is assigned to.
+    pub proc: ProcId,
+    /// Start time.
+    pub start: Cost,
+    /// Finish time (`start + exec_time`).
+    pub finish: Cost,
+}
+
+/// Validation failures reported by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A node of the graph has no assignment.
+    NodeNotScheduled(NodeId),
+    /// A scheduled node references a processor outside the network.
+    UnknownProcessor(NodeId, ProcId),
+    /// finish != start + exec_time(w, proc).
+    WrongDuration {
+        /// Offending node.
+        node: NodeId,
+        /// Expected finish time.
+        expected_finish: Cost,
+        /// Recorded finish time.
+        actual_finish: Cost,
+    },
+    /// A node starts before a parent's data can reach it.
+    PrecedenceViolated {
+        /// The parent task.
+        parent: NodeId,
+        /// The child task that starts too early.
+        child: NodeId,
+        /// Earliest legal start of the child given the parent.
+        earliest: Cost,
+        /// Actual start of the child.
+        actual: Cost,
+    },
+    /// Two tasks overlap in time on the same processor.
+    Overlap {
+        /// The processor on which the overlap occurs.
+        proc: ProcId,
+        /// First task involved.
+        a: NodeId,
+        /// Second task involved.
+        b: NodeId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NodeNotScheduled(n) => write!(f, "{n} is not scheduled"),
+            ScheduleError::UnknownProcessor(n, p) => write!(f, "{n} assigned to unknown {p}"),
+            ScheduleError::WrongDuration { node, expected_finish, actual_finish } => write!(
+                f,
+                "{node} has finish time {actual_finish}, expected {expected_finish}"
+            ),
+            ScheduleError::PrecedenceViolated { parent, child, earliest, actual } => write!(
+                f,
+                "{child} starts at {actual} but data from {parent} only arrives at {earliest}"
+            ),
+            ScheduleError::Overlap { proc, a, b } => {
+                write!(f, "{a} and {b} overlap on {proc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A (possibly partial) schedule of a task graph onto a processor network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Indexed by node id.
+    assignments: Vec<Option<ScheduledTask>>,
+    num_procs: usize,
+}
+
+impl Schedule {
+    /// An empty schedule for a graph with `num_nodes` nodes on `num_procs` processors.
+    pub fn new(num_nodes: usize, num_procs: usize) -> Schedule {
+        Schedule { assignments: vec![None; num_nodes], num_procs }
+    }
+
+    /// Number of processors the schedule targets.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Number of nodes the schedule can hold.
+    pub fn num_nodes(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of nodes assigned so far.
+    pub fn num_scheduled(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// True once every node has an assignment.
+    pub fn is_complete(&self) -> bool {
+        self.assignments.iter().all(|a| a.is_some())
+    }
+
+    /// Records that `node` runs on `proc` during `[start, finish)`.
+    ///
+    /// Overwrites any previous assignment of the same node.
+    pub fn assign(&mut self, node: NodeId, proc: ProcId, start: Cost, finish: Cost) {
+        assert!(finish >= start, "finish before start for {node}");
+        assert!(proc.index() < self.num_procs, "{proc} outside the network");
+        self.assignments[node.index()] = Some(ScheduledTask { node, proc, start, finish });
+    }
+
+    /// The assignment of `node`, if it has one.
+    pub fn assignment(&self, node: NodeId) -> Option<&ScheduledTask> {
+        self.assignments[node.index()].as_ref()
+    }
+
+    /// Start time `ST(node)`, if scheduled.
+    pub fn start_time(&self, node: NodeId) -> Option<Cost> {
+        self.assignment(node).map(|t| t.start)
+    }
+
+    /// Finish time `FT(node)`, if scheduled.
+    pub fn finish_time(&self, node: NodeId) -> Option<Cost> {
+        self.assignment(node).map(|t| t.finish)
+    }
+
+    /// Processor of `node`, if scheduled.
+    pub fn proc_of(&self, node: NodeId) -> Option<ProcId> {
+        self.assignment(node).map(|t| t.proc)
+    }
+
+    /// All assignments made so far, in node-id order.
+    pub fn tasks(&self) -> impl Iterator<Item = &ScheduledTask> + '_ {
+        self.assignments.iter().flatten()
+    }
+
+    /// Tasks assigned to `proc`, sorted by start time.
+    pub fn tasks_on(&self, proc: ProcId) -> Vec<ScheduledTask> {
+        let mut v: Vec<ScheduledTask> =
+            self.tasks().filter(|t| t.proc == proc).copied().collect();
+        v.sort_by_key(|t| (t.start, t.finish, t.node));
+        v
+    }
+
+    /// Ready time of a processor: finish time of the last task on it (0 if empty).
+    ///
+    /// This is `RT_i` of Definition 1 in the paper.
+    pub fn proc_ready_time(&self, proc: ProcId) -> Cost {
+        self.tasks().filter(|t| t.proc == proc).map(|t| t.finish).max().unwrap_or(0)
+    }
+
+    /// Number of processors actually used (with at least one task).
+    pub fn procs_used(&self) -> usize {
+        let mut used = vec![false; self.num_procs];
+        for t in self.tasks() {
+            used[t.proc.index()] = true;
+        }
+        used.into_iter().filter(|&u| u).count()
+    }
+
+    /// Schedule length (makespan): the largest finish time, 0 if nothing is scheduled.
+    pub fn makespan(&self) -> Cost {
+        self.tasks().map(|t| t.finish).max().unwrap_or(0)
+    }
+
+    /// Sum of idle time over processors that are used, between time 0 and the makespan.
+    pub fn total_idle_time(&self) -> Cost {
+        let makespan = self.makespan();
+        let mut idle = 0;
+        for p in 0..self.num_procs {
+            let tasks = self.tasks_on(ProcId(p as u32));
+            if tasks.is_empty() {
+                continue;
+            }
+            let busy: Cost = tasks.iter().map(|t| t.finish - t.start).sum();
+            idle += makespan - busy;
+        }
+        idle
+    }
+
+    /// Checks that the schedule is complete and satisfies every constraint of
+    /// the model (see the crate-level documentation). Returns the first
+    /// violation found.
+    pub fn validate(&self, graph: &TaskGraph, net: &ProcNetwork) -> Result<(), ScheduleError> {
+        // Completeness and per-task sanity.
+        for n in graph.node_ids() {
+            let t = self.assignment(n).ok_or(ScheduleError::NodeNotScheduled(n))?;
+            if t.proc.index() >= net.num_procs() {
+                return Err(ScheduleError::UnknownProcessor(n, t.proc));
+            }
+            let expected_finish = t.start + net.exec_time(graph.weight(n), t.proc);
+            if t.finish != expected_finish {
+                return Err(ScheduleError::WrongDuration {
+                    node: n,
+                    expected_finish,
+                    actual_finish: t.finish,
+                });
+            }
+        }
+        // Precedence + communication.
+        for e in graph.edges() {
+            let pt = self.assignment(e.src).expect("checked above");
+            let ct = self.assignment(e.dst).expect("checked above");
+            let earliest = pt.finish + net.comm_cost(e.weight, pt.proc, ct.proc);
+            if ct.start < earliest {
+                return Err(ScheduleError::PrecedenceViolated {
+                    parent: e.src,
+                    child: e.dst,
+                    earliest,
+                    actual: ct.start,
+                });
+            }
+        }
+        // Processor exclusivity.
+        for p in 0..self.num_procs {
+            let tasks = self.tasks_on(ProcId(p as u32));
+            for w in tasks.windows(2) {
+                // Zero-weight tasks may share an instant; a genuine overlap
+                // requires the earlier task to finish strictly after the later starts.
+                if w[0].finish > w[1].start {
+                    return Err(ScheduleError::Overlap {
+                        proc: ProcId(p as u32),
+                        a: w[0].node,
+                        b: w[1].node,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+
+    /// Builds the optimal schedule of Figure 4 (length 14) by hand:
+    /// PE0: n1 [0,2), n2 [2,5), n5 [6,11), n6 [12,14)  -- wait, the figure
+    /// packs n1..n6 onto PE0/PE1; here we just need *a* valid complete
+    /// schedule, so we place everything on PE0 sequentially for structure
+    /// tests and build the length-14 one in the core crate's tests.
+    fn serial_schedule() -> (Schedule, optsched_taskgraph::TaskGraph, ProcNetwork) {
+        let g = paper_example_dag();
+        let net = ProcNetwork::ring(3);
+        let mut s = Schedule::new(g.num_nodes(), net.num_procs());
+        // Topological serial order n1..n6 on PE0.
+        let mut t = 0;
+        for n in g.node_ids() {
+            let w = g.weight(n);
+            s.assign(n, ProcId(0), t, t + w);
+            t += w;
+        }
+        (s, g, net)
+    }
+
+    #[test]
+    fn serial_schedule_is_valid_and_has_sum_makespan() {
+        let (s, g, net) = serial_schedule();
+        assert!(s.is_complete());
+        assert_eq!(s.makespan(), g.total_computation());
+        s.validate(&g, &net).unwrap();
+        assert_eq!(s.procs_used(), 1);
+        assert_eq!(s.total_idle_time(), 0);
+    }
+
+    #[test]
+    fn empty_schedule_properties() {
+        let g = paper_example_dag();
+        let s = Schedule::new(g.num_nodes(), 3);
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.num_scheduled(), 0);
+        assert!(!s.is_complete());
+        assert_eq!(s.proc_ready_time(ProcId(1)), 0);
+        assert_eq!(s.procs_used(), 0);
+    }
+
+    #[test]
+    fn validate_detects_missing_node() {
+        let g = paper_example_dag();
+        let net = ProcNetwork::ring(3);
+        let mut s = Schedule::new(g.num_nodes(), 3);
+        s.assign(NodeId(0), ProcId(0), 0, 2);
+        assert!(matches!(s.validate(&g, &net), Err(ScheduleError::NodeNotScheduled(_))));
+    }
+
+    #[test]
+    fn validate_detects_wrong_duration() {
+        let (mut s, g, net) = serial_schedule();
+        s.assign(NodeId(0), ProcId(0), 0, 99);
+        let err = s.validate(&g, &net).unwrap_err();
+        assert!(matches!(err, ScheduleError::WrongDuration { node: NodeId(0), .. }));
+        assert!(err.to_string().contains("finish time"));
+    }
+
+    #[test]
+    fn validate_detects_precedence_violation_with_comm() {
+        let g = paper_example_dag();
+        let net = ProcNetwork::ring(3);
+        let mut s = Schedule::new(g.num_nodes(), 3);
+        let mut t = 0;
+        for n in g.node_ids() {
+            let w = g.weight(n);
+            s.assign(n, ProcId(0), t, t + w);
+            t += w;
+        }
+        // Move n2 (child of n1, comm 1) to PE1 starting at FT(n1): too early,
+        // the message needs 1 extra unit.
+        s.assign(NodeId(1), ProcId(1), 2, 5);
+        let err = s.validate(&g, &net).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::PrecedenceViolated {
+                parent: NodeId(0),
+                child: NodeId(1),
+                earliest: 3,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn validate_detects_overlap() {
+        let (mut s, g, net) = serial_schedule();
+        // Shift n3 to start inside n2's slot on the same processor while
+        // keeping its duration and precedence legal (n1 finishes at 2).
+        let start = s.start_time(NodeId(1)).unwrap() + 1;
+        s.assign(NodeId(2), ProcId(0), start, start + g.weight(NodeId(2)));
+        let err = s.validate(&g, &net).unwrap_err();
+        assert!(matches!(err, ScheduleError::Overlap { proc: ProcId(0), .. }), "{err}");
+    }
+
+    #[test]
+    fn heterogeneous_duration_checked() {
+        let g = paper_example_dag();
+        let net = ProcNetwork::fully_connected(2).with_cycle_times(&[1, 3]);
+        let mut s = Schedule::new(g.num_nodes(), 2);
+        // n1 on slow PE1 must take 6 units.
+        s.assign(NodeId(0), ProcId(1), 0, 2);
+        let err = s.validate(&g, &net).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::WrongDuration { node: NodeId(0), expected_finish: 6, actual_finish: 2 }
+        ));
+    }
+
+    #[test]
+    fn ready_time_and_tasks_on() {
+        let (s, _, _) = serial_schedule();
+        assert_eq!(s.proc_ready_time(ProcId(0)), s.makespan());
+        assert_eq!(s.tasks_on(ProcId(0)).len(), 6);
+        assert_eq!(s.tasks_on(ProcId(1)).len(), 0);
+        let tasks = s.tasks_on(ProcId(0));
+        assert!(tasks.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (s, _, _) = serial_schedule();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the network")]
+    fn assigning_to_unknown_processor_panics() {
+        let g = paper_example_dag();
+        let mut s = Schedule::new(g.num_nodes(), 2);
+        s.assign(NodeId(0), ProcId(5), 0, 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Graphviz (DOT) export of task graphs, for documentation and debugging.
+
+use std::fmt::Write as _;
+
+use crate::graph::{NodeId, TaskGraph};
+use crate::levels::GraphLevels;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph <name> { ... }` header.
+    pub name: String,
+    /// Annotate each node with its b-level / t-level.
+    pub show_levels: bool,
+    /// Highlight one critical path with bold edges.
+    pub highlight_critical_path: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { name: "taskgraph".to_string(), show_levels: false, highlight_critical_path: false }
+    }
+}
+
+/// Renders `g` as a Graphviz DOT string.
+pub fn to_dot(g: &TaskGraph, opts: &DotOptions) -> String {
+    let levels = GraphLevels::compute(g);
+    let cp: Vec<NodeId> = if opts.highlight_critical_path { levels.critical_path(g) } else { Vec::new() };
+    let on_cp_edge = |a: NodeId, b: NodeId| cp.windows(2).any(|w| w[0] == a && w[1] == b);
+
+    let mut out = String::new();
+    writeln!(out, "digraph {} {{", sanitize(&opts.name)).unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    for n in g.node_ids() {
+        let label = match &g.node(n).label {
+            Some(l) => l.clone(),
+            None => format!("n{}", n.0),
+        };
+        let mut text = format!("{}\\nw={}", label, g.weight(n));
+        if opts.show_levels {
+            write!(text, "\\nb={} t={}", levels.b_level(n), levels.t_level(n)).unwrap();
+        }
+        writeln!(out, "  {} [label=\"{}\"];", n.0, text).unwrap();
+    }
+    for e in g.edges() {
+        let style = if on_cp_edge(e.src, e.dst) { ", style=bold, color=red" } else { "" };
+        writeln!(out, "  {} -> {} [label=\"{}\"{}];", e.src.0, e.dst.0, e.weight, style).unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_example_dag;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let g = paper_example_dag();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph taskgraph {"));
+        for n in g.node_ids() {
+            assert!(dot.contains(&format!("  {} [", n.0)), "missing node {n}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_levels_and_critical_path_annotations() {
+        let g = paper_example_dag();
+        let opts = DotOptions {
+            name: "example dag".into(),
+            show_levels: true,
+            highlight_critical_path: true,
+        };
+        let dot = to_dot(&g, &opts);
+        assert!(dot.starts_with("digraph example_dag {"));
+        assert!(dot.contains("b=19 t=0"));
+        // CP n1->n2->n5->n6 has three bold edges.
+        assert_eq!(dot.matches("style=bold").count(), 3);
+    }
+
+    #[test]
+    fn sanitize_empty_name() {
+        let g = paper_example_dag();
+        let dot = to_dot(&g, &DotOptions { name: "!!!".into(), ..Default::default() });
+        assert!(dot.starts_with("digraph ___ {"));
+        let dot2 = to_dot(&g, &DotOptions { name: "".into(), ..Default::default() });
+        assert!(dot2.starts_with("digraph g {"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for task-graph construction and validation.
+
+use std::fmt;
+
+/// Errors that can arise while building or validating a [`crate::TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a node id that was never added.
+    UnknownNode(usize),
+    /// The same directed edge was added twice.
+    DuplicateEdge(usize, usize),
+    /// A self-loop `(n, n)` was added.
+    SelfLoop(usize),
+    /// The finished graph contains a directed cycle, so it is not a DAG.
+    CycleDetected,
+    /// The graph has no nodes at all.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "edge refers to unknown node n{id}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge (n{a}, n{b})"),
+            GraphError::SelfLoop(id) => write!(f, "self loop on node n{id}"),
+            GraphError::CycleDetected => write!(f, "graph contains a cycle; not a DAG"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_nodes() {
+        assert_eq!(GraphError::UnknownNode(3).to_string(), "edge refers to unknown node n3");
+        assert_eq!(GraphError::DuplicateEdge(1, 2).to_string(), "duplicate edge (n1, n2)");
+        assert_eq!(GraphError::SelfLoop(7).to_string(), "self loop on node n7");
+        assert!(GraphError::CycleDetected.to_string().contains("cycle"));
+        assert!(GraphError::Empty.to_string().contains("no nodes"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::CycleDetected);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,504 @@
+//! Core DAG representation: nodes, weighted edges, and the [`GraphBuilder`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+
+/// Time/cost unit used throughout the workspace.
+///
+/// Computation costs, communication costs, start/finish times and schedule
+/// lengths are all expressed in the same (abstract) integer time unit, exactly
+/// as in the paper's examples.
+pub type Cost = u64;
+
+/// Identifier of a task node.
+///
+/// Node ids are dense indices `0..v` assigned in insertion order, so they can
+/// be used directly to index per-node vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Per-node payload: the computation cost and an optional human-readable label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeData {
+    /// Computation cost `w(n)`: time a reference processor needs to execute the task.
+    pub weight: Cost,
+    /// Optional label used by the DOT exporter and the CLI.
+    pub label: Option<String>,
+}
+
+/// A directed, weighted edge `(src, dst)` of the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// Source (parent) node.
+    pub src: NodeId,
+    /// Destination (child) node.
+    pub dst: NodeId,
+    /// Communication cost `c(src, dst)` paid when the endpoints run on
+    /// different processors.
+    pub weight: Cost,
+}
+
+/// An immutable, validated, node- and edge-weighted DAG.
+///
+/// Construct one through [`GraphBuilder`]; the builder rejects self-loops,
+/// duplicate edges, dangling endpoints and cyclic graphs, so every
+/// `TaskGraph` in existence is a well-formed DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    /// `succs[i]` = (child id, edge weight) pairs, sorted by child id.
+    succs: Vec<Vec<(NodeId, Cost)>>,
+    /// `preds[i]` = (parent id, edge weight) pairs, sorted by parent id.
+    preds: Vec<Vec<(NodeId, Cost)>>,
+}
+
+impl TaskGraph {
+    /// Number of task nodes `v`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `e`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids in increasing order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The computation cost `w(n)` of a node.
+    #[inline]
+    pub fn weight(&self, n: NodeId) -> Cost {
+        self.nodes[n.index()].weight
+    }
+
+    /// The node payload.
+    #[inline]
+    pub fn node(&self, n: NodeId) -> &NodeData {
+        &self.nodes[n.index()]
+    }
+
+    /// All edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeData] {
+        &self.edges
+    }
+
+    /// Successors (children) of `n` with the corresponding edge weights,
+    /// sorted by child id.
+    #[inline]
+    pub fn successors(&self, n: NodeId) -> &[(NodeId, Cost)] {
+        &self.succs[n.index()]
+    }
+
+    /// Predecessors (parents) of `n` with the corresponding edge weights,
+    /// sorted by parent id.
+    #[inline]
+    pub fn predecessors(&self, n: NodeId) -> &[(NodeId, Cost)] {
+        &self.preds[n.index()]
+    }
+
+    /// Communication cost of the edge `(src, dst)`, or `None` if no such edge exists.
+    pub fn edge_weight(&self, src: NodeId, dst: NodeId) -> Option<Cost> {
+        self.succs[src.index()]
+            .binary_search_by_key(&dst, |&(c, _)| c)
+            .ok()
+            .map(|i| self.succs[src.index()][i].1)
+    }
+
+    /// In-degree (number of parents) of `n`.
+    #[inline]
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.preds[n.index()].len()
+    }
+
+    /// Out-degree (number of children) of `n`.
+    #[inline]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.succs[n.index()].len()
+    }
+
+    /// Entry nodes: nodes without parents.
+    pub fn entry_nodes(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+    }
+
+    /// Exit nodes: nodes without children.
+    pub fn exit_nodes(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+    }
+
+    /// Sum of all computation costs.
+    pub fn total_computation(&self) -> Cost {
+        self.nodes.iter().map(|n| n.weight).sum()
+    }
+
+    /// Sum of all communication costs.
+    pub fn total_communication(&self) -> Cost {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Communication-to-computation ratio: average edge weight divided by
+    /// average node weight. Returns `0.0` for graphs with no edges.
+    pub fn ccr(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let avg_comm = self.total_communication() as f64 / self.edges.len() as f64;
+        let avg_comp = self.total_computation() as f64 / self.nodes.len() as f64;
+        if avg_comp == 0.0 {
+            0.0
+        } else {
+            avg_comm / avg_comp
+        }
+    }
+
+    /// Length of the critical path (longest path including node *and* edge
+    /// weights from an entry to an exit node). Equals the maximum b-level.
+    pub fn critical_path_length(&self) -> Cost {
+        let levels = crate::levels::GraphLevels::compute(self);
+        levels.critical_path_length()
+    }
+
+    /// A sequential lower bound on any schedule length: the critical path.
+    pub fn schedule_length_lower_bound(&self) -> Cost {
+        // Even on infinitely many processors, the critical path (with zeroed
+        // edge costs when co-located) cannot be beaten by less than the
+        // static-level of the entry nodes; the safe universal lower bound is
+        // the *static* critical path (no edge costs), which is what optimal
+        // searches use for sanity checks.
+        let levels = crate::levels::GraphLevels::compute(self);
+        levels
+            .static_levels()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Two nodes are *equivalent* in the sense of Definition 3 of the paper:
+    /// same predecessor set, same successor set, same weight, and the same
+    /// communication costs on the corresponding edges.
+    ///
+    /// Scheduling either node first leads to the same schedule length, so an
+    /// optimal search only needs to keep one of the two resulting states.
+    pub fn nodes_equivalent(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.weight(a) == self.weight(b)
+            && self.preds[a.index()] == self.preds[b.index()]
+            && self.succs[a.index()] == self.succs[b.index()]
+    }
+
+    /// Returns every equivalence class (per [`TaskGraph::nodes_equivalent`])
+    /// with more than one member. Used by the node-equivalence pruning rule.
+    pub fn equivalence_classes(&self) -> Vec<Vec<NodeId>> {
+        // Group by (weight, preds, succs); BTreeMap keeps output deterministic.
+        let mut groups: BTreeMap<(Cost, Vec<(NodeId, Cost)>, Vec<(NodeId, Cost)>), Vec<NodeId>> =
+            BTreeMap::new();
+        for n in self.node_ids() {
+            let key = (
+                self.weight(n),
+                self.preds[n.index()].clone(),
+                self.succs[n.index()].clone(),
+            );
+            groups.entry(key).or_default().push(n);
+        }
+        groups.into_values().filter(|v| v.len() > 1).collect()
+    }
+}
+
+/// Incremental builder for [`TaskGraph`].
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with room reserved for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self { nodes: Vec::with_capacity(nodes), edges: Vec::new() }
+    }
+
+    /// Adds a task with computation cost `weight`; returns its id.
+    pub fn add_node(&mut self, weight: Cost) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { weight, label: None });
+        id
+    }
+
+    /// Adds a labelled task with computation cost `weight`; returns its id.
+    pub fn add_labeled_node(&mut self, weight: Cost, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { weight, label: Some(label.into()) });
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds a directed edge `src -> dst` with communication cost `weight`.
+    ///
+    /// Fails immediately on unknown endpoints, self-loops and duplicate edges;
+    /// cycles are detected later by [`GraphBuilder::build`].
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: Cost) -> Result<(), GraphError> {
+        if src.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(src.index()));
+        }
+        if dst.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(dst.index()));
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop(src.index()));
+        }
+        if self.edges.iter().any(|e| e.src == src && e.dst == dst) {
+            return Err(GraphError::DuplicateEdge(src.index(), dst.index()));
+        }
+        self.edges.push(EdgeData { src, dst, weight });
+        Ok(())
+    }
+
+    /// Validates and freezes the graph.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let v = self.nodes.len();
+        let mut succs: Vec<Vec<(NodeId, Cost)>> = vec![Vec::new(); v];
+        let mut preds: Vec<Vec<(NodeId, Cost)>> = vec![Vec::new(); v];
+        for e in &self.edges {
+            succs[e.src.index()].push((e.dst, e.weight));
+            preds[e.dst.index()].push((e.src, e.weight));
+        }
+        for list in succs.iter_mut().chain(preds.iter_mut()) {
+            list.sort_unstable_by_key(|&(n, _)| n);
+        }
+        let g = TaskGraph { nodes: self.nodes, edges: self.edges, succs, preds };
+        // Cycle check via Kahn's algorithm.
+        if crate::topo::TopoOrder::compute(&g).is_none() {
+            return Err(GraphError::CycleDetected);
+        }
+        Ok(g)
+    }
+}
+
+/// Constructs the 6-node example DAG of Figure 1(a) of the paper.
+///
+/// Node weights: n1=2, n2=3, n3=3, n4=4, n5=5, n6=2. Edge weights:
+/// (n1,n2)=1, (n1,n3)=1, (n1,n4)=2, (n2,n5)=1, (n3,n5)=1, (n4,n6)=4, (n5,n6)=5.
+/// These reproduce exactly the static levels, b-levels and t-levels listed in
+/// Figure 2 and the `f = g + h` values of the search tree in Figure 3.
+///
+/// The paper indexes nodes from 1; this function returns ids 0..5 where id
+/// `i` corresponds to the paper's `n(i+1)`.
+pub fn paper_example_dag() -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    let n1 = b.add_labeled_node(2, "n1");
+    let n2 = b.add_labeled_node(3, "n2");
+    let n3 = b.add_labeled_node(3, "n3");
+    let n4 = b.add_labeled_node(4, "n4");
+    let n5 = b.add_labeled_node(5, "n5");
+    let n6 = b.add_labeled_node(2, "n6");
+    b.add_edge(n1, n2, 1).unwrap();
+    b.add_edge(n1, n3, 1).unwrap();
+    b.add_edge(n1, n4, 2).unwrap();
+    b.add_edge(n2, n5, 1).unwrap();
+    b.add_edge(n3, n5, 1).unwrap();
+    b.add_edge(n4, n6, 4).unwrap();
+    b.add_edge(n5, n6, 5).unwrap();
+    b.build().expect("example DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // a -> b, a -> c, b -> d, c -> d
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1);
+        let x = b.add_node(2);
+        let y = b.add_node(3);
+        let d = b.add_node(4);
+        b.add_edge(a, x, 10).unwrap();
+        b.add_edge(a, y, 20).unwrap();
+        b.add_edge(x, d, 30).unwrap();
+        b.add_edge(y, d, 40).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = GraphBuilder::new();
+        assert_eq!(b.add_node(1), NodeId(0));
+        assert_eq!(b.add_node(1), NodeId(1));
+        assert_eq!(b.add_node(1), NodeId(2));
+        assert_eq!(b.num_nodes(), 3);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1);
+        assert_eq!(b.add_edge(a, NodeId(9), 1), Err(GraphError::UnknownNode(9)));
+        assert_eq!(b.add_edge(NodeId(9), a, 1), Err(GraphError::UnknownNode(9)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1);
+        assert_eq!(b.add_edge(a, a, 1), Err(GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(1);
+        b.add_edge(a, c, 1).unwrap();
+        assert_eq!(b.add_edge(a, c, 2), Err(GraphError::DuplicateEdge(0, 1)));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(1);
+        let d = b.add_node(1);
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(c, d, 1).unwrap();
+        b.add_edge(d, a, 1).unwrap();
+        assert_eq!(b.build().unwrap_err(), GraphError::CycleDetected);
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.successors(NodeId(0)), &[(NodeId(1), 10), (NodeId(2), 20)]);
+        assert_eq!(g.predecessors(NodeId(3)), &[(NodeId(1), 30), (NodeId(2), 40)]);
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(3)), Some(30));
+        assert_eq!(g.edge_weight(NodeId(3), NodeId(1)), None);
+    }
+
+    #[test]
+    fn entry_and_exit_nodes() {
+        let g = diamond();
+        assert_eq!(g.entry_nodes(), vec![NodeId(0)]);
+        assert_eq!(g.exit_nodes(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn totals_and_ccr() {
+        let g = diamond();
+        assert_eq!(g.total_computation(), 10);
+        assert_eq!(g.total_communication(), 100);
+        // avg comm = 25, avg comp = 2.5 -> CCR = 10
+        assert!((g.ccr() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccr_of_edgeless_graph_is_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_node(5);
+        b.add_node(5);
+        let g = b.build().unwrap();
+        assert_eq!(g.ccr(), 0.0);
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        let g = paper_example_dag();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.entry_nodes(), vec![NodeId(0)]);
+        assert_eq!(g.exit_nodes(), vec![NodeId(5)]);
+        assert_eq!(g.weight(NodeId(4)), 5);
+        assert_eq!(g.edge_weight(NodeId(3), NodeId(5)), Some(4));
+    }
+
+    #[test]
+    fn paper_example_n2_n3_equivalent() {
+        // The paper states that n2 and n3 are equivalent (Definition 3): same
+        // predecessors, same successors, same weight, same edge costs.
+        let g = paper_example_dag();
+        assert!(g.nodes_equivalent(NodeId(1), NodeId(2)));
+        assert_eq!(g.equivalence_classes(), vec![vec![NodeId(1), NodeId(2)]]);
+        // Nodes with differing edge costs to the same successor are not
+        // equivalent under the strict definition.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1);
+        let x = b.add_node(3);
+        let y = b.add_node(3);
+        let z = b.add_node(1);
+        b.add_edge(a, x, 2).unwrap();
+        b.add_edge(a, y, 9).unwrap();
+        b.add_edge(x, z, 1).unwrap();
+        b.add_edge(y, z, 1).unwrap();
+        let g2 = b.build().unwrap();
+        assert!(!g2.nodes_equivalent(NodeId(1), NodeId(2)));
+        assert!(g2.equivalence_classes().is_empty());
+    }
+
+    #[test]
+    fn node_is_equivalent_to_itself() {
+        let g = diamond();
+        for n in g.node_ids() {
+            assert!(g.nodes_equivalent(n, n));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = paper_example_dag();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: TaskGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn display_of_node_id() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(NodeId(4).index(), 4);
+    }
+}

@@ -1,0 +1,319 @@
+//! Scheduling attributes of a DAG: t-levels, b-levels, static levels, ALAP
+//! times and the critical path.
+//!
+//! * The **t-level** (top level) of a node is the length of the longest path
+//!   from an entry node to the node, *excluding* the node itself, where the
+//!   length of a path is the sum of all node and edge weights along it.
+//! * The **b-level** (bottom level) of a node is the length of the longest
+//!   path from the node (inclusive) to an exit node, again counting node and
+//!   edge weights.
+//! * The **static level** `sl` is the b-level computed without edge weights.
+//! * The **critical path** (CP) is a longest path through the DAG; its length
+//!   equals the largest b-level.
+//! * The **ALAP** (as-late-as-possible) time of a node is
+//!   `CP length − b-level(n)`.
+//!
+//! All of these are computed in `O(v + e)` by a single pass over a
+//! topological order and its reverse, matching the paper's observation that
+//! the attributes are obtainable with standard graph traversals.
+
+use crate::graph::{Cost, NodeId, TaskGraph};
+use crate::topo::TopoOrder;
+
+/// Which level attribute to use when ranking nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelKind {
+    /// Top level (length of longest entry→node path, excluding the node).
+    TLevel,
+    /// Bottom level (length of longest node→exit path, including the node).
+    BLevel,
+    /// Static level (b-level without edge costs).
+    StaticLevel,
+    /// b-level + t-level, the priority used by the paper's search.
+    BPlusT,
+}
+
+/// Precomputed level attributes for every node of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphLevels {
+    t_level: Vec<Cost>,
+    b_level: Vec<Cost>,
+    static_level: Vec<Cost>,
+    cp_length: Cost,
+}
+
+impl GraphLevels {
+    /// Computes all attributes for `g`.
+    pub fn compute(g: &TaskGraph) -> GraphLevels {
+        let v = g.num_nodes();
+        let topo = TopoOrder::compute(g).expect("TaskGraph is always acyclic");
+
+        // t-level: forward pass.
+        let mut t_level = vec![0 as Cost; v];
+        for &n in topo.order() {
+            let mut best = 0;
+            for &(p, c) in g.predecessors(n) {
+                best = best.max(t_level[p.index()] + g.weight(p) + c);
+            }
+            t_level[n.index()] = best;
+        }
+
+        // b-level and static level: backward pass.
+        let mut b_level = vec![0 as Cost; v];
+        let mut static_level = vec![0 as Cost; v];
+        for n in topo.reverse() {
+            let w = g.weight(n);
+            let mut best_b = 0;
+            let mut best_s = 0;
+            for &(c, comm) in g.successors(n) {
+                best_b = best_b.max(comm + b_level[c.index()]);
+                best_s = best_s.max(static_level[c.index()]);
+            }
+            b_level[n.index()] = w + best_b;
+            static_level[n.index()] = w + best_s;
+        }
+
+        let cp_length = b_level.iter().copied().max().unwrap_or(0);
+        GraphLevels { t_level, b_level, static_level, cp_length }
+    }
+
+    /// t-level of `n`.
+    #[inline]
+    pub fn t_level(&self, n: NodeId) -> Cost {
+        self.t_level[n.index()]
+    }
+
+    /// b-level of `n`.
+    #[inline]
+    pub fn b_level(&self, n: NodeId) -> Cost {
+        self.b_level[n.index()]
+    }
+
+    /// Static level `sl(n)` of `n`.
+    #[inline]
+    pub fn static_level(&self, n: NodeId) -> Cost {
+        self.static_level[n.index()]
+    }
+
+    /// ALAP start time of `n` (critical-path length minus b-level).
+    #[inline]
+    pub fn alap(&self, n: NodeId) -> Cost {
+        self.cp_length - self.b_level[n.index()]
+    }
+
+    /// The priority used by the paper when ordering ready nodes:
+    /// b-level + t-level (larger = more urgent).
+    #[inline]
+    pub fn b_plus_t(&self, n: NodeId) -> Cost {
+        self.b_level[n.index()] + self.t_level[n.index()]
+    }
+
+    /// The requested attribute for `n`.
+    pub fn level(&self, kind: LevelKind, n: NodeId) -> Cost {
+        match kind {
+            LevelKind::TLevel => self.t_level(n),
+            LevelKind::BLevel => self.b_level(n),
+            LevelKind::StaticLevel => self.static_level(n),
+            LevelKind::BPlusT => self.b_plus_t(n),
+        }
+    }
+
+    /// All t-levels, indexed by node id.
+    pub fn t_levels(&self) -> &[Cost] {
+        &self.t_level
+    }
+
+    /// All b-levels, indexed by node id.
+    pub fn b_levels(&self) -> &[Cost] {
+        &self.b_level
+    }
+
+    /// All static levels, indexed by node id.
+    pub fn static_levels(&self) -> &[Cost] {
+        &self.static_level
+    }
+
+    /// Length of the critical path (max b-level).
+    #[inline]
+    pub fn critical_path_length(&self) -> Cost {
+        self.cp_length
+    }
+
+    /// One critical path: a longest entry→exit path, as a list of node ids.
+    ///
+    /// Ties are broken toward smaller node ids so the result is deterministic.
+    pub fn critical_path(&self, g: &TaskGraph) -> Vec<NodeId> {
+        // Start from a node with maximal b-level among entry nodes.
+        let start = g
+            .entry_nodes()
+            .into_iter()
+            .max_by_key(|&n| (self.b_level(n), std::cmp::Reverse(n)))
+            .expect("non-empty graph");
+        let mut path = vec![start];
+        let mut cur = start;
+        loop {
+            // Next CP node: successor c maximising comm + b-level(c), i.e. the
+            // one through which the b-level of `cur` was attained.
+            let target = self.b_level(cur) - g.weight(cur);
+            let next = g
+                .successors(cur)
+                .iter()
+                .filter(|&&(c, comm)| comm + self.b_level(c) == target)
+                .map(|&(c, _)| c)
+                .min();
+            match next {
+                Some(c) => {
+                    path.push(c);
+                    cur = c;
+                }
+                None => break,
+            }
+        }
+        path
+    }
+
+    /// Nodes sorted by decreasing priority of the given kind; ties broken by
+    /// ascending node id (the paper breaks ties randomly; a fixed rule keeps
+    /// every run reproducible).
+    pub fn nodes_by_priority(&self, g: &TaskGraph, kind: LevelKind) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = g.node_ids().collect();
+        nodes.sort_by_key(|&n| (std::cmp::Reverse(self.level(kind, n)), n));
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{paper_example_dag, GraphBuilder};
+
+    /// Figure 2 of the paper: sl, b-level and t-level of every node of the
+    /// example DAG in Figure 1(a).
+    #[test]
+    fn fig2_levels_of_example_dag() {
+        let g = paper_example_dag();
+        let l = GraphLevels::compute(&g);
+        let expected = [
+            // (sl, b-level, t-level)
+            (12, 19, 0), // n1
+            (10, 16, 3), // n2
+            (10, 16, 3), // n3
+            (6, 10, 4),  // n4
+            (7, 12, 7),  // n5
+            (2, 2, 17),  // n6
+        ];
+        for (i, &(sl, b, t)) in expected.iter().enumerate() {
+            let n = NodeId(i as u32);
+            assert_eq!(l.static_level(n), sl, "sl of n{}", i + 1);
+            assert_eq!(l.b_level(n), b, "b-level of n{}", i + 1);
+            assert_eq!(l.t_level(n), t, "t-level of n{}", i + 1);
+        }
+        assert_eq!(l.critical_path_length(), 19);
+    }
+
+    #[test]
+    fn critical_path_of_example_dag() {
+        let g = paper_example_dag();
+        let l = GraphLevels::compute(&g);
+        // CP: n1 -> n2 -> n5 -> n6 (length 2+1+3+1+5+5+2 = 19).
+        let cp = l.critical_path(&g);
+        assert_eq!(cp, vec![NodeId(0), NodeId(1), NodeId(4), NodeId(5)]);
+        let mut len = 0;
+        for w in cp.windows(2) {
+            len += g.weight(w[0]) + g.edge_weight(w[0], w[1]).unwrap();
+        }
+        len += g.weight(*cp.last().unwrap());
+        assert_eq!(len, l.critical_path_length());
+    }
+
+    #[test]
+    fn entry_nodes_have_zero_t_level() {
+        let g = paper_example_dag();
+        let l = GraphLevels::compute(&g);
+        for n in g.entry_nodes() {
+            assert_eq!(l.t_level(n), 0);
+        }
+    }
+
+    #[test]
+    fn exit_nodes_b_level_equals_weight() {
+        let g = paper_example_dag();
+        let l = GraphLevels::compute(&g);
+        for n in g.exit_nodes() {
+            assert_eq!(l.b_level(n), g.weight(n));
+            assert_eq!(l.static_level(n), g.weight(n));
+        }
+    }
+
+    #[test]
+    fn alap_of_cp_nodes_equals_t_level_when_ccr_consistent() {
+        // On the critical path, ALAP == t-level.
+        let g = paper_example_dag();
+        let l = GraphLevels::compute(&g);
+        for &n in &l.critical_path(&g) {
+            assert_eq!(l.alap(n), l.t_level(n), "node {n}");
+        }
+    }
+
+    #[test]
+    fn static_level_never_exceeds_b_level() {
+        let g = paper_example_dag();
+        let l = GraphLevels::compute(&g);
+        for n in g.node_ids() {
+            assert!(l.static_level(n) <= l.b_level(n));
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node(7);
+        let g = b.build().unwrap();
+        let l = GraphLevels::compute(&g);
+        assert_eq!(l.t_level(n), 0);
+        assert_eq!(l.b_level(n), 7);
+        assert_eq!(l.static_level(n), 7);
+        assert_eq!(l.critical_path_length(), 7);
+        assert_eq!(l.critical_path(&g), vec![n]);
+    }
+
+    #[test]
+    fn chain_levels() {
+        // a(1) -5-> b(2) -7-> c(3)
+        let mut bd = GraphBuilder::new();
+        let a = bd.add_node(1);
+        let b = bd.add_node(2);
+        let c = bd.add_node(3);
+        bd.add_edge(a, b, 5).unwrap();
+        bd.add_edge(b, c, 7).unwrap();
+        let g = bd.build().unwrap();
+        let l = GraphLevels::compute(&g);
+        assert_eq!(l.t_level(a), 0);
+        assert_eq!(l.t_level(b), 6);
+        assert_eq!(l.t_level(c), 15);
+        assert_eq!(l.b_level(a), 18);
+        assert_eq!(l.b_level(b), 12);
+        assert_eq!(l.b_level(c), 3);
+        assert_eq!(l.static_level(a), 6);
+        assert_eq!(l.b_plus_t(b), 18);
+        assert_eq!(l.alap(c), 15);
+    }
+
+    #[test]
+    fn priority_ordering_by_b_plus_t() {
+        let g = paper_example_dag();
+        let l = GraphLevels::compute(&g);
+        let order = l.nodes_by_priority(&g, LevelKind::BPlusT);
+        // b+t: n1=19, n2=19, n3=19, n4=14, n5=19, n6=19; ties by id.
+        assert_eq!(
+            order,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(4), NodeId(5), NodeId(3)]
+        );
+        let order_b = l.nodes_by_priority(&g, LevelKind::BLevel);
+        assert_eq!(order_b[0], NodeId(0));
+        let order_t = l.nodes_by_priority(&g, LevelKind::TLevel);
+        assert_eq!(*order_t.last().unwrap(), NodeId(0));
+        let order_s = l.nodes_by_priority(&g, LevelKind::StaticLevel);
+        assert_eq!(order_s[0], NodeId(0));
+    }
+}

@@ -1,0 +1,53 @@
+//! Weighted directed-acyclic task-graph substrate for the `optsched` workspace.
+//!
+//! A parallel program whose task processing times, data dependencies and
+//! synchronisations are known a priori is modelled as a node- and
+//! edge-weighted directed acyclic graph (DAG): nodes are indivisible,
+//! non-preemptible tasks with a *computation cost*, and edges carry the
+//! *communication cost* paid when the two endpoint tasks run on different
+//! processors (intra-processor communication is free).
+//!
+//! This crate provides:
+//!
+//! * [`TaskGraph`] — an immutable, validated DAG with O(1) access to
+//!   predecessors/successors, built through [`GraphBuilder`];
+//! * [`levels`] — the classic scheduling attributes: *t-level* (top level),
+//!   *b-level* (bottom level), *static level*, ALAP times, the critical path
+//!   and the communication-to-computation ratio (CCR);
+//! * [`topo`] — topological orderings and reachability queries;
+//! * [`dot`] — Graphviz export for debugging and documentation;
+//! * serde support on every public type so graphs can be stored as JSON.
+//!
+//! # Example
+//!
+//! The 6-node graph of Figure 1(a) of Kwok & Ahmad (ICPP'98):
+//!
+//! ```
+//! use optsched_taskgraph::{GraphBuilder, NodeId};
+//!
+//! let mut b = GraphBuilder::new();
+//! let n: Vec<NodeId> = [2u64, 3, 3, 4, 5, 2].iter().map(|&w| b.add_node(w)).collect();
+//! b.add_edge(n[0], n[1], 1).unwrap();
+//! b.add_edge(n[0], n[2], 1).unwrap();
+//! b.add_edge(n[0], n[3], 2).unwrap();
+//! b.add_edge(n[1], n[4], 1).unwrap();
+//! b.add_edge(n[2], n[4], 1).unwrap();
+//! b.add_edge(n[3], n[5], 4).unwrap();
+//! b.add_edge(n[4], n[5], 5).unwrap();
+//! let g = b.build().unwrap();
+//! assert_eq!(g.num_nodes(), 6);
+//! assert_eq!(g.critical_path_length(), 19);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod levels;
+pub mod topo;
+
+pub use error::GraphError;
+pub use graph::{paper_example_dag, Cost, EdgeData, GraphBuilder, NodeData, NodeId, TaskGraph};
+pub use levels::{GraphLevels, LevelKind};
+pub use topo::TopoOrder;

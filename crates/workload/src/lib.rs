@@ -1,0 +1,22 @@
+//! Workload generators for the `optsched` experiments.
+//!
+//! * [`random`] reproduces the random task graphs of Section 4.1 of the
+//!   paper: node weights from a uniform distribution with mean 40, a number
+//!   of children per node drawn from a uniform distribution with mean `v/10`
+//!   (so connectivity grows with graph size), and edge weights from a uniform
+//!   distribution with mean `40 · CCR` for CCR ∈ {0.1, 1.0, 10.0}.  Each
+//!   experiment set contains the twelve sizes v = 10, 12, …, 32.
+//! * [`structured`] provides the classic application-shaped DAGs (fork–join,
+//!   trees, Gaussian elimination, FFT butterfly, pipelines) used by the
+//!   examples and the extra tests.
+//!
+//! All generators are driven by a caller-supplied [`rand::Rng`], so every
+//! workload in the repository is reproducible from a seed.
+
+#![warn(missing_docs)]
+
+pub mod random;
+pub mod structured;
+
+pub use random::{generate_random_dag, paper_workload_suite, RandomDagConfig, PAPER_CCRS, PAPER_SIZES};
+pub use structured::{chain, diamond_lattice, fft_butterfly, fork_join, gaussian_elimination, in_tree, out_tree};

@@ -1,0 +1,218 @@
+//! The paper's random task-graph generator (Section 4.1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use optsched_taskgraph::{Cost, GraphBuilder, NodeId, TaskGraph};
+
+/// The CCR values used throughout the paper's evaluation.
+pub const PAPER_CCRS: [f64; 3] = [0.1, 1.0, 10.0];
+
+/// The graph sizes of each experiment set: 10, 12, …, 32 nodes.
+pub const PAPER_SIZES: [usize; 12] = [10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32];
+
+/// Parameters of the random DAG generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomDagConfig {
+    /// Number of nodes `v`.
+    pub nodes: usize,
+    /// Communication-to-computation ratio; edge weights are drawn with mean
+    /// `mean_comp * ccr`.
+    pub ccr: f64,
+    /// Mean computation cost (the paper uses 40).
+    pub mean_comp: Cost,
+    /// Mean number of children per node.  `None` uses the paper's `v / 10`.
+    pub mean_children: Option<f64>,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig { nodes: 20, ccr: 1.0, mean_comp: 40, mean_children: None }
+    }
+}
+
+/// Draws an integer from a uniform distribution over `[1, 2·mean - 1]`
+/// (mean `mean`); degenerates to the constant 1 when `mean <= 1`.
+fn uniform_with_mean(rng: &mut impl Rng, mean: f64) -> Cost {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let hi = (2.0 * mean - 1.0).round() as u64;
+    rng.gen_range(1..=hi.max(1))
+}
+
+/// Generates one random DAG following the paper's procedure.
+///
+/// Starting from the first node, each node draws a child count from a uniform
+/// distribution with mean `v/10` (or [`RandomDagConfig::mean_children`]) and
+/// connects to that many distinct, randomly chosen, higher-numbered nodes, so
+/// the result is acyclic by construction and its connectivity increases with
+/// the graph size.  Computation costs are uniform with mean
+/// [`RandomDagConfig::mean_comp`] and communication costs uniform with mean
+/// `mean_comp * ccr`.
+pub fn generate_random_dag(cfg: &RandomDagConfig, rng: &mut impl Rng) -> TaskGraph {
+    assert!(cfg.nodes >= 2, "a task graph needs at least two nodes");
+    let v = cfg.nodes;
+    let mean_children = cfg.mean_children.unwrap_or(v as f64 / 10.0).max(1.0);
+    let mean_comm = (cfg.mean_comp as f64 * cfg.ccr).max(1.0);
+
+    let mut b = GraphBuilder::with_capacity(v);
+    let ids: Vec<NodeId> = (0..v)
+        .map(|_| b.add_node(uniform_with_mean(rng, cfg.mean_comp as f64)))
+        .collect();
+
+    for (i, &src) in ids.iter().enumerate() {
+        let remaining = v - i - 1;
+        if remaining == 0 {
+            break;
+        }
+        // Child count: uniform over [0, 2·mean] (mean `mean_children`),
+        // clipped to the number of candidates that exist.
+        let max_children = (2.0 * mean_children).round() as usize;
+        let wanted = rng.gen_range(0..=max_children).min(remaining);
+        // Sample `wanted` distinct targets among the higher-numbered nodes.
+        let mut candidates: Vec<usize> = ((i + 1)..v).collect();
+        for k in 0..wanted {
+            let j = rng.gen_range(k..candidates.len());
+            candidates.swap(k, j);
+        }
+        for &t in &candidates[..wanted] {
+            let comm = uniform_with_mean(rng, mean_comm);
+            b.add_edge(src, ids[t], comm).expect("targets are distinct and higher-numbered");
+        }
+    }
+
+    // Guarantee at least one edge so the graph is a meaningful precedence
+    // problem (the paper's graphs always have growing connectivity).
+    let g = b.clone().build().expect("construction is acyclic");
+    if g.num_edges() == 0 {
+        let comm = uniform_with_mean(rng, mean_comm);
+        let mut b2 = b;
+        b2.add_edge(ids[0], ids[1], comm).expect("edge 0->1 is valid");
+        return b2.build().expect("still acyclic");
+    }
+    g
+}
+
+/// Generates the full experiment set for one CCR value: twelve graphs with
+/// v = 10, 12, …, 32 (the sets used for Table 1 and Figures 6–7).
+pub fn paper_workload_suite(ccr: f64, rng: &mut impl Rng) -> Vec<TaskGraph> {
+    PAPER_SIZES
+        .iter()
+        .map(|&v| generate_random_dag(&RandomDagConfig { nodes: v, ccr, ..Default::default() }, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generator_is_deterministic_for_a_seed() {
+        let cfg = RandomDagConfig { nodes: 24, ccr: 1.0, ..Default::default() };
+        let a = generate_random_dag(&cfg, &mut StdRng::seed_from_u64(42));
+        let b = generate_random_dag(&cfg, &mut StdRng::seed_from_u64(42));
+        let c = generate_random_dag(&cfg, &mut StdRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn node_count_matches_config() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in [2usize, 10, 17, 32, 64] {
+            let g = generate_random_dag(
+                &RandomDagConfig { nodes: v, ..Default::default() },
+                &mut rng,
+            );
+            assert_eq!(g.num_nodes(), v);
+            assert!(g.num_edges() >= 1);
+        }
+    }
+
+    #[test]
+    fn mean_computation_cost_is_close_to_forty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generate_random_dag(
+            &RandomDagConfig { nodes: 500, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let mean = g.total_computation() as f64 / g.num_nodes() as f64;
+        assert!((mean - 40.0).abs() < 5.0, "mean computation cost {mean}");
+    }
+
+    #[test]
+    fn ccr_of_generated_graph_tracks_requested_ccr() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &ccr in &PAPER_CCRS {
+            let g = generate_random_dag(
+                &RandomDagConfig { nodes: 400, ccr, ..Default::default() },
+                &mut rng,
+            );
+            let measured = g.ccr();
+            assert!(
+                measured > ccr * 0.5 && measured < ccr * 2.0,
+                "requested CCR {ccr}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn connectivity_grows_with_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let small = generate_random_dag(
+            &RandomDagConfig { nodes: 10, ..Default::default() },
+            &mut rng,
+        );
+        let large = generate_random_dag(
+            &RandomDagConfig { nodes: 200, ..Default::default() },
+            &mut rng,
+        );
+        let avg_deg_small = small.num_edges() as f64 / small.num_nodes() as f64;
+        let avg_deg_large = large.num_edges() as f64 / large.num_nodes() as f64;
+        assert!(avg_deg_large > avg_deg_small);
+    }
+
+    #[test]
+    fn suite_has_twelve_graphs_of_increasing_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let suite = paper_workload_suite(1.0, &mut rng);
+        assert_eq!(suite.len(), 12);
+        for (g, &v) in suite.iter().zip(PAPER_SIZES.iter()) {
+            assert_eq!(g.num_nodes(), v);
+        }
+    }
+
+    #[test]
+    fn mean_children_override_is_respected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dense = generate_random_dag(
+            &RandomDagConfig { nodes: 60, mean_children: Some(8.0), ..Default::default() },
+            &mut rng,
+        );
+        let sparse = generate_random_dag(
+            &RandomDagConfig { nodes: 60, mean_children: Some(1.0), ..Default::default() },
+            &mut rng,
+        );
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_config_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        generate_random_dag(&RandomDagConfig { nodes: 1, ..Default::default() }, &mut rng);
+    }
+
+    #[test]
+    fn uniform_with_mean_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let x = uniform_with_mean(&mut rng, 40.0);
+            assert!((1..=79).contains(&x));
+            assert_eq!(uniform_with_mean(&mut rng, 0.5), 1);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Structured application DAGs: fork–join, trees, Gaussian elimination, FFT
+//! butterflies and linear chains.
+//!
+//! These shapes correspond to the parallel kernels that motivate DAG
+//! scheduling (the paper's introduction targets "parallel programs" in
+//! general); they are used by the examples, the extra tests, and the
+//! heuristic-vs-optimal comparison benches.
+
+use optsched_taskgraph::{Cost, GraphBuilder, NodeId, TaskGraph};
+
+/// A linear chain of `n` tasks: `t0 -> t1 -> … -> t(n-1)`.
+///
+/// Every node has computation cost `comp`, every edge communication cost `comm`.
+pub fn chain(n: usize, comp: Cost, comm: Cost) -> TaskGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n);
+    let ids: Vec<NodeId> = (0..n).map(|_| b.add_node(comp)).collect();
+    for w in ids.windows(2) {
+        b.add_edge(w[0], w[1], comm).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A fork–join graph: one source, `width` independent middle tasks, one sink.
+pub fn fork_join(width: usize, comp: Cost, comm: Cost) -> TaskGraph {
+    assert!(width >= 1);
+    let mut b = GraphBuilder::with_capacity(width + 2);
+    let src = b.add_labeled_node(comp, "fork");
+    let mids: Vec<NodeId> = (0..width).map(|i| b.add_labeled_node(comp, format!("w{i}"))).collect();
+    let sink = b.add_labeled_node(comp, "join");
+    for &m in &mids {
+        b.add_edge(src, m, comm).unwrap();
+        b.add_edge(m, sink, comm).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A complete out-tree (root at the top) of the given `depth` and `branching`
+/// factor; `depth = 0` is a single node.
+pub fn out_tree(depth: u32, branching: usize, comp: Cost, comm: Cost) -> TaskGraph {
+    assert!(branching >= 1);
+    let mut b = GraphBuilder::new();
+    let root = b.add_node(comp);
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..branching {
+                let child = b.add_node(comp);
+                b.add_edge(parent, child, comm).unwrap();
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    b.build().unwrap()
+}
+
+/// A complete in-tree (leaves at the top, root at the bottom): the reversal
+/// of [`out_tree`]. Models reductions.
+pub fn in_tree(depth: u32, branching: usize, comp: Cost, comm: Cost) -> TaskGraph {
+    let out = out_tree(depth, branching, comp, comm);
+    // Reverse every edge.
+    let mut b = GraphBuilder::with_capacity(out.num_nodes());
+    for n in out.node_ids() {
+        b.add_node(out.weight(n));
+    }
+    for e in out.edges() {
+        b.add_edge(e.dst, e.src, e.weight).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The Gaussian-elimination task graph over an `m x m` matrix: for each
+/// elimination step `k` there is one pivot task followed by `m - k - 1`
+/// update tasks that all depend on the pivot and feed the next pivot.
+///
+/// Total node count is `m(m+1)/2 - 1` for `m >= 2`.
+pub fn gaussian_elimination(m: usize, comp: Cost, comm: Cost) -> TaskGraph {
+    assert!(m >= 2);
+    let mut b = GraphBuilder::new();
+    // prev_update[j] = the step-(k-1) update task of column j, if any.
+    let mut prev_update: Vec<Option<NodeId>> = vec![None; m];
+    for k in 0..(m - 1) {
+        let pivot = b.add_labeled_node(comp, format!("piv{k}"));
+        // The pivot of step k works on column k, which was last touched by
+        // the step-(k-1) update of that column.
+        if let Some(u) = prev_update[k] {
+            b.add_edge(u, pivot, comm).unwrap();
+        }
+        let mut new_update: Vec<Option<NodeId>> = vec![None; m];
+        for j in (k + 1)..m {
+            let u = b.add_labeled_node(comp, format!("upd{k}_{j}"));
+            b.add_edge(pivot, u, comm).unwrap();
+            if let Some(pu) = prev_update[j] {
+                b.add_edge(pu, u, comm).unwrap();
+            }
+            new_update[j] = Some(u);
+        }
+        prev_update = new_update;
+    }
+    b.build().unwrap()
+}
+
+/// An FFT butterfly graph over `points` inputs (`points` must be a power of
+/// two): `log2(points)` layers of `points` tasks each plus an input layer,
+/// with the classic butterfly connections.
+pub fn fft_butterfly(points: usize, comp: Cost, comm: Cost) -> TaskGraph {
+    assert!(points.is_power_of_two() && points >= 2);
+    let stages = points.trailing_zeros() as usize;
+    let mut b = GraphBuilder::new();
+    // Layer 0: inputs.
+    let mut prev: Vec<NodeId> =
+        (0..points).map(|i| b.add_labeled_node(comp, format!("in{i}"))).collect();
+    for s in 0..stages {
+        let stride = points >> (s + 1);
+        let cur: Vec<NodeId> =
+            (0..points).map(|i| b.add_labeled_node(comp, format!("s{s}_{i}"))).collect();
+        for i in 0..points {
+            let partner = i ^ stride;
+            b.add_edge(prev[i], cur[i], comm).unwrap();
+            b.add_edge(prev[partner], cur[i], comm).unwrap();
+        }
+        prev = cur;
+    }
+    b.build().unwrap()
+}
+
+/// A diamond / wavefront lattice of `rows x cols` tasks where task `(i, j)`
+/// depends on `(i-1, j)` and `(i, j-1)`. Models stencil sweeps and dynamic
+/// programming kernels.
+pub fn diamond_lattice(rows: usize, cols: usize, comp: Cost, comm: Cost) -> TaskGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let mut b = GraphBuilder::with_capacity(rows * cols);
+    let ids: Vec<NodeId> = (0..rows * cols).map(|_| b.add_node(comp)).collect();
+    let id = |r: usize, c: usize| ids[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), comm).unwrap();
+            }
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), comm).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5, 3, 2);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.entry_nodes().len(), 1);
+        assert_eq!(g.exit_nodes().len(), 1);
+        assert_eq!(g.critical_path_length(), 5 * 3 + 4 * 2);
+    }
+
+    #[test]
+    fn single_node_chain() {
+        let g = chain(1, 7, 0);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(6, 2, 1);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.entry_nodes().len(), 1);
+        assert_eq!(g.exit_nodes().len(), 1);
+        // Critical path = fork + worker + join + 2 comm.
+        assert_eq!(g.critical_path_length(), 2 + 2 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn out_tree_and_in_tree_are_mirrors() {
+        let o = out_tree(3, 2, 1, 1);
+        let i = in_tree(3, 2, 1, 1);
+        assert_eq!(o.num_nodes(), 15);
+        assert_eq!(i.num_nodes(), 15);
+        assert_eq!(o.num_edges(), i.num_edges());
+        assert_eq!(o.entry_nodes().len(), 1);
+        assert_eq!(i.exit_nodes().len(), 1);
+        assert_eq!(i.entry_nodes().len(), 8);
+        assert_eq!(o.critical_path_length(), i.critical_path_length());
+    }
+
+    #[test]
+    fn out_tree_depth_zero_is_single_node() {
+        let g = out_tree(0, 3, 5, 1);
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn gaussian_elimination_node_count() {
+        // m=4: steps k=0,1,2 with 1+3, 1+2, 1+1 tasks = 9 = 4*5/2 - 1.
+        let g = gaussian_elimination(4, 2, 1);
+        assert_eq!(g.num_nodes(), 9);
+        assert_eq!(g.entry_nodes().len(), 1);
+        // The last pivot/update chain is the single exit.
+        assert_eq!(g.exit_nodes().len(), 1);
+    }
+
+    #[test]
+    fn gaussian_elimination_smallest_case() {
+        let g = gaussian_elimination(2, 2, 1);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn fft_butterfly_shape() {
+        let g = fft_butterfly(8, 1, 1);
+        // 4 layers (1 input + 3 stages) of 8 nodes.
+        assert_eq!(g.num_nodes(), 32);
+        assert_eq!(g.num_edges(), 3 * 8 * 2);
+        assert_eq!(g.entry_nodes().len(), 8);
+        assert_eq!(g.exit_nodes().len(), 8);
+        // Each stage node has exactly two parents.
+        for n in g.exit_nodes() {
+            assert_eq!(g.in_degree(n), 2);
+        }
+    }
+
+    #[test]
+    fn diamond_lattice_shape() {
+        let g = diamond_lattice(3, 4, 2, 1);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.entry_nodes().len(), 1);
+        assert_eq!(g.exit_nodes().len(), 1);
+        // Critical path visits rows+cols-1 nodes.
+        assert_eq!(g.critical_path_length(), 6 * 2 + 5);
+    }
+
+    #[test]
+    fn structured_graphs_are_valid_dags() {
+        // The builders already guarantee acyclicity; spot-check entry/exit counts.
+        for g in [
+            chain(10, 1, 1),
+            fork_join(3, 1, 1),
+            out_tree(2, 3, 1, 1),
+            in_tree(2, 3, 1, 1),
+            gaussian_elimination(5, 1, 1),
+            fft_butterfly(4, 1, 1),
+            diamond_lattice(4, 4, 1, 1),
+        ] {
+            assert!(!g.entry_nodes().is_empty());
+            assert!(!g.exit_nodes().is_empty());
+        }
+    }
+}

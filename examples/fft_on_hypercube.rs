@@ -1,0 +1,56 @@
+//! Schedule an FFT butterfly task graph onto a hypercube multiprocessor.
+//!
+//! The FFT is the canonical "wide" DAG: every stage is fully parallel, but
+//! the butterfly exchange pattern forces communication whose cost grows with
+//! the distance between the processors holding the two operands.  This
+//! example shows how the communication model (uniform latency vs. hop-scaled)
+//! changes the schedules the optimiser produces, and how the bounded
+//! suboptimal Aε* search scales to a graph that is already expensive for
+//! exact search.
+//!
+//! Run with: `cargo run --release --example fft_on_hypercube`
+
+use optsched::prelude::*;
+
+fn main() {
+    // 4-point FFT: 3 layers of 4 tasks = 12 tasks.
+    let graph = fft_butterfly(4, 10, 8);
+    println!(
+        "FFT butterfly DAG: {} tasks, {} messages, CCR = {:.2}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.ccr()
+    );
+
+    for (label, network) in [
+        ("4-PE hypercube, uniform link latency", ProcNetwork::hypercube(4)),
+        (
+            "4-PE hypercube, hop-scaled communication",
+            ProcNetwork::hypercube(4).with_comm_model(CommModel::HopScaled),
+        ),
+        ("4-PE chain, hop-scaled communication", ProcNetwork::chain(4).with_comm_model(CommModel::HopScaled)),
+    ] {
+        let problem = SchedulingProblem::new(graph.clone(), network.clone());
+        let optimal = AStarScheduler::new(&problem).run();
+        let approx = AEpsScheduler::new(&problem, 0.2).run();
+        let serial: Cost = graph.total_computation();
+        println!("\n== {label} ==");
+        println!(
+            "optimal length = {} (serial {}, speedup {:.2}x), A* expanded {} states",
+            optimal.schedule_length,
+            serial,
+            serial as f64 / optimal.schedule_length as f64,
+            optimal.stats.expanded
+        );
+        println!(
+            "Aε*(0.2) length = {} using {} expansions ({:.0}% of exact)",
+            approx.schedule_length,
+            approx.stats.expanded,
+            100.0 * approx.stats.expanded as f64 / optimal.stats.expanded.max(1) as f64
+        );
+        println!(
+            "processors used in the optimum: {}",
+            optimal.expect_schedule().procs_used()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Schedule the task graph of a Gaussian-elimination kernel onto a mesh of
+//! processors, comparing the polynomial-time heuristics against the optimal
+//! A* schedule and the bounded-suboptimality Aε* schedule.
+//!
+//! Gaussian elimination is one of the classic "regular" application DAGs the
+//! DAG-scheduling literature (including the authors' other papers) evaluates
+//! on; it has a long critical path of pivot tasks with fan-out update tasks,
+//! so the optimal processor count is small and communication costs matter.
+//!
+//! Run with: `cargo run --release --example gaussian_elimination`
+
+use optsched::prelude::*;
+
+fn main() {
+    // Elimination of a 5x5 matrix: 14 tasks. Computation cost 20 per task,
+    // communication cost 15 per message (CCR ~ 0.75).
+    let graph = gaussian_elimination(5, 20, 15);
+    println!(
+        "Gaussian elimination DAG: {} tasks, {} messages, CCR = {:.2}, critical path = {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.ccr(),
+        graph.critical_path_length()
+    );
+
+    // A 2x2 mesh of identical processors.
+    let network = ProcNetwork::mesh(2, 2);
+    let problem = SchedulingProblem::new(graph.clone(), network.clone());
+
+    println!("\n-- polynomial-time heuristics --");
+    for (name, cfg) in [
+        ("b-level, earliest start", ListConfig::default()),
+        (
+            "b-level, earliest finish + insertion",
+            ListConfig { policy: ProcessorPolicy::EarliestFinish, insertion: true, ..Default::default() },
+        ),
+        (
+            "static level, earliest start",
+            ListConfig { priority: LevelKind::StaticLevel, ..Default::default() },
+        ),
+    ] {
+        let s = list_schedule(&graph, &network, cfg);
+        s.validate(&graph, &network).expect("heuristic schedules are valid");
+        println!("{name:<40} length = {}", s.makespan());
+    }
+
+    println!("\n-- optimal (serial A*) --");
+    let optimal = AStarScheduler::new(&problem).run();
+    println!(
+        "length = {}  ({} states generated, {} expanded, {:.1} ms)",
+        optimal.schedule_length,
+        optimal.stats.generated,
+        optimal.stats.expanded,
+        optimal.elapsed.as_secs_f64() * 1e3
+    );
+    println!("{}", render_gantt(optimal.expect_schedule(), &graph));
+
+    println!("-- bounded suboptimality (Aε*, ε = 0.2) --");
+    let approx = AEpsScheduler::new(&problem, 0.2).run();
+    let deviation =
+        100.0 * (approx.schedule_length as f64 - optimal.schedule_length as f64)
+            / optimal.schedule_length as f64;
+    println!(
+        "length = {} ({:+.1}% from optimal), {} states expanded ({:.0}% of exact)",
+        approx.schedule_length,
+        deviation,
+        approx.stats.expanded,
+        100.0 * approx.stats.expanded as f64 / optimal.stats.expanded.max(1) as f64
+    );
+
+    println!("\n-- how many processors does the optimum actually need? --");
+    for p in 1..=4 {
+        let prob = SchedulingProblem::new(graph.clone(), ProcNetwork::fully_connected(p));
+        let r = AStarScheduler::new(&prob).run();
+        println!(
+            "p = {p}: optimal length = {:>4}, processors used = {}",
+            r.schedule_length,
+            r.expect_schedule().procs_used()
+        );
+    }
+}

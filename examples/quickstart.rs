@@ -1,0 +1,68 @@
+//! Quickstart: schedule the paper's example task graph (Figure 1) onto a
+//! 3-processor ring and reproduce the worked example of Sections 3.1–3.4.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use optsched::prelude::*;
+
+fn main() {
+    // Figure 1(a): 6 tasks; Figure 1(b): 3 processors in a ring.
+    let graph = paper_example_dag();
+    let network = ProcNetwork::ring(3);
+
+    println!("== task graph ==");
+    println!("{} nodes, {} edges, CCR = {:.2}", graph.num_nodes(), graph.num_edges(), graph.ccr());
+    let levels = GraphLevels::compute(&graph);
+    println!("{:<6} {:>4} {:>8} {:>8}", "node", "sl", "b-level", "t-level");
+    for n in graph.node_ids() {
+        println!(
+            "{:<6} {:>4} {:>8} {:>8}",
+            format!("n{}", n.0 + 1),
+            levels.static_level(n),
+            levels.b_level(n),
+            levels.t_level(n)
+        );
+    }
+    println!("critical path length = {}\n", levels.critical_path_length());
+
+    let problem = SchedulingProblem::new(graph.clone(), network.clone());
+    println!("list-heuristic upper bound U = {}", problem.upper_bound());
+
+    // Serial A* with every pruning technique (Section 3.1 + 3.2).
+    let result = AStarScheduler::new(&problem).run();
+    println!("\n== serial A* ==");
+    println!("optimal schedule length = {}", result.schedule_length);
+    println!(
+        "states generated = {}, expanded = {}, pruned = {}",
+        result.stats.generated,
+        result.stats.expanded,
+        result.stats.total_pruned()
+    );
+    println!("{}", render_gantt(result.expect_schedule(), &graph));
+
+    // Parallel A* on two PPE threads (Section 3.3).
+    let parallel = ParallelAStarScheduler::new(&problem, ParallelConfig::exact(2)).run();
+    println!("== parallel A* (2 PPEs) ==");
+    println!(
+        "schedule length = {}, total states expanded = {} (per PPE: {:?})",
+        parallel.schedule_length(),
+        parallel.total_expanded(),
+        parallel.per_ppe_stats.iter().map(|s| s.expanded).collect::<Vec<_>>()
+    );
+
+    // Approximate Aε* (Section 3.4).
+    for eps in [0.2, 0.5] {
+        let approx = AEpsScheduler::new(&problem, eps).run();
+        println!(
+            "Aε* with ε = {:.1}: length = {} (optimal {}), expanded = {}",
+            eps, approx.schedule_length, result.schedule_length, approx.stats.expanded
+        );
+    }
+
+    // The Chen & Yu branch-and-bound baseline used in Table 1.
+    let chen = ChenYuScheduler::new(&problem).run();
+    println!(
+        "Chen & Yu B&B: length = {}, states = {}, path segments enumerated = {}",
+        chen.schedule_length, chen.stats.generated, chen.stats.path_segments_enumerated
+    );
+}

@@ -1,0 +1,98 @@
+//! Integration tests that pin the worked example of the paper
+//! (Figures 1–5 and the surrounding text) across crate boundaries.
+
+use optsched::prelude::*;
+
+fn example_problem() -> SchedulingProblem {
+    SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3))
+}
+
+/// Figure 2: static levels, b-levels and t-levels of the example DAG.
+#[test]
+fn figure2_level_attributes() {
+    let graph = paper_example_dag();
+    let levels = GraphLevels::compute(&graph);
+    let expected = [(12, 19, 0), (10, 16, 3), (10, 16, 3), (6, 10, 4), (7, 12, 7), (2, 2, 17)];
+    for (i, &(sl, b, t)) in expected.iter().enumerate() {
+        let n = NodeId(i as u32);
+        assert_eq!(levels.static_level(n), sl);
+        assert_eq!(levels.b_level(n), b);
+        assert_eq!(levels.t_level(n), t);
+    }
+}
+
+/// Figure 3 (root): the first expansion schedules n1 on one representative
+/// processor only, with cost f = 2 + 10, because the three empty ring PEs are
+/// isomorphic.
+#[test]
+fn figure3_root_expansion() {
+    let problem = example_problem();
+    // All three PEs of the ring are interchangeable while empty.
+    let net = problem.network();
+    assert!(net.interchangeable(ProcId(0), ProcId(1)));
+    assert!(net.interchangeable(ProcId(1), ProcId(2)));
+    // And n2 / n3 are equivalent nodes (Definition 3).
+    assert!(problem.graph().nodes_equivalent(NodeId(1), NodeId(2)));
+}
+
+/// Figure 4: the optimal schedule length is 14 time units, for every exact
+/// algorithm in the workspace.
+#[test]
+fn figure4_every_exact_algorithm_finds_14() {
+    let problem = example_problem();
+
+    let astar = AStarScheduler::new(&problem).run();
+    assert!(astar.is_optimal());
+    assert_eq!(astar.schedule_length, 14);
+    astar.expect_schedule().validate(problem.graph(), problem.network()).unwrap();
+
+    let chen = ChenYuScheduler::new(&problem).run();
+    assert!(chen.is_optimal());
+    assert_eq!(chen.schedule_length, 14);
+
+    assert_eq!(exhaustive_optimal(&problem), 14);
+
+    let aeps = AEpsScheduler::new(&problem, 0.0).run();
+    assert_eq!(aeps.schedule_length, 14);
+
+    for q in [2, 3, 4] {
+        let par = ParallelAStarScheduler::new(&problem, ParallelConfig::exact(q)).run();
+        assert_eq!(par.schedule_length(), 14, "q = {q}");
+    }
+}
+
+/// Section 3.2: the upper-bound heuristic is linear-time list scheduling; its
+/// schedule is feasible and at least as long as the optimum.
+#[test]
+fn upper_bound_brackets_the_optimum() {
+    let problem = example_problem();
+    let ub = problem.upper_bound();
+    assert!(ub >= 14);
+    assert!(problem.lower_bound() <= 14);
+    problem.upper_bound_schedule().validate(problem.graph(), problem.network()).unwrap();
+}
+
+/// Section 4 of the paper lets the search use up to `v` target processors and
+/// observes that far fewer are actually used; with all six processors
+/// available the optimum of the example stays 14 and uses at most 3.
+#[test]
+fn extra_processors_do_not_change_the_example_optimum() {
+    let problem = SchedulingProblem::new(paper_example_dag(), ProcNetwork::fully_connected(6));
+    let r = AStarScheduler::new(&problem).run();
+    assert!(r.is_optimal());
+    assert!(r.schedule_length <= 14);
+    assert!(r.expect_schedule().procs_used() <= 3);
+}
+
+/// The Gantt rendering of the optimal schedule mentions every task exactly once.
+#[test]
+fn gantt_rendering_of_the_optimal_schedule() {
+    let problem = example_problem();
+    let r = AStarScheduler::new(&problem).run();
+    let text = render_gantt(r.expect_schedule(), problem.graph());
+    assert!(text.contains("schedule length = 14"));
+    for n in problem.graph().node_ids() {
+        let label = problem.graph().node(n).label.clone().unwrap();
+        assert_eq!(text.matches(&format!("{label}[")).count(), 1, "{label}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) of the core invariants, run over randomly
+//! generated DAGs, processor networks and cost distributions.
+
+use optsched::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a small random DAG described by (nodes, ccr-index, seed).
+/// Sizes stay small enough that even the un-pruned exact search (which the
+/// optimality property exercises) finishes quickly in debug builds.
+fn dag_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (4usize..=8, 0usize..3, any::<u64>())
+}
+
+fn make_dag(nodes: usize, ccr_idx: usize, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_random_dag(
+        &RandomDagConfig { nodes, ccr: PAPER_CCRS[ccr_idx], ..Default::default() },
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Level attributes: every parent has a strictly larger b-level than each
+    /// of its children, t-levels are non-decreasing along edges, the static
+    /// level never exceeds the b-level, and the critical path length is the
+    /// maximum b-level of an entry node.
+    #[test]
+    fn level_invariants((nodes, ccr_idx, seed) in dag_params()) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let levels = GraphLevels::compute(&g);
+        for e in g.edges() {
+            prop_assert!(levels.b_level(e.src) > levels.b_level(e.dst));
+            prop_assert!(levels.t_level(e.src) < levels.t_level(e.dst));
+        }
+        for n in g.node_ids() {
+            prop_assert!(levels.static_level(n) <= levels.b_level(n));
+            prop_assert!(levels.b_level(n) + levels.alap(n) == levels.critical_path_length());
+        }
+        let cp_from_entries =
+            g.entry_nodes().iter().map(|&n| levels.b_level(n)).max().unwrap();
+        prop_assert_eq!(cp_from_entries, levels.critical_path_length());
+    }
+
+    /// Every list-scheduling configuration produces a feasible schedule whose
+    /// length lies between the computation-only critical path and the fully
+    /// serial execution plus all communication.
+    #[test]
+    fn heuristic_schedules_are_feasible((nodes, ccr_idx, seed) in dag_params(), procs in 1usize..=4) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let net = ProcNetwork::fully_connected(procs);
+        let s = upper_bound_schedule(&g, &net);
+        prop_assert!(s.validate(&g, &net).is_ok());
+        prop_assert!(s.makespan() >= g.schedule_length_lower_bound());
+        prop_assert!(s.makespan() <= g.total_computation() + g.total_communication());
+    }
+
+    /// The A* search returns a feasible schedule that is optimal: no longer
+    /// than the list heuristic, no shorter than the static critical path, and
+    /// identical in length for every pruning configuration.
+    #[test]
+    fn astar_optimality_invariants((nodes, ccr_idx, seed) in dag_params(), procs in 2usize..=3) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let problem = SchedulingProblem::new(g.clone(), ProcNetwork::fully_connected(procs));
+        let pruned = AStarScheduler::new(&problem).run();
+        prop_assert!(pruned.is_optimal());
+        prop_assert!(pruned.expect_schedule().validate(&g, problem.network()).is_ok());
+        prop_assert!(pruned.schedule_length <= problem.upper_bound());
+        prop_assert!(pruned.schedule_length >= problem.lower_bound());
+
+        let unpruned = AStarScheduler::new(&problem).with_pruning(PruningConfig::none()).run();
+        prop_assert_eq!(unpruned.schedule_length, pruned.schedule_length);
+
+        let tight = AStarScheduler::new(&problem)
+            .with_heuristic(HeuristicKind::TightStaticLevel)
+            .run();
+        prop_assert_eq!(tight.schedule_length, pruned.schedule_length);
+    }
+
+    /// Aε* never returns a schedule shorter than optimal or longer than
+    /// (1+ε) times optimal.
+    #[test]
+    fn aeps_bound_holds((nodes, ccr_idx, seed) in dag_params(), eps_pct in 0u32..=60) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let problem = SchedulingProblem::new(g, ProcNetwork::fully_connected(2));
+        let eps = f64::from(eps_pct) / 100.0;
+        let optimal = AStarScheduler::new(&problem).run().schedule_length;
+        let approx = AEpsScheduler::new(&problem, eps).run().schedule_length;
+        prop_assert!(approx >= optimal);
+        prop_assert!((approx as f64) <= (optimal as f64) * (1.0 + eps) + 1e-9);
+    }
+
+    /// The parallel scheduler is exact for any PPE count and topology choice.
+    #[test]
+    fn parallel_astar_is_exact((nodes, ccr_idx, seed) in dag_params(), q in 1usize..=4) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let problem = SchedulingProblem::new(g.clone(), ProcNetwork::ring(3));
+        let serial = AStarScheduler::new(&problem).run().schedule_length;
+        let parallel = ParallelAStarScheduler::new(&problem, ParallelConfig::exact(q)).run();
+        prop_assert_eq!(parallel.schedule_length(), serial);
+        prop_assert!(parallel.schedule.validate(&g, problem.network()).is_ok());
+    }
+
+    /// Adding a processor never makes the optimal schedule longer.
+    #[test]
+    fn more_processors_never_hurt((nodes, ccr_idx, seed) in dag_params()) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let mut previous = Cost::MAX;
+        for p in 1..=3 {
+            let problem = SchedulingProblem::new(g.clone(), ProcNetwork::fully_connected(p));
+            let len = AStarScheduler::new(&problem).run().schedule_length;
+            prop_assert!(len <= previous, "p={} gave {} > {}", p, len, previous);
+            previous = len;
+        }
+    }
+
+    /// Scaling every node and edge weight by a constant scales the optimal
+    /// schedule length by exactly the same constant.
+    #[test]
+    fn optimal_length_scales_linearly((nodes, ccr_idx, seed) in dag_params(), factor in 2u64..=5) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let mut scaled = GraphBuilder::with_capacity(g.num_nodes());
+        for n in g.node_ids() {
+            scaled.add_node(g.weight(n) * factor);
+        }
+        for e in g.edges() {
+            scaled.add_edge(e.src, e.dst, e.weight * factor).unwrap();
+        }
+        let scaled = scaled.build().unwrap();
+
+        let p1 = SchedulingProblem::new(g, ProcNetwork::fully_connected(2));
+        let p2 = SchedulingProblem::new(scaled, ProcNetwork::fully_connected(2));
+        let len1 = AStarScheduler::new(&p1).run().schedule_length;
+        let len2 = AStarScheduler::new(&p2).run().schedule_length;
+        prop_assert_eq!(len1 * factor, len2);
+    }
+
+    /// The random workload generator respects its contract: node count, at
+    /// least one edge, weights within the uniform-distribution bounds.
+    #[test]
+    fn workload_generator_contract(nodes in 2usize..=40, ccr_idx in 0usize..3, seed in any::<u64>()) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        prop_assert_eq!(g.num_nodes(), nodes);
+        prop_assert!(g.num_edges() >= 1);
+        for n in g.node_ids() {
+            prop_assert!((1..=79).contains(&g.weight(n)));
+        }
+        // Acyclicity is guaranteed by construction: a topological order exists.
+        prop_assert!(optsched::taskgraph::TopoOrder::compute(&g).is_some());
+    }
+}
