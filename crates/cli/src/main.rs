@@ -11,6 +11,8 @@
 //!
 //! Graph files are the `serde_json` serialisation of
 //! [`optsched_taskgraph::TaskGraph`] (produced by `optsched generate`).
+//! `--input -` reads the graph from stdin, so generation and scheduling
+//! compose: `optsched generate --nodes 10 | optsched schedule --input -`.
 
 use std::process::ExitCode;
 
@@ -67,18 +69,24 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  optsched schedule --input graph.json [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--ppes Q] [--budget-ms N] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json\n  optsched example"
+        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--ppes Q] [--budget-ms N] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n(`--input -` reads the graph JSON from stdin)"
     );
     ExitCode::FAILURE
 }
 
 fn load_graph(args: &Args) -> Result<TaskGraph, String> {
     match args.get("input") {
+        Some("-") => {
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse stdin: {e}"))
+        }
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
         }
-        None => Err("missing --input <graph.json> (or use `optsched example`)".to_string()),
+        None => Err("missing --input <graph.json|-> (or use `optsched example`)".to_string()),
     }
 }
 

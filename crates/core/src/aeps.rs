@@ -84,11 +84,14 @@ impl<'a> AEpsScheduler<'a> {
         let start_time = Instant::now();
         let mut stats = SearchStats::default();
 
+        // Heap entries: (reversed ordering key, arena index).
+        type FKey = (Reverse<(Cost, u64)>, usize);
+        type HKey = (Reverse<(Cost, Cost, u64)>, usize);
         let mut arena: Vec<SearchState> = Vec::new();
         // Two views of OPEN with lazy deletion: by f (for fmin / fallback) and
         // by (h, f) (for the FOCAL selection rule).
-        let mut open_f: BinaryHeap<(Reverse<(Cost, u64)>, usize)> = BinaryHeap::new();
-        let mut open_h: BinaryHeap<(Reverse<(Cost, Cost, u64)>, usize)> = BinaryHeap::new();
+        let mut open_f: BinaryHeap<FKey> = BinaryHeap::new();
+        let mut open_h: BinaryHeap<HKey> = BinaryHeap::new();
         let mut in_open: Vec<bool> = Vec::new();
         let mut seen: HashMap<StateSignature, ()> = HashMap::new();
         let mut counter: u64 = 0;

@@ -100,7 +100,7 @@ impl Default for PruningConfig {
 /// (Section 3.1); limits let callers bound a run and still obtain the best
 /// incumbent found so far, reported as
 /// [`SearchOutcome::LimitReached`](crate::stats::SearchOutcome).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchLimits {
     /// Maximum number of states the search may *expand* (`None` = unlimited).
     pub max_expansions: Option<u64>,
@@ -112,12 +112,6 @@ pub struct SearchLimits {
     /// (`None` = only stop at proven optimality).  Used by tests and by the
     /// parallel search's termination protocol.
     pub target_cost: Option<Cost>,
-}
-
-impl Default for SearchLimits {
-    fn default() -> Self {
-        SearchLimits { max_expansions: None, max_generated: None, max_millis: None, target_cost: None }
-    }
 }
 
 impl SearchLimits {

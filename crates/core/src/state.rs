@@ -138,7 +138,7 @@ impl SearchState {
     /// True if no task has been placed on `p` yet.
     pub fn proc_is_empty(&self, p: ProcId) -> bool {
         let pi = p.index() as u16;
-        !self.proc_of.iter().any(|&x| x == pi)
+        !self.proc_of.contains(&pi)
     }
 
     /// The ready nodes: unscheduled nodes whose predecessors are all scheduled.

@@ -286,15 +286,15 @@ fn all_pairs_hops(adj: &[Vec<ProcId>]) -> Vec<Vec<u32>> {
     let p = adj.len();
     let mut dist = vec![vec![u32::MAX; p]; p];
     let mut queue = std::collections::VecDeque::new();
-    for s in 0..p {
-        dist[s][s] = 0;
+    for (s, row) in dist.iter_mut().enumerate() {
+        row[s] = 0;
         queue.clear();
         queue.push_back(s);
         while let Some(u) = queue.pop_front() {
-            let du = dist[s][u];
+            let du = row[u];
             for &v in &adj[u] {
-                if dist[s][v.index()] == u32::MAX {
-                    dist[s][v.index()] = du + 1;
+                if row[v.index()] == u32::MAX {
+                    row[v.index()] = du + 1;
                     queue.push_back(v.index());
                 }
             }

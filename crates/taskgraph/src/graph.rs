@@ -217,8 +217,8 @@ impl TaskGraph {
     /// with more than one member. Used by the node-equivalence pruning rule.
     pub fn equivalence_classes(&self) -> Vec<Vec<NodeId>> {
         // Group by (weight, preds, succs); BTreeMap keeps output deterministic.
-        let mut groups: BTreeMap<(Cost, Vec<(NodeId, Cost)>, Vec<(NodeId, Cost)>), Vec<NodeId>> =
-            BTreeMap::new();
+        type EquivalenceKey = (Cost, Vec<(NodeId, Cost)>, Vec<(NodeId, Cost)>);
+        let mut groups: BTreeMap<EquivalenceKey, Vec<NodeId>> = BTreeMap::new();
         for n in self.node_ids() {
             let key = (
                 self.weight(n),

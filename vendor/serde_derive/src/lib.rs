@@ -1,0 +1,466 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, which are equally
+//! unavailable offline).  The parser covers the shapes this workspace
+//! actually derives on:
+//!
+//! * named-field structs (any visibility, doc comments and other attributes
+//!   are skipped),
+//! * tuple structs (a single field serialises as its inner value, more
+//!   fields as an array),
+//! * enums with unit variants (serialised as their name string), struct
+//!   variants and tuple variants (serialised externally tagged, like serde:
+//!   `{"Variant": ...}`).
+//!
+//! Generics, `#[serde(...)]` attributes and unions are not supported and
+//! cause a compile-time panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (conversion into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(it: &mut TokenIter) {
+    loop {
+        let is_hash = matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+        if !is_hash {
+            return;
+        }
+        it.next(); // '#'
+        it.next(); // the [...] group
+    }
+}
+
+fn skip_visibility(it: &mut TokenIter) {
+    let is_pub = matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+    if is_pub {
+        it.next();
+        let is_restriction =
+            matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis);
+        if is_restriction {
+            it.next(); // pub(crate) / pub(super) restriction
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected an identifier, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                return match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Item::Struct { name, fields: Fields::Named(parse_named_fields(g.stream())) }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Item::Struct { name, fields: Fields::Tuple(count_tuple_fields(g.stream())) }
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        Item::Struct { name, fields: Fields::Unit }
+                    }
+                    other => panic!("serde derive: unsupported struct shape for `{name}`: {other:?}"),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                return match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Item::Enum { name, variants: parse_variants(g.stream()) }
+                    }
+                    other => panic!("serde derive: unsupported enum shape for `{name}`: {other:?}"),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "union" => {
+                panic!("serde derive: unions are not supported")
+            }
+            None => panic!("serde derive: no struct or enum found in input"),
+            _ => {}
+        }
+    }
+}
+
+fn reject_generics(it: &mut TokenIter, name: &str) {
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type `{name}` is not supported by the vendored serde");
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde derive: expected `:` after field name, found {other:?}"),
+                }
+                skip_type_until_comma(&mut it);
+            }
+            Some(other) => panic!("serde derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    names
+}
+
+/// Consumes type tokens until (and including) the next comma that is not
+/// nested inside `<...>` generic arguments.  Parenthesised/bracketed parts of
+/// a type arrive as single groups, so only angle brackets need depth
+/// tracking; the `>` of a `->` return arrow (fn-pointer types) must not be
+/// counted as closing a generic.
+fn skip_type_until_comma(it: &mut TokenIter) {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for tt in it.by_ref() {
+        let mut is_dash = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == '-' => is_dash = true,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        prev_dash = is_dash;
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut has_tokens = false;
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for tt in ts {
+        let mut is_dash = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                if !prev_dash {
+                    depth -= 1;
+                }
+                has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                is_dash = true;
+                has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if has_tokens {
+                    count += 1;
+                }
+                has_tokens = false;
+            }
+            _ => has_tokens = true,
+        }
+        prev_dash = is_dash;
+    }
+    if has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde derive: expected a variant name, found {tt:?}")
+        };
+        let name = id.to_string();
+        let fields = {
+            let named =
+                matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace);
+            let tuple = matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis);
+            if named || tuple {
+                let Some(TokenTree::Group(g)) = it.next() else { unreachable!() };
+                if named {
+                    Fields::Named(parse_named_fields(g.stream()))
+                } else {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+            } else {
+                Fields::Unit
+            }
+        };
+        // Consume up to and including the separating comma (also skips any
+        // explicit discriminant, which this derive does not support values of).
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn named_fields_to_object(fields: &[String], access_prefix: &str) -> String {
+    let mut s = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({access_prefix}{f})));\n"
+        ));
+    }
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let mut s = named_fields_to_object(fields, "&self.");
+                    s.push_str("::serde::Value::Object(__fields)");
+                    s
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> =
+                        (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let object = named_fields_to_object(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{object}\
+                             ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Object(__fields))])\n}},\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(__x0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_fields_from_map(owner: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::__field(__map, \"{f}\"))\
+                 .map_err(|e| ::serde::Error::custom(format!(\"field `{f}` of `{owner}`: {{e}}\")))?,"
+            )
+        })
+        .collect::<Vec<String>>()
+        .join("\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let inits = named_fields_from_map(name, fields);
+                    format!(
+                        "let __map = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                         format!(\"expected an object for struct `{name}`, found {{}}\", \
+                         __v.type_name())))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}\n}})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected an array for tuple struct `{name}`\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple length for `{name}`\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Named(fields) => {
+                        let inits = named_fields_from_map(name, fields);
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __map = __content.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected an object for variant \
+                             `{name}::{vn}`\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}\n}})\n}}\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__content)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = __content.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected an array for variant \
+                             `{name}::{vn}`\"))?;\n\
+                             if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple length for `{name}::{vn}`\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown variant `{{}}` of enum `{name}`\", __other))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                                 let (__tag, __content) = &__pairs[0];\n\
+                                 let _ = __content;\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown variant `{{}}` of enum `{name}`\", \
+                                     __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"invalid value of type {{}} for enum `{name}`\", \
+                             __other.type_name()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
