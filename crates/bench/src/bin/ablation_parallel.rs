@@ -1,19 +1,25 @@
 //! Ablation study of the parallel-search design choices of Section 3.3:
 //! the PPE interconnection topology (which limits whom a PPE may exchange
 //! states with), the minimum communication period (the floor of the
-//! exponentially decreasing schedule T = v/2, v/4, …), and the heuristic
-//! (paper vs. tight vs. none).
+//! exponentially decreasing schedule T = v/2, v/4, …), the heuristic
+//! (paper vs. tight vs. none), and — beyond the paper — the duplicate
+//! detection mode (per-PPE CLOSED lists vs. the sharded global table, with
+//! a shard-count sweep).
 //!
 //! Reported per configuration: wall-clock time, total states expanded across
-//! all PPEs (the redundant-work measure), and the load imbalance between the
-//! busiest and laziest PPE.  Every configuration must return the optimal
-//! schedule length.
+//! all PPEs (the redundant-work measure), cross-PPE duplicates dropped by
+//! the global table, and the load imbalance between the busiest and laziest
+//! PPE.  Every configuration must return the optimal schedule length.
+//!
+//! Besides the CSV, the local-vs-sharded comparison is written as a
+//! `results/BENCH_parallel.json` datapoint (the before/after record of the
+//! sharded-CLOSED-table change).
 //!
 //! Usage: `cargo run --release -p optsched-bench --bin ablation_parallel -- [--sizes ...] [--budget-ms N]`
 
 use optsched_bench::{workload_problem, CsvWriter, ExperimentOptions};
 use optsched_core::{AStarScheduler, HeuristicKind, SearchLimits, SearchOutcome};
-use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};
+use optsched_parallel::{DuplicateDetection, ParallelAStarScheduler, ParallelConfig};
 use optsched_procnet::Topology;
 
 fn main() {
@@ -25,8 +31,10 @@ fn main() {
     let q = 8;
     let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
     let mut csv = CsvWriter::new(
-        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,load_imbalance",
+        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,load_imbalance",
     );
+    // Accumulates the before/after (local vs. sharded CLOSED) datapoints.
+    let mut bench_json: Vec<String> = Vec::new();
 
     println!("Parallel-design ablation (q = {q} PPEs, CCR = {ccr})");
     for &size in &opts.sizes {
@@ -43,13 +51,25 @@ fn main() {
             serial.schedule_length
         );
         println!(
-            "{:<44} {:>10} {:>12} {:>10} {:>10}",
-            "configuration", "time ms", "expanded", "redund.", "imbalance"
+            "{:<44} {:>10} {:>12} {:>10} {:>10} {:>10}",
+            "configuration", "time ms", "expanded", "redund.", "avoided", "imbalance"
         );
 
         let base = ParallelConfig { num_ppes: q, limits, ..Default::default() };
         let configs: Vec<(String, ParallelConfig)> = vec![
             ("fully connected PPEs".to_string(), base),
+            (
+                "local CLOSED lists (paper design)".to_string(),
+                base.with_duplicate_detection(DuplicateDetection::Local),
+            ),
+            (
+                "sharded global CLOSED, 1 shard".to_string(),
+                ParallelConfig { num_shards: 1, ..base },
+            ),
+            (
+                "sharded global CLOSED, 64 shards".to_string(),
+                ParallelConfig { num_shards: 64, ..base },
+            ),
             (
                 "mesh PPEs (Paragon-like)".to_string(),
                 ParallelConfig { limits, ..ParallelConfig::paragon_like(q) },
@@ -80,6 +100,7 @@ fn main() {
             ),
         ];
 
+        let mut mode_points: Vec<String> = Vec::new();
         for (name, cfg) in configs {
             let r = ParallelAStarScheduler::new(&problem, cfg).run();
             if r.outcome == SearchOutcome::Optimal {
@@ -91,13 +112,15 @@ fn main() {
             }
             let ms = r.elapsed.as_secs_f64() * 1e3;
             let redundant = r.total_expanded() as f64 / serial.stats.expanded.max(1) as f64;
+            let avoided = r.redundant_expansions_avoided();
             let imbalance = r.load_imbalance();
             println!(
-                "{:<44} {:>10.1} {:>12} {:>10.2} {:>10.2}",
+                "{:<44} {:>10.1} {:>12} {:>10.2} {:>10} {:>10.2}",
                 name,
                 ms,
                 r.total_expanded(),
                 redundant,
+                avoided,
                 imbalance
             );
             csv.row(&[
@@ -107,13 +130,50 @@ fn main() {
                 format!("{ms:.3}"),
                 r.total_expanded().to_string(),
                 format!("{redundant:.3}"),
+                avoided.to_string(),
                 format!("{imbalance:.3}"),
             ]);
+            // The before (local) / after (sharded default) datapoints are the
+            // two configurations that differ from `base` only in the
+            // duplicate-detection mode (matching on the configuration itself,
+            // not the display label, so renames cannot drop a datapoint).
+            let mode_key = if cfg == base {
+                Some("sharded")
+            } else if cfg == base.with_duplicate_detection(DuplicateDetection::Local) {
+                Some("local")
+            } else {
+                None
+            };
+            if let Some(key) = mode_key {
+                mode_points.push(format!(
+                    "\"{key}\": {{\"time_ms\": {ms:.3}, \"total_expanded\": {}, \
+                     \"redundant_vs_serial\": {redundant:.3}, \"dup_avoided\": {avoided}, \
+                     \"schedule_length\": {}}}",
+                    r.total_expanded(),
+                    r.schedule_length()
+                ));
+            }
         }
+        let mut fields = vec![
+            format!("\"size\": {size}"),
+            format!("\"q\": {q}"),
+            format!("\"ccr\": {ccr}"),
+            format!("\"serial_expanded\": {}", serial.stats.expanded),
+        ];
+        fields.extend(mode_points);
+        bench_json.push(format!("  {{{}}}", fields.join(", ")));
     }
 
     match csv.write("ablation_parallel.csv") {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("could not write results CSV: {e}"),
+    }
+    // The sharded-CLOSED before/after record (see README "Benchmarks").
+    let json = format!("[\n{}\n]\n", bench_json.join(",\n"));
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_parallel.json", json))
+    {
+        Ok(()) => println!("wrote results/BENCH_parallel.json"),
+        Err(e) => eprintln!("could not write results/BENCH_parallel.json: {e}"),
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! optsched schedule --input graph.json [--procs 4] [--topology ring|mesh|full|chain|star|hypercube]
 //!                   [--algorithm astar|aeps|chenyu|list|parallel] [--epsilon 0.2] [--ppes 4]
+//!                   [--dup-detection local|sharded] [--shards N]
 //!                   [--budget-ms N] [--gantt] [--json]
 //! optsched generate --nodes 20 --ccr 1.0 [--seed 7] [--output graph.json]
 //! optsched example
@@ -69,7 +70,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--ppes Q] [--budget-ms N] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n(`--input -` reads the graph JSON from stdin)"
+        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--ppes Q] [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n(`--input -` reads the graph JSON from stdin)"
     );
     ExitCode::FAILURE
 }
@@ -154,9 +155,34 @@ fn cmd_schedule(args: &Args, graph: TaskGraph) -> ExitCode {
         "parallel" => {
             let q = args.get_parse("ppes", 4);
             let eps = args.get("epsilon").and_then(|v| v.parse().ok());
-            let cfg = ParallelConfig { num_ppes: q, epsilon: eps, limits, ..Default::default() };
+            let mut cfg = ParallelConfig { num_ppes: q, epsilon: eps, limits, ..Default::default() };
+            if let Some(v) = args.get("dup-detection") {
+                match v.parse() {
+                    Ok(mode) => cfg.duplicate_detection = mode,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            cfg.num_shards = args.get_parse("shards", cfg.num_shards);
             let r = ParallelAStarScheduler::new(&problem, cfg).run();
-            report(&r.schedule, &graph, &net, args, &format!("parallel A* ({q} PPEs)"));
+            let label =
+                format!("parallel A* ({q} PPEs, {} duplicate detection)", cfg.duplicate_detection);
+            report(&r.schedule, &graph, &net, args, &label);
+            if !args.has("json") {
+                let total = r.total_stats();
+                println!("states expanded: {}", total.expanded);
+                println!("redundant cross-PPE expansions avoided: {}", r.redundant_expansions_avoided());
+                if let Some(table) = &r.closed_stats {
+                    println!(
+                        "closed table   : {} shards, {} entries, hit rate {:.1}%",
+                        table.num_shards(),
+                        table.total_entries(),
+                        table.hit_rate() * 100.0
+                    );
+                }
+            }
         }
         other => {
             eprintln!("unknown algorithm `{other}` (expected astar|aeps|chenyu|list|parallel)");

@@ -116,3 +116,42 @@ fn unknown_algorithm_fails() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
 }
+
+#[test]
+fn parallel_duplicate_detection_modes_agree_and_report_counters() {
+    let generated = run(&["generate", "--nodes", "8", "--ccr", "1.0", "--seed", "7"]);
+    assert!(generated.status.success());
+    let graph_json = generated.stdout;
+
+    let mut lengths = Vec::new();
+    for mode in ["local", "sharded"] {
+        let out = run_with_stdin(
+            &[
+                "schedule", "--input", "-", "--algorithm", "parallel", "--ppes", "2",
+                "--dup-detection", mode, "--shards", "4", "--procs", "3",
+            ],
+            &graph_json,
+        );
+        assert!(out.status.success(), "mode={mode} stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(stdout.contains(&format!("{mode} duplicate detection")), "stdout: {stdout}");
+        assert!(stdout.contains("redundant cross-PPE expansions avoided:"), "stdout: {stdout}");
+        // Only the sharded mode has a table to report on.
+        assert_eq!(mode == "sharded", stdout.contains("closed table"), "stdout: {stdout}");
+        let len = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("schedule length:"))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no schedule length in: {stdout}"));
+        lengths.push(len);
+    }
+    assert_eq!(lengths[0], lengths[1], "both modes must return the same optimum");
+
+    // An unknown mode fails cleanly.
+    let bad = run_with_stdin(
+        &["schedule", "--input", "-", "--algorithm", "parallel", "--dup-detection", "bogus"],
+        &graph_json,
+    );
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown duplicate-detection mode"));
+}

@@ -23,8 +23,14 @@ pub struct SearchStats {
     /// Generated states discarded because `f` exceeded the upper bound.
     pub pruned_upper_bound: u64,
     /// Generated states discarded because an identical partial schedule had
-    /// already been seen (OPEN or CLOSED duplicate).
+    /// already been seen (OPEN or CLOSED duplicate) by the same search agent
+    /// (the serial search, or the PPE itself in the parallel search).
     pub duplicates: u64,
+    /// Generated states discarded because a *different* PPE had already
+    /// claimed the same partial schedule in the sharded global CLOSED table —
+    /// i.e. redundant cross-PPE expansions avoided.  Always zero for the
+    /// serial searches and for the parallel search in `Local` mode.
+    pub duplicates_global: u64,
     /// Largest size of the OPEN list observed.
     pub max_open_size: usize,
     /// Heuristic evaluations performed (one per generated state; the Chen &
@@ -43,6 +49,39 @@ impl SearchStats {
             + self.pruned_node_equivalence
             + self.pruned_upper_bound
             + self.duplicates
+            + self.duplicates_global
+    }
+
+    /// Accumulates `other` into `self`: additive counters are summed,
+    /// high-water marks take the maximum.
+    ///
+    /// This is the single place that defines how per-PPE statistics aggregate.
+    /// The exhaustive destructuring below makes adding a `SearchStats` field
+    /// without deciding its aggregation a compile error, so the totals
+    /// reported by the parallel scheduler can never silently drop a counter.
+    pub fn merge(&mut self, other: &SearchStats) {
+        let SearchStats {
+            generated,
+            expanded,
+            pruned_processor_isomorphism,
+            pruned_node_equivalence,
+            pruned_upper_bound,
+            duplicates,
+            duplicates_global,
+            max_open_size,
+            heuristic_evaluations,
+            path_segments_enumerated,
+        } = other;
+        self.generated += generated;
+        self.expanded += expanded;
+        self.pruned_processor_isomorphism += pruned_processor_isomorphism;
+        self.pruned_node_equivalence += pruned_node_equivalence;
+        self.pruned_upper_bound += pruned_upper_bound;
+        self.duplicates += duplicates;
+        self.duplicates_global += duplicates_global;
+        self.max_open_size = self.max_open_size.max(*max_open_size);
+        self.heuristic_evaluations += heuristic_evaluations;
+        self.path_segments_enumerated += path_segments_enumerated;
     }
 }
 
@@ -101,9 +140,64 @@ mod tests {
             pruned_node_equivalence: 2,
             pruned_upper_bound: 3,
             duplicates: 4,
+            duplicates_global: 5,
             ..Default::default()
         };
-        assert_eq!(s.total_pruned(), 10);
+        assert_eq!(s.total_pruned(), 15);
+    }
+
+    /// Pins the aggregation rule of every single field.  The struct literals
+    /// deliberately avoid `..Default::default()`: adding a field to
+    /// `SearchStats` must break this test (and `merge` itself) until its
+    /// aggregation is specified here.
+    #[test]
+    fn merge_covers_every_field() {
+        let a = SearchStats {
+            generated: 1,
+            expanded: 2,
+            pruned_processor_isomorphism: 3,
+            pruned_node_equivalence: 4,
+            pruned_upper_bound: 5,
+            duplicates: 6,
+            duplicates_global: 7,
+            max_open_size: 9,
+            heuristic_evaluations: 10,
+            path_segments_enumerated: 11,
+        };
+        let b = SearchStats {
+            generated: 100,
+            expanded: 200,
+            pruned_processor_isomorphism: 300,
+            pruned_node_equivalence: 400,
+            pruned_upper_bound: 500,
+            duplicates: 600,
+            duplicates_global: 700,
+            max_open_size: 4,
+            heuristic_evaluations: 1000,
+            path_segments_enumerated: 1100,
+        };
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(
+            merged,
+            SearchStats {
+                generated: 101,
+                expanded: 202,
+                pruned_processor_isomorphism: 303,
+                pruned_node_equivalence: 404,
+                pruned_upper_bound: 505,
+                duplicates: 606,
+                duplicates_global: 707,
+                max_open_size: 9, // high-water mark: max, not sum
+                heuristic_evaluations: 1010,
+                path_segments_enumerated: 1111,
+            }
+        );
+
+        // Merging into a default is identity.
+        let mut from_zero = SearchStats::default();
+        from_zero.merge(&a);
+        assert_eq!(from_zero, a);
     }
 
     #[test]

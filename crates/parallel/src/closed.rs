@@ -1,0 +1,426 @@
+//! Sharded global duplicate detection for the parallel search.
+//!
+//! The paper's PPEs each keep a *private* CLOSED list, so the same partial
+//! schedule can be generated — and expanded — by several PPEs.  On shared
+//! memory nothing forces that design: this module provides a single logical
+//! CLOSED/seen table shared by every PPE, split into `N` independently locked
+//! shards so concurrent claims on different signatures almost never contend.
+//!
+//! A PPE *claims* a [`StateSignature`] at generation time; the first claim
+//! wins and every later claim of the same signature (by any PPE) reports a
+//! duplicate, identifying the owner so redundant cross-PPE work can be
+//! counted separately from ordinary local duplicates.  Because a signature
+//! encodes the exact `(processor, start time)` assignment of every scheduled
+//! node, two states with equal signatures have equal `g` and identical future
+//! expansions — dropping the loser never loses reachability, so the search
+//! stays exact.  The table still records the claimed `g` and re-opens a
+//! signature on a strictly better claim as a defensive measure.
+//!
+//! Ownership of a claim travels with the state: when load sharing moves a
+//! state to another PPE, the receiver inserts it into its OPEN list without
+//! consulting the table (the claim is still "alive", merely held elsewhere),
+//! so a claimed state is never dropped by all PPEs at once.
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use optsched_core::state::StateSignature;
+use optsched_taskgraph::Cost;
+
+/// How the parallel search detects duplicate states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicateDetection {
+    /// Every PPE keeps a private CLOSED/seen table, as on the paper's
+    /// message-passing Paragon.  The same state can be expanded by several
+    /// PPEs; kept for ablation and as the faithful-to-the-paper mode.
+    Local,
+    /// One global table shared by all PPEs, lock-striped into
+    /// [`ParallelConfig::num_shards`](crate::ParallelConfig::num_shards)
+    /// shards: a state already claimed by any PPE is dropped at generation
+    /// time, eliminating redundant cross-PPE expansions.
+    #[default]
+    ShardedGlobal,
+}
+
+impl std::fmt::Display for DuplicateDetection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DuplicateDetection::Local => write!(f, "local"),
+            DuplicateDetection::ShardedGlobal => write!(f, "sharded"),
+        }
+    }
+}
+
+impl std::str::FromStr for DuplicateDetection {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "local" => Ok(DuplicateDetection::Local),
+            "sharded" | "global" | "sharded-global" => Ok(DuplicateDetection::ShardedGlobal),
+            other => Err(format!("unknown duplicate-detection mode `{other}` (expected local|sharded)")),
+        }
+    }
+}
+
+/// Result of [`ShardedClosedTable::try_claim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// The signature was not in the table (or arrived with a strictly better
+    /// `g`); the caller now owns it and must keep the state.
+    Claimed,
+    /// The signature was already claimed by the *calling* PPE: an ordinary
+    /// local duplicate.
+    DuplicateSameOwner,
+    /// The signature was already claimed by a *different* PPE: a redundant
+    /// cross-PPE expansion avoided.
+    DuplicateOtherOwner,
+}
+
+/// A claim: the best `g` seen for the signature and the PPE that holds it.
+#[derive(Debug, Clone, Copy)]
+struct ClaimEntry {
+    g: Cost,
+    owner: u32,
+}
+
+/// One lock-striped shard: a map guarded by its own mutex plus lock-free
+/// hit/miss counters (updated under the shard lock, read without it).
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<StateSignature, ClaimEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    reopens: AtomicU64,
+}
+
+/// Counters of one shard, snapshot by [`ShardedClosedTable::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardCounters {
+    /// Signatures currently claimed in this shard.
+    pub entries: usize,
+    /// Claims that found the signature already present (duplicates dropped).
+    pub hits: u64,
+    /// Claims that inserted a new signature.
+    pub misses: u64,
+    /// Claims that *replaced* an existing entry because they carried a
+    /// strictly better `g`.  Exact signatures imply equal `g`, so this stays
+    /// 0 unless the signature representation is ever loosened; tracking it
+    /// separately keeps `entries == misses` an exact invariant either way.
+    pub reopens: u64,
+}
+
+/// Per-shard hit/miss/occupancy statistics of a [`ShardedClosedTable`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClosedTableStats {
+    /// One entry per shard, indexed by shard id.
+    pub per_shard: Vec<ShardCounters>,
+}
+
+impl ClosedTableStats {
+    /// Number of shards the table was built with.
+    pub fn num_shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Total signatures claimed across all shards.
+    pub fn total_entries(&self) -> usize {
+        self.per_shard.iter().map(|s| s.entries).sum()
+    }
+
+    /// Total duplicate claims dropped across all shards.
+    pub fn total_hits(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.hits).sum()
+    }
+
+    /// Total first-time claims across all shards.
+    pub fn total_misses(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.misses).sum()
+    }
+
+    /// Total better-`g` re-opens across all shards (0 in practice; see
+    /// [`ShardCounters::reopens`]).
+    pub fn total_reopens(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.reopens).sum()
+    }
+
+    /// Ratio of claims that were duplicates (0.0 when the table is unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_hits() + self.total_misses() + self.total_reopens();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded, lock-striped global CLOSED/duplicate-detection table.
+#[derive(Debug)]
+pub struct ShardedClosedTable {
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; shard count is a power of two so masking replaces
+    /// the modulo on the hot path.
+    mask: usize,
+}
+
+impl ShardedClosedTable {
+    /// Creates a table with `num_shards` shards, rounded up to the next power
+    /// of two (minimum 1, capped at 1024 — beyond that the per-shard mutexes
+    /// cost more memory than they save in contention).
+    pub fn new(num_shards: usize) -> ShardedClosedTable {
+        let n = num_shards.clamp(1, 1024).next_power_of_two();
+        ShardedClosedTable {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, sig: &StateSignature) -> &Shard {
+        let mut h = DefaultHasher::new();
+        sig.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Attempts to claim `sig` with cost `g` on behalf of PPE `owner`.
+    ///
+    /// The first claim of a signature wins; later claims report whether the
+    /// duplicate was generated by the same or a different PPE.  A claim with
+    /// a strictly better `g` re-opens the signature (defensive: exact
+    /// signatures imply equal `g`, so completeness is preserved either way).
+    pub fn try_claim(&self, sig: StateSignature, g: Cost, owner: usize) -> ClaimOutcome {
+        let shard = self.shard_of(&sig);
+        let mut map = shard.map.lock();
+        match map.entry(sig) {
+            Entry::Occupied(mut e) => {
+                if g < e.get().g {
+                    e.insert(ClaimEntry { g, owner: owner as u32 });
+                    shard.reopens.fetch_add(1, Ordering::Relaxed);
+                    ClaimOutcome::Claimed
+                } else {
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    if e.get().owner as usize == owner {
+                        ClaimOutcome::DuplicateSameOwner
+                    } else {
+                        ClaimOutcome::DuplicateOtherOwner
+                    }
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(ClaimEntry { g, owner: owner as u32 });
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                ClaimOutcome::Claimed
+            }
+        }
+    }
+
+    /// True if `sig` has been claimed.
+    pub fn contains(&self, sig: &StateSignature) -> bool {
+        self.shard_of(sig).map.lock().contains_key(sig)
+    }
+
+    /// Total signatures claimed across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// True if no signature has been claimed yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.map.lock().is_empty())
+    }
+
+    /// Snapshot of the per-shard counters.
+    pub fn stats(&self) -> ClosedTableStats {
+        ClosedTableStats {
+            per_shard: self
+                .shards
+                .iter()
+                .map(|s| ShardCounters {
+                    entries: s.map.lock().len(),
+                    hits: s.hits.load(Ordering::Relaxed),
+                    misses: s.misses.load(Ordering::Relaxed),
+                    reopens: s.reopens.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_core::{HeuristicKind, SchedulingProblem, SearchState};
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+
+    /// Distinct signatures harvested from a breadth-first enumeration of the
+    /// paper example's state space (no pruning): real states, real hashes.
+    fn signature_corpus() -> Vec<(StateSignature, Cost)> {
+        let prob = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut frontier = vec![SearchState::initial(&prob)];
+        let mut sigs: Vec<(StateSignature, Cost)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for _depth in 0..3 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for n in s.ready_nodes(&prob) {
+                    for p in prob.network().proc_ids() {
+                        let child = s.schedule_node(&prob, n, p, h);
+                        let sig = child.signature();
+                        if seen.insert(sig.clone()) {
+                            sigs.push((sig, child.g()));
+                            next.push(child);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        assert!(sigs.len() >= 30, "corpus too small: {}", sigs.len());
+        sigs
+    }
+
+    #[test]
+    fn first_claim_wins_and_owners_are_tracked() {
+        let table = ShardedClosedTable::new(4);
+        let corpus = signature_corpus();
+        let (sig, g) = corpus[0].clone();
+        assert!(!table.contains(&sig));
+        assert_eq!(table.try_claim(sig.clone(), g, 0), ClaimOutcome::Claimed);
+        assert_eq!(table.try_claim(sig.clone(), g, 0), ClaimOutcome::DuplicateSameOwner);
+        assert_eq!(table.try_claim(sig.clone(), g, 1), ClaimOutcome::DuplicateOtherOwner);
+        assert!(table.contains(&sig));
+        assert_eq!(table.len(), 1);
+
+        let stats = table.stats();
+        assert_eq!(stats.total_entries(), 1);
+        assert_eq!(stats.total_misses(), 1);
+        assert_eq!(stats.total_hits(), 2);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_g_reopens_a_signature() {
+        let table = ShardedClosedTable::new(1);
+        let (sig, g) = signature_corpus()[0].clone();
+        assert_eq!(table.try_claim(sig.clone(), g + 5, 0), ClaimOutcome::Claimed);
+        // Equal g: duplicate.  Strictly better g: re-claimed.
+        assert_eq!(table.try_claim(sig.clone(), g + 5, 1), ClaimOutcome::DuplicateOtherOwner);
+        assert_eq!(table.try_claim(sig.clone(), g, 1), ClaimOutcome::Claimed);
+        assert_eq!(table.try_claim(sig, g, 0), ClaimOutcome::DuplicateOtherOwner);
+        assert_eq!(table.len(), 1);
+
+        // A re-open replaces the entry and is counted separately, so the
+        // `entries == misses` invariant survives it.
+        let stats = table.stats();
+        assert_eq!(stats.total_misses(), 1);
+        assert_eq!(stats.total_reopens(), 1);
+        assert_eq!(stats.total_hits(), 2);
+        assert_eq!(stats.total_entries() as u64, stats.total_misses());
+    }
+
+    #[test]
+    fn shard_count_is_a_power_of_two() {
+        assert_eq!(ShardedClosedTable::new(0).num_shards(), 1);
+        assert_eq!(ShardedClosedTable::new(1).num_shards(), 1);
+        assert_eq!(ShardedClosedTable::new(5).num_shards(), 8);
+        assert_eq!(ShardedClosedTable::new(16).num_shards(), 16);
+        assert_eq!(ShardedClosedTable::new(1_000_000).num_shards(), 1024);
+        let t = ShardedClosedTable::new(6);
+        assert!(t.is_empty());
+        assert_eq!(t.stats().num_shards(), 8);
+    }
+
+    /// The stress test of the ISSUE: q = 4 threads hammer one table with an
+    /// overlapping stream of claims (every thread claims the full corpus, in
+    /// a different order, several times).  No update may be lost: across all
+    /// threads each signature is claimed successfully *exactly once*, and the
+    /// final table state equals a serial replay of the same claims.
+    #[test]
+    fn concurrent_claims_equal_a_serial_replay() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 25;
+        let corpus = signature_corpus();
+        let table = ShardedClosedTable::new(8);
+
+        let claim_wins: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|id| {
+                    let corpus = &corpus;
+                    let table = &table;
+                    scope.spawn(move || {
+                        let mut wins = 0u64;
+                        for round in 0..ROUNDS {
+                            // Rotate the iteration order per thread and round
+                            // so claims collide in every interleaving.
+                            let offset = (id * 7 + round * 13) % corpus.len();
+                            for i in 0..corpus.len() {
+                                let (sig, g) = &corpus[(i + offset) % corpus.len()];
+                                if table.try_claim(sig.clone(), *g, id) == ClaimOutcome::Claimed {
+                                    wins += 1;
+                                }
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("stress thread panicked")).collect()
+        });
+
+        // Serial replay: claiming the corpus on a fresh table yields exactly
+        // one entry (and one win) per distinct signature.
+        let replay = ShardedClosedTable::new(8);
+        let mut replay_wins = 0u64;
+        for (sig, g) in &corpus {
+            if replay.try_claim(sig.clone(), *g, 0) == ClaimOutcome::Claimed {
+                replay_wins += 1;
+            }
+        }
+        assert_eq!(replay_wins, corpus.len() as u64);
+        assert_eq!(replay.len(), corpus.len());
+
+        // No lost updates: same total wins, same final contents.
+        let total_wins: u64 = claim_wins.iter().sum();
+        assert_eq!(total_wins, replay_wins, "a claim was lost or double-granted");
+        assert_eq!(table.len(), replay.len());
+        for (sig, _) in &corpus {
+            assert!(table.contains(sig));
+        }
+
+        // Counter bookkeeping: every attempt is either a hit or a miss, and
+        // entries mirror the successful claims.
+        let stats = table.stats();
+        let attempts = (THREADS * ROUNDS * corpus.len()) as u64;
+        assert_eq!(stats.total_hits() + stats.total_misses(), attempts);
+        assert_eq!(stats.total_misses(), total_wins);
+        assert_eq!(stats.total_entries(), corpus.len());
+    }
+
+    #[test]
+    fn mode_parses_and_displays() {
+        assert_eq!("local".parse::<DuplicateDetection>().unwrap(), DuplicateDetection::Local);
+        assert_eq!(
+            "sharded".parse::<DuplicateDetection>().unwrap(),
+            DuplicateDetection::ShardedGlobal
+        );
+        assert_eq!(
+            "SHARDED-GLOBAL".parse::<DuplicateDetection>().unwrap(),
+            DuplicateDetection::ShardedGlobal
+        );
+        assert!("bogus".parse::<DuplicateDetection>().is_err());
+        assert_eq!(DuplicateDetection::Local.to_string(), "local");
+        assert_eq!(DuplicateDetection::ShardedGlobal.to_string(), "sharded");
+        assert_eq!(DuplicateDetection::default(), DuplicateDetection::ShardedGlobal);
+    }
+}

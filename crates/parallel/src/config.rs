@@ -3,6 +3,8 @@
 use optsched_core::{HeuristicKind, PruningConfig, SearchLimits};
 use optsched_procnet::Topology;
 
+use crate::closed::DuplicateDetection;
+
 /// Parameters of a parallel A* / Aε* run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelConfig {
@@ -26,6 +28,16 @@ pub struct ParallelConfig {
     /// `v / 2` and is halved after every communication phase down to this
     /// floor (the paper uses 2).
     pub min_comm_period: u64,
+    /// How duplicate states are detected across PPEs: the paper's per-PPE
+    /// private CLOSED lists (`Local`), or one global lock-striped table
+    /// (`ShardedGlobal`, the default) that drops a state at generation time
+    /// when *any* PPE has already claimed its signature.
+    pub duplicate_detection: DuplicateDetection,
+    /// Number of lock stripes of the sharded global CLOSED table (rounded up
+    /// to a power of two; ignored in `Local` mode).  More shards mean less
+    /// lock contention at a small memory cost; 16 is plenty for the thread
+    /// counts the paper evaluates.
+    pub num_shards: usize,
     /// Resource limits applied to the whole parallel run (expansions and
     /// generations are counted across all PPEs).
     pub limits: SearchLimits,
@@ -40,6 +52,8 @@ impl Default for ParallelConfig {
             heuristic: HeuristicKind::PaperStaticLevel,
             epsilon: None,
             min_comm_period: 2,
+            duplicate_detection: DuplicateDetection::default(),
+            num_shards: 16,
             limits: SearchLimits::unlimited(),
         }
     }
@@ -54,6 +68,11 @@ impl ParallelConfig {
     /// Convenience constructor for an approximate run on `q` PPEs with bound ε.
     pub fn approximate(q: usize, epsilon: f64) -> ParallelConfig {
         ParallelConfig { num_ppes: q, epsilon: Some(epsilon), ..Default::default() }
+    }
+
+    /// Returns this configuration with the given duplicate-detection mode.
+    pub fn with_duplicate_detection(self, mode: DuplicateDetection) -> ParallelConfig {
+        ParallelConfig { duplicate_detection: mode, ..self }
     }
 
     /// The undirected neighbour lists of the PPE network.
@@ -103,9 +122,20 @@ mod tests {
         let c = ParallelConfig::default();
         assert_eq!(c.num_ppes, 4);
         assert!(c.epsilon.is_none());
+        assert_eq!(c.duplicate_detection, DuplicateDetection::ShardedGlobal);
+        assert_eq!(c.num_shards, 16);
         let adj = c.ppe_neighbors();
         assert_eq!(adj.len(), 4);
         assert_eq!(adj[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_detection_mode_switch() {
+        let local = ParallelConfig::exact(4).with_duplicate_detection(DuplicateDetection::Local);
+        assert_eq!(local.duplicate_detection, DuplicateDetection::Local);
+        // The rest of the configuration is untouched.
+        assert_eq!(local.num_ppes, 4);
+        assert_eq!(local.num_shards, ParallelConfig::default().num_shards);
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! communication, best-state election, round-robin sharing, exponentially
 //! shrinking periods, goal broadcast — follows Section 3.3.
 //!
+//! **Beyond the paper**: on shared memory the private per-PPE CLOSED lists
+//! are optional.  By default duplicate detection is *global*: a sharded,
+//! lock-striped CLOSED table ([`closed::ShardedClosedTable`]) shared by all
+//! PPEs drops a state at generation time when any PPE has already claimed an
+//! equal-or-better partial schedule, eliminating the redundant cross-PPE
+//! expansions of the paper's design.  Select the paper's behaviour with
+//! [`DuplicateDetection::Local`] (see [`ParallelConfig::duplicate_detection`]).
+//!
 //! ```
 //! use optsched_core::SchedulingProblem;
 //! use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};
@@ -31,10 +39,12 @@
 
 #![warn(missing_docs)]
 
+pub mod closed;
 pub mod config;
 pub mod result;
 pub mod scheduler;
 
+pub use closed::{ClaimOutcome, ClosedTableStats, DuplicateDetection, ShardedClosedTable};
 pub use config::ParallelConfig;
 pub use result::ParallelSearchResult;
 pub use scheduler::ParallelAStarScheduler;

@@ -6,6 +6,8 @@ use optsched_core::{SearchOutcome, SearchStats};
 use optsched_schedule::Schedule;
 use optsched_taskgraph::Cost;
 
+use crate::closed::ClosedTableStats;
+
 /// Outcome of a parallel A* / Aε* run, including per-PPE statistics.
 #[derive(Debug, Clone)]
 pub struct ParallelSearchResult {
@@ -16,6 +18,9 @@ pub struct ParallelSearchResult {
     pub outcome: SearchOutcome,
     /// Statistics of every PPE, indexed by PPE id.
     pub per_ppe_stats: Vec<SearchStats>,
+    /// Per-shard hit/miss statistics of the global CLOSED table
+    /// (`None` when the run used `DuplicateDetection::Local`).
+    pub closed_stats: Option<ClosedTableStats>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
     /// Number of PPE threads used.
@@ -34,18 +39,15 @@ impl ParallelSearchResult {
     }
 
     /// Aggregated statistics over all PPEs.
+    ///
+    /// Delegates to [`SearchStats::merge`], the single authoritative
+    /// definition of how per-PPE counters aggregate (sums for additive
+    /// counters, max for high-water marks), so a counter added to
+    /// `SearchStats` can never be silently dropped from the totals.
     pub fn total_stats(&self) -> SearchStats {
         let mut total = SearchStats::default();
         for s in &self.per_ppe_stats {
-            total.generated += s.generated;
-            total.expanded += s.expanded;
-            total.pruned_processor_isomorphism += s.pruned_processor_isomorphism;
-            total.pruned_node_equivalence += s.pruned_node_equivalence;
-            total.pruned_upper_bound += s.pruned_upper_bound;
-            total.duplicates += s.duplicates;
-            total.max_open_size = total.max_open_size.max(s.max_open_size);
-            total.heuristic_evaluations += s.heuristic_evaluations;
-            total.path_segments_enumerated += s.path_segments_enumerated;
+            total.merge(s);
         }
         total
     }
@@ -53,6 +55,14 @@ impl ParallelSearchResult {
     /// Total states expanded across all PPEs.
     pub fn total_expanded(&self) -> u64 {
         self.per_ppe_stats.iter().map(|s| s.expanded).sum()
+    }
+
+    /// Redundant cross-PPE expansions avoided by the sharded global CLOSED
+    /// table: states dropped at generation time because a *different* PPE had
+    /// already claimed the same partial schedule.  Always 0 in `Local` mode,
+    /// where every PPE prunes only against its own history.
+    pub fn redundant_expansions_avoided(&self) -> u64 {
+        self.per_ppe_stats.iter().map(|s| s.duplicates_global).sum()
     }
 
     /// Ratio between the busiest and the least busy PPE (1.0 = perfectly even).
@@ -86,8 +96,15 @@ mod tests {
             outcome: SearchOutcome::Optimal,
             per_ppe_stats: expanded
                 .into_iter()
-                .map(|e| SearchStats { expanded: e, generated: e * 2, ..Default::default() })
+                .map(|e| SearchStats {
+                    expanded: e,
+                    generated: e * 2,
+                    duplicates_global: e / 10,
+                    max_open_size: e as usize,
+                    ..Default::default()
+                })
                 .collect(),
+            closed_stats: None,
             elapsed: Duration::from_millis(1),
             num_ppes: 2,
         }
@@ -98,6 +115,10 @@ mod tests {
         let r = dummy(vec![10, 30]);
         assert_eq!(r.total_expanded(), 40);
         assert_eq!(r.total_stats().generated, 80);
+        assert_eq!(r.redundant_expansions_avoided(), 4);
+        assert_eq!(r.total_stats().duplicates_global, 4);
+        // High-water marks take the max across PPEs, not the sum.
+        assert_eq!(r.total_stats().max_open_size, 30);
         assert!((r.load_imbalance() - 3.0).abs() < 1e-9);
     }
 

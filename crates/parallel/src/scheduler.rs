@@ -18,7 +18,7 @@
 //!   termination flag.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -30,6 +30,7 @@ use optsched_core::{SchedulingProblem, SearchOutcome, SearchState, SearchStats};
 use optsched_schedule::Schedule;
 use optsched_taskgraph::Cost;
 
+use crate::closed::{ClaimOutcome, DuplicateDetection, ShardedClosedTable};
 use crate::config::ParallelConfig;
 use crate::result::ParallelSearchResult;
 
@@ -57,6 +58,71 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; reverse so the smallest key is on top.
         Reverse(self.key).cmp(&Reverse(other.key))
+    }
+}
+
+/// A state travelling between PPEs.
+struct Transfer {
+    state: SearchState,
+    /// True when the sender popped the state from its own OPEN list (load
+    /// sharing): the receiver is the state's new owner and must keep it.
+    /// False for best-state election, which sends a *copy* the sender also
+    /// keeps — a receiver may freely drop it as a duplicate.
+    owned: bool,
+}
+
+/// Per-PPE view of duplicate detection: a private seen-set in `Local` mode,
+/// or a handle to the shared sharded CLOSED table in `ShardedGlobal` mode.
+enum DupFilter<'t> {
+    Local { seen: HashSet<StateSignature> },
+    Global { table: &'t ShardedClosedTable, id: usize },
+}
+
+impl DupFilter<'_> {
+    /// Decides whether a state entering OPEN should be kept, updating the
+    /// duplicate counters.  `owned_transfer` marks a state whose ownership
+    /// was just transferred from another PPE by load sharing: in global mode
+    /// its signature is already claimed (by its generator) and the claim
+    /// travels with the state, so it is admitted without consulting the
+    /// table — dropping it there would lose the only live copy.
+    fn admit(&mut self, state: &SearchState, owned_transfer: bool, stats: &mut SearchStats) -> bool {
+        match self {
+            DupFilter::Local { seen } => {
+                if seen.insert(state.signature()) {
+                    true
+                } else {
+                    stats.duplicates += 1;
+                    false
+                }
+            }
+            DupFilter::Global { table, id } => {
+                if owned_transfer {
+                    return true;
+                }
+                match table.try_claim(state.signature(), state.g(), *id) {
+                    ClaimOutcome::Claimed => true,
+                    ClaimOutcome::DuplicateSameOwner => {
+                        stats.duplicates += 1;
+                        false
+                    }
+                    ClaimOutcome::DuplicateOtherOwner => {
+                        stats.duplicates_global += 1;
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// Called when a state is shipped away by load sharing.  In local mode
+    /// the sender forgets the signature so the state is accepted back should
+    /// another PPE return it (two PPEs exchanging their copies of one state
+    /// must not both drop it).  In global mode the claim stays in the table
+    /// and simply travels with the state.
+    fn release(&mut self, state: &SearchState) {
+        if let DupFilter::Local { seen } = self {
+            seen.remove(&state.signature());
+        }
     }
 }
 
@@ -88,10 +154,12 @@ struct Shared {
     total_expanded: AtomicU64,
     /// Generations across all PPEs (for the global generation limit).
     total_generated: AtomicU64,
+    /// The sharded global CLOSED table (`None` in `Local` mode).
+    closed: Option<ShardedClosedTable>,
 }
 
 impl Shared {
-    fn new(q: usize, incumbent_len: Cost, incumbent: Schedule) -> Shared {
+    fn new(q: usize, incumbent_len: Cost, incumbent: Schedule, closed: Option<ShardedClosedTable>) -> Shared {
         Shared {
             incumbent: Mutex::new((incumbent_len, incumbent)),
             incumbent_len: AtomicU64::new(incumbent_len),
@@ -103,6 +171,7 @@ impl Shared {
             target_hit: AtomicBool::new(false),
             total_expanded: AtomicU64::new(0),
             total_generated: AtomicU64::new(0),
+            closed,
         }
     }
 
@@ -210,7 +279,11 @@ impl<'a> ParallelAStarScheduler<'a> {
         let buckets = self.initial_distribution(&mut setup_stats);
 
         let ub_schedule = self.problem.upper_bound_schedule().clone();
-        let shared = Shared::new(q, ub_schedule.makespan(), ub_schedule);
+        let closed = match cfg.duplicate_detection {
+            DuplicateDetection::Local => None,
+            DuplicateDetection::ShardedGlobal => Some(ShardedClosedTable::new(cfg.num_shards)),
+        };
+        let shared = Shared::new(q, ub_schedule.makespan(), ub_schedule, closed);
         // Seed every PPE's published frontier cost from its initial bucket so
         // that no thread can observe an all-empty frontier (and terminate)
         // before the other threads have published their real minima.
@@ -221,10 +294,10 @@ impl<'a> ParallelAStarScheduler<'a> {
         let neighbors = cfg.ppe_neighbors();
         let deadline = cfg.limits.max_millis.map(|ms| start + Duration::from_millis(ms));
 
-        let channels: Vec<(Sender<SearchState>, Receiver<SearchState>)> =
+        let channels: Vec<(Sender<Transfer>, Receiver<Transfer>)> =
             (0..q).map(|_| unbounded()).collect();
-        let txs: Vec<Sender<SearchState>> = channels.iter().map(|(t, _)| t.clone()).collect();
-        let mut rxs: Vec<Option<Receiver<SearchState>>> =
+        let txs: Vec<Sender<Transfer>> = channels.iter().map(|(t, _)| t.clone()).collect();
+        let mut rxs: Vec<Option<Receiver<Transfer>>> =
             channels.into_iter().map(|(_, r)| Some(r)).collect();
 
         let mut per_ppe_stats: Vec<SearchStats> = Vec::with_capacity(q);
@@ -247,13 +320,10 @@ impl<'a> ParallelAStarScheduler<'a> {
 
         // Attribute the setup expansion work to PPE 0 so no counted state is lost.
         if let Some(first) = per_ppe_stats.first_mut() {
-            first.generated += setup_stats.generated;
-            first.expanded += setup_stats.expanded;
-            first.heuristic_evaluations += setup_stats.heuristic_evaluations;
-            first.pruned_processor_isomorphism += setup_stats.pruned_processor_isomorphism;
-            first.pruned_node_equivalence += setup_stats.pruned_node_equivalence;
+            first.merge(&setup_stats);
         }
 
+        let closed_stats = shared.closed.as_ref().map(|t| t.stats());
         let (len, schedule) = shared.incumbent.into_inner();
         debug_assert_eq!(len, schedule.makespan());
         let outcome = if shared.limit_hit.load(Ordering::SeqCst) {
@@ -268,6 +338,7 @@ impl<'a> ParallelAStarScheduler<'a> {
             schedule,
             outcome,
             per_ppe_stats,
+            closed_stats,
             elapsed: start.elapsed(),
             num_ppes: q,
         }
@@ -311,14 +382,17 @@ fn ppe_worker(
     cfg: &ParallelConfig,
     neighbors: &[usize],
     shared: &Shared,
-    rx: Receiver<SearchState>,
-    txs: &[Sender<SearchState>],
+    rx: Receiver<Transfer>,
+    txs: &[Sender<Transfer>],
     initial: Vec<SearchState>,
     deadline: Option<Instant>,
 ) -> SearchStats {
     let mut stats = SearchStats::default();
     let mut open: BinaryHeap<HeapEntry> = BinaryHeap::new();
-    let mut seen: HashMap<StateSignature, ()> = HashMap::new();
+    let mut dup = match &shared.closed {
+        Some(table) => DupFilter::Global { table, id },
+        None => DupFilter::Local { seen: HashSet::new() },
+    };
     let mut counter: u64 = 0;
 
     let bound_factor = cfg.epsilon.map_or(1.0, |e| 1.0 + e);
@@ -327,27 +401,40 @@ fn ppe_worker(
     let mut since_comm: u64 = 0;
     let mut idle_spins: u32 = 0;
 
+    /// How a state reaches this PPE's OPEN list; governs generation counting
+    /// and the ownership semantics of duplicate detection.
+    enum Arrival {
+        /// Generated locally by expanding a parent (counted as generated).
+        Generated,
+        /// Dealt out by the initial distribution.
+        Initial,
+        /// A best-state election copy from a neighbour (the sender keeps its
+        /// own copy, so dropping this one as a duplicate is always safe).
+        ElectionCopy,
+        /// A load-sharing transfer: the sender gave up its copy, this PPE is
+        /// now the sole owner and must keep the state.
+        OwnedTransfer,
+    }
+
     let push_state = |open: &mut BinaryHeap<HeapEntry>,
-                          seen: &mut HashMap<StateSignature, ()>,
+                          dup: &mut DupFilter<'_>,
                           counter: &mut u64,
                           stats: &mut SearchStats,
                           state: SearchState,
-                          count_generated: bool| {
+                          arrival: Arrival| {
         if cfg.pruning.upper_bound_pruning && state.f() > shared.incumbent_len() {
             stats.pruned_upper_bound += 1;
             return;
         }
-        let sig = state.signature();
-        if seen.contains_key(&sig) {
-            stats.duplicates += 1;
+        let owned_transfer = matches!(arrival, Arrival::OwnedTransfer);
+        if !dup.admit(&state, owned_transfer, stats) {
             return;
         }
-        seen.insert(sig, ());
         if state.is_goal(problem) {
             shared.offer_incumbent(state.g(), || state.to_schedule(problem));
         }
         *counter += 1;
-        if count_generated {
+        if matches!(arrival, Arrival::Generated) {
             stats.generated += 1;
             shared.total_generated.fetch_add(1, Ordering::Relaxed);
         }
@@ -355,7 +442,7 @@ fn ppe_worker(
     };
 
     for s in initial {
-        push_state(&mut open, &mut seen, &mut counter, &mut stats, s, false);
+        push_state(&mut open, &mut dup, &mut counter, &mut stats, s, Arrival::Initial);
     }
 
     loop {
@@ -366,8 +453,9 @@ fn ppe_worker(
         // Import states sent by neighbours.  The published minimum and the
         // in-flight counter are updated in an order that never lets another
         // PPE observe "nothing in flight" while this state is still invisible.
-        while let Ok(s) = rx.try_recv() {
-            push_state(&mut open, &mut seen, &mut counter, &mut stats, s, false);
+        while let Ok(t) = rx.try_recv() {
+            let arrival = if t.owned { Arrival::OwnedTransfer } else { Arrival::ElectionCopy };
+            push_state(&mut open, &mut dup, &mut counter, &mut stats, t.state, arrival);
             let min_f = open.peek().map_or(u64::MAX, |e| e.key.0);
             shared.local_min_f[id].store(min_f, Ordering::SeqCst);
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -455,7 +543,7 @@ fn ppe_worker(
         for (node, proc) in state.expansion_candidates(problem, &cfg.pruning, &mut stats) {
             let child = state.schedule_node(problem, node, proc, cfg.heuristic);
             stats.heuristic_evaluations += 1;
-            push_state(&mut open, &mut seen, &mut counter, &mut stats, child, true);
+            push_state(&mut open, &mut dup, &mut counter, &mut stats, child, Arrival::Generated);
         }
 
         // Communication phase: neighbour exchange + round-robin load sharing.
@@ -469,7 +557,8 @@ fn ppe_worker(
             if let Some(best) = open.peek() {
                 for &nb in neighbors {
                     shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                    if txs[nb].send(best.state.clone()).is_err() {
+                    let copy = Transfer { state: best.state.clone(), owned: false };
+                    if txs[nb].send(copy).is_err() {
                         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
@@ -508,15 +597,14 @@ fn ppe_worker(
                         open.push(k);
                     }
                     for (i, s) in outgoing.into_iter().enumerate() {
-                        // Shipping a state away transfers ownership of it: forget
-                        // its signature so that, should another PPE later send the
-                        // same partial schedule back, it is accepted rather than
-                        // dropped as a duplicate (otherwise two PPEs exchanging
-                        // their copies of one state could silently lose it).
-                        seen.remove(&s.signature());
+                        // Shipping a state away transfers ownership of it (see
+                        // `DupFilter::release`): the receiver force-inserts it,
+                        // so the sole live copy of a claimed signature is never
+                        // dropped by both sides of an exchange.
+                        dup.release(&s);
                         let target = deficits[i % deficits.len()];
                         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                        if txs[target].send(s).is_err() {
+                        if txs[target].send(Transfer { state: s, owned: true }).is_err() {
                             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
@@ -678,6 +766,88 @@ mod tests {
     fn zero_ppes_rejected() {
         let prob = example_problem();
         let _ = ParallelAStarScheduler::new(&prob, ParallelConfig { num_ppes: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn local_mode_matches_sharded_mode_on_the_example() {
+        let prob = example_problem();
+        for q in [1, 2, 4] {
+            for mode in [DuplicateDetection::Local, DuplicateDetection::ShardedGlobal] {
+                let cfg = ParallelConfig::exact(q).with_duplicate_detection(mode);
+                let r = ParallelAStarScheduler::new(&prob, cfg).run();
+                assert!(r.is_optimal(), "q={q} mode={mode}");
+                assert_eq!(r.schedule_length(), 14, "q={q} mode={mode}");
+                // The table statistics are reported exactly when the table exists.
+                assert_eq!(r.closed_stats.is_some(), mode == DuplicateDetection::ShardedGlobal);
+                if mode == DuplicateDetection::Local {
+                    assert_eq!(r.redundant_expansions_avoided(), 0);
+                }
+            }
+        }
+    }
+
+    /// Cross-checks the sharded table's counters against the per-PPE stats:
+    /// every claim that inserted an entry is a miss, every dropped duplicate
+    /// (local or cross-PPE) is a hit, and nothing else touches the table.
+    #[test]
+    fn sharded_table_counters_reconcile_with_ppe_stats() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = generate_random_dag(
+            &RandomDagConfig { nodes: 10, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let prob = SchedulingProblem::new(g, ProcNetwork::fully_connected(3));
+        let cfg = ParallelConfig { num_ppes: 4, min_comm_period: 1, ..Default::default() };
+        let r = ParallelAStarScheduler::new(&prob, cfg).run();
+        assert!(r.is_optimal());
+
+        let table = r.closed_stats.as_ref().expect("sharded mode reports table stats");
+        assert_eq!(table.num_shards(), 16);
+        assert_eq!(
+            table.total_entries() as u64,
+            table.total_misses(),
+            "every successful claim inserts exactly one entry"
+        );
+        // Exact signatures imply equal g, so the defensive better-g re-open
+        // path must never fire in a real search.
+        assert_eq!(table.total_reopens(), 0);
+        let total = r.total_stats();
+        assert_eq!(
+            table.total_hits(),
+            total.duplicates + total.duplicates_global,
+            "every table hit is counted as a duplicate by exactly one PPE"
+        );
+        assert!(table.total_hits() > 0, "a contended run must drop duplicates");
+        assert!(r.redundant_expansions_avoided() > 0);
+        // The striping actually spreads load: more than one shard is touched.
+        assert!(table.per_shard.iter().filter(|s| s.entries > 0).count() > 1);
+    }
+
+    /// Stress the shared table through the real PPE loop: repeated contended
+    /// runs on the single-core host must stay optimal with consistent
+    /// counters in every interleaving.
+    #[test]
+    fn sharded_mode_is_stable_across_repeated_contended_runs() {
+        let prob = example_problem();
+        let cfg = ParallelConfig {
+            num_ppes: 4,
+            min_comm_period: 1,
+            num_shards: 2,
+            ..Default::default()
+        };
+        for run in 0..5 {
+            let r = ParallelAStarScheduler::new(&prob, cfg).run();
+            assert!(r.is_optimal(), "run {run}");
+            assert_eq!(r.schedule_length(), 14, "run {run}");
+            let table = r.closed_stats.as_ref().expect("table stats");
+            assert_eq!(table.total_entries() as u64, table.total_misses(), "run {run}");
+            let total = r.total_stats();
+            assert_eq!(
+                table.total_hits(),
+                total.duplicates + total.duplicates_global,
+                "run {run}"
+            );
+        }
     }
 
     #[test]

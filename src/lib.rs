@@ -53,7 +53,10 @@ pub mod prelude {
         best_heuristic_schedule, list_schedule, upper_bound, upper_bound_schedule, ListConfig,
         ProcessorPolicy,
     };
-    pub use optsched_parallel::{ParallelAStarScheduler, ParallelConfig, ParallelSearchResult};
+    pub use optsched_parallel::{
+        ClosedTableStats, DuplicateDetection, ParallelAStarScheduler, ParallelConfig,
+        ParallelSearchResult, ShardedClosedTable,
+    };
     pub use optsched_procnet::{CommModel, ProcId, ProcNetwork, Processor, Topology};
     pub use optsched_schedule::{render_gantt, Schedule, ScheduleError, ScheduledTask};
     pub use optsched_taskgraph::{

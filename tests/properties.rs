@@ -93,15 +93,19 @@ proptest! {
         prop_assert!((approx as f64) <= (optimal as f64) * (1.0 + eps) + 1e-9);
     }
 
-    /// The parallel scheduler is exact for any PPE count and topology choice.
+    /// The parallel scheduler is exact for any PPE count, topology choice and
+    /// duplicate-detection mode.
     #[test]
     fn parallel_astar_is_exact((nodes, ccr_idx, seed) in dag_params(), q in 1usize..=4) {
         let g = make_dag(nodes, ccr_idx, seed);
         let problem = SchedulingProblem::new(g.clone(), ProcNetwork::ring(3));
         let serial = AStarScheduler::new(&problem).run().schedule_length;
-        let parallel = ParallelAStarScheduler::new(&problem, ParallelConfig::exact(q)).run();
-        prop_assert_eq!(parallel.schedule_length(), serial);
-        prop_assert!(parallel.schedule.validate(&g, problem.network()).is_ok());
+        for mode in [DuplicateDetection::Local, DuplicateDetection::ShardedGlobal] {
+            let cfg = ParallelConfig::exact(q).with_duplicate_detection(mode);
+            let parallel = ParallelAStarScheduler::new(&problem, cfg).run();
+            prop_assert_eq!(parallel.schedule_length(), serial, "mode={}", mode);
+            prop_assert!(parallel.schedule.validate(&g, problem.network()).is_ok());
+        }
     }
 
     /// Adding a processor never makes the optimal schedule longer.
@@ -136,6 +140,65 @@ proptest! {
         let len1 = AStarScheduler::new(&p1).run().schedule_length;
         let len2 = AStarScheduler::new(&p2).run().schedule_length;
         prop_assert_eq!(len1 * factor, len2);
+    }
+
+    /// Every schedule returned by any scheduler in the workspace is *valid*:
+    /// complete, precedence and communication delays respected, no two tasks
+    /// overlapping on a processor (all enforced by `Schedule::validate`), and
+    /// the reported makespan equal to the maximum finish time over the tasks.
+    /// The bounded schedulers additionally respect their guarantees:
+    /// exact ones return the optimum, Aε* stays within (1+ε)·optimum, and the
+    /// list heuristic is never better than the optimum.
+    #[test]
+    fn every_scheduler_returns_a_valid_schedule(
+        (nodes, ccr_idx, seed) in dag_params(),
+        procs in 2usize..=3,
+        eps_pct in 0u32..=50,
+    ) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let net = ProcNetwork::fully_connected(procs);
+        let problem = SchedulingProblem::new(g.clone(), net.clone());
+        let eps = f64::from(eps_pct) / 100.0;
+
+        let astar = AStarScheduler::new(&problem).run();
+        prop_assert!(astar.is_optimal());
+        let optimum = astar.schedule_length;
+
+        let aeps = AEpsScheduler::new(&problem, eps).run();
+        let aeps_bound = ((optimum as f64) * (1.0 + eps)).floor() as Cost;
+        prop_assert!(aeps.schedule_length >= optimum);
+        prop_assert!(
+            aeps.schedule_length <= aeps_bound,
+            "Aε*({}) returned {} > bound {}", eps, aeps.schedule_length, aeps_bound
+        );
+
+        let mut schedules: Vec<(String, Schedule)> = vec![
+            ("list".into(), upper_bound_schedule(&g, &net)),
+            ("astar".into(), astar.expect_schedule().clone()),
+            ("aeps".into(), aeps.expect_schedule().clone()),
+            ("chenyu".into(), ChenYuScheduler::new(&problem).run().expect_schedule().clone()),
+        ];
+        for mode in [DuplicateDetection::Local, DuplicateDetection::ShardedGlobal] {
+            let cfg = ParallelConfig::exact(2).with_duplicate_detection(mode);
+            let r = ParallelAStarScheduler::new(&problem, cfg).run();
+            prop_assert_eq!(r.schedule_length(), optimum, "parallel mode={}", mode);
+            schedules.push((format!("parallel-{mode}"), r.schedule));
+        }
+
+        for (name, s) in &schedules {
+            prop_assert!(s.is_complete(), "{}: incomplete schedule", name);
+            // Precedence + communication delays + per-processor exclusivity.
+            if let Err(e) = s.validate(&g, &net) {
+                panic!("{name}: invalid schedule: {e}");
+            }
+            // The reported makespan is exactly the latest finish time.
+            let max_finish = s.tasks().map(|t| t.finish).max().unwrap_or(0);
+            prop_assert_eq!(s.makespan(), max_finish, "{}", name);
+            // No schedule beats the optimum; the exact ones attain it.
+            prop_assert!(s.makespan() >= optimum, "{}: beats the optimum", name);
+        }
+        prop_assert_eq!(schedules[1].1.makespan(), optimum);
+        prop_assert_eq!(schedules[3].1.makespan(), optimum, "chenyu");
     }
 
     /// The random workload generator respects its contract: node count, at
