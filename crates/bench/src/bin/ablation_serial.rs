@@ -1,0 +1,123 @@
+//! Before/after measurement of the arena-backed state store on the serial
+//! schedulers (the engine-refactor acceptance record).
+//!
+//! Every serial family (A*, Aε*, Chen & Yu, exhaustive) is dispatched
+//! through the facade's scheduler registry twice per instance: once with the
+//! pre-refactor `eager` clone-per-generation store and once with the delta
+//! `arena`.  Both runs are bit-identical searches (same optimum, same
+//! expansion counts — asserted); what changes is the cost profile, recorded
+//! per run as wall-clock time and the peak number of live fully materialised
+//! states (the allocation proxy).  Results go to
+//! `results/BENCH_serial.json` and `results/ablation_serial.csv`.
+//!
+//! Usage: `cargo run --release -p optsched-bench --bin ablation_serial -- [--sizes 10,12] [--budget-ms N]`
+
+use optsched::registry::{SchedulerRegistry, SchedulerSpec};
+use optsched_bench::{workload_problem, write_json_rows, CsvWriter, ExperimentOptions};
+use optsched_core::{SearchLimits, SearchOutcome, StoreKind};
+
+const FAMILIES: [&str; 4] = ["astar", "aeps", "chenyu", "exhaustive"];
+const STORES: [StoreKind; 2] = [StoreKind::EagerClone, StoreKind::DeltaArena];
+
+fn main() {
+    let mut opts = ExperimentOptions::parse(std::env::args().skip(1));
+    if opts.sizes == ExperimentOptions::default().sizes {
+        // v = 12 is the largest ablation instance that the exact serial
+        // searches finish in seconds on a single core; the exponential
+        // baselines (Chen & Yu, exhaustive) are cut by the budget and
+        // recorded as such.
+        opts.sizes = vec![10, 12];
+    }
+    let ccr = 1.0;
+    let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
+    let mut csv = CsvWriter::new(
+        "size,ccr,scheduler,store,schedule_length,optimal,expanded,generated,peak_live_states,max_open_size,time_ms,timed_out",
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+
+    println!("Serial store ablation — eager clone-per-generation vs. delta arena (CCR = {ccr})");
+    for &size in &opts.sizes {
+        let problem = workload_problem(size, ccr, &opts);
+        println!(
+            "\nv = {size} (lower bound {}, list upper bound {})",
+            problem.lower_bound(),
+            problem.upper_bound()
+        );
+        println!(
+            "{:<12} {:>7} | {:>10} {:>12} {:>12} {:>16} {:>12}",
+            "scheduler", "store", "length", "expanded", "generated", "peak live states", "time ms"
+        );
+
+        for family in FAMILIES {
+            let mut lengths: Vec<(StoreKind, u64, u64)> = Vec::new();
+            for store in STORES {
+                let spec = SchedulerSpec { limits, store, ..Default::default() };
+                let registry = SchedulerRegistry::with_spec(spec);
+                let r = registry.get(family).expect("registered family").run(&problem).result;
+                let ms = r.elapsed.as_secs_f64() * 1e3;
+                let timed_out = r.outcome == SearchOutcome::LimitReached;
+                println!(
+                    "{:<12} {:>7} | {:>10} {:>12} {:>12} {:>16} {:>12}",
+                    family,
+                    store.to_string(),
+                    r.schedule_length,
+                    r.stats.expanded,
+                    r.stats.generated,
+                    r.stats.peak_live_states,
+                    if timed_out {
+                        format!(">{}", opts.budget_ms.unwrap_or(0))
+                    } else {
+                        format!("{ms:.1}")
+                    }
+                );
+                csv.row(&[
+                    size.to_string(),
+                    ccr.to_string(),
+                    family.to_string(),
+                    store.to_string(),
+                    r.schedule_length.to_string(),
+                    r.is_optimal().to_string(),
+                    r.stats.expanded.to_string(),
+                    r.stats.generated.to_string(),
+                    r.stats.peak_live_states.to_string(),
+                    r.stats.max_open_size.to_string(),
+                    format!("{ms:.3}"),
+                    timed_out.to_string(),
+                ]);
+                json_rows.push(format!(
+                    "{{\"size\": {size}, \"ccr\": {ccr}, \"scheduler\": \"{family}\", \
+                     \"store\": \"{store}\", \"schedule_length\": {}, \"optimal\": {}, \
+                     \"expanded\": {}, \"generated\": {}, \"peak_live_states\": {}, \
+                     \"max_open_size\": {}, \"time_ms\": {ms:.3}, \"timed_out\": {timed_out}}}",
+                    r.schedule_length,
+                    r.is_optimal(),
+                    r.stats.expanded,
+                    r.stats.generated,
+                    r.stats.peak_live_states,
+                    r.stats.max_open_size,
+                ));
+                if !timed_out {
+                    lengths.push((store, r.schedule_length, r.stats.expanded));
+                }
+            }
+            // The store is a pure memory/time trade: completed runs must
+            // agree on the optimum and on the expansion counts.
+            if lengths.len() == 2 {
+                assert_eq!(lengths[0].1, lengths[1].1, "{family}: stores disagree on the optimum");
+                assert_eq!(
+                    lengths[0].2, lengths[1].2,
+                    "{family}: stores disagree on expansion counts"
+                );
+            }
+        }
+    }
+
+    match csv.write("ablation_serial.csv") {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results CSV: {e}"),
+    }
+    match write_json_rows("BENCH_serial.json", &json_rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+}

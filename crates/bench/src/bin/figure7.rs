@@ -12,75 +12,99 @@
 //!   scheduling time (plots (b) and (d)); the paper reports savings of
 //!   roughly 10–40 % for ε = 0.2 and 50–70 % for ε = 0.5.
 //!
+//! Both duplicate-detection modes of the parallel scheduler are swept and
+//! every datapoint is tagged with its mode, in the CSV and in the JSON
+//! series written to `results/figure7.json`.
+//!
 //! Usage: `cargo run --release -p optsched-bench --bin figure7 -- [--sizes ...] [--budget-ms N] [--tpes P] [--seed S] `
 
-use optsched_bench::{workload_problem, CsvWriter, ExperimentOptions, CCRS};
+use optsched_bench::{workload_problem, write_json_rows, CsvWriter, ExperimentOptions, CCRS};
 use optsched_core::SearchLimits;
-use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};
+use optsched_parallel::{DuplicateDetection, ParallelAStarScheduler, ParallelConfig};
 
 const PPES: usize = 16;
 const EPSILONS: [f64; 2] = [0.2, 0.5];
+const DUP_MODES: [DuplicateDetection; 2] =
+    [DuplicateDetection::Local, DuplicateDetection::ShardedGlobal];
 
 fn main() {
     let opts = ExperimentOptions::parse(std::env::args().skip(1));
     let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
     let mut csv = CsvWriter::new(
-        "ccr,size,epsilon,optimal_length,approx_length,deviation_pct,exact_ms,approx_ms,time_ratio,exact_expanded,approx_expanded",
+        "ccr,size,epsilon,dup_mode,optimal_length,approx_length,deviation_pct,exact_ms,approx_ms,time_ratio,exact_expanded,approx_expanded",
     );
+    let mut json_rows: Vec<String> = Vec::new();
 
     println!("Figure 7 reproduction — parallel Aε* deviation from optimal and time ratio ({PPES} PPEs)");
-    println!("TPEs = {}, seed = {}", opts.num_tpes, opts.seed);
+    println!("TPEs = {}, dup modes = [local, sharded], seed = {}", opts.num_tpes, opts.seed);
 
     for &eps in &EPSILONS {
-        println!("\nε = {eps}");
-        println!(
-            "{:>5} | {:>8} | {:>10} {:>10} {:>12} | {:>12} {:>12} {:>10}",
-            "size", "CCR", "optimal", "Aε*", "deviation %", "A* ms", "Aε* ms", "time ratio"
-        );
-        for &ccr in &CCRS {
-            for &size in &opts.sizes {
-                let problem = workload_problem(size, ccr, &opts);
+        for mode in DUP_MODES {
+            println!("\nε = {eps}, {mode} duplicate detection");
+            println!(
+                "{:>5} | {:>8} | {:>10} {:>10} {:>12} | {:>12} {:>12} {:>10}",
+                "size", "CCR", "optimal", "Aε*", "deviation %", "A* ms", "Aε* ms", "time ratio"
+            );
+            for &ccr in &CCRS {
+                for &size in &opts.sizes {
+                    let problem = workload_problem(size, ccr, &opts);
 
-                let exact_cfg = ParallelConfig { limits, ..ParallelConfig::paragon_like(PPES) };
-                let exact = ParallelAStarScheduler::new(&problem, exact_cfg).run();
-                let approx_cfg = ParallelConfig {
-                    limits,
-                    epsilon: Some(eps),
-                    ..ParallelConfig::paragon_like(PPES)
-                };
-                let approx = ParallelAStarScheduler::new(&problem, approx_cfg).run();
+                    let exact_cfg = ParallelConfig { limits, ..ParallelConfig::paragon_like(PPES) }
+                        .with_duplicate_detection(mode);
+                    let exact = ParallelAStarScheduler::new(&problem, exact_cfg).run();
+                    let approx_cfg = ParallelConfig {
+                        limits,
+                        epsilon: Some(eps),
+                        ..ParallelConfig::paragon_like(PPES)
+                    }
+                    .with_duplicate_detection(mode);
+                    let approx = ParallelAStarScheduler::new(&problem, approx_cfg).run();
 
-                let optimal_len = exact.schedule_length() as f64;
-                let approx_len = approx.schedule_length() as f64;
-                let deviation = 100.0 * (approx_len - optimal_len) / optimal_len;
-                let exact_ms = exact.elapsed.as_secs_f64() * 1e3;
-                let approx_ms = approx.elapsed.as_secs_f64() * 1e3;
-                let ratio = approx_ms / exact_ms.max(1e-6);
+                    let optimal_len = exact.schedule_length() as f64;
+                    let approx_len = approx.schedule_length() as f64;
+                    let deviation = 100.0 * (approx_len - optimal_len) / optimal_len;
+                    let exact_ms = exact.elapsed.as_secs_f64() * 1e3;
+                    let approx_ms = approx.elapsed.as_secs_f64() * 1e3;
+                    let ratio = approx_ms / exact_ms.max(1e-6);
 
-                if exact.is_optimal() && approx.is_optimal() {
-                    assert!(
-                        approx_len <= (optimal_len * (1.0 + eps)).floor() + 1e-9,
-                        "Aε* exceeded its bound: {approx_len} vs {optimal_len} (ε = {eps})"
+                    if exact.is_optimal() && approx.is_optimal() {
+                        assert!(
+                            approx_len <= (optimal_len * (1.0 + eps)).floor() + 1e-9,
+                            "Aε* exceeded its bound: {approx_len} vs {optimal_len} (ε = {eps}, {mode})"
+                        );
+                    }
+
+                    println!(
+                        "{:>5} | {:>8} | {:>10} {:>10} {:>12.2} | {:>12.1} {:>12.1} {:>10.2}",
+                        size, ccr, exact.schedule_length(), approx.schedule_length(), deviation, exact_ms, approx_ms, ratio
                     );
+                    csv.row(&[
+                        ccr.to_string(),
+                        size.to_string(),
+                        eps.to_string(),
+                        mode.to_string(),
+                        exact.schedule_length().to_string(),
+                        approx.schedule_length().to_string(),
+                        format!("{deviation:.3}"),
+                        format!("{exact_ms:.3}"),
+                        format!("{approx_ms:.3}"),
+                        format!("{ratio:.3}"),
+                        exact.total_expanded().to_string(),
+                        approx.total_expanded().to_string(),
+                    ]);
+                    json_rows.push(format!(
+                        "{{\"ccr\": {ccr}, \"size\": {size}, \"epsilon\": {eps}, \
+                         \"dup_mode\": \"{mode}\", \"optimal_length\": {}, \
+                         \"approx_length\": {}, \"deviation_pct\": {deviation:.3}, \
+                         \"exact_ms\": {exact_ms:.3}, \"approx_ms\": {approx_ms:.3}, \
+                         \"time_ratio\": {ratio:.3}, \"exact_expanded\": {}, \
+                         \"approx_expanded\": {}}}",
+                        exact.schedule_length(),
+                        approx.schedule_length(),
+                        exact.total_expanded(),
+                        approx.total_expanded()
+                    ));
                 }
-
-                println!(
-                    "{:>5} | {:>8} | {:>10} {:>10} {:>12.2} | {:>12.1} {:>12.1} {:>10.2}",
-                    size, ccr, exact.schedule_length(), approx.schedule_length(), deviation, exact_ms, approx_ms, ratio
-                );
-                csv.row(&[
-                    ccr.to_string(),
-                    size.to_string(),
-                    eps.to_string(),
-                    exact.schedule_length().to_string(),
-                    approx.schedule_length().to_string(),
-                    format!("{deviation:.3}"),
-                    format!("{exact_ms:.3}"),
-                    format!("{approx_ms:.3}"),
-                    format!("{ratio:.3}"),
-                    exact.total_expanded().to_string(),
-                    approx.total_expanded().to_string(),
-                ]);
             }
         }
     }
@@ -88,5 +112,9 @@ fn main() {
     match csv.write("figure7.csv") {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("could not write results CSV: {e}"),
+    }
+    match write_json_rows("figure7.json", &json_rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
     }
 }

@@ -170,6 +170,23 @@ impl CsvWriter {
     }
 }
 
+/// Writes pre-serialised JSON objects as a pretty-ish array to
+/// `results/<name>` (one object per line), returning the path written to.
+/// The experiment binaries build their rows by hand because the vendored
+/// `serde_json` stand-in only derives for the workspace's data types.
+pub fn write_json_rows(name: &str, rows: &[String]) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let body = if rows.is_empty() {
+        "[]\n".to_string()
+    } else {
+        format!("[\n  {}\n]\n", rows.join(",\n  "))
+    };
+    fs::write(&path, body)?;
+    Ok(path.display().to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! optsched schedule --input graph.json [--procs 4] [--topology ring|mesh|full|chain|star|hypercube]
-//!                   [--algorithm astar|aeps|chenyu|list|parallel] [--epsilon 0.2] [--ppes 4]
-//!                   [--dup-detection local|sharded] [--shards N]
-//!                   [--budget-ms N] [--gantt] [--json]
+//!                   [--algorithm astar|aeps|chenyu|exhaustive|list|parallel] [--epsilon 0.2]
+//!                   [--ppes 4] [--dup-detection local|sharded] [--shards N]
+//!                   [--budget-ms N] [--max-expansions N] [--store eager|arena] [--gantt] [--json]
 //! optsched generate --nodes 20 --ccr 1.0 [--seed 7] [--output graph.json]
 //! optsched example
 //! optsched levels --input graph.json
 //! ```
+//!
+//! The `--algorithm` value is resolved through the facade's
+//! [`SchedulerRegistry`]; the CLI has no per-algorithm code paths.
 //!
 //! Graph files are the `serde_json` serialisation of
 //! [`optsched_taskgraph::TaskGraph`] (produced by `optsched generate`).
@@ -17,11 +20,8 @@
 
 use std::process::ExitCode;
 
-use optsched_core::{
-    AEpsScheduler, AStarScheduler, ChenYuScheduler, SchedulingProblem, SearchLimits,
-};
-use optsched_listsched::upper_bound_schedule;
-use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};
+use optsched::registry::{SchedulerRegistry, SchedulerSpec};
+use optsched_core::{AStarScheduler, SchedulingProblem, SearchLimits, SearchOutcome};
 use optsched_procnet::{ProcNetwork, Topology};
 use optsched_schedule::{render_gantt, Schedule};
 use optsched_taskgraph::{paper_example_dag, GraphLevels, TaskGraph};
@@ -70,7 +70,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--ppes Q] [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n(`--input -` reads the graph JSON from stdin)"
+        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--ppes Q] [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n(`--input -` reads the graph JSON from stdin; algorithms: astar|aeps|chenyu|exhaustive|list|parallel)"
     );
     ExitCode::FAILURE
 }
@@ -123,70 +123,62 @@ fn report(schedule: &Schedule, graph: &TaskGraph, net: &ProcNetwork, args: &Args
     }
 }
 
+/// Builds the scheduler configuration from the command line.  Every family
+/// reads the knobs that apply to it; unknown values fail with a message.
+fn build_spec(args: &Args) -> Result<SchedulerSpec, String> {
+    let mut spec = SchedulerSpec {
+        limits: SearchLimits {
+            max_millis: args.get("budget-ms").and_then(|v| v.parse().ok()),
+            max_expansions: args.get("max-expansions").and_then(|v| v.parse().ok()),
+            ..Default::default()
+        },
+        epsilon: args.get_parse("epsilon", 0.2),
+        ..Default::default()
+    };
+    if let Some(v) = args.get("store") {
+        spec.store = v.parse()?;
+    }
+    spec.parallel.num_ppes = args.get_parse("ppes", spec.parallel.num_ppes);
+    spec.parallel.epsilon = args.get("epsilon").and_then(|v| v.parse().ok());
+    if let Some(v) = args.get("dup-detection") {
+        spec.parallel.duplicate_detection = v.parse()?;
+    }
+    spec.parallel.num_shards = args.get_parse("shards", spec.parallel.num_shards);
+    Ok(spec)
+}
+
 fn cmd_schedule(args: &Args, graph: TaskGraph) -> ExitCode {
     let net = build_network(args, 4);
     let problem = SchedulingProblem::new(graph.clone(), net.clone());
-    let limits = SearchLimits {
-        max_millis: args.get("budget-ms").and_then(|v| v.parse().ok()),
-        ..Default::default()
-    };
-    let algorithm = args.get("algorithm").unwrap_or("astar");
-    match algorithm {
-        "astar" => {
-            let r = AStarScheduler::new(&problem).with_limits(limits).run();
-            report(r.expect_schedule(), &graph, &net, args, "serial A* (optimal)");
-            if !r.is_optimal() {
-                eprintln!("note: the search hit its budget; the schedule is the best incumbent, not proven optimal");
-            }
-        }
-        "aeps" => {
-            let eps = args.get_parse("epsilon", 0.2);
-            let r = AEpsScheduler::new(&problem, eps).with_limits(limits).run();
-            report(r.expect_schedule(), &graph, &net, args, &format!("Aε* (ε = {eps})"));
-        }
-        "chenyu" => {
-            let r = ChenYuScheduler::new(&problem).with_limits(limits).run();
-            report(r.expect_schedule(), &graph, &net, args, "Chen & Yu branch-and-bound");
-        }
-        "list" => {
-            let s = upper_bound_schedule(&graph, &net);
-            report(&s, &graph, &net, args, "list-scheduling heuristic");
-        }
-        "parallel" => {
-            let q = args.get_parse("ppes", 4);
-            let eps = args.get("epsilon").and_then(|v| v.parse().ok());
-            let mut cfg = ParallelConfig { num_ppes: q, epsilon: eps, limits, ..Default::default() };
-            if let Some(v) = args.get("dup-detection") {
-                match v.parse() {
-                    Ok(mode) => cfg.duplicate_detection = mode,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            cfg.num_shards = args.get_parse("shards", cfg.num_shards);
-            let r = ParallelAStarScheduler::new(&problem, cfg).run();
-            let label =
-                format!("parallel A* ({q} PPEs, {} duplicate detection)", cfg.duplicate_detection);
-            report(&r.schedule, &graph, &net, args, &label);
-            if !args.has("json") {
-                let total = r.total_stats();
-                println!("states expanded: {}", total.expanded);
-                println!("redundant cross-PPE expansions avoided: {}", r.redundant_expansions_avoided());
-                if let Some(table) = &r.closed_stats {
-                    println!(
-                        "closed table   : {} shards, {} entries, hit rate {:.1}%",
-                        table.num_shards(),
-                        table.total_entries(),
-                        table.hit_rate() * 100.0
-                    );
-                }
-            }
-        }
-        other => {
-            eprintln!("unknown algorithm `{other}` (expected astar|aeps|chenyu|list|parallel)");
+    let spec = match build_spec(args) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
+        }
+    };
+    let registry = SchedulerRegistry::with_spec(spec);
+    let algorithm = args.get("algorithm").unwrap_or("astar");
+    let Some(scheduler) = registry.get(algorithm) else {
+        eprintln!(
+            "unknown algorithm `{algorithm}` (expected {})",
+            registry.names().join("|")
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let run = scheduler.run(&problem);
+    let Some(schedule) = run.result.schedule.as_ref() else {
+        eprintln!("internal error: `{algorithm}` produced no schedule");
+        return ExitCode::FAILURE;
+    };
+    report(schedule, &graph, &net, args, &scheduler.description());
+    if run.result.outcome == SearchOutcome::LimitReached {
+        eprintln!("note: the search hit its budget; the schedule is the best incumbent, not proven optimal");
+    }
+    if !args.has("json") {
+        for (label, value) in &run.extras {
+            println!("{label:<15}: {value}");
         }
     }
     ExitCode::SUCCESS

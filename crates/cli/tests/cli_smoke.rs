@@ -117,6 +117,56 @@ fn unknown_algorithm_fails() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
 }
 
+/// The exhaustive enumerator is schedulable from the CLI and honours
+/// `--max-expansions` (it used to ignore limits before the engine refactor):
+/// a budget of 1 expansion must cut the run short and fall back to the
+/// list-heuristic incumbent, with the budget note on stderr.
+#[test]
+fn exhaustive_algorithm_honours_max_expansions() {
+    let generated = run(&["generate", "--nodes", "8", "--ccr", "1.0", "--seed", "7"]);
+    assert!(generated.status.success());
+    let graph_json = generated.stdout;
+
+    // Unbounded: the enumerator is exact on a small instance.
+    let exact = run_with_stdin(
+        &["schedule", "--input", "-", "--algorithm", "exhaustive", "--procs", "2"],
+        &graph_json,
+    );
+    assert!(exact.status.success(), "stderr: {}", String::from_utf8_lossy(&exact.stderr));
+    let exact_out = String::from_utf8_lossy(&exact.stdout).to_string();
+    assert!(exact_out.contains("exhaustive enumeration"), "stdout: {exact_out}");
+    let exact_len = exact_out
+        .lines()
+        .find_map(|l| l.strip_prefix("schedule length:"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("schedule length in output");
+
+    // A* agrees (both dispatched through the same registry).
+    let astar = run_with_stdin(
+        &["schedule", "--input", "-", "--algorithm", "astar", "--procs", "2"],
+        &graph_json,
+    );
+    let astar_out = String::from_utf8_lossy(&astar.stdout).to_string();
+    assert!(astar_out.contains(&format!("schedule length: {exact_len}")), "stdout: {astar_out}");
+
+    // Bounded: still succeeds, reports the budget note, stays feasible.
+    let bounded = run_with_stdin(
+        &[
+            "schedule", "--input", "-", "--algorithm", "exhaustive", "--procs", "2",
+            "--max-expansions", "1",
+        ],
+        &graph_json,
+    );
+    assert!(bounded.status.success());
+    let note = String::from_utf8_lossy(&bounded.stderr);
+    assert!(note.contains("hit its budget"), "stderr: {note}");
+    let bounded_len = String::from_utf8_lossy(&bounded.stdout)
+        .lines()
+        .find_map(|l| l.strip_prefix("schedule length:").and_then(|v| v.trim().parse::<u64>().ok()))
+        .expect("schedule length in bounded output");
+    assert!(bounded_len >= exact_len, "incumbent cannot beat the optimum");
+}
+
 #[test]
 fn parallel_duplicate_detection_modes_agree_and_report_counters() {
     let generated = run(&["generate", "--nodes", "8", "--ccr", "1.0", "--seed", "7"]);

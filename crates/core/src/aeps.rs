@@ -8,19 +8,16 @@
 //! guaranteed to be within `(1 + ε)` of the optimal schedule length
 //! (Theorem 2), while the search typically expands far fewer states than A*.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::time::Instant;
-
-use optsched_schedule::Schedule;
 use optsched_taskgraph::Cost;
 
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
+use crate::engine::{focal_threshold, run_search, FocalPolicy, StoreKind};
 use crate::problem::SchedulingProblem;
-use crate::state::{SearchState, StateSignature};
-use crate::stats::{SearchOutcome, SearchResult, SearchStats};
+use crate::stats::SearchResult;
 
-/// Approximate Aε* scheduler with a bounded deviation from the optimum.
+/// Approximate Aε* scheduler with a bounded deviation from the optimum: a
+/// thin configuration over the unified [`engine`](crate::engine) with the
+/// FOCAL selection policy.
 #[derive(Debug, Clone)]
 pub struct AEpsScheduler<'a> {
     problem: &'a SchedulingProblem,
@@ -28,6 +25,7 @@ pub struct AEpsScheduler<'a> {
     pruning: PruningConfig,
     heuristic: HeuristicKind,
     limits: SearchLimits,
+    store: StoreKind,
 }
 
 impl<'a> AEpsScheduler<'a> {
@@ -45,6 +43,7 @@ impl<'a> AEpsScheduler<'a> {
             pruning: PruningConfig::all(),
             heuristic: HeuristicKind::PaperStaticLevel,
             limits: SearchLimits::unlimited(),
+            store: StoreKind::default(),
         }
     }
 
@@ -71,143 +70,30 @@ impl<'a> AEpsScheduler<'a> {
         self
     }
 
+    /// Selects the state-store layout (delta arena by default).
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
+    }
+
     /// Largest cost admitted into FOCAL when the smallest OPEN cost is `fmin`.
-    fn focal_threshold(&self, fmin: Cost) -> Cost {
-        ((fmin as f64) * (1.0 + self.epsilon)).floor() as Cost
+    pub fn focal_threshold(&self, fmin: Cost) -> Cost {
+        focal_threshold(self.epsilon, fmin)
     }
 
     /// Runs the search.  The returned schedule's length is at most
     /// `(1 + ε) ·` the optimal schedule length whenever the outcome is
-    /// [`SearchOutcome::Optimal`] (which here means "completed within the
-    /// configured bound").
+    /// [`SearchOutcome::Optimal`](crate::stats::SearchOutcome::Optimal)
+    /// (which here means "completed within the configured bound").
     pub fn run(&self) -> SearchResult {
-        let start_time = Instant::now();
-        let mut stats = SearchStats::default();
-
-        // Heap entries: (reversed ordering key, arena index).
-        type FKey = (Reverse<(Cost, u64)>, usize);
-        type HKey = (Reverse<(Cost, Cost, u64)>, usize);
-        let mut arena: Vec<SearchState> = Vec::new();
-        // Two views of OPEN with lazy deletion: by f (for fmin / fallback) and
-        // by (h, f) (for the FOCAL selection rule).
-        let mut open_f: BinaryHeap<FKey> = BinaryHeap::new();
-        let mut open_h: BinaryHeap<HKey> = BinaryHeap::new();
-        let mut in_open: Vec<bool> = Vec::new();
-        let mut seen: HashMap<StateSignature, ()> = HashMap::new();
-        let mut counter: u64 = 0;
-
-        let mut incumbent: Schedule = self.problem.upper_bound_schedule().clone();
-        let mut incumbent_len: Cost = incumbent.makespan();
-
-        let initial = SearchState::initial(self.problem);
-        arena.push(initial);
-        in_open.push(true);
-        open_f.push((Reverse((0, counter)), 0));
-        open_h.push((Reverse((0, 0, counter)), 0));
-        stats.generated += 1;
-
-        let outcome = loop {
-            // Clean stale entries from the f-ordered heap and read fmin.
-            let fmin = loop {
-                match open_f.peek() {
-                    None => break None,
-                    Some(&(Reverse((f, _)), idx)) if in_open[idx] => break Some(f),
-                    Some(_) => {
-                        open_f.pop();
-                    }
-                }
-            };
-            let Some(fmin) = fmin else { break SearchOutcome::Exhausted };
-            let threshold = self.focal_threshold(fmin);
-
-            // Prefer the smallest-h state within FOCAL; fall back to the
-            // smallest-f state (which is trivially in FOCAL).
-            let mut chosen: Option<usize> = None;
-            while let Some(&(Reverse((_h, f, _c)), idx)) = open_h.peek() {
-                if !in_open[idx] {
-                    open_h.pop();
-                    continue;
-                }
-                if f <= threshold {
-                    chosen = Some(idx);
-                    open_h.pop();
-                }
-                break;
-            }
-            let idx = match chosen {
-                Some(idx) => idx,
-                None => {
-                    let (_, idx) = open_f.pop().expect("fmin was just observed");
-                    idx
-                }
-            };
-            in_open[idx] = false;
-            stats.max_open_size = stats.max_open_size.max(open_f.len());
-
-            if arena[idx].is_goal(self.problem) {
-                incumbent = arena[idx].to_schedule(self.problem);
-                break SearchOutcome::Optimal;
-            }
-
-            if let Some(max_exp) = self.limits.max_expansions {
-                if stats.expanded >= max_exp {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(max_gen) = self.limits.max_generated {
-                if stats.generated >= max_gen {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(ms) = self.limits.max_millis {
-                if start_time.elapsed().as_millis() as u64 >= ms {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(target) = self.limits.target_cost {
-                if incumbent_len <= target {
-                    break SearchOutcome::TargetReached;
-                }
-            }
-
-            stats.expanded += 1;
-            let candidates =
-                arena[idx].expansion_candidates(self.problem, &self.pruning, &mut stats);
-            for (node, proc) in candidates {
-                let child = arena[idx].schedule_node(self.problem, node, proc, self.heuristic);
-                stats.heuristic_evaluations += 1;
-                let cf = child.f();
-                if self.pruning.upper_bound_pruning && cf > incumbent_len {
-                    stats.pruned_upper_bound += 1;
-                    continue;
-                }
-                let signature = child.signature();
-                if seen.contains_key(&signature) {
-                    stats.duplicates += 1;
-                    continue;
-                }
-                seen.insert(signature, ());
-                if child.is_goal(self.problem) && child.g() < incumbent_len {
-                    incumbent_len = child.g();
-                    incumbent = child.to_schedule(self.problem);
-                }
-                counter += 1;
-                let idx_new = arena.len();
-                open_f.push((Reverse((cf, counter)), idx_new));
-                open_h.push((Reverse((child.h(), cf, counter)), idx_new));
-                arena.push(child);
-                in_open.push(true);
-                stats.generated += 1;
-            }
-        };
-
-        SearchResult {
-            schedule_length: incumbent.makespan(),
-            schedule: Some(incumbent),
-            outcome,
-            stats,
-            elapsed: start_time.elapsed(),
-        }
+        run_search(
+            self.problem,
+            FocalPolicy::new(self.epsilon, self.pruning.upper_bound_pruning),
+            self.pruning,
+            self.heuristic,
+            self.limits,
+            self.store,
+        )
     }
 }
 
@@ -215,6 +101,7 @@ impl<'a> AEpsScheduler<'a> {
 mod tests {
     use super::*;
     use crate::astar::AStarScheduler;
+    use crate::stats::SearchOutcome;
     use optsched_procnet::ProcNetwork;
     use optsched_taskgraph::paper_example_dag;
     use optsched_workload::{generate_random_dag, RandomDagConfig};

@@ -19,30 +19,21 @@
 //! assert_eq!(result.schedule_length, 14);
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::time::Instant;
-
-use optsched_schedule::Schedule;
-use optsched_taskgraph::Cost;
-
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
+use crate::engine::{run_search, AStarPolicy, StoreKind};
 use crate::problem::SchedulingProblem;
-use crate::state::{SearchState, StateSignature};
-use crate::stats::{SearchOutcome, SearchResult, SearchStats};
+use crate::stats::SearchResult;
 
-/// Serial A* optimal scheduler.
+/// Serial A* optimal scheduler: a thin configuration over the unified
+/// [`engine`](crate::engine) with the best-first `(f, h, FIFO)` policy.
 #[derive(Debug, Clone)]
 pub struct AStarScheduler<'a> {
     problem: &'a SchedulingProblem,
     pruning: PruningConfig,
     heuristic: HeuristicKind,
     limits: SearchLimits,
+    store: StoreKind,
 }
-
-/// Key ordering the OPEN list: smallest `f` first, then smallest `h`
-/// (prefers deeper states, reaching goals sooner), then FIFO.
-type OpenKey = (Cost, Cost, u64);
 
 impl<'a> AStarScheduler<'a> {
     /// A scheduler with every pruning technique enabled and the paper's heuristic.
@@ -52,6 +43,7 @@ impl<'a> AStarScheduler<'a> {
             pruning: PruningConfig::all(),
             heuristic: HeuristicKind::PaperStaticLevel,
             limits: SearchLimits::unlimited(),
+            store: StoreKind::default(),
         }
     }
 
@@ -73,6 +65,13 @@ impl<'a> AStarScheduler<'a> {
         self
     }
 
+    /// Selects the state-store layout (delta arena by default; the eager
+    /// clone-per-generation layout exists for before/after measurements).
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
+    }
+
     /// The problem being solved.
     pub fn problem(&self) -> &SchedulingProblem {
         self.problem
@@ -80,110 +79,14 @@ impl<'a> AStarScheduler<'a> {
 
     /// Runs the search to completion (or until a limit is hit).
     pub fn run(&self) -> SearchResult {
-        let start_time = Instant::now();
-        let mut stats = SearchStats::default();
-
-        let mut arena: Vec<SearchState> = Vec::new();
-        let mut open: BinaryHeap<(Reverse<OpenKey>, usize)> = BinaryHeap::new();
-        let mut seen: HashMap<StateSignature, ()> = HashMap::new();
-        let mut counter: u64 = 0;
-
-        // Incumbent: best complete schedule known so far.  Initialised from
-        // the list heuristic so the upper-bound pruning rule of Section 3.2
-        // is available from the first expansion.
-        let mut incumbent: Schedule = self.problem.upper_bound_schedule().clone();
-        let mut incumbent_len: Cost = incumbent.makespan();
-        let prune_bound = |len: Cost, enabled: bool| if enabled { Some(len) } else { None };
-
-        let initial = SearchState::initial(self.problem);
-        arena.push(initial);
-        open.push((Reverse((0, 0, counter)), 0));
-        stats.generated += 1;
-
-        let outcome = loop {
-            let Some((Reverse((f, _h, _c)), idx)) = open.pop() else {
-                break SearchOutcome::Exhausted;
-            };
-            stats.max_open_size = stats.max_open_size.max(open.len() + 1);
-
-            // Goal test at expansion time: the first goal removed from OPEN
-            // has minimal f among all open states, hence is optimal.
-            if arena[idx].is_goal(self.problem) {
-                incumbent = arena[idx].to_schedule(self.problem);
-                break SearchOutcome::Optimal;
-            }
-
-            // Limits.
-            if let Some(max_exp) = self.limits.max_expansions {
-                if stats.expanded >= max_exp {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(max_gen) = self.limits.max_generated {
-                if stats.generated >= max_gen {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(ms) = self.limits.max_millis {
-                if start_time.elapsed().as_millis() as u64 >= ms {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(target) = self.limits.target_cost {
-                if incumbent_len <= target {
-                    break SearchOutcome::TargetReached;
-                }
-            }
-
-            stats.expanded += 1;
-            let candidates =
-                arena[idx].expansion_candidates(self.problem, &self.pruning, &mut stats);
-            for (node, proc) in candidates {
-                let child = arena[idx].schedule_node(self.problem, node, proc, self.heuristic);
-                stats.heuristic_evaluations += 1;
-                let cf = child.f();
-
-                // Upper-bound pruning: a state whose f already exceeds the best
-                // known complete schedule can never improve on it.
-                if let Some(bound) = prune_bound(incumbent_len, self.pruning.upper_bound_pruning) {
-                    if cf > bound {
-                        stats.pruned_upper_bound += 1;
-                        continue;
-                    }
-                }
-
-                // Duplicate detection (OPEN ∪ CLOSED): an identical partial
-                // schedule has the same f, so a second copy is never useful.
-                let signature = child.signature();
-                if seen.contains_key(&signature) {
-                    stats.duplicates += 1;
-                    continue;
-                }
-                seen.insert(signature, ());
-
-                // Track incumbents discovered at generation time so that a
-                // limit-bounded run still returns its best complete schedule.
-                if child.is_goal(self.problem) && child.g() < incumbent_len {
-                    incumbent_len = child.g();
-                    incumbent = child.to_schedule(self.problem);
-                }
-
-                counter += 1;
-                let key = (cf, child.h(), counter);
-                arena.push(child);
-                open.push((Reverse(key), arena.len() - 1));
-                stats.generated += 1;
-            }
-            let _ = f;
-        };
-
-        SearchResult {
-            schedule_length: incumbent.makespan(),
-            schedule: Some(incumbent),
-            outcome,
-            stats,
-            elapsed: start_time.elapsed(),
-        }
+        run_search(
+            self.problem,
+            AStarPolicy::new(self.pruning.upper_bound_pruning),
+            self.pruning,
+            self.heuristic,
+            self.limits,
+            self.store,
+        )
     }
 }
 
@@ -191,7 +94,9 @@ impl<'a> AStarScheduler<'a> {
 mod tests {
     use super::*;
     use crate::exhaustive::exhaustive_optimal;
+    use crate::stats::SearchOutcome;
     use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::Cost;
     use optsched_taskgraph::paper_example_dag;
     use optsched_workload::{fork_join, generate_random_dag, RandomDagConfig};
     use rand::rngs::StdRng;

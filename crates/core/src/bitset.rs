@@ -68,6 +68,16 @@ impl BitSet {
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.len).filter(move |&i| self.contains(i))
     }
+
+    /// Overwrites this set with the contents of `other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "copy_from requires equal capacities");
+        self.words.copy_from_slice(&other.words);
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +147,25 @@ mod tests {
         assert_eq!(hash(&a), hash(&b));
         b.insert(2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut a = BitSet::new(70);
+        a.insert(3);
+        a.insert(69);
+        let mut b = BitSet::new(70);
+        b.insert(5);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        assert!(!b.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal capacities")]
+    fn copy_from_rejects_capacity_mismatch() {
+        let mut a = BitSet::new(10);
+        a.copy_from(&BitSet::new(11));
     }
 
     #[test]

@@ -25,18 +25,14 @@
 //! predates them); duplicate partial schedules are still detected, as in any
 //! reasonable implementation, to keep memory bounded.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::time::Instant;
-
 use optsched_procnet::ProcId;
-use optsched_schedule::Schedule;
 use optsched_taskgraph::{Cost, NodeId};
 
-use crate::config::{HeuristicKind, SearchLimits};
+use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
+use crate::engine::{run_search, BoundPolicy, StoreKind};
 use crate::problem::SchedulingProblem;
-use crate::state::{SearchState, StateSignature};
-use crate::stats::{SearchOutcome, SearchResult, SearchStats};
+use crate::state::SearchState;
+use crate::stats::{SearchResult, SearchStats};
 
 /// Safety valve: maximum number of path/processor-assignment segments
 /// enumerated per bound evaluation before the enumeration is cut short (the
@@ -49,17 +45,20 @@ use crate::stats::{SearchOutcome, SearchResult, SearchStats};
 /// that is one to two orders of magnitude above the A* cost function's.
 const MAX_SEGMENTS_PER_EVALUATION: u64 = 4_000;
 
-/// Re-implementation of the Chen & Yu branch-and-bound scheduler.
+/// Re-implementation of the Chen & Yu branch-and-bound scheduler: a thin
+/// configuration over the unified [`engine`](crate::engine) whose
+/// [`BoundPolicy`] orders OPEN by the path-enumeration underestimate.
 #[derive(Debug, Clone)]
 pub struct ChenYuScheduler<'a> {
     problem: &'a SchedulingProblem,
     limits: SearchLimits,
+    store: StoreKind,
 }
 
 impl<'a> ChenYuScheduler<'a> {
     /// Creates the baseline scheduler.
     pub fn new(problem: &'a SchedulingProblem) -> Self {
-        ChenYuScheduler { problem, limits: SearchLimits::unlimited() }
+        ChenYuScheduler { problem, limits: SearchLimits::unlimited(), store: StoreKind::default() }
     }
 
     /// Applies resource limits to the run.
@@ -68,10 +67,20 @@ impl<'a> ChenYuScheduler<'a> {
         self
     }
 
+    /// Selects the state-store layout (delta arena by default).
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
+    }
+
     /// The expensive underestimate: explicit enumeration of the execution
     /// paths from `from` (the node just scheduled), matched against the
     /// processor graph, yielding a lower bound on the time between `FT(from)`
     /// and the completion of the last exit node reachable from it.
+    ///
+    /// `state` may be either the child (with `from` scheduled) or its parent:
+    /// the enumeration only consults the scheduled-status of strict
+    /// descendants of `from`, which is identical in both.
     fn path_bound(&self, state: &SearchState, from: NodeId, stats: &mut SearchStats) -> Cost {
         let graph = self.problem.graph();
         let net = self.problem.network();
@@ -142,104 +151,36 @@ impl<'a> ChenYuScheduler<'a> {
     }
 
     /// Runs the branch-and-bound search to completion (or until a limit is hit).
+    ///
+    /// Chen & Yu expand every ready node on every processor (no Section 3.2
+    /// pruning — the techniques postdate the algorithm), and, unlike the
+    /// paper's A*, have no external upper bound: branch-and-bound elimination
+    /// only uses incumbents discovered by the search itself, which is why the
+    /// [`BoundPolicy`] starts from an infinite incumbent length.  (The
+    /// list-heuristic schedule is still the fallback result if a limit stops
+    /// the run before any goal is found.)
     pub fn run(&self) -> SearchResult {
-        let start_time = Instant::now();
-        let mut stats = SearchStats::default();
-
-        let mut arena: Vec<SearchState> = Vec::new();
-        let mut open: BinaryHeap<(Reverse<(Cost, u64)>, usize)> = BinaryHeap::new();
-        let mut seen: HashMap<StateSignature, ()> = HashMap::new();
-        let mut counter: u64 = 0;
-
-        // Unlike the paper's A*, Chen & Yu's algorithm has no external upper
-        // bound: branch-and-bound elimination only uses incumbents discovered
-        // by the search itself.  (The list-heuristic schedule is still used as
-        // a fallback result if a limit stops the run before any goal is found.)
-        let mut incumbent: Schedule = self.problem.upper_bound_schedule().clone();
-        let mut incumbent_len: Cost = Cost::MAX;
-
-        arena.push(SearchState::initial(self.problem));
-        open.push((Reverse((0, counter)), 0));
-        stats.generated += 1;
-
-        let outcome = loop {
-            let Some((Reverse((f, _c)), idx)) = open.pop() else {
-                break SearchOutcome::Exhausted;
-            };
-            stats.max_open_size = stats.max_open_size.max(open.len() + 1);
-
-            if arena[idx].is_goal(self.problem) {
-                incumbent = arena[idx].to_schedule(self.problem);
-                break SearchOutcome::Optimal;
-            }
-            if let Some(max_exp) = self.limits.max_expansions {
-                if stats.expanded >= max_exp {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(max_gen) = self.limits.max_generated {
-                if stats.generated >= max_gen {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(ms) = self.limits.max_millis {
-                if start_time.elapsed().as_millis() as u64 >= ms {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(target) = self.limits.target_cost {
-                if incumbent_len <= target {
-                    break SearchOutcome::TargetReached;
-                }
-            }
-
-            stats.expanded += 1;
-            // Chen & Yu expand every ready node on every processor, without
-            // the pruning techniques of Section 3.2.
-            let ready = arena[idx].ready_nodes(self.problem);
-            for node in ready {
-                for proc in self.problem.network().proc_ids() {
-                    let child =
-                        arena[idx].schedule_node(self.problem, node, proc, HeuristicKind::Zero);
-                    stats.heuristic_evaluations += 1;
-                    let remaining = self.path_bound(&child, node, &mut stats);
-                    let finish = child
-                        .finish_time(node)
-                        .expect("node was just scheduled");
-                    let bound = child.g().max(finish + remaining);
-
-                    // Branch-and-bound elimination against the incumbent.
-                    if bound > incumbent_len {
-                        stats.pruned_upper_bound += 1;
-                        continue;
-                    }
-                    let signature = child.signature();
-                    if seen.contains_key(&signature) {
-                        stats.duplicates += 1;
-                        continue;
-                    }
-                    seen.insert(signature, ());
-                    if child.is_goal(self.problem) && child.g() < incumbent_len {
-                        incumbent_len = child.g();
-                        incumbent = child.to_schedule(self.problem);
-                    }
-                    counter += 1;
-                    let idx_new = arena.len();
-                    open.push((Reverse((bound, counter)), idx_new));
-                    arena.push(child);
-                    stats.generated += 1;
-                }
-            }
-            let _ = f;
-        };
-
-        SearchResult {
-            schedule_length: incumbent.makespan(),
-            schedule: Some(incumbent),
-            outcome,
-            stats,
-            elapsed: start_time.elapsed(),
-        }
+        let policy = BoundPolicy::new(
+            |_problem: &SchedulingProblem,
+             parent: &SearchState,
+             delta: &crate::state::ChildDelta,
+             stats: &mut SearchStats| {
+                // The expensive underestimate is evaluated against the parent
+                // plus the delta: the nodes the path enumeration visits are
+                // all descendants of the node just scheduled, whose
+                // scheduled-status is identical in parent and child.
+                let remaining = self.path_bound(parent, delta.node, stats);
+                delta.g.max(delta.finish + remaining)
+            },
+        );
+        run_search(
+            self.problem,
+            policy,
+            PruningConfig::none(),
+            HeuristicKind::Zero,
+            self.limits,
+            self.store,
+        )
     }
 
     /// Exposes the bound computation for tests and the benches (value and
@@ -327,7 +268,7 @@ fn exhaustive_path_matching(
 mod tests {
     use super::*;
     use crate::astar::AStarScheduler;
-    use crate::config::PruningConfig;
+    use crate::stats::SearchOutcome;
     use optsched_procnet::ProcNetwork;
     use optsched_taskgraph::paper_example_dag;
     use optsched_workload::{generate_random_dag, RandomDagConfig};

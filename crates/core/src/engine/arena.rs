@@ -1,0 +1,339 @@
+//! Arena-backed storage of generated search states.
+//!
+//! The pre-engine schedulers kept every generated state as a fully
+//! materialised [`SearchState`] — six boxed slices per state, cloned on every
+//! generation, held live for the whole run.  The [`StateArena`] replaces that
+//! with parent-pointer + [`ChildDelta`] records: a generated state costs one
+//! fixed-size record, and the full `SearchState` is rebuilt only when the
+//! state is actually selected for expansion, by replaying the delta chain
+//! onto a single reusable scratch state (no allocation on the replay path).
+//!
+//! The eager clone-per-generation layout is retained as
+//! [`StoreKind::EagerClone`] so the `ablation_serial` experiment binary can
+//! measure the before/after of the arena on identical search behaviour —
+//! both stores produce bit-identical search results; only the memory/time
+//! profile differs.
+
+use crate::problem::SchedulingProblem;
+use crate::state::{ChildDelta, SearchState};
+
+/// Identifier of a state held by a [`StateArena`].
+///
+/// Ids are dense and allocated in insertion order (the root is id 0), which
+/// the search engine relies on for FIFO tie-breaking.
+pub type StateId = u32;
+
+/// How the arena stores generated states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// Every admitted child is materialised immediately (one full clone per
+    /// generation) and retained for the whole run — the pre-engine layout,
+    /// kept for the before/after measurement in `results/BENCH_serial.json`.
+    EagerClone,
+    /// Children are stored as parent-id + delta records and materialised
+    /// lazily on expansion by replaying the chain onto a scratch state.
+    #[default]
+    DeltaArena,
+}
+
+impl std::fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreKind::EagerClone => write!(f, "eager"),
+            StoreKind::DeltaArena => write!(f, "arena"),
+        }
+    }
+}
+
+impl std::str::FromStr for StoreKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "eager" | "clone" => Ok(StoreKind::EagerClone),
+            "arena" | "delta" => Ok(StoreKind::DeltaArena),
+            other => Err(format!("unknown state store `{other}` (expected eager|arena)")),
+        }
+    }
+}
+
+/// One stored state: a full snapshot, or a delta against its parent.
+#[derive(Debug, Clone)]
+enum Slot {
+    Full(SearchState),
+    Delta { parent: StateId, delta: ChildDelta },
+}
+
+/// Append-only store of every state a search run has generated.
+#[derive(Debug)]
+pub struct StateArena<'p> {
+    problem: &'p SchedulingProblem,
+    kind: StoreKind,
+    slots: Vec<Slot>,
+    /// Reusable scratch state holding the most recently materialised delta
+    /// slot (`None` until the first delta materialisation).  Re-materialising
+    /// a descendant of the scratch state replays only the new deltas.
+    scratch: Option<(StateId, SearchState)>,
+    /// Reusable buffer for the delta chain collected during materialisation.
+    chain: Vec<ChildDelta>,
+    live_full: usize,
+    peak_live_full: usize,
+}
+
+impl<'p> StateArena<'p> {
+    /// An empty arena for `problem` with the given storage layout.
+    pub fn new(problem: &'p SchedulingProblem, kind: StoreKind) -> StateArena<'p> {
+        StateArena {
+            problem,
+            kind,
+            slots: Vec::new(),
+            scratch: None,
+            chain: Vec::new(),
+            live_full: 0,
+            peak_live_full: 0,
+        }
+    }
+
+    /// The storage layout in use.
+    pub fn kind(&self) -> StoreKind {
+        self.kind
+    }
+
+    /// Number of states stored (roots + children, both layouts).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no state has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Largest number of fully materialised states held at any point: every
+    /// state in the eager layout, only roots plus the scratch state in the
+    /// delta layout.  This is the allocation proxy reported by
+    /// `results/BENCH_serial.json`.
+    pub fn peak_live_full(&self) -> usize {
+        self.peak_live_full
+    }
+
+    fn note_live_full(&mut self, added: usize) {
+        self.live_full += added;
+        let scratch = usize::from(self.scratch.is_some());
+        self.peak_live_full = self.peak_live_full.max(self.live_full + scratch);
+    }
+
+    /// Stores a full state with no parent (the initial state; in the parallel
+    /// search, also states received from another PPE).
+    pub fn insert_root(&mut self, state: SearchState) -> StateId {
+        let id = self.next_id();
+        self.slots.push(Slot::Full(state));
+        self.note_live_full(1);
+        id
+    }
+
+    /// Stores the child of `parent` described by `delta`.
+    pub fn insert_child(&mut self, parent: StateId, delta: &ChildDelta) -> StateId {
+        let id = self.next_id();
+        match self.kind {
+            StoreKind::EagerClone => {
+                let Slot::Full(parent_state) = &self.slots[parent as usize] else {
+                    unreachable!("eager arenas store only full states");
+                };
+                let child = parent_state.apply_delta(self.problem, delta);
+                self.slots.push(Slot::Full(child));
+                self.note_live_full(1);
+            }
+            StoreKind::DeltaArena => {
+                self.slots.push(Slot::Delta { parent, delta: *delta });
+            }
+        }
+        id
+    }
+
+    fn next_id(&self) -> StateId {
+        StateId::try_from(self.slots.len()).expect("state arena overflowed StateId")
+    }
+
+    /// Returns the full state identified by `id`, rebuilding it from its
+    /// delta chain if necessary.  The returned reference borrows the arena
+    /// (it may point into the internal scratch state), so collect whatever
+    /// the expansion keeps before inserting new children.
+    pub fn materialise(&mut self, id: StateId) -> &SearchState {
+        // Fast path: the slot already holds a full state.
+        if matches!(self.slots[id as usize], Slot::Full(_)) {
+            let Slot::Full(state) = &self.slots[id as usize] else { unreachable!() };
+            return state;
+        }
+
+        // Collect the delta chain from `id` up to the nearest full snapshot,
+        // or to the scratch state if it already holds an ancestor.
+        let mut chain = std::mem::take(&mut self.chain);
+        chain.clear();
+        let scratch_id = self.scratch.as_ref().map(|&(sid, _)| sid);
+        let mut cursor = id;
+        let base: Option<StateId> = loop {
+            if Some(cursor) == scratch_id {
+                break None; // replay directly onto the scratch state
+            }
+            match &self.slots[cursor as usize] {
+                Slot::Full(_) => break Some(cursor),
+                Slot::Delta { parent, delta } => {
+                    chain.push(*delta);
+                    cursor = *parent;
+                }
+            }
+        };
+
+        if let Some(base_id) = base {
+            let Slot::Full(base_state) = &self.slots[base_id as usize] else { unreachable!() };
+            match &mut self.scratch {
+                Some((sid, scratch)) => {
+                    scratch.copy_from(base_state);
+                    *sid = base_id;
+                }
+                None => {
+                    self.scratch = Some((base_id, base_state.clone()));
+                    let scratch = usize::from(self.scratch.is_some());
+                    self.peak_live_full = self.peak_live_full.max(self.live_full + scratch);
+                }
+            }
+        }
+        let (sid, scratch) = self.scratch.as_mut().expect("scratch initialised above");
+        for delta in chain.iter().rev() {
+            scratch.apply_delta_in_place(self.problem, delta);
+        }
+        *sid = id;
+        self.chain = chain;
+        &self.scratch.as_ref().expect("scratch initialised above").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeuristicKind;
+    use optsched_procnet::{ProcId, ProcNetwork};
+    use optsched_taskgraph::paper_example_dag;
+    use optsched_workload::{generate_random_dag, RandomDagConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn example_problem() -> SchedulingProblem {
+        SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3))
+    }
+
+    #[test]
+    fn store_kind_parses_and_displays() {
+        assert_eq!("eager".parse::<StoreKind>().unwrap(), StoreKind::EagerClone);
+        assert_eq!("arena".parse::<StoreKind>().unwrap(), StoreKind::DeltaArena);
+        assert_eq!("DELTA".parse::<StoreKind>().unwrap(), StoreKind::DeltaArena);
+        assert!("bogus".parse::<StoreKind>().is_err());
+        assert_eq!(StoreKind::EagerClone.to_string(), "eager");
+        assert_eq!(StoreKind::DeltaArena.to_string(), "arena");
+        assert_eq!(StoreKind::default(), StoreKind::DeltaArena);
+    }
+
+    /// The ISSUE's arena acceptance test: on a random expansion trace, every
+    /// state materialised from the delta arena equals the eagerly cloned
+    /// state, including after out-of-order materialisation (scratch misses).
+    #[test]
+    fn materialised_states_equal_eager_clones_on_a_random_trace() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graph = generate_random_dag(
+            &RandomDagConfig { nodes: 9, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let problem = SchedulingProblem::new(graph, ProcNetwork::ring(3));
+        let h = HeuristicKind::PaperStaticLevel;
+
+        let mut arena = StateArena::new(&problem, StoreKind::DeltaArena);
+        let root = SearchState::initial(&problem);
+        let mut eager: Vec<SearchState> = vec![root.clone()];
+        let mut parents: Vec<StateId> = vec![arena.insert_root(root)];
+
+        // Random walk: repeatedly pick a random stored state, expand a random
+        // (ready node, processor) pair, store the child in both forms.
+        for _ in 0..200 {
+            let pick = rng.gen_range(0..eager.len());
+            let parent = eager[pick].clone();
+            let ready = parent.ready_nodes(&problem);
+            if ready.is_empty() {
+                continue;
+            }
+            let node = ready[rng.gen_range(0..ready.len())];
+            let proc = ProcId(rng.gen_range(0..problem.num_procs()) as u32);
+            let delta = parent.peek_child(&problem, node, proc, h);
+            let id = arena.insert_child(parents[pick], &delta);
+            eager.push(parent.schedule_node(&problem, node, proc, h));
+            parents.push(id);
+        }
+
+        // Materialise in a shuffled order so the scratch state repeatedly
+        // starts over from the root.
+        let mut order: Vec<usize> = (0..eager.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for &i in &order {
+            let materialised = arena.materialise(parents[i]);
+            let want = &eager[i];
+            assert_eq!(materialised.signature(), want.signature());
+            assert_eq!(materialised.g(), want.g());
+            assert_eq!(materialised.h(), want.h());
+            assert_eq!(materialised.depth(), want.depth());
+            assert_eq!(materialised.max_finish_node(), want.max_finish_node());
+            assert_eq!(materialised.ready_nodes(&problem), want.ready_nodes(&problem));
+            for p in problem.network().proc_ids() {
+                assert_eq!(materialised.proc_ready_time(p), want.proc_ready_time(p));
+            }
+        }
+    }
+
+    /// The scratch fast path: materialising a child of the most recently
+    /// materialised state replays exactly one delta.
+    #[test]
+    fn descendant_materialisation_reuses_the_scratch_state() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena = StateArena::new(&problem, StoreKind::DeltaArena);
+        let root = SearchState::initial(&problem);
+        let d1 = root.peek_child(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h);
+        let root_id = arena.insert_root(root.clone());
+        let c1 = arena.insert_child(root_id, &d1);
+        let s1 = arena.materialise(c1).clone();
+        let d2 = s1.peek_child(&problem, optsched_taskgraph::NodeId(1), ProcId(1), h);
+        let c2 = arena.insert_child(c1, &d2);
+        // c2 is a child of the scratch (c1): replayed in place.
+        let s2 = arena.materialise(c2);
+        assert_eq!(s2.depth(), 2);
+        assert_eq!(s2.signature(), s1.apply_delta(&problem, &d2).signature());
+        // Jumping back to the root still works (scratch rebuilt from the full slot).
+        assert_eq!(arena.materialise(root_id).depth(), 0);
+        assert_eq!(arena.materialise(c2).depth(), 2);
+    }
+
+    #[test]
+    fn peak_live_full_counts_stores_differently() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let root = SearchState::initial(&problem);
+        let d = root.peek_child(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h);
+
+        let mut eager = StateArena::new(&problem, StoreKind::EagerClone);
+        let r = eager.insert_root(root.clone());
+        let c = eager.insert_child(r, &d);
+        let _ = eager.materialise(c);
+        assert_eq!(eager.peak_live_full(), 2, "eager: every state is a full clone");
+        assert_eq!(eager.len(), 2);
+
+        let mut delta = StateArena::new(&problem, StoreKind::DeltaArena);
+        let r = delta.insert_root(root);
+        let c = delta.insert_child(r, &d);
+        let _ = delta.materialise(c);
+        assert_eq!(delta.peak_live_full(), 2, "delta: the root plus one scratch state");
+        assert_eq!(delta.len(), 2);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.kind(), StoreKind::DeltaArena);
+    }
+}

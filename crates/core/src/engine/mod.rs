@@ -1,0 +1,334 @@
+//! The unified best-first search engine.
+//!
+//! Every scheduler family in this workspace — serial A\*, Aε\*, the Chen & Yu
+//! branch-and-bound baseline, exhaustive enumeration, and each PPE of the
+//! parallel scheduler — is one state-space search over partial schedules.
+//! This module implements that search **once**:
+//!
+//! * [`run_search`] is the single OPEN/CLOSED run loop: frontier selection,
+//!   duplicate detection, [`SearchLimits`] enforcement, incumbent /
+//!   upper-bound handling and [`SearchStats`] accounting.  What
+//!   differentiates the algorithms — child evaluation, bound pruning and
+//!   expansion order — lives behind the [`FrontierPolicy`] trait
+//!   ([`policy`]): `AStarScheduler`, `AEpsScheduler`, `ChenYuScheduler` and
+//!   `ExhaustiveScheduler` are thin configurations over it.
+//! * [`StateArena`] ([`arena`]) stores generated states as parent-id +
+//!   [`ChildDelta`](crate::state::ChildDelta) records and materialises a full
+//!   [`SearchState`] only when a state is selected for expansion, replacing
+//!   the clone-per-generation layout (still available as
+//!   [`StoreKind::EagerClone`] for the before/after measurement).
+//! * [`expand_state`] is the shared per-child admission pipeline
+//!   (evaluate → bound-prune → duplicate-check), parameterised by the
+//!   [`DuplicateFilter`] hook; the parallel scheduler's PPE workers drive the
+//!   same pipeline with their sharded global CLOSED table behind the hook.
+
+pub mod arena;
+pub mod policy;
+
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::time::Instant;
+
+use optsched_schedule::Schedule;
+use optsched_taskgraph::Cost;
+
+use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
+use crate::problem::SchedulingProblem;
+use crate::state::{ChildDelta, SearchState, StateSignature};
+use crate::stats::{SearchOutcome, SearchResult, SearchStats};
+
+pub use arena::{StateArena, StateId, StoreKind};
+pub use policy::{
+    focal_threshold, AStarPolicy, BoundPolicy, DfsPolicy, FocalPolicy, FrontierPolicy, OpenEntry,
+};
+
+/// The engine's duplicate-detection hook.
+///
+/// The serial engine uses [`SignatureSet`]; the parallel scheduler plugs its
+/// sharded global CLOSED table (or the paper's per-PPE private sets) in
+/// behind this trait, preserving its claim-ownership semantics.
+pub trait DuplicateFilter {
+    /// Decides whether the state identified by `sig` (with path cost `g`)
+    /// is new.  Returns `false` — after updating the duplicate counters in
+    /// `stats` — when an identical partial schedule was already seen.
+    fn admit(&mut self, sig: StateSignature, g: Cost, stats: &mut SearchStats) -> bool;
+}
+
+/// The serial CLOSED ∪ OPEN seen-set: a plain hash set of state signatures.
+#[derive(Debug, Default)]
+pub struct SignatureSet {
+    seen: HashSet<StateSignature>,
+}
+
+impl SignatureSet {
+    /// An empty set.
+    pub fn new() -> SignatureSet {
+        SignatureSet::default()
+    }
+
+    /// Number of distinct signatures seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if no signature has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+impl DuplicateFilter for SignatureSet {
+    fn admit(&mut self, sig: StateSignature, _g: Cost, stats: &mut SearchStats) -> bool {
+        if self.seen.insert(sig) {
+            true
+        } else {
+            stats.duplicates += 1;
+            false
+        }
+    }
+}
+
+/// The instance-wide inputs of an expansion step, shared by every child the
+/// step generates.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpansionContext<'a> {
+    /// The problem being solved.
+    pub problem: &'a SchedulingProblem,
+    /// The Section 3.2 pruning techniques in force.
+    pub pruning: &'a PruningConfig,
+    /// The admissible heuristic evaluated for every child.
+    pub heuristic: HeuristicKind,
+}
+
+/// The shared per-child admission pipeline: enumerates the expansion
+/// candidates of `state`, evaluates each child allocation-free via
+/// [`SearchState::peek_child`], applies `evaluate`'s bound pruning (a `None`
+/// is counted as [`SearchStats::pruned_upper_bound`]), rejects duplicates
+/// through the [`DuplicateFilter`] hook, and hands every surviving child to
+/// `admit`.
+///
+/// Both the serial [`run_search`] loop and the parallel scheduler's PPE
+/// workers generate children exclusively through this function.
+pub fn expand_state<D: DuplicateFilter>(
+    ctx: ExpansionContext<'_>,
+    state: &SearchState,
+    dup: &mut D,
+    stats: &mut SearchStats,
+    mut evaluate: impl FnMut(&SearchState, &ChildDelta, &mut SearchStats) -> Option<Cost>,
+    mut admit: impl FnMut(&SearchState, ChildDelta, Cost, &mut SearchStats),
+) {
+    let candidates = state.expansion_candidates(ctx.problem, ctx.pruning, stats);
+    if candidates.is_empty() {
+        return;
+    }
+    let parent_sig = state.signature();
+    for (node, proc) in candidates {
+        let delta = state.peek_child(ctx.problem, node, proc, ctx.heuristic);
+        stats.heuristic_evaluations += 1;
+        let Some(value) = evaluate(state, &delta, stats) else {
+            stats.pruned_upper_bound += 1;
+            continue;
+        };
+        let sig = parent_sig.with_assignment(delta.node, delta.proc, delta.start);
+        if !dup.admit(sig, delta.g, stats) {
+            continue;
+        }
+        admit(state, delta, value, stats);
+    }
+}
+
+/// Runs a complete search over `problem` under the given frontier policy.
+///
+/// This is the only OPEN/CLOSED run loop in the workspace's serial
+/// schedulers: the state with the policy's best value is removed from the
+/// frontier; a goal either proves optimality or updates the incumbent
+/// (depending on the policy); otherwise the state is expanded through
+/// [`expand_state`] and the surviving children are stored in the
+/// [`StateArena`] and pushed back to the policy.
+pub fn run_search<P: FrontierPolicy>(
+    problem: &SchedulingProblem,
+    mut policy: P,
+    pruning: PruningConfig,
+    heuristic: HeuristicKind,
+    limits: SearchLimits,
+    store: StoreKind,
+) -> SearchResult {
+    let start_time = Instant::now();
+    let mut stats = SearchStats::default();
+    let mut arena = StateArena::new(problem, store);
+    let mut dup = SignatureSet::new();
+    let mut seq: u64 = 0;
+
+    // Incumbent: best complete schedule known so far.  The schedule starts
+    // as the list-heuristic schedule so a limit-bounded run always returns a
+    // feasible result; the *length* the bound pruning starts from is the
+    // policy's choice (the list upper bound for the A* family, infinite for
+    // branch-and-bound elimination without an external bound).
+    let mut incumbent: Schedule = problem.upper_bound_schedule().clone();
+    let incumbent_len = Cell::new(policy.initial_incumbent_len(problem));
+
+    let goal_is_final = policy.goal_on_pop_is_final();
+    let track_goals = policy.track_goals_at_generation();
+    let goal_depth = problem.num_nodes() as u16;
+
+    let root_id = arena.insert_root(SearchState::initial(problem));
+    policy.push(OpenEntry { id: root_id, f: 0, h: 0, value: 0, seq });
+    stats.generated += 1;
+
+    let mut kept: Vec<(ChildDelta, Cost)> = Vec::new();
+    let outcome = loop {
+        let Some(entry) = policy.pop() else {
+            break SearchOutcome::Exhausted;
+        };
+        stats.max_open_size = stats.max_open_size.max(policy.open_len() + 1);
+
+        kept.clear();
+        {
+            let state = arena.materialise(entry.id);
+
+            // Goal test at expansion time: under a best-first policy the
+            // first goal removed from OPEN is optimal; under an enumerating
+            // policy it only updates the incumbent.
+            if state.is_goal(problem) {
+                if goal_is_final {
+                    incumbent = state.to_schedule(problem);
+                    break SearchOutcome::Optimal;
+                }
+                if state.g() < incumbent_len.get() {
+                    incumbent_len.set(state.g());
+                    incumbent = state.to_schedule(problem);
+                }
+                continue;
+            }
+
+            // Limits.
+            if let Some(max_exp) = limits.max_expansions {
+                if stats.expanded >= max_exp {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(max_gen) = limits.max_generated {
+                if stats.generated >= max_gen {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(ms) = limits.max_millis {
+                if start_time.elapsed().as_millis() as u64 >= ms {
+                    break SearchOutcome::LimitReached;
+                }
+            }
+            if let Some(target) = limits.target_cost {
+                if incumbent_len.get() <= target {
+                    break SearchOutcome::TargetReached;
+                }
+            }
+
+            stats.expanded += 1;
+            expand_state(
+                ExpansionContext { problem, pruning: &pruning, heuristic },
+                state,
+                &mut dup,
+                &mut stats,
+                |parent, delta, stats| {
+                    policy.evaluate(problem, parent, delta, incumbent_len.get(), stats)
+                },
+                |parent, delta, value, _stats| {
+                    // Track incumbents discovered at generation time so the
+                    // bound tightens within this expansion and a
+                    // limit-bounded run still returns its best schedule.
+                    if track_goals && parent.depth() + 1 == goal_depth && delta.g < incumbent_len.get()
+                    {
+                        incumbent_len.set(delta.g);
+                        incumbent = parent.apply_delta(problem, &delta).to_schedule(problem);
+                    }
+                    kept.push((delta, value));
+                },
+            );
+        }
+
+        for &(delta, value) in &kept {
+            seq += 1;
+            let id = arena.insert_child(entry.id, &delta);
+            policy.push(OpenEntry { id, f: delta.f(), h: delta.h, value, seq });
+            stats.generated += 1;
+        }
+    };
+
+    stats.peak_live_states = arena.peak_live_full() as u64;
+    SearchResult {
+        schedule_length: incumbent.makespan(),
+        schedule: Some(incumbent),
+        outcome,
+        stats,
+        elapsed: start_time.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+
+    fn example_problem() -> SchedulingProblem {
+        SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3))
+    }
+
+    #[test]
+    fn signature_set_counts_duplicates() {
+        let problem = example_problem();
+        let mut stats = SearchStats::default();
+        let mut set = SignatureSet::new();
+        assert!(set.is_empty());
+        let sig = SearchState::initial(&problem).signature();
+        assert!(set.admit(sig.clone(), 0, &mut stats));
+        assert!(!set.admit(sig, 0, &mut stats));
+        assert_eq!(set.len(), 1);
+        assert_eq!(stats.duplicates, 1);
+    }
+
+    /// Both store layouts drive the identical search: same optimum, same
+    /// counters; only the peak number of live full states differs.
+    #[test]
+    fn store_layouts_produce_identical_searches() {
+        let problem = example_problem();
+        let run = |store| {
+            run_search(
+                &problem,
+                AStarPolicy::new(true),
+                PruningConfig::all(),
+                HeuristicKind::PaperStaticLevel,
+                SearchLimits::unlimited(),
+                store,
+            )
+        };
+        let eager = run(StoreKind::EagerClone);
+        let arena = run(StoreKind::DeltaArena);
+        assert_eq!(eager.schedule_length, 14);
+        assert_eq!(arena.schedule_length, 14);
+        assert_eq!(eager.stats.expanded, arena.stats.expanded);
+        assert_eq!(eager.stats.generated, arena.stats.generated);
+        assert_eq!(eager.stats.duplicates, arena.stats.duplicates);
+        assert!(
+            arena.stats.peak_live_states < eager.stats.peak_live_states,
+            "arena {} vs eager {}",
+            arena.stats.peak_live_states,
+            eager.stats.peak_live_states
+        );
+    }
+
+    #[test]
+    fn dfs_policy_enumerates_to_the_optimum() {
+        let problem = example_problem();
+        let r = run_search(
+            &problem,
+            DfsPolicy::new(),
+            PruningConfig::none(),
+            HeuristicKind::Zero,
+            SearchLimits::unlimited(),
+            StoreKind::DeltaArena,
+        );
+        assert_eq!(r.outcome, SearchOutcome::Exhausted);
+        assert_eq!(r.schedule_length, 14);
+    }
+}

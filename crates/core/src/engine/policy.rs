@@ -1,0 +1,449 @@
+//! Frontier policies: the per-algorithm part of the unified search engine.
+//!
+//! The [`run_search`](crate::engine::run_search) loop owns everything the
+//! four serial scheduler families share — OPEN/CLOSED bookkeeping, duplicate
+//! detection, limit enforcement, incumbent tracking, statistics.  What makes
+//! A\*, Aε\*, Chen & Yu branch-and-bound and exhaustive enumeration different
+//! algorithms is captured by the [`FrontierPolicy`] trait: how a generated
+//! child is *evaluated* (and bound-pruned), and in which *order* frontier
+//! states are selected for expansion.  Each policy below is a few dozen
+//! lines; adding a new scheduler family means adding one more.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use optsched_taskgraph::Cost;
+
+use crate::engine::arena::StateId;
+use crate::problem::SchedulingProblem;
+use crate::state::{ChildDelta, SearchState};
+use crate::stats::SearchStats;
+
+/// One OPEN-list entry: a stored state plus the costs the policies order by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenEntry {
+    /// Arena id of the state.
+    pub id: StateId,
+    /// `f = g + h` of the state.
+    pub f: Cost,
+    /// `h` of the state.
+    pub h: Cost,
+    /// The policy's ordering value ([`FrontierPolicy::evaluate`]'s result):
+    /// `f` for the A\* family, the path-matching bound for Chen & Yu, `g`
+    /// for the exhaustive enumeration.
+    pub value: Cost,
+    /// Insertion sequence number (FIFO/LIFO tie-breaking).
+    pub seq: u64,
+}
+
+/// The pluggable algorithm-specific half of the search engine.
+pub trait FrontierPolicy {
+    /// Evaluates a freshly generated child (described by `delta`, against its
+    /// materialised `parent`).  Returns the child's ordering value, or `None`
+    /// to discard it as bound-pruned (counted as
+    /// [`SearchStats::pruned_upper_bound`]).
+    fn evaluate(
+        &mut self,
+        problem: &SchedulingProblem,
+        parent: &SearchState,
+        delta: &ChildDelta,
+        incumbent_len: Cost,
+        stats: &mut SearchStats,
+    ) -> Option<Cost>;
+
+    /// Inserts a state into the frontier.
+    fn push(&mut self, entry: OpenEntry);
+
+    /// Removes and returns the next state to expand.
+    fn pop(&mut self) -> Option<OpenEntry>;
+
+    /// Current frontier size (may include lazily deleted entries).
+    fn open_len(&self) -> usize;
+
+    /// True when the first goal state *popped* from the frontier is provably
+    /// final (best-first order with an admissible evaluation).  When false,
+    /// popped goals only update the incumbent and the search continues until
+    /// the frontier is exhausted (exhaustive enumeration).
+    fn goal_on_pop_is_final(&self) -> bool {
+        true
+    }
+
+    /// Whether goals discovered at *generation* time update the incumbent
+    /// immediately (tightening the bound for the rest of the expansion).
+    fn track_goals_at_generation(&self) -> bool {
+        true
+    }
+
+    /// The incumbent length the bound-pruning rule starts from.
+    fn initial_incumbent_len(&self, problem: &SchedulingProblem) -> Cost {
+        problem.upper_bound()
+    }
+}
+
+/// A binary min-heap of [`OpenEntry`]s keyed by `K` (smallest key pops first).
+#[derive(Debug)]
+struct MinHeap<K: Ord> {
+    heap: BinaryHeap<Keyed<K>>,
+}
+
+#[derive(Debug)]
+struct Keyed<K: Ord> {
+    key: Reverse<K>,
+    entry: OpenEntry,
+}
+
+impl<K: Ord> PartialEq for Keyed<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<K: Ord> Eq for Keyed<K> {}
+impl<K: Ord> PartialOrd for Keyed<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord> Ord for Keyed<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<K: Ord> MinHeap<K> {
+    fn new() -> MinHeap<K> {
+        MinHeap { heap: BinaryHeap::new() }
+    }
+
+    fn push(&mut self, key: K, entry: OpenEntry) {
+        self.heap.push(Keyed { key: Reverse(key), entry });
+    }
+
+    fn pop(&mut self) -> Option<OpenEntry> {
+        self.heap.pop().map(|k| k.entry)
+    }
+
+    fn peek(&self) -> Option<&OpenEntry> {
+        self.heap.peek().map(|k| &k.entry)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// A\* (Section 3.1): best-first on `(f, h, FIFO)`, with the upper-bound
+/// pruning rule of Section 3.2 when enabled.
+#[derive(Debug)]
+pub struct AStarPolicy {
+    open: MinHeap<(Cost, Cost, u64)>,
+    prune_upper_bound: bool,
+}
+
+impl AStarPolicy {
+    /// An A\* frontier; `prune_upper_bound` enables the incumbent bound rule.
+    pub fn new(prune_upper_bound: bool) -> AStarPolicy {
+        AStarPolicy { open: MinHeap::new(), prune_upper_bound }
+    }
+}
+
+impl FrontierPolicy for AStarPolicy {
+    fn evaluate(
+        &mut self,
+        _problem: &SchedulingProblem,
+        _parent: &SearchState,
+        delta: &ChildDelta,
+        incumbent_len: Cost,
+        _stats: &mut SearchStats,
+    ) -> Option<Cost> {
+        let f = delta.f();
+        (!self.prune_upper_bound || f <= incumbent_len).then_some(f)
+    }
+
+    fn push(&mut self, entry: OpenEntry) {
+        self.open.push((entry.value, entry.h, entry.seq), entry);
+    }
+
+    fn pop(&mut self) -> Option<OpenEntry> {
+        self.open.pop()
+    }
+
+    fn open_len(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Largest cost admitted into FOCAL when the smallest OPEN cost is `fmin`.
+pub fn focal_threshold(epsilon: f64, fmin: Cost) -> Cost {
+    ((fmin as f64) * (1.0 + epsilon)).floor() as Cost
+}
+
+/// Aε\* (Section 3.4, Pearl & Kim): keeps two lazily synchronised orderings
+/// of OPEN — by `f` (for `fmin` and the fallback) and by `(h, f)` — and
+/// expands the smallest-`h` state whose `f` is within `(1 + ε) · fmin`
+/// (FOCAL), falling back to the smallest-`f` state.
+#[derive(Debug)]
+pub struct FocalPolicy {
+    epsilon: f64,
+    prune_upper_bound: bool,
+    open_f: MinHeap<(Cost, u64)>,
+    open_h: MinHeap<(Cost, Cost, u64)>,
+    /// Lazy-deletion marker, indexed by state id.
+    in_open: Vec<bool>,
+}
+
+impl FocalPolicy {
+    /// An Aε\* frontier with approximation factor `epsilon`.
+    pub fn new(epsilon: f64, prune_upper_bound: bool) -> FocalPolicy {
+        FocalPolicy {
+            epsilon,
+            prune_upper_bound,
+            open_f: MinHeap::new(),
+            open_h: MinHeap::new(),
+            in_open: Vec::new(),
+        }
+    }
+
+    fn is_open(&self, id: StateId) -> bool {
+        self.in_open.get(id as usize).copied().unwrap_or(false)
+    }
+
+    fn mark(&mut self, id: StateId, open: bool) {
+        let i = id as usize;
+        if i >= self.in_open.len() {
+            self.in_open.resize(i + 1, false);
+        }
+        self.in_open[i] = open;
+    }
+}
+
+impl FrontierPolicy for FocalPolicy {
+    fn evaluate(
+        &mut self,
+        _problem: &SchedulingProblem,
+        _parent: &SearchState,
+        delta: &ChildDelta,
+        incumbent_len: Cost,
+        _stats: &mut SearchStats,
+    ) -> Option<Cost> {
+        let f = delta.f();
+        (!self.prune_upper_bound || f <= incumbent_len).then_some(f)
+    }
+
+    fn push(&mut self, entry: OpenEntry) {
+        self.mark(entry.id, true);
+        self.open_f.push((entry.f, entry.seq), entry);
+        self.open_h.push((entry.h, entry.f, entry.seq), entry);
+    }
+
+    fn pop(&mut self) -> Option<OpenEntry> {
+        // Clean stale entries from the f-ordered heap and read fmin.
+        let fmin = loop {
+            match self.open_f.peek() {
+                None => return None,
+                Some(e) if self.is_open(e.id) => break e.f,
+                Some(_) => {
+                    self.open_f.pop();
+                }
+            }
+        };
+        let threshold = focal_threshold(self.epsilon, fmin);
+
+        // Prefer the smallest-h state within FOCAL; fall back to the
+        // smallest-f state (which is trivially in FOCAL).
+        let mut chosen: Option<OpenEntry> = None;
+        while let Some(e) = self.open_h.peek() {
+            if !self.is_open(e.id) {
+                self.open_h.pop();
+                continue;
+            }
+            if e.f <= threshold {
+                chosen = self.open_h.pop();
+            }
+            break;
+        }
+        let entry = match chosen {
+            Some(e) => e,
+            None => self.open_f.pop().expect("fmin was just observed"),
+        };
+        self.mark(entry.id, false);
+        Some(entry)
+    }
+
+    fn open_len(&self) -> usize {
+        self.open_f.len()
+    }
+}
+
+/// Branch-and-bound with an expensive underestimate (Chen & Yu): best-first
+/// on the bound computed by the supplied evaluator — for the paper's
+/// baseline, explicit execution-path enumeration matched against the
+/// processor graph.  Elimination is against incumbents found by the search
+/// itself (no external upper bound), hence the infinite initial incumbent.
+#[derive(Debug)]
+pub struct BoundPolicy<F> {
+    open: MinHeap<(Cost, u64)>,
+    bound: F,
+}
+
+impl<F> BoundPolicy<F>
+where
+    F: FnMut(&SchedulingProblem, &SearchState, &ChildDelta, &mut SearchStats) -> Cost,
+{
+    /// A branch-and-bound frontier ordered by `bound`'s result.
+    pub fn new(bound: F) -> BoundPolicy<F> {
+        BoundPolicy { open: MinHeap::new(), bound }
+    }
+}
+
+impl<F> FrontierPolicy for BoundPolicy<F>
+where
+    F: FnMut(&SchedulingProblem, &SearchState, &ChildDelta, &mut SearchStats) -> Cost,
+{
+    fn evaluate(
+        &mut self,
+        problem: &SchedulingProblem,
+        parent: &SearchState,
+        delta: &ChildDelta,
+        incumbent_len: Cost,
+        stats: &mut SearchStats,
+    ) -> Option<Cost> {
+        let bound = (self.bound)(problem, parent, delta, stats);
+        (bound <= incumbent_len).then_some(bound)
+    }
+
+    fn push(&mut self, entry: OpenEntry) {
+        self.open.push((entry.value, entry.seq), entry);
+    }
+
+    fn pop(&mut self) -> Option<OpenEntry> {
+        self.open.pop()
+    }
+
+    fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    fn initial_incumbent_len(&self, _problem: &SchedulingProblem) -> Cost {
+        Cost::MAX
+    }
+}
+
+/// Exhaustive depth-first enumeration: LIFO order, prune only against the
+/// best complete schedule found so far (exact because `g` never decreases
+/// along a path).  Goals never terminate the search — exhausting the
+/// frontier is the optimality proof.
+#[derive(Debug, Default)]
+pub struct DfsPolicy {
+    stack: Vec<OpenEntry>,
+}
+
+impl DfsPolicy {
+    /// An empty depth-first frontier.
+    pub fn new() -> DfsPolicy {
+        DfsPolicy::default()
+    }
+}
+
+impl FrontierPolicy for DfsPolicy {
+    fn evaluate(
+        &mut self,
+        problem: &SchedulingProblem,
+        parent: &SearchState,
+        delta: &ChildDelta,
+        incumbent_len: Cost,
+        _stats: &mut SearchStats,
+    ) -> Option<Cost> {
+        let is_goal = usize::from(parent.depth()) + 1 == problem.num_nodes();
+        if delta.g > incumbent_len || (is_goal && delta.g >= incumbent_len) {
+            return None;
+        }
+        Some(delta.g)
+    }
+
+    fn push(&mut self, entry: OpenEntry) {
+        self.stack.push(entry);
+    }
+
+    fn pop(&mut self) -> Option<OpenEntry> {
+        self.stack.pop()
+    }
+
+    fn open_len(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn goal_on_pop_is_final(&self) -> bool {
+        false
+    }
+
+    fn track_goals_at_generation(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: StateId, f: Cost, h: Cost, seq: u64) -> OpenEntry {
+        OpenEntry { id, f, h, value: f, seq }
+    }
+
+    #[test]
+    fn astar_policy_orders_by_f_then_h_then_fifo() {
+        let mut p = AStarPolicy::new(true);
+        p.push(entry(0, 5, 3, 0));
+        p.push(entry(1, 4, 9, 1));
+        p.push(entry(2, 4, 2, 2));
+        p.push(entry(3, 4, 2, 3));
+        assert_eq!(p.open_len(), 4);
+        let order: Vec<StateId> = std::iter::from_fn(|| p.pop()).map(|e| e.id).collect();
+        assert_eq!(order, vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn focal_threshold_rounds_down() {
+        assert_eq!(focal_threshold(0.2, 10), 12);
+        assert_eq!(focal_threshold(0.2, 14), 16); // 16.8 -> 16
+        assert_eq!(focal_threshold(0.0, 7), 7);
+    }
+
+    #[test]
+    fn focal_policy_prefers_small_h_within_the_bound() {
+        let mut p = FocalPolicy::new(0.5, true);
+        p.push(entry(0, 10, 9, 0)); // fmin, large h
+        p.push(entry(1, 14, 1, 1)); // inside FOCAL (14 <= 15), smallest h
+        p.push(entry(2, 16, 5, 2)); // outside FOCAL
+        assert_eq!(p.pop().unwrap().id, 1);
+        // Now the h-ordered top is entry 2 (h = 5) but its f is above
+        // floor(10 * 1.5) = 15: the policy only inspects the top of the
+        // h-ordered heap, so it falls back to the smallest-f state (id 0).
+        assert_eq!(p.pop().unwrap().id, 0);
+        assert_eq!(p.pop().unwrap().id, 2);
+        assert!(p.pop().is_none());
+    }
+
+    #[test]
+    fn focal_policy_at_zero_epsilon_is_astar_like_on_f() {
+        let mut p = FocalPolicy::new(0.0, true);
+        p.push(entry(0, 5, 5, 0));
+        p.push(entry(1, 5, 1, 1));
+        p.push(entry(2, 7, 0, 2));
+        // FOCAL = { f == 5 }: the h-ordered top is id 2 (h = 0) but f = 7 > 5,
+        // so the fallback pops the smallest-f entry (id 0, FIFO before 1).
+        assert_eq!(p.pop().unwrap().id, 0);
+        assert_eq!(p.pop().unwrap().id, 1);
+        assert_eq!(p.pop().unwrap().id, 2);
+    }
+
+    #[test]
+    fn dfs_policy_is_lifo_and_goals_do_not_finalise() {
+        let mut p = DfsPolicy::new();
+        p.push(entry(0, 1, 0, 0));
+        p.push(entry(1, 2, 0, 1));
+        assert!(!p.goal_on_pop_is_final());
+        assert!(!p.track_goals_at_generation());
+        assert_eq!(p.pop().unwrap().id, 1);
+        assert_eq!(p.pop().unwrap().id, 0);
+    }
+}

@@ -3,47 +3,77 @@
 //! A plain depth-first enumeration of every `(ready node, processor)`
 //! decision, with duplicate-state elimination and pruning only against the
 //! best complete schedule found so far (which preserves exactness because
-//! `g` never decreases along a path).  Exponential — intended solely as the
-//! ground truth for the unit and property tests of the search algorithms.
-
-use std::collections::HashSet;
+//! `g` never decreases along a path).  Exponential — intended primarily as
+//! the ground truth for the unit and property tests of the search
+//! algorithms.
+//!
+//! Since the move onto the unified [`engine`](crate::engine) the enumerator
+//! is an ordinary scheduler: it honours [`SearchLimits`] (a bounded run
+//! returns the best incumbent with
+//! [`SearchOutcome::LimitReached`](crate::stats::SearchOutcome)) and reports
+//! full [`SearchStats`](crate::stats::SearchStats).
 
 use optsched_taskgraph::Cost;
 
-use crate::config::HeuristicKind;
+use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
+use crate::engine::{run_search, DfsPolicy, StoreKind};
 use crate::problem::SchedulingProblem;
-use crate::state::{SearchState, StateSignature};
+use crate::stats::{SearchOutcome, SearchResult};
+
+/// Exhaustive depth-first enumeration scheduler.
+///
+/// Use only for small instances (roughly `v <= 10` and `p <= 4`); the tests
+/// of this workspace use it to certify the optimality of the A* results.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveScheduler<'a> {
+    problem: &'a SchedulingProblem,
+    limits: SearchLimits,
+    store: StoreKind,
+}
+
+impl<'a> ExhaustiveScheduler<'a> {
+    /// Creates the enumerator.
+    pub fn new(problem: &'a SchedulingProblem) -> Self {
+        ExhaustiveScheduler { problem, limits: SearchLimits::unlimited(), store: StoreKind::default() }
+    }
+
+    /// Applies resource limits to the run (previously the enumerator ignored
+    /// them; on the engine they come for free).
+    pub fn with_limits(mut self, limits: SearchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Selects the state-store layout (delta arena by default).
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Runs the enumeration.  An exhausted frontier *is* the optimality
+    /// proof, so a run that was not cut short reports
+    /// [`SearchOutcome::Optimal`].
+    pub fn run(&self) -> SearchResult {
+        let mut result = run_search(
+            self.problem,
+            DfsPolicy::new(),
+            PruningConfig::none(),
+            HeuristicKind::Zero,
+            self.limits,
+            self.store,
+        );
+        if result.outcome == SearchOutcome::Exhausted {
+            result.outcome = SearchOutcome::Optimal;
+        }
+        result
+    }
+}
 
 /// Returns the optimal schedule length of `problem` by exhaustive enumeration.
 ///
-/// Use only for small instances (roughly `v <= 8` and `p <= 4`); the tests of
-/// this workspace use it to certify the optimality of the A* results.
+/// Convenience wrapper over [`ExhaustiveScheduler`] with no limits.
 pub fn exhaustive_optimal(problem: &SchedulingProblem) -> Cost {
-    let mut best = problem.upper_bound();
-    let mut seen: HashSet<StateSignature> = HashSet::new();
-    let mut stack = vec![SearchState::initial(problem)];
-    while let Some(state) = stack.pop() {
-        if state.is_goal(problem) {
-            best = best.min(state.g());
-            continue;
-        }
-        for node in state.ready_nodes(problem) {
-            for proc in problem.network().proc_ids() {
-                let child = state.schedule_node(problem, node, proc, HeuristicKind::Zero);
-                if child.g() >= best && child.is_goal(problem) {
-                    continue;
-                }
-                if child.g() > best {
-                    // g only grows along a path, so this subtree cannot improve.
-                    continue;
-                }
-                if seen.insert(child.signature()) {
-                    stack.push(child);
-                }
-            }
-        }
-    }
-    best
+    ExhaustiveScheduler::new(problem).run().schedule_length
 }
 
 #[cfg(test)]
@@ -82,5 +112,38 @@ mod tests {
     fn single_processor_is_serial() {
         let prob = SchedulingProblem::new(paper_example_dag(), ProcNetwork::fully_connected(1));
         assert_eq!(exhaustive_optimal(&prob), 19);
+    }
+
+    #[test]
+    fn unbounded_run_proves_optimality_and_reports_stats() {
+        let prob = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+        let r = ExhaustiveScheduler::new(&prob).run();
+        assert!(r.is_optimal());
+        assert_eq!(r.schedule_length, 14);
+        r.expect_schedule().validate(prob.graph(), prob.network()).unwrap();
+        assert!(r.stats.expanded > 0);
+        // Every stored state is popped exactly once; only goal pops are not
+        // expansions (on the paper example the list upper bound equals the
+        // optimum, so no goal child survives the bound and the two are equal).
+        assert!(r.stats.generated >= r.stats.expanded);
+    }
+
+    /// The satellite requirement of the engine refactor: the enumerator now
+    /// honours `SearchLimits` instead of silently ignoring them.
+    #[test]
+    fn limits_are_honoured() {
+        let prob = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+        let r = ExhaustiveScheduler::new(&prob).with_limits(SearchLimits::expansions(2)).run();
+        assert_eq!(r.outcome, SearchOutcome::LimitReached);
+        assert!(r.stats.expanded <= 2);
+        // The incumbent falls back to the (feasible) list-heuristic schedule.
+        let s = r.expect_schedule();
+        s.validate(prob.graph(), prob.network()).unwrap();
+        assert!(r.schedule_length >= 14);
+
+        let timed = ExhaustiveScheduler::new(&prob)
+            .with_limits(SearchLimits { max_millis: Some(0), ..Default::default() })
+            .run();
+        assert_eq!(timed.outcome, SearchOutcome::LimitReached);
     }
 }

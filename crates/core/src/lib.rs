@@ -18,6 +18,11 @@
 //! * [`exhaustive`] — brute-force enumeration for tiny problems, used by the
 //!   tests to certify optimality of the search algorithms.
 //!
+//! All four are thin configurations over the unified [`engine`]: one generic
+//! best-first run loop parameterised by a [`FrontierPolicy`], on top of an
+//! arena-backed state store ([`StateArena`]) that keeps generated states as
+//! parent + delta records instead of full clones.
+//!
 //! The entry point is [`SchedulingProblem`], which bundles the task graph,
 //! the processor network and the precomputed level attributes:
 //!
@@ -39,6 +44,7 @@ pub mod astar;
 pub mod bitset;
 pub mod bnb;
 pub mod config;
+pub mod engine;
 pub mod exhaustive;
 pub mod problem;
 pub mod state;
@@ -48,7 +54,8 @@ pub use aeps::AEpsScheduler;
 pub use astar::AStarScheduler;
 pub use bnb::ChenYuScheduler;
 pub use config::{HeuristicKind, PruningConfig, SearchLimits};
-pub use exhaustive::exhaustive_optimal;
+pub use engine::{DuplicateFilter, FrontierPolicy, StateArena, StoreKind};
+pub use exhaustive::{exhaustive_optimal, ExhaustiveScheduler};
 pub use problem::SchedulingProblem;
-pub use state::SearchState;
+pub use state::{ChildDelta, SearchState};
 pub use stats::{SearchOutcome, SearchResult, SearchStats};

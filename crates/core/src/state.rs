@@ -32,6 +32,59 @@ const UNASSIGNED: u16 = u16::MAX;
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StateSignature(Box<[u64]>);
 
+impl StateSignature {
+    /// Packs one `(processor, start time)` assignment into a signature word.
+    #[inline]
+    fn pack(proc: u64, start: Cost) -> u64 {
+        debug_assert!(start < (1 << 48), "start time exceeds the packed range");
+        (proc << 48) | start
+    }
+
+    /// The signature of the child obtained from this (parent) signature by
+    /// additionally scheduling `node` on `proc` at `start`.
+    ///
+    /// Equivalent to materialising the child and calling
+    /// [`SearchState::signature`], at the cost of one word-slice clone.
+    pub fn with_assignment(&self, node: NodeId, proc: ProcId, start: Cost) -> StateSignature {
+        let mut words = self.0.clone();
+        debug_assert_eq!(words[node.index()], u64::MAX, "node already scheduled in the parent");
+        words[node.index()] = StateSignature::pack(proc.index() as u64, start);
+        StateSignature(words)
+    }
+}
+
+/// The delta record of one expansion step: everything that distinguishes a
+/// child state from its parent, in a fixed-size value.
+///
+/// Produced by [`SearchState::peek_child`] *without* materialising the child,
+/// so the search engine can evaluate, bound-prune and duplicate-check a
+/// generated state before paying for a single allocation.  Applying the delta
+/// to the parent with [`SearchState::apply_delta`] reproduces exactly the
+/// state [`SearchState::schedule_node`] would have built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildDelta {
+    /// The ready node being scheduled.
+    pub node: NodeId,
+    /// The processor it is assigned to.
+    pub proc: ProcId,
+    /// Its start time (earliest start on `proc`).
+    pub start: Cost,
+    /// Its finish time.
+    pub finish: Cost,
+    /// The child's partial schedule length `g`.
+    pub g: Cost,
+    /// The child's heuristic estimate `h`.
+    pub h: Cost,
+}
+
+impl ChildDelta {
+    /// `f = g + h` of the child this delta describes.
+    #[inline]
+    pub fn f(&self) -> Cost {
+        self.g + self.h
+    }
+}
+
 /// A partial schedule together with its cost `f = g + h`.
 #[derive(Debug, Clone)]
 pub struct SearchState {
@@ -174,66 +227,132 @@ impl SearchState {
         p: ProcId,
         heuristic: HeuristicKind,
     ) -> SearchState {
-        let mut next = self.clone();
+        let delta = self.peek_child(problem, n, p, heuristic);
+        self.apply_delta(problem, &delta)
+    }
+
+    /// Evaluates the expansion "schedule ready node `n` on processor `p`"
+    /// *without materialising the child state*: the returned [`ChildDelta`]
+    /// carries the child's placement, `g` and `h`, computed directly against
+    /// this (parent) state.
+    ///
+    /// This is the allocation-free half of the expansion operator; pass the
+    /// delta to [`SearchState::apply_delta`] to build the full child, which is
+    /// only necessary for states that survive pruning and duplicate detection
+    /// and are actually selected for expansion.
+    pub fn peek_child(
+        &self,
+        problem: &SchedulingProblem,
+        n: NodeId,
+        p: ProcId,
+        heuristic: HeuristicKind,
+    ) -> ChildDelta {
         let est = self.earliest_start(problem, n, p);
         let dur = problem.network().exec_time(problem.graph().weight(n), p);
         let finish = est + dur;
-
-        next.scheduled.insert(n.index());
-        next.proc_of[n.index()] = p.index() as u16;
-        next.start[n.index()] = est;
-        next.finish[n.index()] = finish;
-        next.proc_ready[p.index()] = finish;
-        next.num_scheduled += 1;
-        for &(child, _) in problem.graph().successors(n) {
-            next.missing_preds[child.index()] -= 1;
-        }
-        if finish >= next.g {
-            next.g = finish;
-            next.max_finish_node = Some(n);
-        }
-        next.h = next.compute_h(problem, heuristic);
-        next
+        let (g, max_finish_node) =
+            if finish >= self.g { (finish, Some(n)) } else { (self.g, self.max_finish_node) };
+        let h = self.peek_h(problem, heuristic, n, finish, g, max_finish_node);
+        ChildDelta { node: n, proc: p, start: est, finish, g, h }
     }
 
-    /// Evaluates the heuristic `h(s)` for this state.
-    fn compute_h(&self, problem: &SchedulingProblem, heuristic: HeuristicKind) -> Cost {
+    /// Evaluates the heuristic of the child obtained by scheduling `n` (with
+    /// finish time `n_finish`), against this parent state.  `g` and
+    /// `max_finish_node` are the child's values.
+    fn peek_h(
+        &self,
+        problem: &SchedulingProblem,
+        heuristic: HeuristicKind,
+        n: NodeId,
+        n_finish: Cost,
+        g: Cost,
+        max_finish_node: Option<NodeId>,
+    ) -> Cost {
         let graph = problem.graph();
         let levels = problem.levels();
+        // Scheduled-set and finish times of the *child*: the parent's, plus `n`.
+        let scheduled = |m: NodeId| m == n || self.is_scheduled(m);
+        let finish_of = |m: NodeId| if m == n { n_finish } else { self.finish[m.index()] };
         match heuristic {
             HeuristicKind::Zero => 0,
             HeuristicKind::PaperStaticLevel => {
-                let Some(nmax) = self.max_finish_node else { return 0 };
+                let Some(nmax) = max_finish_node else { return 0 };
                 graph
                     .successors(nmax)
                     .iter()
-                    .filter(|&&(c, _)| !self.is_scheduled(c))
+                    .filter(|&&(c, _)| !scheduled(c))
                     .map(|&(c, _)| levels.static_level(c))
                     .max()
                     .unwrap_or(0)
             }
             HeuristicKind::TightStaticLevel => {
-                let mut bound = self.g;
-                for n in graph.node_ids().filter(|&n| self.is_scheduled(n)) {
+                let mut bound = g;
+                for m in graph.node_ids().filter(|&m| scheduled(m)) {
                     let tail = graph
-                        .successors(n)
+                        .successors(m)
                         .iter()
-                        .filter(|&&(c, _)| !self.is_scheduled(c))
+                        .filter(|&&(c, _)| !scheduled(c))
                         .map(|&(c, _)| levels.static_level(c))
                         .max()
                         .unwrap_or(0);
-                    bound = bound.max(self.finish[n.index()] + tail);
+                    bound = bound.max(finish_of(m) + tail);
                 }
                 // Unscheduled entry-like nodes (all of whose predecessors are
                 // unscheduled too) still need at least their static level.
-                for n in graph.node_ids().filter(|&n| !self.is_scheduled(n)) {
-                    if graph.predecessors(n).iter().all(|&(p, _)| !self.is_scheduled(p)) {
-                        bound = bound.max(levels.static_level(n));
+                for m in graph.node_ids().filter(|&m| !scheduled(m)) {
+                    if graph.predecessors(m).iter().all(|&(q, _)| !scheduled(q)) {
+                        bound = bound.max(levels.static_level(m));
                     }
                 }
-                bound - self.g
+                bound - g
             }
         }
+    }
+
+    /// Materialises the child described by `delta`: clones this state and
+    /// applies the delta in place.
+    pub fn apply_delta(&self, problem: &SchedulingProblem, delta: &ChildDelta) -> SearchState {
+        let mut next = self.clone();
+        next.apply_delta_in_place(problem, delta);
+        next
+    }
+
+    /// Applies `delta` to this state in place (the replay step of the
+    /// delta-backed state arena).  `self` must be the delta's parent state.
+    pub fn apply_delta_in_place(&mut self, problem: &SchedulingProblem, delta: &ChildDelta) {
+        let n = delta.node;
+        let p = delta.proc;
+        debug_assert!(!self.is_scheduled(n), "delta re-schedules an already scheduled node");
+        self.scheduled.insert(n.index());
+        self.proc_of[n.index()] = p.index() as u16;
+        self.start[n.index()] = delta.start;
+        self.finish[n.index()] = delta.finish;
+        self.proc_ready[p.index()] = delta.finish;
+        self.num_scheduled += 1;
+        for &(child, _) in problem.graph().successors(n) {
+            self.missing_preds[child.index()] -= 1;
+        }
+        if delta.finish >= self.g {
+            self.max_finish_node = Some(n);
+        }
+        self.g = delta.g;
+        self.h = delta.h;
+    }
+
+    /// Overwrites this state with the contents of `other` without allocating
+    /// (all slices keep their boxes; both states must belong to the same
+    /// problem instance, i.e. have identical slice lengths).
+    pub fn copy_from(&mut self, other: &SearchState) {
+        self.scheduled.copy_from(&other.scheduled);
+        self.proc_of.copy_from_slice(&other.proc_of);
+        self.start.copy_from_slice(&other.start);
+        self.finish.copy_from_slice(&other.finish);
+        self.proc_ready.copy_from_slice(&other.proc_ready);
+        self.missing_preds.copy_from_slice(&other.missing_preds);
+        self.num_scheduled = other.num_scheduled;
+        self.max_finish_node = other.max_finish_node;
+        self.g = other.g;
+        self.h = other.h;
     }
 
     /// The exact signature of this partial schedule (for duplicate detection).
@@ -241,8 +360,7 @@ impl SearchState {
         let words: Vec<u64> = (0..self.proc_of.len())
             .map(|i| {
                 if self.scheduled.contains(i) {
-                    debug_assert!(self.start[i] < (1 << 48), "start time exceeds the packed range");
-                    (u64::from(self.proc_of[i]) << 48) | self.start[i]
+                    StateSignature::pack(u64::from(self.proc_of[i]), self.start[i])
                 } else {
                     u64::MAX
                 }
@@ -492,6 +610,71 @@ mod tests {
         let zero =
             SearchState::initial(&prob).schedule_node(&prob, NodeId(0), ProcId(0), HeuristicKind::Zero);
         assert_eq!(zero.h(), 0);
+    }
+
+    /// `peek_child` + `apply_delta` must agree with the materialised child on
+    /// every observable (the expansion operator is now defined through them).
+    #[test]
+    fn peek_child_matches_materialised_child() {
+        let prob = example_problem();
+        for h in [HeuristicKind::PaperStaticLevel, HeuristicKind::TightStaticLevel, HeuristicKind::Zero] {
+            let mut state = SearchState::initial(&prob);
+            // Walk a fixed trace, checking every step.
+            for (n, p) in [(0u32, 0u32), (1, 1), (3, 0), (2, 2), (4, 1)] {
+                let (n, p) = (NodeId(n), ProcId(p));
+                let delta = state.peek_child(&prob, n, p, h);
+                let child = state.schedule_node(&prob, n, p, h);
+                assert_eq!(delta.g, child.g(), "{h:?}");
+                assert_eq!(delta.h, child.h(), "{h:?}");
+                assert_eq!(delta.f(), child.f(), "{h:?}");
+                assert_eq!(Some(delta.finish), child.finish_time(n));
+                assert_eq!(child.signature(), state.signature().with_assignment(n, p, delta.start));
+                let applied = state.apply_delta(&prob, &delta);
+                assert_eq!(applied.signature(), child.signature());
+                assert_eq!((applied.g(), applied.h()), (child.g(), child.h()));
+                assert_eq!(applied.max_finish_node(), child.max_finish_node());
+                state = child;
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_in_place_replays_a_trace() {
+        let prob = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let trace = [(0u32, 0u32), (1, 0), (2, 1), (3, 2), (4, 1), (5, 0)];
+        // Eager chain of full states.
+        let mut eager = vec![SearchState::initial(&prob)];
+        let mut deltas = Vec::new();
+        for &(n, p) in &trace {
+            let last = eager.last().unwrap();
+            deltas.push(last.peek_child(&prob, NodeId(n), ProcId(p), h));
+            eager.push(last.schedule_node(&prob, NodeId(n), ProcId(p), h));
+        }
+        // Replay onto a reusable scratch state (the arena's materialisation path).
+        let mut scratch = SearchState::initial(&prob);
+        scratch.copy_from(&eager[0]);
+        for (i, d) in deltas.iter().enumerate() {
+            scratch.apply_delta_in_place(&prob, d);
+            let want = &eager[i + 1];
+            assert_eq!(scratch.signature(), want.signature());
+            assert_eq!((scratch.g(), scratch.h(), scratch.depth()), (want.g(), want.h(), want.depth()));
+            assert_eq!(scratch.ready_nodes(&prob), want.ready_nodes(&prob));
+        }
+        assert!(scratch.is_goal(&prob));
+    }
+
+    #[test]
+    fn copy_from_resets_a_dirty_state_without_alloc() {
+        let prob = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let root = SearchState::initial(&prob);
+        let mut dirty = root.schedule_node(&prob, NodeId(0), ProcId(1), h);
+        dirty.copy_from(&root);
+        assert_eq!(dirty.signature(), root.signature());
+        assert_eq!(dirty.depth(), 0);
+        assert_eq!(dirty.proc_ready_time(ProcId(1)), 0);
+        assert_eq!(dirty.ready_nodes(&prob), root.ready_nodes(&prob));
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct SearchStats {
     pub duplicates_global: u64,
     /// Largest size of the OPEN list observed.
     pub max_open_size: usize,
+    /// Largest number of fully materialised states held live at once — the
+    /// allocation proxy of the state store.  With the delta arena this is the
+    /// root snapshot(s) plus one scratch state; with the eager clone-per-
+    /// generation store it is every state ever generated.  The parallel
+    /// scheduler reports its per-PPE OPEN list of full states here.
+    pub peak_live_states: u64,
     /// Heuristic evaluations performed (one per generated state; the Chen &
     /// Yu baseline additionally counts its per-path evaluations here).
     pub heuristic_evaluations: u64,
@@ -69,6 +75,7 @@ impl SearchStats {
             duplicates,
             duplicates_global,
             max_open_size,
+            peak_live_states,
             heuristic_evaluations,
             path_segments_enumerated,
         } = other;
@@ -80,6 +87,7 @@ impl SearchStats {
         self.duplicates += duplicates;
         self.duplicates_global += duplicates_global;
         self.max_open_size = self.max_open_size.max(*max_open_size);
+        self.peak_live_states = self.peak_live_states.max(*peak_live_states);
         self.heuristic_evaluations += heuristic_evaluations;
         self.path_segments_enumerated += path_segments_enumerated;
     }
@@ -99,6 +107,10 @@ pub enum SearchOutcome {
     /// The search space was exhausted without finding a complete schedule
     /// (cannot happen for a connected processor network, kept for totality).
     Exhausted,
+    /// The schedule was produced by a non-search heuristic (list scheduling):
+    /// feasible, but with no optimality claim.  Used by the facade's
+    /// scheduler registry.
+    Heuristic,
 }
 
 /// Result of a search run: the schedule (if one was found), its length, the
@@ -161,6 +173,7 @@ mod tests {
             duplicates: 6,
             duplicates_global: 7,
             max_open_size: 9,
+            peak_live_states: 8,
             heuristic_evaluations: 10,
             path_segments_enumerated: 11,
         };
@@ -173,6 +186,7 @@ mod tests {
             duplicates: 600,
             duplicates_global: 700,
             max_open_size: 4,
+            peak_live_states: 3,
             heuristic_evaluations: 1000,
             path_segments_enumerated: 1100,
         };
@@ -188,7 +202,8 @@ mod tests {
                 pruned_upper_bound: 505,
                 duplicates: 606,
                 duplicates_global: 707,
-                max_open_size: 9, // high-water mark: max, not sum
+                max_open_size: 9,    // high-water mark: max, not sum
+                peak_live_states: 8, // high-water mark: max, not sum
                 heuristic_evaluations: 1010,
                 path_segments_enumerated: 1111,
             }

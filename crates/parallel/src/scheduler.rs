@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use optsched_core::engine::{expand_state, DuplicateFilter, ExpansionContext};
 use optsched_core::state::StateSignature;
 use optsched_core::{SchedulingProblem, SearchOutcome, SearchState, SearchStats};
 use optsched_schedule::Schedule;
@@ -73,45 +74,62 @@ struct Transfer {
 
 /// Per-PPE view of duplicate detection: a private seen-set in `Local` mode,
 /// or a handle to the shared sharded CLOSED table in `ShardedGlobal` mode.
+///
+/// This is the parallel scheduler's implementation of the engine's
+/// [`DuplicateFilter`] hook: locally generated children flow through
+/// [`expand_state`] and hit [`DuplicateFilter::admit`]; states arriving from
+/// other PPEs go through [`DupFilter::admit_transfer`], which preserves the
+/// claim-ownership semantics of the sharded table.
 enum DupFilter<'t> {
     Local { seen: HashSet<StateSignature> },
     Global { table: &'t ShardedClosedTable, id: usize },
 }
 
-impl DupFilter<'_> {
+impl DuplicateFilter for DupFilter<'_> {
     /// Decides whether a state entering OPEN should be kept, updating the
-    /// duplicate counters.  `owned_transfer` marks a state whose ownership
-    /// was just transferred from another PPE by load sharing: in global mode
-    /// its signature is already claimed (by its generator) and the claim
-    /// travels with the state, so it is admitted without consulting the
-    /// table — dropping it there would lose the only live copy.
-    fn admit(&mut self, state: &SearchState, owned_transfer: bool, stats: &mut SearchStats) -> bool {
+    /// duplicate counters.
+    fn admit(&mut self, sig: StateSignature, g: Cost, stats: &mut SearchStats) -> bool {
         match self {
             DupFilter::Local { seen } => {
-                if seen.insert(state.signature()) {
+                if seen.insert(sig) {
                     true
                 } else {
                     stats.duplicates += 1;
                     false
                 }
             }
-            DupFilter::Global { table, id } => {
-                if owned_transfer {
-                    return true;
+            DupFilter::Global { table, id } => match table.try_claim(sig, g, *id) {
+                ClaimOutcome::Claimed => true,
+                ClaimOutcome::DuplicateSameOwner => {
+                    stats.duplicates += 1;
+                    false
                 }
-                match table.try_claim(state.signature(), state.g(), *id) {
-                    ClaimOutcome::Claimed => true,
-                    ClaimOutcome::DuplicateSameOwner => {
-                        stats.duplicates += 1;
-                        false
-                    }
-                    ClaimOutcome::DuplicateOtherOwner => {
-                        stats.duplicates_global += 1;
-                        false
-                    }
+                ClaimOutcome::DuplicateOtherOwner => {
+                    stats.duplicates_global += 1;
+                    false
                 }
-            }
+            },
         }
+    }
+}
+
+impl DupFilter<'_> {
+    /// Admission check for a state received from another PPE.
+    /// `owned_transfer` marks a state whose ownership was just transferred
+    /// by load sharing: in global mode its signature is already claimed (by
+    /// its generator) and the claim travels with the state, so it is
+    /// admitted without consulting the table — dropping it there would lose
+    /// the only live copy.
+    fn admit_transfer(
+        &mut self,
+        state: &SearchState,
+        owned_transfer: bool,
+        stats: &mut SearchStats,
+    ) -> bool {
+        if owned_transfer && matches!(self, DupFilter::Global { .. }) {
+            return true;
+        }
+        self.admit(state.signature(), state.g(), stats)
     }
 
     /// Called when a state is shipped away by load sharing.  In local mode
@@ -401,11 +419,11 @@ fn ppe_worker(
     let mut since_comm: u64 = 0;
     let mut idle_spins: u32 = 0;
 
-    /// How a state reaches this PPE's OPEN list; governs generation counting
-    /// and the ownership semantics of duplicate detection.
+    /// How a state arrives from outside this PPE's own expansions; governs
+    /// the ownership semantics of duplicate detection.  (Locally generated
+    /// children do not pass through here — they flow through the engine's
+    /// [`expand_state`] pipeline below.)
     enum Arrival {
-        /// Generated locally by expanding a parent (counted as generated).
-        Generated,
         /// Dealt out by the initial distribution.
         Initial,
         /// A best-state election copy from a neighbour (the sender keeps its
@@ -416,33 +434,29 @@ fn ppe_worker(
         OwnedTransfer,
     }
 
-    let push_state = |open: &mut BinaryHeap<HeapEntry>,
-                          dup: &mut DupFilter<'_>,
-                          counter: &mut u64,
-                          stats: &mut SearchStats,
-                          state: SearchState,
-                          arrival: Arrival| {
+    let push_transfer = |open: &mut BinaryHeap<HeapEntry>,
+                             dup: &mut DupFilter<'_>,
+                             counter: &mut u64,
+                             stats: &mut SearchStats,
+                             state: SearchState,
+                             arrival: Arrival| {
         if cfg.pruning.upper_bound_pruning && state.f() > shared.incumbent_len() {
             stats.pruned_upper_bound += 1;
             return;
         }
         let owned_transfer = matches!(arrival, Arrival::OwnedTransfer);
-        if !dup.admit(&state, owned_transfer, stats) {
+        if !dup.admit_transfer(&state, owned_transfer, stats) {
             return;
         }
         if state.is_goal(problem) {
             shared.offer_incumbent(state.g(), || state.to_schedule(problem));
         }
         *counter += 1;
-        if matches!(arrival, Arrival::Generated) {
-            stats.generated += 1;
-            shared.total_generated.fetch_add(1, Ordering::Relaxed);
-        }
         open.push(HeapEntry { key: (state.f(), state.h(), *counter), state });
     };
 
     for s in initial {
-        push_state(&mut open, &mut dup, &mut counter, &mut stats, s, Arrival::Initial);
+        push_transfer(&mut open, &mut dup, &mut counter, &mut stats, s, Arrival::Initial);
     }
 
     loop {
@@ -455,7 +469,7 @@ fn ppe_worker(
         // PPE observe "nothing in flight" while this state is still invisible.
         while let Ok(t) = rx.try_recv() {
             let arrival = if t.owned { Arrival::OwnedTransfer } else { Arrival::ElectionCopy };
-            push_state(&mut open, &mut dup, &mut counter, &mut stats, t.state, arrival);
+            push_transfer(&mut open, &mut dup, &mut counter, &mut stats, t.state, arrival);
             let min_f = open.peek().map_or(u64::MAX, |e| e.key.0);
             shared.local_min_f[id].store(min_f, Ordering::SeqCst);
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -466,6 +480,8 @@ fn ppe_worker(
         shared.local_min_f[id].store(min_f, Ordering::SeqCst);
         shared.open_sizes[id].store(open.len(), Ordering::Relaxed);
         stats.max_open_size = stats.max_open_size.max(open.len());
+        // The per-PPE OPEN list holds fully materialised states.
+        stats.peak_live_states = stats.peak_live_states.max(open.len() as u64);
 
         // Global termination test: nothing in flight and no frontier state
         // anywhere can improve on the incumbent (within the ε bound).
@@ -540,11 +556,31 @@ fn ppe_worker(
         shared.total_expanded.fetch_add(1, Ordering::Relaxed);
         since_comm += 1;
 
-        for (node, proc) in state.expansion_candidates(problem, &cfg.pruning, &mut stats) {
-            let child = state.schedule_node(problem, node, proc, cfg.heuristic);
-            stats.heuristic_evaluations += 1;
-            push_state(&mut open, &mut dup, &mut counter, &mut stats, child, Arrival::Generated);
-        }
+        // Locally generated children flow through the engine's shared
+        // admission pipeline: each candidate is evaluated allocation-free,
+        // pruned against the shared incumbent, and claimed through the
+        // duplicate-detection hook (private set or sharded global table);
+        // only survivors are materialised and pushed onto OPEN.
+        expand_state(
+            ExpansionContext { problem, pruning: &cfg.pruning, heuristic: cfg.heuristic },
+            &state,
+            &mut dup,
+            &mut stats,
+            |_parent, delta, _stats| {
+                let f = delta.f();
+                (!cfg.pruning.upper_bound_pruning || f <= shared.incumbent_len()).then_some(f)
+            },
+            |parent, delta, f, stats| {
+                let child = parent.apply_delta(problem, &delta);
+                if child.is_goal(problem) {
+                    shared.offer_incumbent(child.g(), || child.to_schedule(problem));
+                }
+                counter += 1;
+                stats.generated += 1;
+                shared.total_generated.fetch_add(1, Ordering::Relaxed);
+                open.push(HeapEntry { key: (f, delta.h, counter), state: child });
+            },
+        );
 
         // Communication phase: neighbour exchange + round-robin load sharing.
         if since_comm >= comm_period && !neighbors.is_empty() {

@@ -4,7 +4,11 @@
 //! of Precedence-Constrained Tasks to Parallel Processors: Defying the High
 //! Complexity Using Effective Search Techniques"* (ICPP 1998).
 //!
-//! This crate is a thin facade that re-exports the workspace members:
+//! This crate is a thin facade that re-exports the workspace members and
+//! hosts the [`registry`] — the object-safe [`Scheduler`](registry::Scheduler)
+//! trait and name-indexed [`SchedulerRegistry`](registry::SchedulerRegistry)
+//! the CLI, the experiment binaries and the conformance suite dispatch
+//! through:
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
@@ -43,11 +47,15 @@ pub use optsched_schedule as schedule;
 pub use optsched_taskgraph as taskgraph;
 pub use optsched_workload as workload;
 
+pub mod registry;
+
 /// Commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
+    pub use crate::registry::{Scheduler, SchedulerRegistry, SchedulerSpec, SearchReport};
     pub use optsched_core::{
-        exhaustive_optimal, AEpsScheduler, AStarScheduler, ChenYuScheduler, HeuristicKind,
-        PruningConfig, SchedulingProblem, SearchLimits, SearchOutcome, SearchResult, SearchStats,
+        exhaustive_optimal, AEpsScheduler, AStarScheduler, ChenYuScheduler, ExhaustiveScheduler,
+        HeuristicKind, PruningConfig, SchedulingProblem, SearchLimits, SearchOutcome, SearchResult,
+        SearchStats, StoreKind,
     };
     pub use optsched_listsched::{
         best_heuristic_schedule, list_schedule, upper_bound, upper_bound_schedule, ListConfig,

@@ -1,9 +1,10 @@
 //! Cross-scheduler conformance suite: every exact scheduler in the workspace
-//! — serial A*, the Chen & Yu branch-and-bound baseline, Aε* with ε = 0, and
-//! the parallel A* in both duplicate-detection modes with q ∈ {1, 2} — must
-//! return the same optimal makespan on a deterministic corpus of small
-//! random and structured instances, and every returned schedule must be
-//! feasible.
+//! — serial A*, the Chen & Yu branch-and-bound baseline, Aε* with ε = 0,
+//! exhaustive enumeration, and the parallel A* in both duplicate-detection
+//! modes with q ∈ {1, 2} — must return the same optimal makespan on a
+//! deterministic corpus of small random and structured instances, and every
+//! returned schedule must be feasible.  All families are dispatched through
+//! the facade's scheduler registry.
 //!
 //! The corpus stays at ≤ 10 nodes (seeds chosen with the PR 1 probe pattern
 //! for the vendored RNG stream) so the exponential searches remain fast on
@@ -55,43 +56,51 @@ fn corpus() -> Vec<(String, TaskGraph, ProcNetwork)> {
 }
 
 /// The headline conformance assertion: five scheduler families, one optimum.
+/// Every family is dispatched by name through the facade's
+/// [`SchedulerRegistry`] — the same path the CLI and the experiment binaries
+/// use — instead of hand-matching scheduler types.
 #[test]
 fn all_schedulers_agree_on_the_optimal_makespan() {
     let modes = modes_under_test();
     for (name, graph, net) in corpus() {
         let problem = SchedulingProblem::new(graph.clone(), net.clone());
+        // Aε* degenerates to an exact search at ε = 0; `exhaustive` certifies
+        // the optimum by brute force on the smallest instances (it is itself
+        // exponential, so it is skipped above 7 nodes).
+        let spec = SchedulerSpec { epsilon: 0.0, ..Default::default() };
+        let registry = SchedulerRegistry::with_spec(spec);
 
-        // Serial A* is the reference; certify it against brute force on the
-        // smallest instances (exhaustive enumeration is itself exponential).
-        let astar = AStarScheduler::new(&problem).run();
+        // Serial A* is the reference.
+        let astar = registry.get("astar").expect("registered").run(&problem).result;
         assert!(astar.is_optimal(), "{name}: A* must prove optimality");
         let optimum = astar.schedule_length;
+
+        let mut families = vec!["aeps", "chenyu"];
         if graph.num_nodes() <= 7 {
-            assert_eq!(optimum, exhaustive_optimal(&problem), "{name}: A* vs exhaustive");
+            families.push("exhaustive");
         }
-
-        // Chen & Yu branch-and-bound (the paper's BnB baseline).
-        let chen = ChenYuScheduler::new(&problem).run();
-        assert_eq!(chen.schedule_length, optimum, "{name}: Chen & Yu");
-        chen.expect_schedule().validate(&graph, &net).unwrap();
-
-        // Aε* degenerates to an exact search at ε = 0.
-        let aeps = AEpsScheduler::new(&problem, 0.0).run();
-        assert_eq!(aeps.schedule_length, optimum, "{name}: Aε*(0)");
-        aeps.expect_schedule().validate(&graph, &net).unwrap();
+        for family in families {
+            let r = registry.get(family).expect("registered").run(&problem).result;
+            assert!(r.is_optimal(), "{name}: {family}");
+            assert_eq!(r.schedule_length, optimum, "{name}: {family}");
+            r.expect_schedule().validate(&graph, &net).unwrap();
+        }
 
         // Parallel A*: every duplicate-detection mode, q ∈ {1, 2}.
         for &mode in &modes {
             for q in [1usize, 2] {
-                let cfg = ParallelConfig::exact(q).with_duplicate_detection(mode);
-                let r = ParallelAStarScheduler::new(&problem, cfg).run();
+                let spec = SchedulerSpec {
+                    parallel: ParallelConfig::exact(q).with_duplicate_detection(mode),
+                    ..Default::default()
+                };
+                let r = SchedulerRegistry::with_spec(spec)
+                    .get("parallel")
+                    .expect("registered")
+                    .run(&problem)
+                    .result;
                 assert!(r.is_optimal(), "{name}: parallel q={q} mode={mode}");
-                assert_eq!(
-                    r.schedule_length(),
-                    optimum,
-                    "{name}: parallel q={q} mode={mode}"
-                );
-                r.schedule.validate(&graph, &net).unwrap();
+                assert_eq!(r.schedule_length, optimum, "{name}: parallel q={q} mode={mode}");
+                r.expect_schedule().validate(&graph, &net).unwrap();
             }
         }
     }

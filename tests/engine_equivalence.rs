@@ -1,0 +1,167 @@
+//! Engine-equivalence suite: the unified-engine refactor must be
+//! behaviour-preserving, not merely optimum-preserving.
+//!
+//! The serial expansion and generation counts of A*, Aε*(0) and Chen & Yu on
+//! the deterministic conformance corpus are pinned below as literals,
+//! captured from the pre-refactor implementations (PR 2 tree) on the same
+//! corpus.  Any drift in candidate enumeration order, pruning placement,
+//! duplicate-detection order or tie-breaking shows up as a loud mismatch
+//! here, with the instance and family named.
+//!
+//! The suite also asserts that the two state-store layouts (eager
+//! clone-per-generation vs. the delta arena) drive bit-identical searches —
+//! the arena is a memory/time optimisation, never a behaviour change.
+
+use optsched::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The same deterministic corpus as `tests/conformance.rs`.
+fn corpus() -> Vec<(String, TaskGraph, ProcNetwork)> {
+    let mut cases: Vec<(String, TaskGraph, ProcNetwork)> = vec![
+        ("paper-example".into(), paper_example_dag(), ProcNetwork::ring(3)),
+        ("fork-join".into(), fork_join(3, 4, 2), ProcNetwork::fully_connected(3)),
+        ("chain".into(), chain(6, 3, 4), ProcNetwork::ring(3)),
+        ("out-tree".into(), out_tree(2, 2, 4, 3), ProcNetwork::fully_connected(2)),
+        ("in-tree".into(), in_tree(2, 2, 4, 3), ProcNetwork::star(3)),
+    ];
+    let mut rng = StdRng::seed_from_u64(42);
+    for &ccr in &PAPER_CCRS {
+        for nodes in [6usize, 7] {
+            let g = generate_random_dag(
+                &RandomDagConfig { nodes, ccr, ..Default::default() },
+                &mut rng,
+            );
+            cases.push((format!("random-v{nodes}-ccr{ccr}"), g, ProcNetwork::ring(3)));
+        }
+    }
+    cases
+}
+
+/// Pre-refactor serial counts, one row per corpus instance:
+/// (name, optimum,
+///  A* expanded, A* generated,
+///  Aε*(0) expanded, Aε*(0) generated,
+///  Chen & Yu expanded, Chen & Yu generated).
+///
+/// Captured from the clone-per-generation implementations at commit
+/// "PR 2: Sharded global duplicate detection..." with default
+/// configurations (all pruning, paper heuristic).  Pinned as literals so
+/// behaviour drift is loud; if an intentional algorithm change moves them,
+/// re-capture and update this table in the same commit.
+type PinnedRow = (&'static str, Cost, u64, u64, u64, u64, u64, u64);
+
+const PINNED: &[PinnedRow] = &[
+    ("paper-example", 14, 34, 62, 34, 62, 325, 548),
+    ("fork-join", 16, 10, 22, 10, 22, 157, 355),
+    ("chain", 18, 6, 7, 6, 7, 16, 43),
+    ("out-tree", 19, 100, 148, 100, 148, 423, 680),
+    ("in-tree", 18, 589, 677, 589, 677, 1405, 3542),
+    ("random-v6-ccr0.1", 155, 14, 20, 14, 20, 160, 393),
+    ("random-v7-ccr0.1", 163, 414, 438, 414, 438, 580, 1673),
+    ("random-v6-ccr1", 203, 6, 7, 6, 7, 16, 43),
+    ("random-v7-ccr1", 162, 161, 317, 161, 317, 598, 1845),
+    ("random-v6-ccr10", 242, 322, 503, 338, 523, 884, 2079),
+    ("random-v7-ccr10", 225, 225, 291, 225, 291, 706, 1698),
+];
+
+#[test]
+fn serial_expansion_counts_match_the_pre_refactor_implementations() {
+    let cases = corpus();
+    assert_eq!(cases.len(), PINNED.len(), "corpus and pinned table out of sync");
+    for ((name, graph, net), pinned) in cases.into_iter().zip(PINNED) {
+        let (pname, optimum, a_exp, a_gen, e_exp, e_gen, c_exp, c_gen) = *pinned;
+        assert_eq!(name, pname, "corpus order changed — re-pin the table");
+        let problem = SchedulingProblem::new(graph, net);
+
+        let astar = AStarScheduler::new(&problem).run();
+        assert!(astar.is_optimal(), "{name}: A*");
+        assert_eq!(astar.schedule_length, optimum, "{name}: A* optimum");
+        assert_eq!(
+            (astar.stats.expanded, astar.stats.generated),
+            (a_exp, a_gen),
+            "{name}: A* expansion counts drifted from the pre-refactor baseline"
+        );
+
+        let aeps = AEpsScheduler::new(&problem, 0.0).run();
+        assert_eq!(aeps.schedule_length, optimum, "{name}: Aε*(0) optimum");
+        assert_eq!(
+            (aeps.stats.expanded, aeps.stats.generated),
+            (e_exp, e_gen),
+            "{name}: Aε*(0) expansion counts drifted from the pre-refactor baseline"
+        );
+
+        let chen = ChenYuScheduler::new(&problem).run();
+        assert_eq!(chen.schedule_length, optimum, "{name}: Chen & Yu optimum");
+        assert_eq!(
+            (chen.stats.expanded, chen.stats.generated),
+            (c_exp, c_gen),
+            "{name}: Chen & Yu expansion counts drifted from the pre-refactor baseline"
+        );
+    }
+}
+
+/// The store layout is a pure memory/time trade: the eager
+/// clone-per-generation store and the delta arena must drive bit-identical
+/// searches for every family, with the arena holding (far) fewer live full
+/// states.
+#[test]
+fn eager_and_arena_stores_drive_identical_searches() {
+    for (name, graph, net) in corpus() {
+        let problem = SchedulingProblem::new(graph, net);
+        type Run = Box<dyn Fn(StoreKind) -> SearchResult>;
+        let runs: Vec<(&str, Run)> = vec![
+            ("astar", {
+                let p = problem.clone();
+                Box::new(move |s| AStarScheduler::new(&p).with_store(s).run())
+            }),
+            ("aeps", {
+                let p = problem.clone();
+                Box::new(move |s| AEpsScheduler::new(&p, 0.0).with_store(s).run())
+            }),
+            ("chenyu", {
+                let p = problem.clone();
+                Box::new(move |s| ChenYuScheduler::new(&p).with_store(s).run())
+            }),
+            ("exhaustive", {
+                let p = problem.clone();
+                Box::new(move |s| ExhaustiveScheduler::new(&p).with_store(s).run())
+            }),
+        ];
+        for (family, run) in runs {
+            if family == "exhaustive" && problem.num_nodes() > 7 {
+                continue; // brute force: keep the suite fast
+            }
+            let eager = run(StoreKind::EagerClone);
+            let arena = run(StoreKind::DeltaArena);
+            assert_eq!(eager.schedule_length, arena.schedule_length, "{name}/{family}");
+            assert_eq!(eager.outcome, arena.outcome, "{name}/{family}");
+            assert_eq!(
+                (eager.stats.expanded, eager.stats.generated, eager.stats.duplicates),
+                (arena.stats.expanded, arena.stats.generated, arena.stats.duplicates),
+                "{name}/{family}: stores must not change search behaviour"
+            );
+            assert!(
+                arena.stats.peak_live_states <= eager.stats.peak_live_states,
+                "{name}/{family}: the arena must not hold more live full states"
+            );
+        }
+    }
+}
+
+/// `SearchLimits` now flow through every family, including the exhaustive
+/// enumerator (which silently ignored them before the engine refactor).
+#[test]
+fn limits_flow_through_every_family() {
+    let problem = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+    let limits = SearchLimits::expansions(1);
+    let outcomes = [
+        AStarScheduler::new(&problem).with_limits(limits).run().outcome,
+        AEpsScheduler::new(&problem, 0.2).with_limits(limits).run().outcome,
+        ChenYuScheduler::new(&problem).with_limits(limits).run().outcome,
+        ExhaustiveScheduler::new(&problem).with_limits(limits).run().outcome,
+    ];
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(*o, SearchOutcome::LimitReached, "family #{i}");
+    }
+}
