@@ -4,21 +4,24 @@
 //! exponentially decreasing schedule T = v/2, v/4, …), the heuristic
 //! (paper vs. tight vs. none), and — beyond the paper — the duplicate
 //! detection mode (per-PPE CLOSED lists vs. the sharded global table, with
-//! a shard-count sweep).
+//! a shard-count sweep) and the per-PPE state store (delta arena vs. the
+//! eager clone-per-generation baseline).
 //!
 //! Reported per configuration: wall-clock time, total states expanded across
 //! all PPEs (the redundant-work measure), cross-PPE duplicates dropped by
-//! the global table, and the load imbalance between the busiest and laziest
-//! PPE.  Every configuration must return the optimal schedule length.
+//! the global table, the peak number of live full states any PPE held (the
+//! state-store memory measure), and the load imbalance between the busiest
+//! and laziest PPE.  Every configuration must return the optimal schedule
+//! length.
 //!
-//! Besides the CSV, the local-vs-sharded comparison is written as a
-//! `results/BENCH_parallel.json` datapoint (the before/after record of the
-//! sharded-CLOSED-table change).
+//! Besides the CSV, the local-vs-sharded and arena-vs-eager comparisons are
+//! written as `results/BENCH_parallel.json` datapoints (the before/after
+//! records of the sharded-CLOSED-table and arena-store changes).
 //!
 //! Usage: `cargo run --release -p optsched-bench --bin ablation_parallel -- [--sizes ...] [--budget-ms N]`
 
 use optsched_bench::{workload_problem, CsvWriter, ExperimentOptions};
-use optsched_core::{AStarScheduler, HeuristicKind, SearchLimits, SearchOutcome};
+use optsched_core::{AStarScheduler, HeuristicKind, SearchLimits, SearchOutcome, StoreKind};
 use optsched_parallel::{DuplicateDetection, ParallelAStarScheduler, ParallelConfig};
 use optsched_procnet::Topology;
 
@@ -31,7 +34,7 @@ fn main() {
     let q = 8;
     let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
     let mut csv = CsvWriter::new(
-        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,load_imbalance",
+        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,peak_live_states,election_transfers,load_imbalance",
     );
     // Accumulates the before/after (local vs. sharded CLOSED) datapoints.
     let mut bench_json: Vec<String> = Vec::new();
@@ -51,16 +54,20 @@ fn main() {
             serial.schedule_length
         );
         println!(
-            "{:<44} {:>10} {:>12} {:>10} {:>10} {:>10}",
-            "configuration", "time ms", "expanded", "redund.", "avoided", "imbalance"
+            "{:<44} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "configuration", "time ms", "expanded", "redund.", "avoided", "peak live", "imbalance"
         );
 
         let base = ParallelConfig { num_ppes: q, limits, ..Default::default() };
         let configs: Vec<(String, ParallelConfig)> = vec![
-            ("fully connected PPEs".to_string(), base),
+            ("fully connected PPEs (arena store)".to_string(), base),
             (
                 "local CLOSED lists (paper design)".to_string(),
                 base.with_duplicate_detection(DuplicateDetection::Local),
+            ),
+            (
+                "eager clone store (PR 3 baseline)".to_string(),
+                base.with_store(StoreKind::EagerClone),
             ),
             (
                 "sharded global CLOSED, 1 shard".to_string(),
@@ -113,14 +120,17 @@ fn main() {
             let ms = r.elapsed.as_secs_f64() * 1e3;
             let redundant = r.total_expanded() as f64 / serial.stats.expanded.max(1) as f64;
             let avoided = r.redundant_expansions_avoided();
+            let peak_live = r.peak_live_states();
+            let elections = r.election_transfers();
             let imbalance = r.load_imbalance();
             println!(
-                "{:<44} {:>10.1} {:>12} {:>10.2} {:>10} {:>10.2}",
+                "{:<44} {:>10.1} {:>12} {:>10.2} {:>10} {:>10} {:>10.2}",
                 name,
                 ms,
                 r.total_expanded(),
                 redundant,
                 avoided,
+                peak_live,
                 imbalance
             );
             csv.row(&[
@@ -131,16 +141,21 @@ fn main() {
                 r.total_expanded().to_string(),
                 format!("{redundant:.3}"),
                 avoided.to_string(),
+                peak_live.to_string(),
+                elections.to_string(),
                 format!("{imbalance:.3}"),
             ]);
-            // The before (local) / after (sharded default) datapoints are the
-            // two configurations that differ from `base` only in the
-            // duplicate-detection mode (matching on the configuration itself,
-            // not the display label, so renames cannot drop a datapoint).
+            // The before/after datapoints — local vs. sharded CLOSED (PR 2)
+            // and eager vs. arena store (PR 4) — are the configurations that
+            // differ from `base` only in that one knob (matched on the
+            // configuration itself, not the display label, so renames cannot
+            // drop a datapoint).  `base` is the default: sharded + arena.
             let mode_key = if cfg == base {
                 Some("sharded")
             } else if cfg == base.with_duplicate_detection(DuplicateDetection::Local) {
                 Some("local")
+            } else if cfg == base.with_store(StoreKind::EagerClone) {
+                Some("eager")
             } else {
                 None
             };
@@ -148,6 +163,7 @@ fn main() {
                 mode_points.push(format!(
                     "\"{key}\": {{\"time_ms\": {ms:.3}, \"total_expanded\": {}, \
                      \"redundant_vs_serial\": {redundant:.3}, \"dup_avoided\": {avoided}, \
+                     \"peak_live_states\": {peak_live}, \"election_transfers\": {elections}, \
                      \"schedule_length\": {}}}",
                     r.total_expanded(),
                     r.schedule_length()
@@ -168,7 +184,7 @@ fn main() {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("could not write results CSV: {e}"),
     }
-    // The sharded-CLOSED before/after record (see README "Benchmarks").
+    // The sharded-CLOSED and arena-store before/after records (see README).
     let json = format!("[\n{}\n]\n", bench_json.join(",\n"));
     match std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/BENCH_parallel.json", json))

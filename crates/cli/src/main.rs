@@ -12,6 +12,9 @@
 //!
 //! The `--algorithm` value is resolved through the facade's
 //! [`SchedulerRegistry`]; the CLI has no per-algorithm code paths.
+//! `--store eager|arena` selects the state-store layout for the serial
+//! engine *and* the per-PPE arenas of `--algorithm parallel`, whose counter
+//! output includes the store's `peak_live_states` high-water mark.
 //!
 //! Graph files are the `serde_json` serialisation of
 //! [`optsched_taskgraph::TaskGraph`] (produced by `optsched generate`).

@@ -205,3 +205,55 @@ fn parallel_duplicate_detection_modes_agree_and_report_counters() {
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown duplicate-detection mode"));
 }
+
+/// `--store` used to be silently ignored for `--algorithm parallel`; it now
+/// selects the per-PPE state store, the algorithm banner names it, and the
+/// counter output reports the store's `peak_live_states` high-water mark
+/// (tiny for the delta arena, one entry per stored state for the eager
+/// baseline).
+#[test]
+fn parallel_store_modes_agree_and_report_peak_live_states() {
+    let generated = run(&["generate", "--nodes", "8", "--ccr", "1.0", "--seed", "7"]);
+    assert!(generated.status.success());
+    let graph_json = generated.stdout;
+
+    let mut results: Vec<(u64, u64)> = Vec::new(); // (schedule length, peak live)
+    for store in ["arena", "eager"] {
+        let out = run_with_stdin(
+            &[
+                "schedule", "--input", "-", "--algorithm", "parallel", "--ppes", "2",
+                "--store", store, "--procs", "3",
+            ],
+            &graph_json,
+        );
+        assert!(out.status.success(), "store={store} stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(stdout.contains(&format!("{store} store")), "stdout: {stdout}");
+        let len = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("schedule length:"))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no schedule length in: {stdout}"));
+        let peak = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("peak_live_states"))
+            .and_then(|v| v.trim_start_matches([' ', ':']).trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no peak_live_states counter in: {stdout}"));
+        results.push((len, peak));
+    }
+    assert_eq!(results[0].0, results[1].0, "both stores must return the same optimum");
+    assert!(
+        results[0].1 < results[1].1,
+        "arena peak {} must undercut eager peak {}",
+        results[0].1,
+        results[1].1
+    );
+
+    // An unknown store fails cleanly.
+    let bad = run_with_stdin(
+        &["schedule", "--input", "-", "--algorithm", "parallel", "--store", "bogus"],
+        &graph_json,
+    );
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown state store"));
+}

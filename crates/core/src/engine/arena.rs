@@ -155,6 +155,51 @@ impl<'p> StateArena<'p> {
         StateId::try_from(self.slots.len()).expect("state arena overflowed StateId")
     }
 
+    /// Adopts a full state produced *outside* this arena (in the parallel
+    /// scheduler: a state received from another PPE, or the initial
+    /// distribution) and returns its id.
+    ///
+    /// The eager layout moves it in as one more retained full state — the
+    /// clone-per-generation baseline.  The delta layout instead *re-roots*
+    /// the state: it is decomposed with [`SearchState::to_delta_chain`] and
+    /// stored as a chain of delta records hanging off slot 0, so adopting
+    /// never adds a live full state.  A delta arena therefore keeps the
+    /// problem's **initial** (empty) state in slot 0 — adopting into an
+    /// empty delta arena seeds it automatically, and adopting into one whose
+    /// slot 0 is anything else (only possible by inserting a non-initial
+    /// root first) panics rather than replay chains onto the wrong base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a non-empty delta arena whose slot 0 is not the
+    /// initial state.
+    pub fn adopt(&mut self, state: SearchState) -> StateId {
+        match self.kind {
+            StoreKind::EagerClone => self.insert_root(state),
+            StoreKind::DeltaArena => {
+                if self.slots.is_empty() {
+                    self.insert_root(SearchState::initial(self.problem));
+                }
+                assert!(
+                    matches!(&self.slots[0], Slot::Full(s) if s.depth() == 0),
+                    "delta arenas re-root adopted states at the initial state in slot 0"
+                );
+                let mut id: StateId = 0;
+                for delta in state.to_delta_chain() {
+                    id = self.insert_child(id, &delta);
+                }
+                id
+            }
+        }
+    }
+
+    /// Materialises the state identified by `id` and returns an owned clone —
+    /// the send-path of the parallel scheduler, where a state leaving for
+    /// another PPE must outlive this arena's scratch state.
+    pub fn materialise_owned(&mut self, id: StateId) -> SearchState {
+        self.materialise(id).clone()
+    }
+
     /// Returns the full state identified by `id`, rebuilding it from its
     /// delta chain if necessary.  The returned reference borrows the arena
     /// (it may point into the internal scratch state), so collect whatever
@@ -311,6 +356,100 @@ mod tests {
         // Jumping back to the root still works (scratch rebuilt from the full slot).
         assert_eq!(arena.materialise(root_id).depth(), 0);
         assert_eq!(arena.materialise(c2).depth(), 2);
+    }
+
+    /// The transfer-adoption path of the parallel scheduler: a full state
+    /// adopted into a delta arena is re-rooted as a delta chain (no new live
+    /// full state), materialises back to an identical state, and its
+    /// descendants replay correctly.  An eager arena stores one more clone.
+    #[test]
+    fn adopting_a_full_state_re_roots_it_without_live_fulls() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let graph = generate_random_dag(
+            &RandomDagConfig { nodes: 9, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let problem = SchedulingProblem::new(graph, ProcNetwork::ring(3));
+        let h = HeuristicKind::PaperStaticLevel;
+
+        // Build a handful of "transferred" states by random walks.
+        let mut transfers: Vec<SearchState> = Vec::new();
+        for _ in 0..8 {
+            let mut s = SearchState::initial(&problem);
+            let depth = rng.gen_range(1..=6);
+            for _ in 0..depth {
+                let ready = s.ready_nodes(&problem);
+                if ready.is_empty() {
+                    break;
+                }
+                let n = ready[rng.gen_range(0..ready.len())];
+                let p = ProcId(rng.gen_range(0..problem.num_procs()) as u32);
+                s = s.schedule_node(&problem, n, p, h);
+            }
+            transfers.push(s);
+        }
+
+        let mut delta = StateArena::new(&problem, StoreKind::DeltaArena);
+        let root = delta.insert_root(SearchState::initial(&problem));
+        assert_eq!(root, 0);
+        let ids: Vec<StateId> = transfers.iter().map(|s| delta.adopt(s.clone())).collect();
+        // Re-rooting stores only delta records: still just the initial root
+        // (plus at most one scratch state) live.
+        assert!(delta.peak_live_full() <= 2, "peak {}", delta.peak_live_full());
+        for (id, want) in ids.iter().zip(&transfers) {
+            let got = delta.materialise_owned(*id);
+            assert_eq!(got.signature(), want.signature());
+            assert_eq!((got.g(), got.h(), got.depth()), (want.g(), want.h(), want.depth()));
+            assert_eq!(got.max_finish_node(), want.max_finish_node());
+            // A descendant of an adopted state replays through the chain.
+            if let Some(&n) = want.ready_nodes(&problem).first() {
+                let d = want.peek_child(&problem, n, ProcId(0), h);
+                let child = delta.insert_child(*id, &d);
+                assert_eq!(
+                    delta.materialise(child).signature(),
+                    want.apply_delta(&problem, &d).signature()
+                );
+            }
+        }
+
+        let mut eager = StateArena::new(&problem, StoreKind::EagerClone);
+        eager.insert_root(SearchState::initial(&problem));
+        let id = eager.adopt(transfers[0].clone());
+        assert_eq!(eager.materialise(id).signature(), transfers[0].signature());
+        assert_eq!(eager.peak_live_full(), 2, "eager adoption clones the state");
+    }
+
+    /// `adopt` is total on delta arenas: an empty one seeds its own initial
+    /// root, and one mis-seeded with a non-initial root refuses to replay
+    /// chains onto the wrong base instead of corrupting state.
+    #[test]
+    fn adopt_seeds_an_empty_delta_arena_with_the_initial_root() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let deep = SearchState::initial(&problem)
+            .schedule_node(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h)
+            .schedule_node(&problem, optsched_taskgraph::NodeId(1), ProcId(1), h);
+
+        let mut arena = StateArena::new(&problem, StoreKind::DeltaArena);
+        let id = arena.adopt(deep.clone());
+        assert_eq!(arena.materialise(id).signature(), deep.signature());
+        assert_eq!(arena.materialise(0).depth(), 0, "slot 0 is the seeded initial state");
+    }
+
+    #[test]
+    #[should_panic(expected = "re-root adopted states at the initial state")]
+    fn adopt_rejects_a_delta_arena_rooted_elsewhere() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let non_initial = SearchState::initial(&problem).schedule_node(
+            &problem,
+            optsched_taskgraph::NodeId(0),
+            ProcId(0),
+            h,
+        );
+        let mut arena = StateArena::new(&problem, StoreKind::DeltaArena);
+        arena.insert_root(non_initial.clone());
+        let _ = arena.adopt(non_initial);
     }
 
     #[test]

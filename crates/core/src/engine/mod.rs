@@ -16,7 +16,11 @@
 //!   [`ChildDelta`](crate::state::ChildDelta) records and materialises a full
 //!   [`SearchState`] only when a state is selected for expansion, replacing
 //!   the clone-per-generation layout (still available as
-//!   [`StoreKind::EagerClone`] for the before/after measurement).
+//!   [`StoreKind::EagerClone`] for the before/after measurement).  The arena
+//!   is not tied to [`run_search`]: the parallel scheduler's PPE workers each
+//!   own one, using [`StateArena::materialise_owned`] to materialise states
+//!   on *send* (load sharing / best-state election) and [`StateArena::adopt`]
+//!   to re-root received full states as delta chains on the receiving side.
 //! * [`expand_state`] is the shared per-child admission pipeline
 //!   (evaluate → bound-prune → duplicate-check), parameterised by the
 //!   [`DuplicateFilter`] hook; the parallel scheduler's PPE workers drive the

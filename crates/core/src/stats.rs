@@ -31,13 +31,27 @@ pub struct SearchStats {
     /// i.e. redundant cross-PPE expansions avoided.  Always zero for the
     /// serial searches and for the parallel search in `Local` mode.
     pub duplicates_global: u64,
+    /// Best-state election transfers this agent accepted *with claim
+    /// ownership*: the sender popped its best OPEN state and shipped it, so
+    /// the receiver keeps it without consulting duplicate detection — an
+    /// accepted election transfer is never counted in [`duplicates`] or
+    /// [`duplicates_global`].  Non-zero only for the parallel scheduler in
+    /// `ShardedGlobal` mode (the `Local` mode keeps the paper's copy-based
+    /// election, and serial searches have no elections at all).
+    ///
+    /// [`duplicates`]: SearchStats::duplicates
+    /// [`duplicates_global`]: SearchStats::duplicates_global
+    pub election_transfers: u64,
     /// Largest size of the OPEN list observed.
     pub max_open_size: usize,
-    /// Largest number of fully materialised states held live at once — the
-    /// allocation proxy of the state store.  With the delta arena this is the
-    /// root snapshot(s) plus one scratch state; with the eager clone-per-
-    /// generation store it is every state ever generated.  The parallel
-    /// scheduler reports its per-PPE OPEN list of full states here.
+    /// Largest number of fully materialised states the agent's *state store*
+    /// held live at once — the allocation proxy of the store.  With the
+    /// delta arena this is the root snapshot(s) plus one scratch state; with
+    /// the eager clone-per-generation store it is every state ever stored.
+    /// In the parallel scheduler this counts each PPE's arena; transfer
+    /// clones parked in the inter-PPE channels (bounded by the `in_flight`
+    /// gauge at any instant) are owned by no store and are *not* counted
+    /// here.
     pub peak_live_states: u64,
     /// Heuristic evaluations performed (one per generated state; the Chen &
     /// Yu baseline additionally counts its per-path evaluations here).
@@ -74,6 +88,7 @@ impl SearchStats {
             pruned_upper_bound,
             duplicates,
             duplicates_global,
+            election_transfers,
             max_open_size,
             peak_live_states,
             heuristic_evaluations,
@@ -86,6 +101,7 @@ impl SearchStats {
         self.pruned_upper_bound += pruned_upper_bound;
         self.duplicates += duplicates;
         self.duplicates_global += duplicates_global;
+        self.election_transfers += election_transfers;
         self.max_open_size = self.max_open_size.max(*max_open_size);
         self.peak_live_states = self.peak_live_states.max(*peak_live_states);
         self.heuristic_evaluations += heuristic_evaluations;
@@ -172,6 +188,7 @@ mod tests {
             pruned_upper_bound: 5,
             duplicates: 6,
             duplicates_global: 7,
+            election_transfers: 12,
             max_open_size: 9,
             peak_live_states: 8,
             heuristic_evaluations: 10,
@@ -185,6 +202,7 @@ mod tests {
             pruned_upper_bound: 500,
             duplicates: 600,
             duplicates_global: 700,
+            election_transfers: 1200,
             max_open_size: 4,
             peak_live_states: 3,
             heuristic_evaluations: 1000,
@@ -202,6 +220,7 @@ mod tests {
                 pruned_upper_bound: 505,
                 duplicates: 606,
                 duplicates_global: 707,
+                election_transfers: 1212,
                 max_open_size: 9,    // high-water mark: max, not sum
                 peak_live_states: 8, // high-water mark: max, not sum
                 heuristic_evaluations: 1010,

@@ -1,6 +1,6 @@
 //! Configuration of the parallel search.
 
-use optsched_core::{HeuristicKind, PruningConfig, SearchLimits};
+use optsched_core::{HeuristicKind, PruningConfig, SearchLimits, StoreKind};
 use optsched_procnet::Topology;
 
 use crate::closed::DuplicateDetection;
@@ -38,6 +38,17 @@ pub struct ParallelConfig {
     /// lock contention at a small memory cost; 16 is plenty for the thread
     /// counts the paper evaluates.
     pub num_shards: usize,
+    /// Layout of each PPE's private state store.  With the default
+    /// [`StoreKind::DeltaArena`] a worker's OPEN list holds arena ids and the
+    /// generated states live as parent-id + delta records, materialised only
+    /// on expansion and on load-share/election send; received states are
+    /// re-rooted as delta chains.  [`StoreKind::EagerClone`] is the
+    /// clone-per-generation baseline, defined exactly as for the serial
+    /// engine: every admitted state is materialised immediately and retained
+    /// in the arena for the whole run (the pre-arena *workers* freed popped
+    /// states, so their OPEN high-water mark — still reported as
+    /// `max_open_size` — is the tighter historical comparison point).
+    pub store: StoreKind,
     /// Resource limits applied to the whole parallel run (expansions and
     /// generations are counted across all PPEs).
     pub limits: SearchLimits,
@@ -54,6 +65,7 @@ impl Default for ParallelConfig {
             min_comm_period: 2,
             duplicate_detection: DuplicateDetection::default(),
             num_shards: 16,
+            store: StoreKind::default(),
             limits: SearchLimits::unlimited(),
         }
     }
@@ -73,6 +85,11 @@ impl ParallelConfig {
     /// Returns this configuration with the given duplicate-detection mode.
     pub fn with_duplicate_detection(self, mode: DuplicateDetection) -> ParallelConfig {
         ParallelConfig { duplicate_detection: mode, ..self }
+    }
+
+    /// Returns this configuration with the given per-PPE state-store layout.
+    pub fn with_store(self, store: StoreKind) -> ParallelConfig {
+        ParallelConfig { store, ..self }
     }
 
     /// The undirected neighbour lists of the PPE network.
@@ -136,6 +153,14 @@ mod tests {
         // The rest of the configuration is untouched.
         assert_eq!(local.num_ppes, 4);
         assert_eq!(local.num_shards, ParallelConfig::default().num_shards);
+    }
+
+    #[test]
+    fn store_knob_defaults_to_the_delta_arena() {
+        assert_eq!(ParallelConfig::default().store, StoreKind::DeltaArena);
+        let eager = ParallelConfig::exact(4).with_store(StoreKind::EagerClone);
+        assert_eq!(eager.store, StoreKind::EagerClone);
+        assert_eq!(eager.num_ppes, 4);
     }
 
     #[test]

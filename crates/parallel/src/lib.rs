@@ -25,6 +25,16 @@
 //! expansions of the paper's design.  Select the paper's behaviour with
 //! [`DuplicateDetection::Local`] (see [`ParallelConfig::duplicate_detection`]).
 //!
+//! Two further shared-memory departures (PR 4): each PPE stores its frontier
+//! in an arena of parent-id + delta records
+//! ([`StateArena`](optsched_core::engine::StateArena), selected by
+//! [`ParallelConfig::store`]), materialising full states only on expansion
+//! and on send, so a worker's live full states stay at root-plus-scratch; and
+//! in sharded mode the best-state election *transfers claim ownership* of the
+//! elected state to the neighbour with the worst frontier instead of sending
+//! a copy that the receiver would immediately drop as a global duplicate
+//! (counted in `SearchStats::election_transfers`).
+//!
 //! ```
 //! use optsched_core::SchedulingProblem;
 //! use optsched_parallel::{ParallelAStarScheduler, ParallelConfig};

@@ -65,6 +65,20 @@ impl ParallelSearchResult {
         self.per_ppe_stats.iter().map(|s| s.duplicates_global).sum()
     }
 
+    /// Largest number of fully materialised states any single PPE held live
+    /// at once — the per-run memory high-water mark of the state stores.
+    /// With the delta arena this stays at root-plus-scratch per PPE; with
+    /// `StoreKind::EagerClone` it is every state a PPE ever stored.
+    pub fn peak_live_states(&self) -> u64 {
+        self.total_stats().peak_live_states
+    }
+
+    /// Ownership-transferring best-state election transfers accepted across
+    /// all PPEs (always 0 in `Local` mode, whose election sends copies).
+    pub fn election_transfers(&self) -> u64 {
+        self.total_stats().election_transfers
+    }
+
     /// Ratio between the busiest and the least busy PPE (1.0 = perfectly even).
     ///
     /// A rough indicator of how well the round-robin load sharing balanced
@@ -100,7 +114,9 @@ mod tests {
                     expanded: e,
                     generated: e * 2,
                     duplicates_global: e / 10,
+                    election_transfers: e / 5,
                     max_open_size: e as usize,
+                    peak_live_states: e + 1,
                     ..Default::default()
                 })
                 .collect(),
@@ -117,8 +133,10 @@ mod tests {
         assert_eq!(r.total_stats().generated, 80);
         assert_eq!(r.redundant_expansions_avoided(), 4);
         assert_eq!(r.total_stats().duplicates_global, 4);
+        assert_eq!(r.election_transfers(), 8);
         // High-water marks take the max across PPEs, not the sum.
         assert_eq!(r.total_stats().max_open_size, 30);
+        assert_eq!(r.peak_live_states(), 31);
         assert!((r.load_imbalance() - 3.0).abs() < 1e-9);
     }
 

@@ -8,14 +8,31 @@
 //!   the initial empty state until at least `q` states exist is dealt to the
 //!   PPEs in the interleaved order of the paper (best to PPE 0, second best
 //!   to PPE q−1, third to PPE 1, …), extras round-robin (cases 1–3).
-//! * **Neighbour communication** — every `T` expansions a PPE sends its best
-//!   OPEN state to its topological neighbours and balances OPEN sizes by
-//!   dealing surplus states round-robin to deficit neighbours.  `T` starts at
-//!   `v/2` and halves after every phase down to the configured floor.
+//! * **Neighbour communication** — every `T` expansions a PPE runs a
+//!   best-state election and balances OPEN sizes by dealing surplus states
+//!   round-robin to deficit neighbours.  `T` starts at `v/2` and halves after
+//!   every phase down to the configured floor.  In `Local` mode the election
+//!   is the paper's: a *copy* of the best OPEN state goes to every neighbour
+//!   (receivers may drop it as a duplicate).  In `ShardedGlobal` mode copies
+//!   would always be dropped at the receiver (the signature is already
+//!   claimed), so the election instead *transfers ownership*: the best state
+//!   is popped and shipped — claim included — to the neighbour with the worst
+//!   published frontier, and the receiver keeps it unconditionally (counted
+//!   in [`SearchStats::election_transfers`], never in `duplicates_global`).
 //! * **Goal broadcast / termination** — the best complete schedule lives in a
 //!   shared incumbent; a PPE that can prove no open or in-flight state can
 //!   beat the incumbent (within the ε bound, if any) raises the global
 //!   termination flag.
+//!
+//! Since PR 4 each PPE stores its search frontier in a private
+//! [`StateArena`]: OPEN holds arena ids ordered by `(f, h, FIFO)`, generated
+//! children live as parent-id + [`ChildDelta`] records, and a full
+//! [`SearchState`] is built only when a state is selected for expansion
+//! (scratch replay) or shipped to another PPE (materialise-on-send).  A
+//! received state is re-rooted into the receiver's arena as a delta chain, so
+//! a PPE's live full states stay at root-plus-scratch regardless of OPEN
+//! size; [`StoreKind::EagerClone`] retains the clone-per-generation layout as
+//! the measurable baseline.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -25,8 +42,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use optsched_core::engine::{expand_state, DuplicateFilter, ExpansionContext};
-use optsched_core::state::StateSignature;
+use optsched_core::engine::{expand_state, DuplicateFilter, ExpansionContext, StateArena, StateId};
+use optsched_core::state::{ChildDelta, StateSignature};
 use optsched_core::{SchedulingProblem, SearchOutcome, SearchState, SearchStats};
 use optsched_schedule::Schedule;
 use optsched_taskgraph::Cost;
@@ -38,10 +55,13 @@ use crate::result::ParallelSearchResult;
 /// Number of FOCAL candidates inspected per selection in the ε-bounded mode.
 const FOCAL_SCAN_LIMIT: usize = 64;
 
-/// An OPEN entry ordered by `(f, h, insertion counter)` ascending.
+/// An OPEN entry ordered by `(f, h, insertion counter)` ascending.  The
+/// state itself lives in the PPE's [`StateArena`]; the entry carries only its
+/// id plus the ordering key, so OPEN membership costs no live full state in
+/// the delta layout.
 struct HeapEntry {
     key: (Cost, Cost, u64),
-    state: SearchState,
+    id: StateId,
 }
 
 impl PartialEq for HeapEntry {
@@ -62,14 +82,22 @@ impl Ord for HeapEntry {
     }
 }
 
-/// A state travelling between PPEs.
+/// A state travelling between PPEs.  Transfers always carry a fully
+/// materialised state (the arena layout materialises on send); the receiving
+/// arena decides how to store it.
 struct Transfer {
     state: SearchState,
     /// True when the sender popped the state from its own OPEN list (load
-    /// sharing): the receiver is the state's new owner and must keep it.
-    /// False for best-state election, which sends a *copy* the sender also
-    /// keeps — a receiver may freely drop it as a duplicate.
+    /// sharing, or the sharded-mode ownership-transferring election): the
+    /// receiver is the state's new owner and must keep it.  False for the
+    /// paper's copy-based election in `Local` mode, where the sender keeps
+    /// its own copy — a receiver may freely drop it as a duplicate.
     owned: bool,
+    /// True when the transfer was produced by the best-state election rather
+    /// than load sharing.  Pure accounting (the ownership semantics above are
+    /// untouched): accepted owned elections are counted in
+    /// [`SearchStats::election_transfers`].
+    election: bool,
 }
 
 /// Per-PPE view of duplicate detection: a private seen-set in `Local` mode,
@@ -116,10 +144,12 @@ impl DuplicateFilter for DupFilter<'_> {
 impl DupFilter<'_> {
     /// Admission check for a state received from another PPE.
     /// `owned_transfer` marks a state whose ownership was just transferred
-    /// by load sharing: in global mode its signature is already claimed (by
-    /// its generator) and the claim travels with the state, so it is
-    /// admitted without consulting the table — dropping it there would lose
-    /// the only live copy.
+    /// by load sharing or by the sharded-mode best-state election: in global
+    /// mode its signature is already claimed (by its generator) and the
+    /// claim travels with the state, so it is admitted without consulting
+    /// the table — dropping it there would lose the only live copy.  This is
+    /// also why owned transfers can never be counted in
+    /// `duplicates`/`duplicates_global`.
     fn admit_transfer(
         &mut self,
         state: &SearchState,
@@ -407,6 +437,11 @@ fn ppe_worker(
 ) -> SearchStats {
     let mut stats = SearchStats::default();
     let mut open: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut arena = StateArena::new(problem, cfg.store);
+    // Slot 0 is the problem's initial (empty) state: a delta arena re-roots
+    // every state received from another PPE as a delta chain below it, so
+    // transfers never add live full states on the receiving side.
+    arena.insert_root(SearchState::initial(problem));
     let mut dup = match &shared.closed {
         Some(table) => DupFilter::Global { table, id },
         None => DupFilter::Local { seen: HashSet::new() },
@@ -415,6 +450,7 @@ fn ppe_worker(
 
     let bound_factor = cfg.epsilon.map_or(1.0, |e| 1.0 + e);
     let v = problem.num_nodes() as u64;
+    let goal_depth = problem.num_nodes() as u16;
     let mut comm_period = (v / 2).max(cfg.min_comm_period);
     let mut since_comm: u64 = 0;
     let mut idle_spins: u32 = 0;
@@ -426,15 +462,21 @@ fn ppe_worker(
     enum Arrival {
         /// Dealt out by the initial distribution.
         Initial,
-        /// A best-state election copy from a neighbour (the sender keeps its
-        /// own copy, so dropping this one as a duplicate is always safe).
+        /// A best-state election copy from a neighbour (`Local` mode: the
+        /// sender keeps its own copy, so dropping this one as a duplicate is
+        /// always safe).
         ElectionCopy,
         /// A load-sharing transfer: the sender gave up its copy, this PPE is
         /// now the sole owner and must keep the state.
         OwnedTransfer,
+        /// An ownership-transferring election (`ShardedGlobal` mode): like
+        /// [`Arrival::OwnedTransfer`], but counted separately so the
+        /// election's effectiveness is observable.
+        ElectionTransfer,
     }
 
     let push_transfer = |open: &mut BinaryHeap<HeapEntry>,
+                             arena: &mut StateArena<'_>,
                              dup: &mut DupFilter<'_>,
                              counter: &mut u64,
                              stats: &mut SearchStats,
@@ -444,21 +486,28 @@ fn ppe_worker(
             stats.pruned_upper_bound += 1;
             return;
         }
-        let owned_transfer = matches!(arrival, Arrival::OwnedTransfer);
+        let owned_transfer =
+            matches!(arrival, Arrival::OwnedTransfer | Arrival::ElectionTransfer);
         if !dup.admit_transfer(&state, owned_transfer, stats) {
             return;
+        }
+        if matches!(arrival, Arrival::ElectionTransfer) {
+            stats.election_transfers += 1;
         }
         if state.is_goal(problem) {
             shared.offer_incumbent(state.g(), || state.to_schedule(problem));
         }
         *counter += 1;
-        open.push(HeapEntry { key: (state.f(), state.h(), *counter), state });
+        let key = (state.f(), state.h(), *counter);
+        let id = arena.adopt(state);
+        open.push(HeapEntry { key, id });
     };
 
     for s in initial {
-        push_transfer(&mut open, &mut dup, &mut counter, &mut stats, s, Arrival::Initial);
+        push_transfer(&mut open, &mut arena, &mut dup, &mut counter, &mut stats, s, Arrival::Initial);
     }
 
+    let mut kept: Vec<(ChildDelta, Cost)> = Vec::new();
     loop {
         if shared.terminate.load(Ordering::SeqCst) {
             break;
@@ -468,8 +517,12 @@ fn ppe_worker(
         // in-flight counter are updated in an order that never lets another
         // PPE observe "nothing in flight" while this state is still invisible.
         while let Ok(t) = rx.try_recv() {
-            let arrival = if t.owned { Arrival::OwnedTransfer } else { Arrival::ElectionCopy };
-            push_transfer(&mut open, &mut dup, &mut counter, &mut stats, t.state, arrival);
+            let arrival = match (t.owned, t.election) {
+                (true, true) => Arrival::ElectionTransfer,
+                (true, false) => Arrival::OwnedTransfer,
+                (false, _) => Arrival::ElectionCopy,
+            };
+            push_transfer(&mut open, &mut arena, &mut dup, &mut counter, &mut stats, t.state, arrival);
             let min_f = open.peek().map_or(u64::MAX, |e| e.key.0);
             shared.local_min_f[id].store(min_f, Ordering::SeqCst);
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -480,8 +533,6 @@ fn ppe_worker(
         shared.local_min_f[id].store(min_f, Ordering::SeqCst);
         shared.open_sizes[id].store(open.len(), Ordering::Relaxed);
         stats.max_open_size = stats.max_open_size.max(open.len());
-        // The per-PPE OPEN list holds fully materialised states.
-        stats.peak_live_states = stats.peak_live_states.max(open.len() as u64);
 
         // Global termination test: nothing in flight and no frontier state
         // anywhere can improve on the incumbent (within the ε bound).
@@ -544,58 +595,108 @@ fn ppe_worker(
         idle_spins = 0;
 
         let entry = select_state(&mut open, cfg.epsilon);
-        let state = entry.state;
-        if state.is_goal(problem) {
-            // Goal broadcast: publish and keep searching until the global
-            // termination condition proves it cannot be beaten.
-            shared.offer_incumbent(state.g(), || state.to_schedule(problem));
-            continue;
+        kept.clear();
+        {
+            // Materialise the selected state (scratch replay in the delta
+            // layout); the borrow lasts until the children collected in
+            // `kept` are stored, mirroring the serial engine's loop.
+            let state = arena.materialise(entry.id);
+            if state.is_goal(problem) {
+                // Goal broadcast: publish and keep searching until the global
+                // termination condition proves it cannot be beaten.
+                shared.offer_incumbent(state.g(), || state.to_schedule(problem));
+                continue;
+            }
+
+            stats.expanded += 1;
+            shared.total_expanded.fetch_add(1, Ordering::Relaxed);
+            since_comm += 1;
+
+            // Locally generated children flow through the engine's shared
+            // admission pipeline: each candidate is evaluated allocation-free,
+            // pruned against the shared incumbent, and claimed through the
+            // duplicate-detection hook (private set or sharded global table);
+            // only survivors are stored — as delta records in the arena
+            // layout, materialised clones in the eager baseline.
+            expand_state(
+                ExpansionContext { problem, pruning: &cfg.pruning, heuristic: cfg.heuristic },
+                state,
+                &mut dup,
+                &mut stats,
+                |_parent, delta, _stats| {
+                    let f = delta.f();
+                    (!cfg.pruning.upper_bound_pruning || f <= shared.incumbent_len()).then_some(f)
+                },
+                |parent, delta, f, _stats| {
+                    if parent.depth() + 1 == goal_depth {
+                        shared.offer_incumbent(delta.g, || {
+                            parent.apply_delta(problem, &delta).to_schedule(problem)
+                        });
+                    }
+                    kept.push((delta, f));
+                },
+            );
         }
-
-        stats.expanded += 1;
-        shared.total_expanded.fetch_add(1, Ordering::Relaxed);
-        since_comm += 1;
-
-        // Locally generated children flow through the engine's shared
-        // admission pipeline: each candidate is evaluated allocation-free,
-        // pruned against the shared incumbent, and claimed through the
-        // duplicate-detection hook (private set or sharded global table);
-        // only survivors are materialised and pushed onto OPEN.
-        expand_state(
-            ExpansionContext { problem, pruning: &cfg.pruning, heuristic: cfg.heuristic },
-            &state,
-            &mut dup,
-            &mut stats,
-            |_parent, delta, _stats| {
-                let f = delta.f();
-                (!cfg.pruning.upper_bound_pruning || f <= shared.incumbent_len()).then_some(f)
-            },
-            |parent, delta, f, stats| {
-                let child = parent.apply_delta(problem, &delta);
-                if child.is_goal(problem) {
-                    shared.offer_incumbent(child.g(), || child.to_schedule(problem));
-                }
-                counter += 1;
-                stats.generated += 1;
-                shared.total_generated.fetch_add(1, Ordering::Relaxed);
-                open.push(HeapEntry { key: (f, delta.h, counter), state: child });
-            },
-        );
+        for &(delta, f) in &kept {
+            counter += 1;
+            stats.generated += 1;
+            shared.total_generated.fetch_add(1, Ordering::Relaxed);
+            let child = arena.insert_child(entry.id, &delta);
+            open.push(HeapEntry { key: (f, delta.h, counter), id: child });
+        }
 
         // Communication phase: neighbour exchange + round-robin load sharing.
         if since_comm >= comm_period && !neighbors.is_empty() {
             since_comm = 0;
             comm_period = (comm_period / 2).max(cfg.min_comm_period);
 
-            // Best-state election: offer this PPE's best state to every
-            // neighbour (each neighbour keeps the best offer it receives by
-            // simply inserting it into its own OPEN list).
-            if let Some(best) = open.peek() {
-                for &nb in neighbors {
-                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                    let copy = Transfer { state: best.state.clone(), owned: false };
-                    if txs[nb].send(copy).is_err() {
-                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            // Best-state election.
+            match cfg.duplicate_detection {
+                DuplicateDetection::Local => {
+                    // The paper's election: offer a *copy* of this PPE's best
+                    // state to every neighbour (each receiver keeps or drops
+                    // it through its own duplicate detection).
+                    if let Some(best) = open.peek() {
+                        let best_state = arena.materialise_owned(best.id);
+                        for &nb in neighbors {
+                            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                            let copy = Transfer {
+                                state: best_state.clone(),
+                                owned: false,
+                                election: true,
+                            };
+                            if txs[nb].send(copy).is_err() {
+                                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                }
+                DuplicateDetection::ShardedGlobal => {
+                    // Ownership-transferring election: a copy would reach the
+                    // receiver with an already-claimed signature and be
+                    // dropped on arrival, so instead *give away* the best
+                    // state (claim travels with it, see `DupFilter::release`)
+                    // to the neighbour whose published frontier is worst —
+                    // and only to one that actually profits, i.e. whose
+                    // frontier minimum is strictly worse than this state.
+                    // The receiver force-keeps it; nothing is wasted.
+                    if let Some(best) = open.peek() {
+                        let best_f = best.key.0;
+                        let target = neighbors
+                            .iter()
+                            .map(|&nb| (shared.local_min_f[nb].load(Ordering::SeqCst), Reverse(nb)))
+                            .filter(|&(min_f, _)| min_f > best_f)
+                            .max();
+                        if let Some((_, Reverse(nb))) = target {
+                            let e = open.pop().expect("peeked a best state above");
+                            let state = arena.materialise_owned(e.id);
+                            dup.release(&state);
+                            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                            let t = Transfer { state, owned: true, election: true };
+                            if txs[nb].send(t).is_err() {
+                                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
                     }
                 }
             }
@@ -619,11 +720,11 @@ fn ppe_worker(
                     // Keep the best state locally; deal the following ones out.
                     let keep = open.pop();
                     let mut sent = 0usize;
-                    let mut outgoing = Vec::with_capacity(surplus);
+                    let mut outgoing: Vec<StateId> = Vec::with_capacity(surplus);
                     while sent < surplus {
                         match open.pop() {
                             Some(e) => {
-                                outgoing.push(e.state);
+                                outgoing.push(e.id);
                                 sent += 1;
                             }
                             None => break,
@@ -632,15 +733,18 @@ fn ppe_worker(
                     if let Some(k) = keep {
                         open.push(k);
                     }
-                    for (i, s) in outgoing.into_iter().enumerate() {
-                        // Shipping a state away transfers ownership of it (see
-                        // `DupFilter::release`): the receiver force-inserts it,
-                        // so the sole live copy of a claimed signature is never
-                        // dropped by both sides of an exchange.
+                    for (i, sid) in outgoing.into_iter().enumerate() {
+                        // Materialise-on-send: the state leaves this arena as
+                        // a full clone.  Shipping it transfers ownership (see
+                        // `DupFilter::release`): the receiver force-inserts
+                        // it, so the sole live copy of a claimed signature is
+                        // never dropped by both sides of an exchange.
+                        let s = arena.materialise_owned(sid);
                         dup.release(&s);
                         let target = deficits[i % deficits.len()];
                         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                        if txs[target].send(Transfer { state: s, owned: true }).is_err() {
+                        let t = Transfer { state: s, owned: true, election: false };
+                        if txs[target].send(t).is_err() {
                             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
@@ -649,13 +753,17 @@ fn ppe_worker(
         }
     }
 
+    // The arena is the PPE's only holder of full states: every state in the
+    // eager layout, root + scratch (plus nothing per OPEN entry) in the
+    // delta layout.
+    stats.peak_live_states = arena.peak_live_full() as u64;
     stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use optsched_core::{AStarScheduler, PruningConfig, SearchLimits};
+    use optsched_core::{AStarScheduler, PruningConfig, SearchLimits, StoreKind};
     use optsched_procnet::{ProcNetwork, Topology};
     use optsched_taskgraph::paper_example_dag;
     use optsched_workload::{generate_random_dag, RandomDagConfig};
@@ -883,6 +991,72 @@ mod tests {
                 total.duplicates + total.duplicates_global,
                 "run {run}"
             );
+        }
+    }
+
+    /// The PR 4 tentpole, observed from the outside: both store layouts stay
+    /// exact and agree on the optimum, while the delta arena holds at most
+    /// the initial root plus one scratch state live per PPE — OPEN size and
+    /// transfer volume no longer cost full states.
+    #[test]
+    fn arena_store_matches_eager_store_with_tiny_live_footprint() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generate_random_dag(
+            &RandomDagConfig { nodes: 10, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        for problem in [
+            example_problem(),
+            SchedulingProblem::new(g, ProcNetwork::fully_connected(3)),
+        ] {
+            let serial = AStarScheduler::new(&problem).run();
+            for mode in [DuplicateDetection::Local, DuplicateDetection::ShardedGlobal] {
+                let cfg = ParallelConfig {
+                    num_ppes: 4,
+                    min_comm_period: 1, // maximise transfers: the hard case
+                    ..Default::default()
+                }
+                .with_duplicate_detection(mode);
+                let arena = ParallelAStarScheduler::new(&problem, cfg).run();
+                let eager = ParallelAStarScheduler::new(
+                    &problem,
+                    cfg.with_store(StoreKind::EagerClone),
+                )
+                .run();
+                assert!(arena.is_optimal() && eager.is_optimal(), "mode={mode}");
+                assert_eq!(arena.schedule_length(), serial.schedule_length, "mode={mode}");
+                assert_eq!(eager.schedule_length(), serial.schedule_length, "mode={mode}");
+                assert!(
+                    arena.peak_live_states() <= 2,
+                    "mode={mode}: delta arena held {} live full states",
+                    arena.peak_live_states()
+                );
+                // The eager baseline holds every stored state live.
+                assert!(
+                    eager.peak_live_states() > arena.peak_live_states(),
+                    "mode={mode}: eager {} vs arena {}",
+                    eager.peak_live_states(),
+                    arena.peak_live_states()
+                );
+            }
+        }
+    }
+
+    /// In `Local` mode the election still sends copies (the paper's design):
+    /// no ownership-transferring elections can ever be recorded.
+    #[test]
+    fn local_mode_election_sends_copies_not_ownership() {
+        let prob = example_problem();
+        let cfg = ParallelConfig {
+            num_ppes: 4,
+            min_comm_period: 1,
+            ..Default::default()
+        }
+        .with_duplicate_detection(DuplicateDetection::Local);
+        for _ in 0..3 {
+            let r = ParallelAStarScheduler::new(&prob, cfg).run();
+            assert!(r.is_optimal());
+            assert_eq!(r.election_transfers(), 0, "local mode elections are copies");
         }
     }
 

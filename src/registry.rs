@@ -57,7 +57,11 @@ pub struct SchedulerSpec {
     pub pruning: PruningConfig,
     /// Admissible heuristic (A\* family).
     pub heuristic: HeuristicKind,
-    /// State-store layout of the serial engine (`arena` by default).
+    /// State-store layout (`arena` by default) — applied to the serial
+    /// engine and to each PPE of the `parallel` family alike.  Like
+    /// [`SchedulerSpec::limits`], this spec-level knob *overrides* the
+    /// corresponding field of [`SchedulerSpec::parallel`] at dispatch time:
+    /// the spec is the front ends' single source of truth.
     pub store: StoreKind,
     /// Approximation factor of `aeps` (also applied to `parallel` when
     /// [`ParallelConfig::epsilon`] is set there).
@@ -193,13 +197,14 @@ impl Scheduler for ParallelEntry {
     }
     fn description(&self) -> String {
         format!(
-            "parallel A* ({} PPEs, {} duplicate detection)",
-            self.0.parallel.num_ppes, self.0.parallel.duplicate_detection
+            "parallel A* ({} PPEs, {} duplicate detection, {} store)",
+            self.0.parallel.num_ppes, self.0.parallel.duplicate_detection, self.0.store
         )
     }
     fn run(&self, problem: &SchedulingProblem) -> SearchReport {
         let mut cfg = self.0.parallel;
         cfg.limits = self.0.limits;
+        cfg.store = self.0.store;
         let r = ParallelAStarScheduler::new(problem, cfg).run();
         let mut extras = vec![
             ("states expanded".to_string(), r.total_expanded().to_string()),
@@ -207,6 +212,8 @@ impl Scheduler for ParallelEntry {
                 "redundant cross-PPE expansions avoided".to_string(),
                 r.redundant_expansions_avoided().to_string(),
             ),
+            ("peak_live_states".to_string(), r.peak_live_states().to_string()),
+            ("election transfers".to_string(), r.election_transfers().to_string()),
         ];
         if let Some(table) = &r.closed_stats {
             extras.push((
@@ -305,12 +312,42 @@ mod tests {
         let reg = SchedulerRegistry::builtin();
         let report = reg.get("parallel").unwrap().run(&problem);
         assert!(report.extras.iter().any(|(k, _)| k == "states expanded"));
+        assert!(report.extras.iter().any(|(k, _)| k == "peak_live_states"));
+        assert!(report.extras.iter().any(|(k, _)| k == "election transfers"));
         assert!(
             report.extras.iter().any(|(k, _)| k == "closed table"),
             "default mode is sharded, which reports table stats"
         );
         let desc = reg.get("parallel").unwrap().description();
         assert!(desc.contains("sharded"), "{desc}");
+        assert!(desc.contains("arena store"), "{desc}");
+    }
+
+    /// `--store` is no longer silently ignored by the `parallel` family: the
+    /// spec's store reaches the PPE workers, visible as the delta arena's
+    /// tiny live-state footprint versus the eager baseline's.
+    #[test]
+    fn store_knob_flows_through_to_the_parallel_family() {
+        let problem = example_problem();
+        let run = |store| {
+            let spec = SchedulerSpec { store, ..SchedulerSpec::default() };
+            SchedulerRegistry::with_spec(spec).get("parallel").unwrap().run(&problem)
+        };
+        let arena = run(StoreKind::DeltaArena);
+        let eager = run(StoreKind::EagerClone);
+        assert_eq!(arena.result.schedule_length, 14);
+        assert_eq!(eager.result.schedule_length, 14);
+        assert!(
+            arena.result.stats.peak_live_states <= 2,
+            "arena held {}",
+            arena.result.stats.peak_live_states
+        );
+        assert!(
+            eager.result.stats.peak_live_states > arena.result.stats.peak_live_states,
+            "eager {} vs arena {}",
+            eager.result.stats.peak_live_states,
+            arena.result.stats.peak_live_states
+        );
     }
 
     #[test]

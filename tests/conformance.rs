@@ -12,8 +12,9 @@
 //!
 //! The duplicate-detection modes exercised by the parallel runs can be
 //! pinned through the `OPTSCHED_DUP_MODE` environment variable (`local`,
-//! `sharded`, or unset for both), so CI can fail fast on a regression in
-//! either path; see `.github/workflows/ci.yml`.
+//! `sharded`, or unset for both), and the state-store layouts through
+//! `OPTSCHED_STORE` (`eager`, `arena`, or unset for both), so CI can fail
+//! fast on a regression in any path; see `.github/workflows/ci.yml`.
 
 use optsched::prelude::*;
 use rand::rngs::StdRng;
@@ -28,6 +29,17 @@ fn modes_under_test() -> Vec<DuplicateDetection> {
             vec![mode]
         }
         Err(_) => vec![DuplicateDetection::Local, DuplicateDetection::ShardedGlobal],
+    }
+}
+
+/// The state-store layouts this process should exercise.
+fn stores_under_test() -> Vec<StoreKind> {
+    match std::env::var("OPTSCHED_STORE") {
+        Ok(v) => {
+            let store: StoreKind = v.parse().unwrap_or_else(|e| panic!("OPTSCHED_STORE: {e}"));
+            vec![store]
+        }
+        Err(_) => vec![StoreKind::EagerClone, StoreKind::DeltaArena],
     }
 }
 
@@ -62,6 +74,7 @@ fn corpus() -> Vec<(String, TaskGraph, ProcNetwork)> {
 #[test]
 fn all_schedulers_agree_on_the_optimal_makespan() {
     let modes = modes_under_test();
+    let stores = stores_under_test();
     for (name, graph, net) in corpus() {
         let problem = SchedulingProblem::new(graph.clone(), net.clone());
         // Aε* degenerates to an exact search at ε = 0; `exhaustive` certifies
@@ -86,21 +99,34 @@ fn all_schedulers_agree_on_the_optimal_makespan() {
             r.expect_schedule().validate(&graph, &net).unwrap();
         }
 
-        // Parallel A*: every duplicate-detection mode, q ∈ {1, 2}.
+        // Parallel A*: every duplicate-detection mode × state-store layout,
+        // q ∈ {1, 2}.  The store is passed through the spec's `store` knob —
+        // the same path the CLI's `--store` takes.
         for &mode in &modes {
-            for q in [1usize, 2] {
-                let spec = SchedulerSpec {
-                    parallel: ParallelConfig::exact(q).with_duplicate_detection(mode),
-                    ..Default::default()
-                };
-                let r = SchedulerRegistry::with_spec(spec)
-                    .get("parallel")
-                    .expect("registered")
-                    .run(&problem)
-                    .result;
-                assert!(r.is_optimal(), "{name}: parallel q={q} mode={mode}");
-                assert_eq!(r.schedule_length, optimum, "{name}: parallel q={q} mode={mode}");
-                r.expect_schedule().validate(&graph, &net).unwrap();
+            for &store in &stores {
+                for q in [1usize, 2] {
+                    let spec = SchedulerSpec {
+                        parallel: ParallelConfig::exact(q).with_duplicate_detection(mode),
+                        store,
+                        ..Default::default()
+                    };
+                    let ctx = format!("{name}: parallel q={q} mode={mode} store={store}");
+                    let r = SchedulerRegistry::with_spec(spec)
+                        .get("parallel")
+                        .expect("registered")
+                        .run(&problem)
+                        .result;
+                    assert!(r.is_optimal(), "{ctx}");
+                    assert_eq!(r.schedule_length, optimum, "{ctx}");
+                    r.expect_schedule().validate(&graph, &net).unwrap();
+                    if store == StoreKind::DeltaArena {
+                        assert!(
+                            r.stats.peak_live_states <= 2,
+                            "{ctx}: arena held {} live full states",
+                            r.stats.peak_live_states
+                        );
+                    }
+                }
             }
         }
     }
@@ -182,4 +208,89 @@ fn sharded_mode_expands_strictly_fewer_states_under_contention() {
     let table = sharded.closed_stats.as_ref().expect("sharded run reports table stats");
     assert!(table.total_hits() >= sharded.redundant_expansions_avoided());
     assert!(table.hit_rate() > 0.0);
+}
+
+/// The PR 4 extension of the PR 2 table stress test: q = 4 PPEs on arena
+/// stores hammer the sharded CLOSED table through the *real* scheduler with
+/// eager communication, so claimed states are continuously popped,
+/// materialised, shipped (load sharing **and** the ownership-transferring
+/// election) and re-rooted into the receivers' delta arenas.  Across
+/// repeated contended runs no signature claim may be lost:
+///
+/// * every run stays optimal (a lost claim silently drops the sole live copy
+///   of a state, which shows up here as a missed optimum),
+/// * the table's books balance — entries equal first-time claims, and every
+///   hit is a *generation-time* duplicate counted by exactly one PPE.
+///   Owned transfers (load shares and election transfers) bypass the table
+///   entirely, so `duplicates_global` cannot count election traffic: if an
+///   election transfer were re-admitted through the table, its hit would
+///   have no matching generation-time counter and the reconciliation below
+///   would fail.
+/// * the ownership-transferring election is actually exercised
+///   (`election_transfers > 0` accumulated across runs) while local mode
+///   records none.
+#[test]
+fn arena_transfers_lose_no_claims_under_4_thread_stress() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generate_random_dag(
+        &RandomDagConfig { nodes: 10, ccr: 1.0, ..Default::default() },
+        &mut rng,
+    );
+    let problem = SchedulingProblem::new(g.clone(), ProcNetwork::fully_connected(3));
+    let optimum = AStarScheduler::new(&problem).run().schedule_length;
+
+    let mut elections_seen = 0u64;
+    for run in 0..4 {
+        let cfg = ParallelConfig {
+            num_ppes: 4,
+            min_comm_period: 1, // eager exchange: maximum transfer traffic
+            num_shards: 4,
+            store: StoreKind::DeltaArena,
+            ..Default::default()
+        };
+        let r = ParallelAStarScheduler::new(&problem, cfg).run();
+        assert!(r.is_optimal(), "run {run}");
+        assert_eq!(r.schedule_length(), optimum, "run {run}: a claim was lost");
+        r.schedule.validate(&g, problem.network()).unwrap();
+
+        let table = r.closed_stats.as_ref().expect("sharded run reports table stats");
+        let total = r.total_stats();
+        assert_eq!(
+            table.total_entries() as u64,
+            table.total_misses(),
+            "run {run}: every successful claim inserts exactly one entry"
+        );
+        assert_eq!(table.total_reopens(), 0, "run {run}");
+        assert_eq!(
+            table.total_hits(),
+            total.duplicates + total.duplicates_global,
+            "run {run}: a transfer was re-admitted through the table"
+        );
+        // Arena transfers re-root on arrival: live full states stay at
+        // root + scratch on every PPE no matter how many states travelled.
+        assert!(
+            total.peak_live_states <= 2,
+            "run {run}: peak {} live full states",
+            total.peak_live_states
+        );
+        elections_seen += total.election_transfers;
+    }
+    assert!(
+        elections_seen > 0,
+        "eagerly communicating contended runs must elect at least once"
+    );
+
+    // Local mode on the same instance: the paper's copy election, no
+    // ownership transfers recorded.
+    let cfg = ParallelConfig {
+        num_ppes: 4,
+        min_comm_period: 1,
+        store: StoreKind::DeltaArena,
+        ..Default::default()
+    }
+    .with_duplicate_detection(DuplicateDetection::Local);
+    let r = ParallelAStarScheduler::new(&problem, cfg).run();
+    assert!(r.is_optimal());
+    assert_eq!(r.schedule_length(), optimum);
+    assert_eq!(r.election_transfers(), 0);
 }

@@ -149,6 +149,59 @@ fn eager_and_arena_stores_drive_identical_searches() {
     }
 }
 
+/// Pinned q = 1 parallel counts, one row per corpus instance:
+/// (name, optimum, expanded, generated).
+///
+/// A single-PPE parallel run has no neighbours, hence no elections, no load
+/// sharing and no thread races: it is a deterministic replay of the PPE
+/// worker loop, pinned here with the same re-pin-in-the-same-commit
+/// discipline as the serial literals above.  Captured at the PR 4
+/// arena-backed-worker change; the counts are identical across both
+/// duplicate-detection modes and both store layouts (asserted below), so any
+/// divergence between those paths is loud too.
+const PINNED_PARALLEL_Q1: &[(&str, Cost, u64, u64)] = &[
+    ("paper-example", 14, 34, 61),
+    ("fork-join", 16, 10, 21),
+    ("chain", 18, 1, 1),
+    ("out-tree", 19, 76, 137),
+    ("in-tree", 18, 589, 676),
+    ("random-v6-ccr0.1", 155, 13, 19),
+    ("random-v7-ccr0.1", 163, 414, 437),
+    ("random-v6-ccr1", 203, 1, 1),
+    ("random-v7-ccr1", 162, 161, 316),
+    ("random-v6-ccr10", 242, 322, 502),
+    ("random-v7-ccr10", 225, 225, 290),
+];
+
+#[test]
+fn single_ppe_parallel_counts_are_pinned_across_modes_and_stores() {
+    let cases = corpus();
+    assert_eq!(cases.len(), PINNED_PARALLEL_Q1.len(), "corpus and pinned table out of sync");
+    for ((name, graph, net), pinned) in cases.into_iter().zip(PINNED_PARALLEL_Q1) {
+        let (pname, optimum, expanded, generated) = *pinned;
+        assert_eq!(name, pname, "corpus order changed — re-pin the table");
+        let problem = SchedulingProblem::new(graph, net);
+        for mode in [DuplicateDetection::ShardedGlobal, DuplicateDetection::Local] {
+            for store in [StoreKind::DeltaArena, StoreKind::EagerClone] {
+                let cfg =
+                    ParallelConfig::exact(1).with_duplicate_detection(mode).with_store(store);
+                let r = ParallelAStarScheduler::new(&problem, cfg).run();
+                let ctx = format!("{name}: q=1 mode={mode} store={store}");
+                assert!(r.is_optimal(), "{ctx}");
+                assert_eq!(r.schedule_length(), optimum, "{ctx}");
+                let total = r.total_stats();
+                assert_eq!(
+                    (total.expanded, total.generated),
+                    (expanded, generated),
+                    "{ctx}: deterministic-replay counts drifted — if the change is \
+                     intentional, re-pin PINNED_PARALLEL_Q1 in the same commit"
+                );
+                assert_eq!(total.election_transfers, 0, "{ctx}: q=1 has no neighbours");
+            }
+        }
+    }
+}
+
 /// `SearchLimits` now flow through every family, including the exhaustive
 /// enumerator (which silently ignored them before the engine refactor).
 #[test]

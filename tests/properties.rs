@@ -108,6 +108,49 @@ proptest! {
         }
     }
 
+    /// The per-PPE state store is a pure memory/time trade: under random
+    /// load-share + election schedules (random instances, random PPE counts,
+    /// eager communication so transfers actually fly, plus whatever thread
+    /// interleaving this run happens to produce), a parallel run on delta
+    /// arenas returns a valid schedule with the same makespan as the eager
+    /// clone-per-generation baseline, in both duplicate-detection modes —
+    /// while holding at most root + scratch live full states per PPE.
+    #[test]
+    fn parallel_arena_store_matches_eager_store(
+        (nodes, ccr_idx, seed) in (4usize..=7, 0usize..3, any::<u64>()),
+        q in 2usize..=4,
+        comm_period in 1u64..=2,
+    ) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let problem = SchedulingProblem::new(g.clone(), ProcNetwork::fully_connected(3));
+        for mode in [DuplicateDetection::Local, DuplicateDetection::ShardedGlobal] {
+            let cfg = ParallelConfig {
+                num_ppes: q,
+                min_comm_period: comm_period,
+                ..Default::default()
+            }
+            .with_duplicate_detection(mode);
+            let arena = ParallelAStarScheduler::new(&problem, cfg).run();
+            let eager = ParallelAStarScheduler::new(
+                &problem,
+                cfg.with_store(StoreKind::EagerClone),
+            ).run();
+            prop_assert!(arena.is_optimal() && eager.is_optimal(), "mode={}", mode);
+            prop_assert_eq!(
+                arena.schedule_length(),
+                eager.schedule_length(),
+                "mode={}", mode
+            );
+            prop_assert!(arena.schedule.validate(&g, problem.network()).is_ok());
+            prop_assert!(eager.schedule.validate(&g, problem.network()).is_ok());
+            prop_assert!(
+                arena.peak_live_states() <= 2,
+                "mode={}: arena held {} live full states", mode, arena.peak_live_states()
+            );
+            prop_assert!(eager.peak_live_states() >= arena.peak_live_states());
+        }
+    }
+
     /// Adding a processor never makes the optimal schedule longer.
     #[test]
     fn more_processors_never_hurt((nodes, ccr_idx, seed) in dag_params()) {
