@@ -34,7 +34,7 @@ fn main() {
     let q = 8;
     let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
     let mut csv = CsvWriter::new(
-        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,peak_live_states,election_transfers,load_imbalance",
+        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,peak_live_states,peak_in_flight,election_transfers,load_imbalance",
     );
     // Accumulates the before/after (local vs. sharded CLOSED) datapoints.
     let mut bench_json: Vec<String> = Vec::new();
@@ -120,7 +120,9 @@ fn main() {
             let ms = r.elapsed.as_secs_f64() * 1e3;
             let redundant = r.total_expanded() as f64 / serial.stats.expanded.max(1) as f64;
             let avoided = r.redundant_expansions_avoided();
+            // Airtight headline: per-PPE store peak + in-flight transfer peak.
             let peak_live = r.peak_live_states();
+            let peak_in_flight = r.peak_in_flight;
             let elections = r.election_transfers();
             let imbalance = r.load_imbalance();
             println!(
@@ -142,6 +144,7 @@ fn main() {
                 format!("{redundant:.3}"),
                 avoided.to_string(),
                 peak_live.to_string(),
+                peak_in_flight.to_string(),
                 elections.to_string(),
                 format!("{imbalance:.3}"),
             ]);
@@ -163,7 +166,8 @@ fn main() {
                 mode_points.push(format!(
                     "\"{key}\": {{\"time_ms\": {ms:.3}, \"total_expanded\": {}, \
                      \"redundant_vs_serial\": {redundant:.3}, \"dup_avoided\": {avoided}, \
-                     \"peak_live_states\": {peak_live}, \"election_transfers\": {elections}, \
+                     \"peak_live_states\": {peak_live}, \"peak_in_flight\": {peak_in_flight}, \
+                     \"election_transfers\": {elections}, \
                      \"schedule_length\": {}}}",
                     r.total_expanded(),
                     r.schedule_length()

@@ -7,7 +7,15 @@
 //! `arena`.  Both runs are bit-identical searches (same optimum, same
 //! expansion counts — asserted); what changes is the cost profile, recorded
 //! per run as wall-clock time and the peak number of live fully materialised
-//! states (the allocation proxy).  Results go to
+//! states (the allocation proxy).
+//!
+//! Since the `seed_incumbent` knob exists (the scheduling service's
+//! default), the A* and Chen & Yu rows are additionally measured *seeded*:
+//! the list-heuristic schedule is an attained incumbent, so the upper-bound
+//! rule prunes strictly and the branch-and-bound elimination starts from the
+//! list bound instead of infinity.  Seeded rows carry `"seeded": true`;
+//! they remain exact (asserted) but are **not** count-comparable to the
+//! unseeded rows — that is the point being measured.  Results go to
 //! `results/BENCH_serial.json` and `results/ablation_serial.csv`.
 //!
 //! Usage: `cargo run --release -p optsched-bench --bin ablation_serial -- [--sizes 10,12] [--budget-ms N]`
@@ -18,6 +26,9 @@ use optsched_core::{SearchLimits, SearchOutcome, StoreKind};
 
 const FAMILIES: [&str; 4] = ["astar", "aeps", "chenyu", "exhaustive"];
 const STORES: [StoreKind; 2] = [StoreKind::EagerClone, StoreKind::DeltaArena];
+/// Families measured a second time with the seeded incumbent (the service
+/// path): the ones the satellite task names — A* and the Chen & Yu baseline.
+const SEEDED_FAMILIES: [&str; 2] = ["astar", "chenyu"];
 
 fn main() {
     let mut opts = ExperimentOptions::parse(std::env::args().skip(1));
@@ -31,7 +42,7 @@ fn main() {
     let ccr = 1.0;
     let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
     let mut csv = CsvWriter::new(
-        "size,ccr,scheduler,store,schedule_length,optimal,expanded,generated,peak_live_states,max_open_size,time_ms,timed_out",
+        "size,ccr,scheduler,store,seeded,schedule_length,optimal,expanded,generated,peak_live_states,max_open_size,time_ms,timed_out",
     );
     let mut json_rows: Vec<String> = Vec::new();
 
@@ -44,22 +55,31 @@ fn main() {
             problem.upper_bound()
         );
         println!(
-            "{:<12} {:>7} | {:>10} {:>12} {:>12} {:>16} {:>12}",
-            "scheduler", "store", "length", "expanded", "generated", "peak live states", "time ms"
+            "{:<12} {:>7} {:>7} | {:>10} {:>12} {:>12} {:>16} {:>12}",
+            "scheduler", "store", "seeded", "length", "expanded", "generated",
+            "peak live states", "time ms"
         );
 
-        for family in FAMILIES {
+        // The seeded variant rides along for the service-path families.
+        let runs = FAMILIES
+            .iter()
+            .map(|&f| (f, false))
+            .chain(SEEDED_FAMILIES.iter().map(|&f| (f, true)));
+        let mut optimum: Option<u64> = None;
+        for (family, seeded) in runs {
             let mut lengths: Vec<(StoreKind, u64, u64)> = Vec::new();
             for store in STORES {
-                let spec = SchedulerSpec { limits, store, ..Default::default() };
+                let spec =
+                    SchedulerSpec { limits, store, seed_incumbent: seeded, ..Default::default() };
                 let registry = SchedulerRegistry::with_spec(spec);
                 let r = registry.get(family).expect("registered family").run(&problem).result;
                 let ms = r.elapsed.as_secs_f64() * 1e3;
                 let timed_out = r.outcome == SearchOutcome::LimitReached;
                 println!(
-                    "{:<12} {:>7} | {:>10} {:>12} {:>12} {:>16} {:>12}",
+                    "{:<12} {:>7} {:>7} | {:>10} {:>12} {:>12} {:>16} {:>12}",
                     family,
                     store.to_string(),
+                    seeded,
                     r.schedule_length,
                     r.stats.expanded,
                     r.stats.generated,
@@ -75,6 +95,7 @@ fn main() {
                     ccr.to_string(),
                     family.to_string(),
                     store.to_string(),
+                    seeded.to_string(),
                     r.schedule_length.to_string(),
                     r.is_optimal().to_string(),
                     r.stats.expanded.to_string(),
@@ -86,7 +107,8 @@ fn main() {
                 ]);
                 json_rows.push(format!(
                     "{{\"size\": {size}, \"ccr\": {ccr}, \"scheduler\": \"{family}\", \
-                     \"store\": \"{store}\", \"schedule_length\": {}, \"optimal\": {}, \
+                     \"store\": \"{store}\", \"seeded\": {seeded}, \"schedule_length\": {}, \
+                     \"optimal\": {}, \
                      \"expanded\": {}, \"generated\": {}, \"peak_live_states\": {}, \
                      \"max_open_size\": {}, \"time_ms\": {ms:.3}, \"timed_out\": {timed_out}}}",
                     r.schedule_length,
@@ -98,6 +120,18 @@ fn main() {
                 ));
                 if !timed_out {
                     lengths.push((store, r.schedule_length, r.stats.expanded));
+                    // Seeding must never change the answer, only the work
+                    // (aeps is excluded: ε > 0 may legitimately return a
+                    // within-bound, non-optimal length).
+                    if family != "aeps" {
+                        match optimum {
+                            None => optimum = Some(r.schedule_length),
+                            Some(len) => assert_eq!(
+                                len, r.schedule_length,
+                                "{family} (seeded={seeded}): optimum changed"
+                            ),
+                        }
+                    }
                 }
             }
             // The store is a pure memory/time trade: completed runs must

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! optsched schedule --input graph.json [--procs 4] [--topology ring|mesh|full|chain|star|hypercube]
-//!                   [--algorithm astar|aeps|chenyu|exhaustive|list|parallel] [--epsilon 0.2]
-//!                   [--ppes 4] [--dup-detection local|sharded] [--shards N]
-//!                   [--budget-ms N] [--max-expansions N] [--store eager|arena] [--gantt] [--json]
+//!                   [--algorithm astar|wastar|aeps|chenyu|exhaustive|list|parallel] [--epsilon 0.2]
+//!                   [--weight 1.5] [--seed-incumbent] [--ppes 4] [--dup-detection local|sharded]
+//!                   [--shards N] [--budget-ms N] [--max-expansions N] [--store eager|arena]
+//!                   [--gantt] [--json]
 //! optsched generate --nodes 20 --ccr 1.0 [--seed 7] [--output graph.json]
 //! optsched example
 //! optsched levels --input graph.json
+//! optsched serve [--workers 2] [--listen 127.0.0.1:7878]
+//! optsched batch --requests reqs.jsonl|- [--workers 2] [--min-cache-hits N] [--summary]
+//! optsched requests --count 20 [--seed 7] [--output reqs.jsonl]
 //! ```
 //!
 //! The `--algorithm` value is resolved through the facade's
@@ -20,6 +24,13 @@
 //! [`optsched_taskgraph::TaskGraph`] (produced by `optsched generate`).
 //! `--input -` reads the graph from stdin, so generation and scheduling
 //! compose: `optsched generate --nodes 10 | optsched schedule --input -`.
+//!
+//! The service subcommands speak the JSON-lines protocol of
+//! `optsched-service`: `serve` answers requests from stdin (or a TCP
+//! listener with `--listen`), `batch` drains a request file through the
+//! worker pool and reports a summary, and `requests` generates a mixed
+//! request corpus — so the whole pipeline composes as
+//! `optsched requests --count 20 | optsched batch --requests -`.
 
 use std::process::ExitCode;
 
@@ -27,8 +38,11 @@ use optsched::registry::{SchedulerRegistry, SchedulerSpec};
 use optsched_core::{AStarScheduler, SchedulingProblem, SearchLimits, SearchOutcome};
 use optsched_procnet::{ProcNetwork, Topology};
 use optsched_schedule::{render_gantt, Schedule};
+use optsched_service::{run_service, serve_tcp, Request, SchedulingService, ServiceConfig};
 use optsched_taskgraph::{paper_example_dag, GraphLevels, TaskGraph};
-use optsched_workload::{generate_random_dag, RandomDagConfig};
+use optsched_workload::{
+    generate_random_dag, generate_request_corpus, RandomDagConfig, RequestCorpusConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,7 +87,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--ppes Q] [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n(`--input -` reads the graph JSON from stdin; algorithms: astar|aeps|chenyu|exhaustive|list|parallel)"
+        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--weight W] [--seed-incumbent] [--ppes Q] \\\n                    [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n  optsched serve [--workers N] [--listen ADDR:PORT]\n  optsched batch --requests file.jsonl|- [--workers N] [--min-cache-hits N] [--summary]\n  optsched requests --count N [--seed S] [--output file.jsonl]\n(`--input -` reads the graph JSON from stdin; algorithms: astar|wastar|aeps|chenyu|exhaustive|list|parallel)"
     );
     ExitCode::FAILURE
 }
@@ -136,6 +150,8 @@ fn build_spec(args: &Args) -> Result<SchedulerSpec, String> {
             ..Default::default()
         },
         epsilon: args.get_parse("epsilon", 0.2),
+        weight: args.get_parse("weight", 1.5),
+        seed_incumbent: args.has("seed-incumbent"),
         ..Default::default()
     };
     if let Some(v) = args.get("store") {
@@ -224,6 +240,155 @@ fn cmd_levels(graph: &TaskGraph) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `optsched serve`: the JSON-lines scheduling service over stdin/stdout,
+/// or over TCP with `--listen ADDR:PORT`.
+fn cmd_serve(args: &Args) -> ExitCode {
+    let config = ServiceConfig {
+        workers: args.get_parse("workers", ServiceConfig::default().workers),
+        seed_incumbent: !args.has("no-seed-incumbent"),
+        ..Default::default()
+    };
+    let service = SchedulingService::new(config);
+    match args.get("listen") {
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot listen on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "optsched-service listening on {addr} ({} workers per connection)",
+                config.workers
+            );
+            if let Err(e) = serve_tcp(&service, &listener, None) {
+                eprintln!("serve error: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            // `BufReader<Stdin>` rather than `StdinLock`: the pool's
+            // dispatcher thread needs a `Send` reader.
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let mut stdout = std::io::stdout();
+            match run_service(&service, stdin, &mut stdout) {
+                Ok(summary) => {
+                    let stats = service.cache_stats();
+                    eprintln!(
+                        "served {} responses ({} errors, {} cache hits, {:.0}% hit rate)",
+                        summary.responses,
+                        summary.errors,
+                        summary.cache_hits,
+                        stats.hit_rate() * 100.0
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serve error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+/// `optsched batch`: drain a request file through the worker pool, print the
+/// responses to stdout, and fail loudly if any response errored or the
+/// cache saw fewer hits than `--min-cache-hits` (the CI smoke contract).
+fn cmd_batch(args: &Args) -> ExitCode {
+    let Some(path) = args.get("requests") else {
+        eprintln!("missing --requests <file.jsonl|->");
+        return ExitCode::FAILURE;
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf) {
+            eprintln!("cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let config = ServiceConfig {
+        workers: args.get_parse("workers", ServiceConfig::default().workers),
+        ..Default::default()
+    };
+    let service = SchedulingService::new(config);
+    let mut stdout = std::io::stdout();
+    let summary = match run_service(&service, text.as_bytes(), &mut stdout) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("batch error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stats = service.cache_stats();
+    if args.has("summary") {
+        eprintln!(
+            "batch: {} responses, {} errors, {} cache hits ({} entries, {:.0}% hit rate)",
+            summary.responses,
+            summary.errors,
+            summary.cache_hits,
+            stats.entries,
+            stats.hit_rate() * 100.0
+        );
+    }
+    if summary.errors > 0 {
+        eprintln!("batch: {} response(s) reported errors", summary.errors);
+        return ExitCode::FAILURE;
+    }
+    let min_hits = args.get_parse("min-cache-hits", 0u64);
+    if summary.cache_hits < min_hits {
+        eprintln!(
+            "batch: expected >= {min_hits} cache hit(s), observed {}",
+            summary.cache_hits
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `optsched requests`: generate a mixed request corpus (sizes, CCRs,
+/// algorithms, deadlines, repeated instances) as JSON lines.
+fn cmd_requests(args: &Args) -> ExitCode {
+    let cfg = RequestCorpusConfig {
+        count: args.get_parse("count", RequestCorpusConfig::default().count),
+        ..Default::default()
+    };
+    let seed = args.get_parse("seed", 7u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corpus = generate_request_corpus(&cfg, &mut rng);
+    let mut lines = String::new();
+    for (i, c) in corpus.iter().enumerate() {
+        let mut req = Request::from(c);
+        req.id = Some(i as u64);
+        lines.push_str(&serde_json::to_string(&req).expect("requests serialise"));
+        lines.push('\n');
+    }
+    match args.get("output") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, lines) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} requests (seed {seed}) to {path}", corpus.len());
+        }
+        None => print!("{lines}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { return usage() };
@@ -237,6 +402,9 @@ fn main() -> ExitCode {
             }
         },
         "generate" => cmd_generate(&args),
+        "serve" => cmd_serve(&args),
+        "batch" => cmd_batch(&args),
+        "requests" => cmd_requests(&args),
         "levels" => match load_graph(&args) {
             Ok(g) => cmd_levels(&g),
             Err(e) => {

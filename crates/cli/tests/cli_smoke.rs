@@ -206,6 +206,84 @@ fn parallel_duplicate_detection_modes_agree_and_report_counters() {
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown duplicate-detection mode"));
 }
 
+/// The service pipeline composes on the command line exactly as documented:
+/// `optsched requests | optsched batch --requests -`.  The generated corpus
+/// is guaranteed to contain a repeated instance and a tight deadline, so the
+/// batch must report zero errors *and* at least one cache hit — the same
+/// contract the CI smoke step enforces.
+#[test]
+fn requests_pipe_into_batch_with_cache_hits_and_no_errors() {
+    let corpus = run(&["requests", "--count", "10", "--seed", "7"]);
+    assert!(corpus.status.success(), "stderr: {}", String::from_utf8_lossy(&corpus.stderr));
+    let lines = String::from_utf8_lossy(&corpus.stdout);
+    assert_eq!(lines.lines().count(), 10);
+    assert!(lines.contains("\"deadline_ms\":"), "corpus must carry a deadline request");
+
+    let batch = run_with_stdin(
+        &["batch", "--requests", "-", "--workers", "2", "--min-cache-hits", "1", "--summary"],
+        corpus.stdout.as_slice(),
+    );
+    assert!(batch.status.success(), "stderr: {}", String::from_utf8_lossy(&batch.stderr));
+    let out = String::from_utf8_lossy(&batch.stdout);
+    assert_eq!(out.lines().count(), 10, "one response per request");
+    assert!(out.contains("\"ok\":true"));
+    assert!(out.contains("\"cache_hit\":true"), "the duplicate instance must hit the cache");
+    assert!(String::from_utf8_lossy(&batch.stderr).contains("batch: 10 responses"));
+}
+
+/// `serve` answers the JSON-lines protocol on stdin/stdout, including a
+/// structured error for a malformed line (the service must not die on it).
+#[test]
+fn serve_answers_requests_and_survives_malformed_lines() {
+    let corpus = run(&["requests", "--count", "3", "--seed", "11"]);
+    assert!(corpus.status.success());
+    let mut input = String::from_utf8(corpus.stdout).unwrap();
+    input.push_str("this is not json\n");
+
+    let served = run_with_stdin(&["serve", "--workers", "2"], input.as_bytes());
+    assert!(served.status.success(), "stderr: {}", String::from_utf8_lossy(&served.stderr));
+    let out = String::from_utf8_lossy(&served.stdout);
+    assert_eq!(out.lines().count(), 4, "three answers plus one structured error");
+    assert!(out.contains("\"ok\":true"));
+    assert!(out.contains("\"ok\":false"));
+    assert!(out.contains("malformed request"));
+    assert!(String::from_utf8_lossy(&served.stderr).contains("served 4 responses"));
+}
+
+/// The `wastar` algorithm is schedulable from the CLI, and at `--weight 1.0`
+/// it agrees with A* (same registry, same optimum).
+#[test]
+fn wastar_from_the_cli_matches_astar_at_weight_one() {
+    let generated = run(&["generate", "--nodes", "8", "--ccr", "1.0", "--seed", "7"]);
+    assert!(generated.status.success());
+    let graph_json = generated.stdout;
+
+    let mut lengths = Vec::new();
+    for argv in [
+        vec!["schedule", "--input", "-", "--algorithm", "astar", "--procs", "3"],
+        vec![
+            "schedule", "--input", "-", "--algorithm", "wastar", "--weight", "1.0", "--procs",
+            "3",
+        ],
+        vec![
+            "schedule", "--input", "-", "--algorithm", "wastar", "--weight", "1.0", "--procs",
+            "3", "--seed-incumbent",
+        ],
+    ] {
+        let out = run_with_stdin(&argv, &graph_json);
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        let len = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("schedule length:"))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no schedule length in: {stdout}"));
+        lengths.push(len);
+    }
+    assert_eq!(lengths[0], lengths[1], "wastar at w=1 must match astar");
+    assert_eq!(lengths[0], lengths[2], "the seeded search stays exact");
+}
+
 /// `--store` used to be silently ignored for `--algorithm parallel`; it now
 /// selects the per-PPE state store, the algorithm banner names it, and the
 /// counter output reports the store's `peak_live_states` high-water mark

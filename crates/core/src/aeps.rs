@@ -26,6 +26,7 @@ pub struct AEpsScheduler<'a> {
     heuristic: HeuristicKind,
     limits: SearchLimits,
     store: StoreKind,
+    seed_incumbent: bool,
 }
 
 impl<'a> AEpsScheduler<'a> {
@@ -44,6 +45,7 @@ impl<'a> AEpsScheduler<'a> {
             heuristic: HeuristicKind::PaperStaticLevel,
             limits: SearchLimits::unlimited(),
             store: StoreKind::default(),
+            seed_incumbent: false,
         }
     }
 
@@ -76,6 +78,13 @@ impl<'a> AEpsScheduler<'a> {
         self
     }
 
+    /// Treats the list-heuristic schedule as an attained incumbent (strict
+    /// upper-bound pruning; see [`run_search`]).  Off by default.
+    pub fn with_seeded_incumbent(mut self, seed: bool) -> Self {
+        self.seed_incumbent = seed;
+        self
+    }
+
     /// Largest cost admitted into FOCAL when the smallest OPEN cost is `fmin`.
     pub fn focal_threshold(&self, fmin: Cost) -> Cost {
         focal_threshold(self.epsilon, fmin)
@@ -93,6 +102,7 @@ impl<'a> AEpsScheduler<'a> {
             self.heuristic,
             self.limits,
             self.store,
+            self.seed_incumbent,
         )
     }
 }

@@ -33,6 +33,7 @@ pub struct AStarScheduler<'a> {
     heuristic: HeuristicKind,
     limits: SearchLimits,
     store: StoreKind,
+    seed_incumbent: bool,
 }
 
 impl<'a> AStarScheduler<'a> {
@@ -44,6 +45,7 @@ impl<'a> AStarScheduler<'a> {
             heuristic: HeuristicKind::PaperStaticLevel,
             limits: SearchLimits::unlimited(),
             store: StoreKind::default(),
+            seed_incumbent: false,
         }
     }
 
@@ -72,6 +74,15 @@ impl<'a> AStarScheduler<'a> {
         self
     }
 
+    /// Treats the list-heuristic schedule as an *attained* incumbent, so the
+    /// upper-bound rule prunes states that cannot strictly improve on it (see
+    /// [`run_search`]).  Off by default: the classic behaviour keeps states
+    /// whose `f` merely *equals* the upper bound.
+    pub fn with_seeded_incumbent(mut self, seed: bool) -> Self {
+        self.seed_incumbent = seed;
+        self
+    }
+
     /// The problem being solved.
     pub fn problem(&self) -> &SchedulingProblem {
         self.problem
@@ -86,6 +97,7 @@ impl<'a> AStarScheduler<'a> {
             self.heuristic,
             self.limits,
             self.store,
+            self.seed_incumbent,
         )
     }
 }

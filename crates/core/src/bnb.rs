@@ -53,12 +53,18 @@ pub struct ChenYuScheduler<'a> {
     problem: &'a SchedulingProblem,
     limits: SearchLimits,
     store: StoreKind,
+    seed_incumbent: bool,
 }
 
 impl<'a> ChenYuScheduler<'a> {
     /// Creates the baseline scheduler.
     pub fn new(problem: &'a SchedulingProblem) -> Self {
-        ChenYuScheduler { problem, limits: SearchLimits::unlimited(), store: StoreKind::default() }
+        ChenYuScheduler {
+            problem,
+            limits: SearchLimits::unlimited(),
+            store: StoreKind::default(),
+            seed_incumbent: false,
+        }
     }
 
     /// Applies resource limits to the run.
@@ -70,6 +76,16 @@ impl<'a> ChenYuScheduler<'a> {
     /// Selects the state-store layout (delta arena by default).
     pub fn with_store(mut self, store: StoreKind) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Starts the branch-and-bound elimination from the list-heuristic upper
+    /// bound instead of the algorithm's native infinite incumbent (and prunes
+    /// strictly, since that bound is attained; see [`run_search`]).  This is
+    /// the classic "seed BnB with a heuristic solution" accelerator — off by
+    /// default to preserve the faithful-to-Chen-&-Yu baseline.
+    pub fn with_seeded_incumbent(mut self, seed: bool) -> Self {
+        self.seed_incumbent = seed;
         self
     }
 
@@ -180,6 +196,7 @@ impl<'a> ChenYuScheduler<'a> {
             HeuristicKind::Zero,
             self.limits,
             self.store,
+            self.seed_incumbent,
         )
     }
 

@@ -44,6 +44,7 @@ use crate::stats::{SearchOutcome, SearchResult, SearchStats};
 pub use arena::{StateArena, StateId, StoreKind};
 pub use policy::{
     focal_threshold, AStarPolicy, BoundPolicy, DfsPolicy, FocalPolicy, FrontierPolicy, OpenEntry,
+    WeightedAStarPolicy,
 };
 
 /// The engine's duplicate-detection hook.
@@ -149,6 +150,24 @@ pub fn expand_state<D: DuplicateFilter>(
 /// (depending on the policy); otherwise the state is expanded through
 /// [`expand_state`] and the surviving children are stored in the
 /// [`StateArena`] and pushed back to the policy.
+///
+/// With `seed_incumbent` the list-heuristic schedule is treated as an
+/// *attained* incumbent from the first expansion on: the length the policy's
+/// bound pruning starts from is capped at [`SchedulingProblem::upper_bound`]
+/// (the big win for branch-and-bound, whose own initial bound is infinite),
+/// and the bound handed to [`FrontierPolicy::evaluate`] is tightened by one
+/// so children that cannot *strictly* improve on a schedule the search
+/// already holds are discarded.  Exhausting the frontier then *is* the
+/// optimality proof for the incumbent (the evaluation is admissible and only
+/// provably non-improving states were pruned), so such a run reports
+/// [`SearchOutcome::Optimal`] instead of `Exhausted`.  The tightened bound
+/// requires the policy to treat the passed incumbent length as an inclusive
+/// upper bound (`value > bound` ⇒ prune), which holds for every best-first
+/// policy here but *not* for [`DfsPolicy`]'s special goal handling — the
+/// exhaustive enumerator therefore never sets this flag (it effectively
+/// seeds already).  Off by default: with `false` the behaviour is
+/// bit-identical to the pre-knob engine.
+#[allow(clippy::too_many_arguments)]
 pub fn run_search<P: FrontierPolicy>(
     problem: &SchedulingProblem,
     mut policy: P,
@@ -156,6 +175,7 @@ pub fn run_search<P: FrontierPolicy>(
     heuristic: HeuristicKind,
     limits: SearchLimits,
     store: StoreKind,
+    seed_incumbent: bool,
 ) -> SearchResult {
     let start_time = Instant::now();
     let mut stats = SearchStats::default();
@@ -167,9 +187,20 @@ pub fn run_search<P: FrontierPolicy>(
     // as the list-heuristic schedule so a limit-bounded run always returns a
     // feasible result; the *length* the bound pruning starts from is the
     // policy's choice (the list upper bound for the A* family, infinite for
-    // branch-and-bound elimination without an external bound).
+    // branch-and-bound elimination without an external bound) unless the
+    // seeded mode caps it at the list upper bound, which that schedule
+    // attains.
     let mut incumbent: Schedule = problem.upper_bound_schedule().clone();
-    let incumbent_len = Cell::new(policy.initial_incumbent_len(problem));
+    let initial_len = if seed_incumbent {
+        policy.initial_incumbent_len(problem).min(problem.upper_bound())
+    } else {
+        policy.initial_incumbent_len(problem)
+    };
+    let incumbent_len = Cell::new(initial_len);
+    // The bound handed to the policy: inclusive of the incumbent length
+    // normally, strictly below it when the incumbent is known to be attained.
+    let prune_bound =
+        |len: Cost| if seed_incumbent { len.saturating_sub(1) } else { len };
 
     let goal_is_final = policy.goal_on_pop_is_final();
     let track_goals = policy.track_goals_at_generation();
@@ -234,7 +265,7 @@ pub fn run_search<P: FrontierPolicy>(
                 &mut dup,
                 &mut stats,
                 |parent, delta, stats| {
-                    policy.evaluate(problem, parent, delta, incumbent_len.get(), stats)
+                    policy.evaluate(problem, parent, delta, prune_bound(incumbent_len.get()), stats)
                 },
                 |parent, delta, value, _stats| {
                     // Track incumbents discovered at generation time so the
@@ -256,6 +287,14 @@ pub fn run_search<P: FrontierPolicy>(
             policy.push(OpenEntry { id, f: delta.f(), h: delta.h, value, seq });
             stats.generated += 1;
         }
+    };
+
+    // A seeded search that exhausted its frontier has *proved* that nothing
+    // strictly better than the incumbent exists: report the proof.
+    let outcome = if seed_incumbent && outcome == SearchOutcome::Exhausted {
+        SearchOutcome::Optimal
+    } else {
+        outcome
     };
 
     stats.peak_live_states = arena.peak_live_full() as u64;
@@ -304,6 +343,7 @@ mod tests {
                 HeuristicKind::PaperStaticLevel,
                 SearchLimits::unlimited(),
                 store,
+                false,
             )
         };
         let eager = run(StoreKind::EagerClone);
@@ -331,8 +371,43 @@ mod tests {
             HeuristicKind::Zero,
             SearchLimits::unlimited(),
             StoreKind::DeltaArena,
+            false,
         );
         assert_eq!(r.outcome, SearchOutcome::Exhausted);
         assert_eq!(r.schedule_length, 14);
+    }
+
+    /// The seeded mode prunes against the attained list incumbent (strictly)
+    /// yet stays exact, and reports `Optimal` even when the proof comes from
+    /// frontier exhaustion rather than a popped goal.
+    #[test]
+    fn seeded_incumbent_stays_exact_and_never_expands_more() {
+        let problem = example_problem();
+        let run = |seed| {
+            run_search(
+                &problem,
+                AStarPolicy::new(true),
+                PruningConfig::all(),
+                HeuristicKind::PaperStaticLevel,
+                SearchLimits::unlimited(),
+                StoreKind::DeltaArena,
+                seed,
+            )
+        };
+        let plain = run(false);
+        let seeded = run(true);
+        assert_eq!(plain.schedule_length, 14);
+        assert_eq!(seeded.schedule_length, 14);
+        assert_eq!(seeded.outcome, SearchOutcome::Optimal);
+        assert!(
+            seeded.stats.expanded <= plain.stats.expanded,
+            "seeded {} vs plain {}",
+            seeded.stats.expanded,
+            plain.stats.expanded
+        );
+        seeded
+            .expect_schedule()
+            .validate(problem.graph(), problem.network())
+            .unwrap();
     }
 }

@@ -172,6 +172,71 @@ impl FrontierPolicy for AStarPolicy {
     }
 }
 
+/// Weighted A\* (the classic anytime/bounded-suboptimal variant): best-first
+/// on `g + w · h` for a weight `w ≥ 1`, which inflates the heuristic to reach
+/// goals sooner at the price of a `w`-bounded deviation from the optimum.
+///
+/// Everything *except* the ordering stays admissible: the upper-bound rule
+/// still prunes on the uninflated `f = g + h`, so the weight never discards a
+/// state a weight-1 search would keep — it only visits promising-looking
+/// deep states earlier.  That makes the policy ideal under a wall-clock
+/// deadline: an interrupted run's incumbent is much more likely to be a real
+/// improvement over the list schedule.  At `w = 1` the ordering key
+/// `(g + h, h, FIFO)` coincides with [`AStarPolicy`]'s and the search is
+/// *bit-identical* to A\* (pinned by the conformance suite).
+#[derive(Debug)]
+pub struct WeightedAStarPolicy {
+    open: MinHeap<(Cost, Cost, u64)>,
+    weight: f64,
+    prune_upper_bound: bool,
+}
+
+impl WeightedAStarPolicy {
+    /// A weighted-A\* frontier with the given heuristic weight (`>= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is below 1 or not finite.
+    pub fn new(weight: f64, prune_upper_bound: bool) -> WeightedAStarPolicy {
+        assert!(weight.is_finite() && weight >= 1.0, "weight must be a finite number >= 1");
+        WeightedAStarPolicy { open: MinHeap::new(), weight, prune_upper_bound }
+    }
+
+    /// The inflated ordering key `g + round(w · h)`.
+    fn inflated(&self, g: Cost, h: Cost) -> Cost {
+        g + (self.weight * h as f64).round() as Cost
+    }
+}
+
+impl FrontierPolicy for WeightedAStarPolicy {
+    fn evaluate(
+        &mut self,
+        _problem: &SchedulingProblem,
+        _parent: &SearchState,
+        delta: &ChildDelta,
+        incumbent_len: Cost,
+        _stats: &mut SearchStats,
+    ) -> Option<Cost> {
+        // Prune on the *uninflated* admissible f so the weight cannot cut an
+        // optimal path; order by the inflated value.
+        let f = delta.f();
+        (!self.prune_upper_bound || f <= incumbent_len)
+            .then(|| self.inflated(delta.g, delta.h))
+    }
+
+    fn push(&mut self, entry: OpenEntry) {
+        self.open.push((entry.value, entry.h, entry.seq), entry);
+    }
+
+    fn pop(&mut self) -> Option<OpenEntry> {
+        self.open.pop()
+    }
+
+    fn open_len(&self) -> usize {
+        self.open.len()
+    }
+}
+
 /// Largest cost admitted into FOCAL when the smallest OPEN cost is `fmin`.
 pub fn focal_threshold(epsilon: f64, fmin: Cost) -> Cost {
     ((fmin as f64) * (1.0 + epsilon)).floor() as Cost
@@ -399,6 +464,37 @@ mod tests {
         assert_eq!(p.open_len(), 4);
         let order: Vec<StateId> = std::iter::from_fn(|| p.pop()).map(|e| e.id).collect();
         assert_eq!(order, vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn weighted_policy_at_one_orders_like_astar() {
+        let mut w = WeightedAStarPolicy::new(1.0, true);
+        let mut a = AStarPolicy::new(true);
+        for e in [entry(0, 5, 3, 0), entry(1, 4, 9, 1), entry(2, 4, 2, 2)] {
+            w.push(e);
+            a.push(e);
+        }
+        let worder: Vec<StateId> = std::iter::from_fn(|| w.pop()).map(|e| e.id).collect();
+        let aorder: Vec<StateId> = std::iter::from_fn(|| a.pop()).map(|e| e.id).collect();
+        assert_eq!(worder, aorder);
+    }
+
+    #[test]
+    fn weighted_policy_inflates_only_the_ordering() {
+        let mut p = WeightedAStarPolicy::new(2.0, true);
+        assert_eq!(p.inflated(4, 3), 10);
+        // value = g + 2h: a deep state (small h) overtakes a shallow one with
+        // equal f.
+        p.push(OpenEntry { id: 0, f: 10, h: 8, value: 2 + 16, seq: 0 });
+        p.push(OpenEntry { id: 1, f: 10, h: 1, value: 9 + 2, seq: 1 });
+        assert_eq!(p.pop().unwrap().id, 1);
+        assert_eq!(p.pop().unwrap().id, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be")]
+    fn weighted_policy_rejects_weights_below_one() {
+        let _ = WeightedAStarPolicy::new(0.5, true);
     }
 
     #[test]

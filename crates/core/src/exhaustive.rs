@@ -54,6 +54,10 @@ impl<'a> ExhaustiveScheduler<'a> {
     /// proof, so a run that was not cut short reports
     /// [`SearchOutcome::Optimal`].
     pub fn run(&self) -> SearchResult {
+        // Never seeded: `DfsPolicy`'s goal test treats the passed incumbent
+        // length with its own strictness, and the engine pre-seeds the
+        // incumbent *schedule* anyway, so the enumerator effectively starts
+        // from the list upper bound already.
         let mut result = run_search(
             self.problem,
             DfsPolicy::new(),
@@ -61,6 +65,7 @@ impl<'a> ExhaustiveScheduler<'a> {
             HeuristicKind::Zero,
             self.limits,
             self.store,
+            false,
         );
         if result.outcome == SearchOutcome::Exhausted {
             result.outcome = SearchOutcome::Optimal;

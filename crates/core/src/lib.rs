@@ -49,6 +49,7 @@ pub mod exhaustive;
 pub mod problem;
 pub mod state;
 pub mod stats;
+pub mod wastar;
 
 pub use aeps::AEpsScheduler;
 pub use astar::AStarScheduler;
@@ -56,6 +57,7 @@ pub use bnb::ChenYuScheduler;
 pub use config::{HeuristicKind, PruningConfig, SearchLimits};
 pub use engine::{DuplicateFilter, FrontierPolicy, StateArena, StoreKind};
 pub use exhaustive::{exhaustive_optimal, ExhaustiveScheduler};
+pub use wastar::WAStarScheduler;
 pub use problem::SchedulingProblem;
 pub use state::{ChildDelta, SearchState};
 pub use stats::{SearchOutcome, SearchResult, SearchStats};

@@ -25,6 +25,13 @@ pub struct ParallelSearchResult {
     pub elapsed: Duration,
     /// Number of PPE threads used.
     pub num_ppes: usize,
+    /// High-water mark of the `in_flight` gauge: the most materialised
+    /// transfer clones that were ever parked in the inter-PPE channels at
+    /// once.  Those clones are owned by no PPE's state store, so they escape
+    /// the per-PPE `peak_live_states` counters; the result folds them back
+    /// in (see [`ParallelSearchResult::peak_live_states`]) so the memory
+    /// headline stays airtight under eager communication.
+    pub peak_in_flight: u64,
 }
 
 impl ParallelSearchResult {
@@ -65,12 +72,17 @@ impl ParallelSearchResult {
         self.per_ppe_stats.iter().map(|s| s.duplicates_global).sum()
     }
 
-    /// Largest number of fully materialised states any single PPE held live
-    /// at once — the per-run memory high-water mark of the state stores.
-    /// With the delta arena this stays at root-plus-scratch per PPE; with
-    /// `StoreKind::EagerClone` it is every state a PPE ever stored.
+    /// The run's live-full-state memory headline: the largest number of
+    /// fully materialised states any single PPE's store held at once
+    /// (root-plus-scratch with the delta arena, every stored state with
+    /// `StoreKind::EagerClone`) **plus** the in-flight transfer high-water
+    /// mark — clones parked in the channels belong to no store, and before
+    /// they were folded in here an eagerly communicating run could park an
+    /// unbounded number of full states in flight without the headline
+    /// moving.  The store-only component remains available as
+    /// `total_stats().peak_live_states`.
     pub fn peak_live_states(&self) -> u64 {
-        self.total_stats().peak_live_states
+        self.total_stats().peak_live_states + self.peak_in_flight
     }
 
     /// Ownership-transferring best-state election transfers accepted across
@@ -123,6 +135,7 @@ mod tests {
             closed_stats: None,
             elapsed: Duration::from_millis(1),
             num_ppes: 2,
+            peak_in_flight: 3,
         }
     }
 
@@ -134,9 +147,11 @@ mod tests {
         assert_eq!(r.redundant_expansions_avoided(), 4);
         assert_eq!(r.total_stats().duplicates_global, 4);
         assert_eq!(r.election_transfers(), 8);
-        // High-water marks take the max across PPEs, not the sum.
+        // High-water marks take the max across PPEs, not the sum; the
+        // headline additionally folds in the in-flight transfer peak.
         assert_eq!(r.total_stats().max_open_size, 30);
-        assert_eq!(r.peak_live_states(), 31);
+        assert_eq!(r.total_stats().peak_live_states, 31);
+        assert_eq!(r.peak_live_states(), 31 + 3);
         assert!((r.load_imbalance() - 3.0).abs() < 1e-9);
     }
 

@@ -192,6 +192,12 @@ struct Shared {
     open_sizes: Vec<AtomicUsize>,
     /// States currently travelling between PPEs.
     in_flight: AtomicI64,
+    /// High-water mark of `in_flight`: the most transfer clones that were
+    /// ever parked in the channels at once.  Those clones are owned by no
+    /// PPE's state store, so folding this gauge into the result's
+    /// [`ParallelSearchResult::peak_live_states`] is what makes the memory
+    /// headline airtight under eager communication.
+    in_flight_peak: AtomicU64,
     /// Global stop flag.
     terminate: AtomicBool,
     /// Set when a resource limit caused the stop.
@@ -214,6 +220,7 @@ impl Shared {
             local_min_f: (0..q).map(|_| AtomicU64::new(u64::MAX)).collect(),
             open_sizes: (0..q).map(|_| AtomicUsize::new(0)).collect(),
             in_flight: AtomicI64::new(0),
+            in_flight_peak: AtomicU64::new(0),
             terminate: AtomicBool::new(false),
             limit_hit: AtomicBool::new(false),
             target_hit: AtomicBool::new(false),
@@ -226,6 +233,17 @@ impl Shared {
     /// Current incumbent length, without taking the lock.
     fn incumbent_len(&self) -> Cost {
         self.incumbent_len.load(Ordering::SeqCst)
+    }
+
+    /// Registers one more state entering the channels, updating the
+    /// in-flight high-water mark.  Every send site must use this (and undo
+    /// with a plain `fetch_sub` on a failed send) so the gauge and its peak
+    /// never diverge.
+    fn in_flight_add(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        if now > 0 {
+            self.in_flight_peak.fetch_max(now as u64, Ordering::SeqCst);
+        }
     }
 
     /// Installs `schedule` (built lazily) as the incumbent if `len` improves
@@ -389,6 +407,7 @@ impl<'a> ParallelAStarScheduler<'a> {
             closed_stats,
             elapsed: start.elapsed(),
             num_ppes: q,
+            peak_in_flight: shared.in_flight_peak.load(Ordering::SeqCst),
         }
     }
 }
@@ -659,7 +678,7 @@ fn ppe_worker(
                     if let Some(best) = open.peek() {
                         let best_state = arena.materialise_owned(best.id);
                         for &nb in neighbors {
-                            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                            shared.in_flight_add();
                             let copy = Transfer {
                                 state: best_state.clone(),
                                 owned: false,
@@ -691,7 +710,7 @@ fn ppe_worker(
                             let e = open.pop().expect("peeked a best state above");
                             let state = arena.materialise_owned(e.id);
                             dup.release(&state);
-                            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                            shared.in_flight_add();
                             let t = Transfer { state, owned: true, election: true };
                             if txs[nb].send(t).is_err() {
                                 shared.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -742,7 +761,7 @@ fn ppe_worker(
                         let s = arena.materialise_owned(sid);
                         dup.release(&s);
                         let target = deficits[i % deficits.len()];
-                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                        shared.in_flight_add();
                         let t = Transfer { state: s, owned: true, election: false };
                         if txs[target].send(t).is_err() {
                             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -1026,20 +1045,58 @@ mod tests {
                 assert!(arena.is_optimal() && eager.is_optimal(), "mode={mode}");
                 assert_eq!(arena.schedule_length(), serial.schedule_length, "mode={mode}");
                 assert_eq!(eager.schedule_length(), serial.schedule_length, "mode={mode}");
+                // The *stores* hold at most root + scratch with the delta
+                // arena; the airtight headline additionally folds in the
+                // in-flight transfer peak (these eager-communication runs
+                // park real clones in the channels).
                 assert!(
-                    arena.peak_live_states() <= 2,
+                    arena.total_stats().peak_live_states <= 2,
                     "mode={mode}: delta arena held {} live full states",
-                    arena.peak_live_states()
+                    arena.total_stats().peak_live_states
                 );
-                // The eager baseline holds every stored state live.
+                assert_eq!(
+                    arena.peak_live_states(),
+                    arena.total_stats().peak_live_states + arena.peak_in_flight,
+                    "mode={mode}: headline must fold the in-flight peak in"
+                );
+                // The eager baseline's stores hold every stored state live.
                 assert!(
-                    eager.peak_live_states() > arena.peak_live_states(),
+                    eager.peak_live_states() > arena.total_stats().peak_live_states,
                     "mode={mode}: eager {} vs arena {}",
                     eager.peak_live_states(),
-                    arena.peak_live_states()
+                    arena.total_stats().peak_live_states
                 );
             }
         }
+    }
+
+    /// The in-flight gauge's high-water mark is recorded and folded into the
+    /// memory headline: an eagerly communicating multi-PPE run parks at
+    /// least one transfer clone in the channels at some instant, while a
+    /// q = 1 run (no neighbours, no transfers) records exactly zero.
+    #[test]
+    fn in_flight_peak_is_recorded_and_zero_without_neighbours() {
+        let prob = example_problem();
+        let eager_comm = ParallelConfig {
+            num_ppes: 4,
+            min_comm_period: 1,
+            ..Default::default()
+        };
+        let mut peak_seen = 0;
+        for _ in 0..3 {
+            let r = ParallelAStarScheduler::new(&prob, eager_comm).run();
+            assert!(r.is_optimal());
+            assert_eq!(
+                r.peak_live_states(),
+                r.total_stats().peak_live_states + r.peak_in_flight
+            );
+            peak_seen = peak_seen.max(r.peak_in_flight);
+        }
+        assert!(peak_seen > 0, "eager communication must put states in flight");
+
+        let solo = ParallelAStarScheduler::new(&prob, ParallelConfig::exact(1)).run();
+        assert_eq!(solo.peak_in_flight, 0, "q=1 has no channels to park states in");
+        assert_eq!(solo.peak_live_states(), solo.total_stats().peak_live_states);
     }
 
     /// In `Local` mode the election still sends copies (the paper's design):

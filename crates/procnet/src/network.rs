@@ -58,7 +58,17 @@ pub enum CommModel {
 }
 
 /// An immutable processor network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # Wire format
+///
+/// `ProcNetwork` (de)serialises as
+/// `{"procs": [...], "links": [[a, b], ...], "comm_model": ..., "topology": ...}`
+/// — the canonical parts only; the adjacency lists and the all-pairs hop
+/// distances are recomputed on deserialisation through
+/// [`ProcNetwork::try_from_parts`], which rejects out-of-range endpoints and
+/// self links with a clear message instead of panicking or accepting an
+/// inconsistent network.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcNetwork {
     procs: Vec<Processor>,
     /// Sorted neighbour lists.
@@ -108,17 +118,42 @@ impl ProcNetwork {
 
     /// Builds an arbitrary network from a processor list and an undirected
     /// edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty processor list, out-of-range endpoints or self
+    /// links; use [`ProcNetwork::try_from_parts`] for fallible construction
+    /// from untrusted input (the wire format does).
     pub fn from_parts(
         procs: Vec<Processor>,
         edges: Vec<(usize, usize)>,
         topology: Option<Topology>,
     ) -> ProcNetwork {
+        match Self::try_from_parts(procs, edges, topology) {
+            Ok(net) => net,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`ProcNetwork::from_parts`]: returns a message
+    /// naming the violated invariant instead of panicking.
+    pub fn try_from_parts(
+        procs: Vec<Processor>,
+        edges: Vec<(usize, usize)>,
+        topology: Option<Topology>,
+    ) -> Result<ProcNetwork, String> {
         let p = procs.len();
-        assert!(p > 0, "a processor network needs at least one processor");
+        if p == 0 {
+            return Err("a processor network needs at least one processor".to_string());
+        }
         let mut adj: Vec<Vec<ProcId>> = vec![Vec::new(); p];
         for &(a, b) in &edges {
-            assert!(a < p && b < p, "edge ({a}, {b}) references an unknown processor");
-            assert_ne!(a, b, "self links are not allowed");
+            if a >= p || b >= p {
+                return Err(format!("edge ({a}, {b}) references an unknown processor"));
+            }
+            if a == b {
+                return Err(format!("self links are not allowed (PE{a})"));
+            }
             if !adj[a].contains(&ProcId(b as u32)) {
                 adj[a].push(ProcId(b as u32));
                 adj[b].push(ProcId(a as u32));
@@ -128,7 +163,23 @@ impl ProcNetwork {
             list.sort_unstable();
         }
         let dist = all_pairs_hops(&adj);
-        ProcNetwork { procs, adj, dist, comm_model: CommModel::UniformLatency, topology }
+        Ok(ProcNetwork { procs, adj, dist, comm_model: CommModel::UniformLatency, topology })
+    }
+
+    /// The undirected link list of the processor graph, each link reported
+    /// once with its smaller endpoint first, sorted.  Together with the
+    /// processor list and the communication model this is the canonical form
+    /// the wire format serialises (and the instance signature hashes).
+    pub fn links(&self) -> Vec<(usize, usize)> {
+        let mut links = Vec::new();
+        for a in self.proc_ids() {
+            for &b in self.neighbors(a) {
+                if a < b {
+                    links.push((a.index(), b.index()));
+                }
+            }
+        }
+        links
     }
 
     /// Returns a copy of this network using the given communication model.
@@ -281,6 +332,46 @@ impl ProcNetwork {
     }
 }
 
+impl serde::Serialize for ProcNetwork {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("procs".to_string(), self.procs.to_value()),
+            ("links".to_string(), self.links().to_value()),
+            ("comm_model".to_string(), self.comm_model.to_value()),
+            ("topology".to_string(), self.topology.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for ProcNetwork {
+    fn from_value(v: &serde::Value) -> Result<ProcNetwork, serde::Error> {
+        let pairs = v.as_object().ok_or_else(|| {
+            serde::Error::custom(format!(
+                "expected an object for `ProcNetwork`, found {}",
+                v.type_name()
+            ))
+        })?;
+        let field = |name: &str| serde::__field(pairs, name);
+        let procs = Vec::<Processor>::from_value(field("procs"))
+            .map_err(|e| serde::Error::custom(format!("field `procs` of `ProcNetwork`: {e}")))?;
+        let links = Vec::<(usize, usize)>::from_value(field("links"))
+            .map_err(|e| serde::Error::custom(format!("field `links` of `ProcNetwork`: {e}")))?;
+        let comm_model = match field("comm_model") {
+            serde::Value::Null => CommModel::default(),
+            other => CommModel::from_value(other)
+                .map_err(|e| serde::Error::custom(format!("field `comm_model`: {e}")))?,
+        };
+        let topology = Option::<Topology>::from_value(field("topology"))
+            .map_err(|e| serde::Error::custom(format!("field `topology`: {e}")))?;
+        if procs.iter().any(|p| p.cycle_time == 0) {
+            return Err(serde::Error::custom("invalid `ProcNetwork`: cycle times must be positive"));
+        }
+        ProcNetwork::try_from_parts(procs, links, topology)
+            .map(|net| net.with_comm_model(comm_model))
+            .map_err(|e| serde::Error::custom(format!("invalid `ProcNetwork`: {e}")))
+    }
+}
+
 /// BFS from every processor over the neighbour lists.
 fn all_pairs_hops(adj: &[Vec<ProcId>]) -> Vec<Vec<u32>> {
     let p = adj.len();
@@ -425,6 +516,61 @@ mod tests {
         let json = serde_json::to_string(&net).unwrap();
         let back: ProcNetwork = serde_json::from_str(&json).unwrap();
         assert_eq!(net, back);
+        // Non-default communication models survive the trip too.
+        let hops = ProcNetwork::chain(3).with_comm_model(CommModel::HopScaled);
+        let back: ProcNetwork =
+            serde_json::from_str(&serde_json::to_string(&hops).unwrap()).unwrap();
+        assert_eq!(back.comm_model(), CommModel::HopScaled);
+    }
+
+    /// Only the canonical parts travel: adjacency and hop distances are
+    /// recomputed on arrival.
+    #[test]
+    fn wire_format_carries_links_not_derived_tables() {
+        let json = serde_json::to_string(&ProcNetwork::ring(4)).unwrap();
+        assert!(json.contains("\"links\""));
+        assert!(!json.contains("\"adj\""), "{json}");
+        assert!(!json.contains("\"dist\""), "{json}");
+    }
+
+    #[test]
+    fn malformed_network_documents_are_rejected() {
+        // Out-of-range link endpoint.
+        let bad_link = r#"{"procs": [{"cycle_time": 1, "label": null}], "links": [[0, 9]]}"#;
+        let err = serde_json::from_str::<ProcNetwork>(bad_link).unwrap_err();
+        assert!(err.to_string().contains("unknown processor"), "{err}");
+
+        // Self link.
+        let self_link =
+            r#"{"procs": [{"cycle_time": 1, "label": null}, {"cycle_time": 1, "label": null}],
+                "links": [[1, 1]]}"#;
+        assert!(serde_json::from_str::<ProcNetwork>(self_link).is_err());
+
+        // No processors.
+        assert!(serde_json::from_str::<ProcNetwork>(r#"{"procs": [], "links": []}"#).is_err());
+
+        // A zero cycle time would divide the exec-time model by nothing.
+        let zero_speed = r#"{"procs": [{"cycle_time": 0, "label": null}], "links": []}"#;
+        assert!(serde_json::from_str::<ProcNetwork>(zero_speed).is_err());
+    }
+
+    #[test]
+    fn links_report_each_undirected_edge_once() {
+        let net = ProcNetwork::ring(4);
+        assert_eq!(net.links(), vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+        let rebuilt =
+            ProcNetwork::try_from_parts(vec![Processor::default(); 4], net.links(), None).unwrap();
+        assert_eq!(rebuilt.neighbors(ProcId(0)), net.neighbors(ProcId(0)));
+    }
+
+    #[test]
+    fn try_from_parts_reports_violations() {
+        assert!(ProcNetwork::try_from_parts(vec![], vec![], None)
+            .unwrap_err()
+            .contains("at least one"));
+        assert!(ProcNetwork::try_from_parts(vec![Processor::default()], vec![(0, 0)], None)
+            .unwrap_err()
+            .contains("self links"));
     }
 
     #[test]

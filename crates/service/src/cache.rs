@@ -1,0 +1,228 @@
+//! The memoizing result cache: identical instances are solved once.
+//!
+//! Same lock-striping idiom as the parallel scheduler's sharded CLOSED table
+//! (`crates/parallel/src/closed.rs`): the canonical instance signature picks
+//! one of `N` independently locked shards, so concurrent workers answering
+//! different instances almost never contend, and per-shard hit/miss counters
+//! make the cache's effect observable.
+//!
+//! Entries are keyed by the *canonical form* of the instance (not just its
+//! 64-bit signature) plus the algorithm and its quality-relevant parameter
+//! (ε for `aeps`, `w` for `wastar`), compared on lookup — a signature
+//! collision can therefore never serve the wrong schedule.  Only results
+//! that carry their full guarantee (a completed run: `optimal`, or the
+//! `anytime` completion of a bounded-suboptimal algorithm) are inserted;
+//! deadline-truncated answers are not memoized, so a later unconstrained
+//! request for the same instance still gets the real search.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use optsched_schedule::Schedule;
+use optsched_taskgraph::Cost;
+
+use crate::signature::CanonicalInstance;
+
+/// Cache key: the interned instance plus the algorithm identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    canon: CanonicalInstance,
+    algorithm: String,
+    /// Quality-relevant parameter bits (ε or `w` as `f64::to_bits`; 0 for
+    /// parameterless algorithms).
+    param_bits: u64,
+}
+
+/// A memoized result: everything needed to answer a repeated instance
+/// without re-search.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The schedule served for this instance.
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub schedule_length: Cost,
+    /// The quality tag the original response carried.
+    pub quality: String,
+    /// The algorithm that produced it.
+    pub algorithm: String,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<CacheKey, CachedResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Aggregate counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of shards.
+    pub num_shards: usize,
+    /// Memoized results currently stored.
+    pub entries: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and usually led to a search + insert).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, lock-striped memoizing result cache.
+pub struct ResultCache {
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+}
+
+impl ResultCache {
+    /// A cache with `num_shards` lock stripes (rounded up to a power of two,
+    /// minimum 1).
+    pub fn new(num_shards: usize) -> ResultCache {
+        let n = num_shards.max(1).next_power_of_two();
+        ResultCache {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn shard(&self, signature: u64) -> &Shard {
+        &self.shards[(signature & self.mask) as usize]
+    }
+
+    /// Looks a memoized result up, counting the hit/miss.
+    pub fn lookup(
+        &self,
+        signature: u64,
+        canon: &CanonicalInstance,
+        algorithm: &str,
+        param_bits: u64,
+    ) -> Option<CachedResult> {
+        let shard = self.shard(signature);
+        let key = CacheKey {
+            canon: canon.clone(),
+            algorithm: algorithm.to_string(),
+            param_bits,
+        };
+        let found = shard.map.lock().get(&key).cloned();
+        match &found {
+            Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
+            None => shard.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoizes a result.  Last writer wins (identical keys produce
+    /// equivalent results, so a benign race between two workers solving the
+    /// same fresh instance concurrently is harmless).
+    pub fn insert(
+        &self,
+        signature: u64,
+        canon: &CanonicalInstance,
+        algorithm: &str,
+        param_bits: u64,
+        result: CachedResult,
+    ) {
+        let key = CacheKey {
+            canon: canon.clone(),
+            algorithm: algorithm.to_string(),
+            param_bits,
+        };
+        self.shard(signature).map.lock().insert(key, result);
+    }
+
+    /// Counter snapshot across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats { num_shards: self.shards.len(), ..Default::default() };
+        for shard in &self.shards {
+            s.entries += shard.map.lock().len();
+            s.hits += shard.hits.load(Ordering::Relaxed);
+            s.misses += shard.misses.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Instance;
+    use crate::signature::canonical_signature;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+
+    fn canon() -> (u64, CanonicalInstance) {
+        let inst = Instance::new(paper_example_dag(), ProcNetwork::ring(3));
+        (canonical_signature(&inst), CanonicalInstance::of(&inst))
+    }
+
+    fn dummy_result() -> CachedResult {
+        CachedResult {
+            schedule: Schedule::new(1, 1),
+            schedule_length: 14,
+            quality: "optimal".to_string(),
+            algorithm: "astar".to_string(),
+        }
+    }
+
+    #[test]
+    fn lookup_insert_lookup_counts_hits_and_misses() {
+        let cache = ResultCache::new(8);
+        let (sig, canon) = canon();
+        assert!(cache.lookup(sig, &canon, "astar", 0).is_none());
+        cache.insert(sig, &canon, "astar", 0, dummy_result());
+        let hit = cache.lookup(sig, &canon, "astar", 0).expect("inserted");
+        assert_eq!(hit.schedule_length, 14);
+
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    /// The algorithm and its parameter are part of the identity: an `aeps`
+    /// answer must not be served for an `astar` request, nor an ε = 0.5
+    /// answer for an ε = 0.2 request.
+    #[test]
+    fn algorithm_and_params_separate_entries() {
+        let cache = ResultCache::new(2);
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "aeps", 0.5f64.to_bits(), dummy_result());
+        assert!(cache.lookup(sig, &canon, "astar", 0).is_none());
+        assert!(cache.lookup(sig, &canon, "aeps", 0.2f64.to_bits()).is_none());
+        assert!(cache.lookup(sig, &canon, "aeps", 0.5f64.to_bits()).is_some());
+    }
+
+    /// A forged signature pointing at the right shard still cannot alias a
+    /// different canonical instance: lookup compares the canonical form.
+    #[test]
+    fn signature_collisions_cannot_serve_the_wrong_instance() {
+        let cache = ResultCache::new(1); // one shard: every signature collides
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "astar", 0, dummy_result());
+        let other = Instance::new(paper_example_dag(), ProcNetwork::ring(4));
+        let other_canon = CanonicalInstance::of(&other);
+        assert!(cache.lookup(sig, &other_canon, "astar", 0).is_none());
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        assert_eq!(ResultCache::new(0).stats().num_shards, 1);
+        assert_eq!(ResultCache::new(3).stats().num_shards, 4);
+        assert_eq!(ResultCache::new(8).stats().num_shards, 8);
+    }
+}

@@ -1,0 +1,61 @@
+//! # optsched-service — the deadline-aware scheduling service
+//!
+//! PRs 1–4 grew a fast, memory-lean optimal-scheduling *engine*; this crate
+//! is the layer that lets many callers use it concurrently:
+//!
+//! * **Protocol** ([`protocol`]) — JSON lines in, JSON lines out.  A
+//!   [`Request`] carries a full problem [`Instance`] (task graph + processor
+//!   network in the validated wire formats), an algorithm name resolved
+//!   through the facade's `SchedulerRegistry`, and optional
+//!   `deadline_ms` / `max_expansions` budgets; a [`Response`] carries the
+//!   validated schedule, its quality tag (`optimal` / `anytime` /
+//!   `heuristic`), the canonical instance signature and the service-side
+//!   accounting.  Malformed input yields a structured error response — the
+//!   service never dies on bad bytes.
+//! * **Instance interning** ([`signature`]) — a topology- and label-stable
+//!   canonical form plus its 64-bit FNV signature identify instances by
+//!   scheduling-relevant *content*, so presentation differences (labels,
+//!   edge order, JSON field order) cannot defeat memoization.
+//! * **Memoizing cache** ([`cache`]) — a sharded, lock-striped result cache
+//!   (the `crates/parallel/src/closed.rs` idiom) answers repeated instances
+//!   without re-search; only completed runs are memoized, so
+//!   deadline-truncated answers never shadow a real search.
+//! * **Anytime fallback** — the engine pre-seeds every search with the
+//!   list-scheduling schedule and returns the best incumbent when a
+//!   deadline (threaded into `SearchLimits::max_millis`) expires, so every
+//!   response — even at a 0 ms deadline — is a feasible, validated
+//!   schedule.  Requests under deadline pressure default to the weighted-A\*
+//!   `wastar` algorithm, and the service switches the engine's
+//!   `seed_incumbent` pruning on.
+//! * **Worker pool** ([`pool`]) — a dispatcher deals request lines onto
+//!   crossbeam channels, one per worker thread; responses stream back as
+//!   they complete, over stdin/stdout ([`run_service`]) or a
+//!   `std::net::TcpListener` ([`serve_tcp`]).
+//!
+//! ```
+//! use optsched_procnet::ProcNetwork;
+//! use optsched_service::{Instance, Request, SchedulingService, ServiceConfig};
+//! use optsched_taskgraph::paper_example_dag;
+//!
+//! let service = SchedulingService::new(ServiceConfig::default());
+//! let req = Request::new(Instance::new(paper_example_dag(), ProcNetwork::ring(3)));
+//! let first = service.handle_request(&req, 0);
+//! assert_eq!(first.schedule_length, Some(14));
+//! assert_eq!(first.quality.as_deref(), Some("optimal"));
+//! // The same instance again: answered from the cache, no re-search.
+//! assert!(service.handle_request(&req, 1).cache_hit);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+pub mod protocol;
+pub mod service;
+pub mod signature;
+
+pub use cache::{CacheStats, CachedResult, ResultCache};
+pub use pool::{run_service, serve_tcp, PoolSummary};
+pub use protocol::{quality, Instance, Request, Response};
+pub use service::{SchedulingService, ServiceConfig};
+pub use signature::{canonical_signature, CanonicalInstance};

@@ -1,0 +1,222 @@
+//! The JSON-lines wire protocol of the scheduling service.
+//!
+//! One request per line in, one response per line out.  A request carries a
+//! full problem [`Instance`] (task graph + processor network, in the
+//! validated wire formats of `optsched-taskgraph`/`optsched-procnet`), the
+//! registry name of the algorithm to run, and optional resource limits; a
+//! response carries the schedule, its quality tag, and the service-side
+//! accounting (cache hit, states expanded, elapsed time).  Responses are
+//! written as workers finish, so they may arrive out of submission order —
+//! match them to requests by `id`.
+
+use serde::{Deserialize, Serialize};
+
+use optsched_procnet::ProcNetwork;
+use optsched_schedule::Schedule;
+use optsched_taskgraph::{Cost, TaskGraph};
+use optsched_workload::CorpusRequest;
+
+/// One scheduling problem instance as it travels on the wire.
+///
+/// Deserialisation goes through the validated formats of the component
+/// types, so a malformed instance (cyclic graph, dangling edge, unknown
+/// link endpoint, zero-speed processor, …) is rejected at parse time with a
+/// message naming the violated invariant — the service turns that into a
+/// structured error response instead of scheduling garbage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// The task graph to schedule.
+    pub graph: TaskGraph,
+    /// The target processor network.
+    pub network: ProcNetwork,
+}
+
+impl Instance {
+    /// Bundles a graph and a network into an instance.
+    pub fn new(graph: TaskGraph, network: ProcNetwork) -> Instance {
+        Instance { graph, network }
+    }
+}
+
+impl From<&CorpusRequest> for Request {
+    /// Converts a workload-generated corpus entry into a wire request
+    /// (fully connected processors, as the corpus generator assumes).
+    fn from(c: &CorpusRequest) -> Request {
+        Request {
+            id: None,
+            instance: Instance::new(c.graph.clone(), ProcNetwork::fully_connected(c.procs)),
+            algorithm: Some(c.algorithm.clone()),
+            deadline_ms: c.deadline_ms,
+            max_expansions: None,
+            epsilon: None,
+            weight: None,
+        }
+    }
+}
+
+/// One scheduling request (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed in the response.  When absent
+    /// the service assigns the request's submission sequence number.
+    pub id: Option<u64>,
+    /// The problem instance.
+    pub instance: Instance,
+    /// Registry name of the algorithm (`astar`, `wastar`, `aeps`, `chenyu`,
+    /// `exhaustive`, `list`, `parallel`).  When absent the service picks
+    /// `astar` — or `wastar`, its deadline-pressure algorithm, if the
+    /// request carries a `deadline_ms`.
+    pub algorithm: Option<String>,
+    /// Wall-clock budget in milliseconds.  The search returns its best
+    /// incumbent when the budget expires, so *every* deadline — even 0 ms —
+    /// still yields a feasible schedule (tagged `anytime` or `heuristic`).
+    pub deadline_ms: Option<u64>,
+    /// Budget on expanded states (same anytime semantics as `deadline_ms`).
+    pub max_expansions: Option<u64>,
+    /// Approximation factor for `aeps` (default 0.2).
+    pub epsilon: Option<f64>,
+    /// Heuristic weight for `wastar` (default: the service's configured
+    /// deadline-pressure weight).
+    pub weight: Option<f64>,
+}
+
+impl Request {
+    /// A plain request for `instance` with every knob at its default.
+    pub fn new(instance: Instance) -> Request {
+        Request {
+            id: None,
+            instance,
+            algorithm: None,
+            deadline_ms: None,
+            max_expansions: None,
+            epsilon: None,
+            weight: None,
+        }
+    }
+}
+
+/// The quality guarantee a response's schedule carries.
+pub mod quality {
+    /// Proven optimal (or exhaustively certified).
+    pub const OPTIMAL: &str = "optimal";
+    /// Feasible and typically improved over the list heuristic, but without
+    /// an optimality proof: a deadline/limit cut the search short, or a
+    /// bounded-suboptimal algorithm (weighted A\*, `w > 1`) completed.
+    pub const ANYTIME: &str = "anytime";
+    /// The polynomial-time list-scheduling answer (also what a 0 ms deadline
+    /// yields: the pre-seeded incumbent, untouched by search).
+    pub const HEURISTIC: &str = "heuristic";
+}
+
+/// One scheduling response (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Correlation id (the request's `id`, or its submission sequence number).
+    pub id: u64,
+    /// True when the request was served; false for a structured error.
+    pub ok: bool,
+    /// Registry name of the algorithm that produced the schedule.
+    pub algorithm: Option<String>,
+    /// Quality tag: `"optimal"`, `"anytime"` or `"heuristic"` (see
+    /// [`quality`]).
+    pub quality: Option<String>,
+    /// Makespan of the returned schedule.
+    pub schedule_length: Option<Cost>,
+    /// The schedule itself, validated against the instance before sending.
+    pub schedule: Option<Schedule>,
+    /// Canonical instance signature (hex), for observability and cache
+    /// debugging: requests with equal signatures intern to one cache slot.
+    pub signature: Option<String>,
+    /// True when the response was served from the memoizing result cache.
+    pub cache_hit: bool,
+    /// States the search expanded for this response (0 on a cache hit).
+    pub expanded: u64,
+    /// Service-side wall-clock time for this request, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Error message (only for `ok == false`).
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// A structured error response: the service answers malformed or
+    /// unserviceable requests instead of dying.
+    pub fn error(id: u64, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            ok: false,
+            algorithm: None,
+            quality: None,
+            schedule_length: None,
+            schedule: None,
+            signature: None,
+            cache_hit: false,
+            expanded: 0,
+            elapsed_ms: 0.0,
+            error: Some(message.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_taskgraph::paper_example_dag;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = Request {
+            id: Some(7),
+            instance: Instance::new(paper_example_dag(), ProcNetwork::ring(3)),
+            algorithm: Some("wastar".to_string()),
+            deadline_ms: Some(50),
+            max_expansions: None,
+            epsilon: None,
+            weight: Some(1.5),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn minimal_request_defaults_every_knob() {
+        // Only the instance is mandatory; everything else reads as None.
+        let inst = Instance::new(paper_example_dag(), ProcNetwork::ring(3));
+        let json = format!("{{\"instance\": {}}}", serde_json::to_string(&inst).unwrap());
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Request::new(inst));
+    }
+
+    #[test]
+    fn requests_without_an_instance_fail_to_parse() {
+        let err = serde_json::from_str::<Request>("{\"id\": 1}").unwrap_err();
+        assert!(err.to_string().contains("instance"), "{err}");
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let r = Response::error(3, "boom");
+        assert!(!r.ok);
+        assert_eq!(r.id, 3);
+        let back: Response = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn corpus_requests_convert() {
+        use optsched_workload::{generate_request_corpus, RequestCorpusConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let corpus = generate_request_corpus(
+            &RequestCorpusConfig { count: 4, ..Default::default() },
+            &mut StdRng::seed_from_u64(7),
+        );
+        let reqs: Vec<Request> = corpus.iter().map(Request::from).collect();
+        assert_eq!(reqs.len(), 4);
+        for (c, r) in corpus.iter().zip(&reqs) {
+            assert_eq!(r.instance.graph, c.graph);
+            assert_eq!(r.instance.network.num_procs(), c.procs);
+            assert_eq!(r.deadline_ms, c.deadline_ms);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The request handler: parse → intern → cache → dispatch → validate → tag.
+
+use std::time::Instant;
+
+use optsched::registry::{SchedulerRegistry, SchedulerSpec};
+use optsched_core::{SchedulingProblem, SearchLimits, SearchOutcome};
+
+use crate::cache::{CacheStats, CachedResult, ResultCache};
+use crate::protocol::{quality, Request, Response};
+use crate::signature::CanonicalInstance;
+
+/// Configuration of a [`SchedulingService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Lock stripes of the memoizing result cache.
+    pub cache_shards: usize,
+    /// Seed the serial searches from the list-scheduling upper bound (the
+    /// `seed_incumbent` knob of [`SchedulerSpec`]).  On by default in the
+    /// service: callers pay for answers, not for faithful-to-1998 search
+    /// trees.
+    pub seed_incumbent: bool,
+    /// Default ε for `aeps` requests that do not specify one.
+    pub epsilon: f64,
+    /// Heuristic weight for `wastar` — the service's deadline-pressure
+    /// algorithm — when the request does not specify one.
+    pub deadline_weight: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            cache_shards: 8,
+            seed_incumbent: true,
+            epsilon: 0.2,
+            deadline_weight: 1.5,
+        }
+    }
+}
+
+/// The scheduling service: stateless request handling over a shared
+/// memoizing result cache.  `&SchedulingService` is `Sync`, so one instance
+/// serves every worker thread (and every TCP connection) concurrently.
+pub struct SchedulingService {
+    config: ServiceConfig,
+    cache: ResultCache,
+}
+
+impl SchedulingService {
+    /// A service with the given configuration and an empty cache.
+    pub fn new(config: ServiceConfig) -> SchedulingService {
+        SchedulingService { config, cache: ResultCache::new(config.cache_shards) }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Counter snapshot of the memoizing result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Parses and serves one JSON request line.  A malformed line yields a
+    /// structured error response (`ok == false`) under `fallback_id` — the
+    /// service never dies on bad input.
+    pub fn handle_line(&self, line: &str, fallback_id: u64) -> Response {
+        match serde_json::from_str::<Request>(line) {
+            Ok(req) => self.handle_request(&req, fallback_id),
+            Err(e) => Response::error(fallback_id, format!("malformed request: {e}")),
+        }
+    }
+
+    /// Serves one parsed request.
+    ///
+    /// The instance is interned under its canonical signature and the
+    /// sharded result cache is consulted first; a miss runs the requested
+    /// algorithm through the facade's [`SchedulerRegistry`] with the
+    /// request's deadline threaded into [`SearchLimits::max_millis`].  Every
+    /// response's schedule is validated against the instance before it is
+    /// sent.
+    pub fn handle_request(&self, req: &Request, fallback_id: u64) -> Response {
+        let start = Instant::now();
+        let id = req.id.unwrap_or(fallback_id);
+        let instance = &req.instance;
+
+        // Deadline pressure defaults to the anytime algorithm.
+        let algorithm = match &req.algorithm {
+            Some(a) => a.clone(),
+            None if req.deadline_ms.is_some() => "wastar".to_string(),
+            None => "astar".to_string(),
+        };
+        let epsilon = req.epsilon.unwrap_or(self.config.epsilon);
+        let weight = req.weight.unwrap_or(self.config.deadline_weight);
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Response::error(id, format!("epsilon must be a non-negative number, got {epsilon}"));
+        }
+        if !weight.is_finite() || weight < 1.0 {
+            return Response::error(id, format!("weight must be a finite number >= 1, got {weight}"));
+        }
+        // The quality-relevant parameter is part of the cache identity.
+        let param_bits = match algorithm.as_str() {
+            "aeps" => epsilon.to_bits(),
+            "wastar" => weight.to_bits(),
+            _ => 0,
+        };
+
+        let canon = CanonicalInstance::of(instance);
+        let signature = canon.signature();
+        let sig_hex = format!("{signature:016x}");
+
+        if let Some(cached) = self.cache.lookup(signature, &canon, &algorithm, param_bits) {
+            // Validate even the memoized schedule against *this* request's
+            // instance: canonical equality guarantees it fits, and the check
+            // is cheap insurance against cache corruption.
+            if cached.schedule.validate(&instance.graph, &instance.network).is_ok() {
+                return Response {
+                    id,
+                    ok: true,
+                    algorithm: Some(cached.algorithm),
+                    quality: Some(cached.quality),
+                    schedule_length: Some(cached.schedule_length),
+                    schedule: Some(cached.schedule),
+                    signature: Some(sig_hex),
+                    cache_hit: true,
+                    expanded: 0,
+                    elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+                    error: None,
+                };
+            }
+        }
+
+        let spec = SchedulerSpec {
+            limits: SearchLimits {
+                max_millis: req.deadline_ms,
+                max_expansions: req.max_expansions,
+                ..Default::default()
+            },
+            epsilon,
+            weight,
+            seed_incumbent: self.config.seed_incumbent,
+            ..Default::default()
+        };
+        let registry = SchedulerRegistry::with_spec(spec);
+        let Some(scheduler) = registry.get(&algorithm) else {
+            return Response::error(
+                id,
+                format!(
+                    "unknown algorithm `{algorithm}` (expected {})",
+                    registry.names().join("|")
+                ),
+            );
+        };
+
+        let problem = SchedulingProblem::new(instance.graph.clone(), instance.network.clone());
+        let run = scheduler.run(&problem);
+        let Some(schedule) = run.result.schedule else {
+            return Response::error(id, format!("`{algorithm}` produced no schedule"));
+        };
+        if let Err(e) = schedule.validate(&instance.graph, &instance.network) {
+            return Response::error(id, format!("internal error: invalid schedule: {e}"));
+        }
+
+        // Quality tag: only a proven optimum is tagged `optimal`; a
+        // completed bounded-suboptimal run (`aeps` with ε > 0, `wastar` with
+        // w > 1) is `anytime`, as is any limit-truncated incumbent that
+        // improved on the list schedule; the untouched list incumbent is
+        // `heuristic`.
+        let length = schedule.makespan();
+        let completed = matches!(run.result.outcome, SearchOutcome::Optimal | SearchOutcome::Exhausted);
+        // `parallel` always runs exact here: requests cannot set
+        // `ParallelConfig::epsilon` (if that knob is ever exposed, its ε must
+        // also join `param_bits` so approximate and exact parallel answers
+        // never share a cache slot).
+        let bounded_suboptimal = (algorithm == "aeps" && epsilon > 0.0)
+            || (algorithm == "wastar" && weight > 1.0);
+        let tag = match run.result.outcome {
+            SearchOutcome::Heuristic => quality::HEURISTIC,
+            SearchOutcome::LimitReached | SearchOutcome::TargetReached => {
+                if length < problem.upper_bound() {
+                    quality::ANYTIME
+                } else {
+                    quality::HEURISTIC
+                }
+            }
+            SearchOutcome::Optimal | SearchOutcome::Exhausted => {
+                if bounded_suboptimal {
+                    quality::ANYTIME
+                } else {
+                    quality::OPTIMAL
+                }
+            }
+        };
+
+        // Memoize completed runs only: they carry their full guarantee and
+        // are deterministic.  A deadline-truncated incumbent is *not*
+        // memoized — a later unconstrained request deserves the real search.
+        if completed {
+            self.cache.insert(
+                signature,
+                &canon,
+                &algorithm,
+                param_bits,
+                CachedResult {
+                    schedule: schedule.clone(),
+                    schedule_length: length,
+                    quality: tag.to_string(),
+                    algorithm: algorithm.clone(),
+                },
+            );
+        }
+
+        Response {
+            id,
+            ok: true,
+            algorithm: Some(algorithm),
+            quality: Some(tag.to_string()),
+            schedule_length: Some(length),
+            schedule: Some(schedule),
+            signature: Some(sig_hex),
+            cache_hit: false,
+            expanded: run.result.stats.expanded,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+            error: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Instance;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+
+    fn example_request() -> Request {
+        Request::new(Instance::new(paper_example_dag(), ProcNetwork::ring(3)))
+    }
+
+    #[test]
+    fn default_request_is_answered_optimally() {
+        let svc = SchedulingService::new(ServiceConfig::default());
+        let resp = svc.handle_request(&example_request(), 0);
+        assert!(resp.ok, "{:?}", resp.error);
+        assert_eq!(resp.algorithm.as_deref(), Some("astar"));
+        assert_eq!(resp.quality.as_deref(), Some(quality::OPTIMAL));
+        assert_eq!(resp.schedule_length, Some(14));
+        assert!(!resp.cache_hit);
+        assert!(resp.signature.is_some());
+    }
+
+    #[test]
+    fn repeated_instances_hit_the_cache() {
+        let svc = SchedulingService::new(ServiceConfig::default());
+        let first = svc.handle_request(&example_request(), 0);
+        let second = svc.handle_request(&example_request(), 1);
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(second.expanded, 0);
+        assert_eq!(first.schedule_length, second.schedule_length);
+        assert_eq!(first.signature, second.signature);
+        let stats = svc.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn deadline_requests_default_to_wastar_and_stay_feasible() {
+        let svc = SchedulingService::new(ServiceConfig::default());
+        let mut req = example_request();
+        req.deadline_ms = Some(0); // the harshest deadline there is
+        let resp = svc.handle_request(&req, 0);
+        assert!(resp.ok);
+        assert_eq!(resp.algorithm.as_deref(), Some("wastar"));
+        let tag = resp.quality.as_deref().unwrap();
+        assert!(tag == quality::ANYTIME || tag == quality::HEURISTIC, "{tag}");
+        // The schedule is feasible even at 0 ms (the pre-seeded incumbent).
+        let inst = &req.instance;
+        resp.schedule.unwrap().validate(&inst.graph, &inst.network).unwrap();
+    }
+
+    #[test]
+    fn truncated_runs_are_not_memoized() {
+        let svc = SchedulingService::new(ServiceConfig::default());
+        let mut req = example_request();
+        req.deadline_ms = Some(0);
+        let truncated = svc.handle_request(&req, 0);
+        assert!(truncated.ok);
+        assert_ne!(truncated.quality.as_deref(), Some(quality::OPTIMAL));
+        // A later unconstrained wastar request must not see a cached stub...
+        let mut full = example_request();
+        full.algorithm = Some("wastar".to_string());
+        let answered = svc.handle_request(&full, 1);
+        assert!(!answered.cache_hit, "deadline stubs must not be memoized");
+        // ...but its own (completed) answer is memoized.
+        let again = svc.handle_request(&full, 2);
+        assert!(again.cache_hit);
+    }
+
+    #[test]
+    fn unknown_algorithms_and_bad_params_are_structured_errors() {
+        let svc = SchedulingService::new(ServiceConfig::default());
+        let mut req = example_request();
+        req.algorithm = Some("quantum".to_string());
+        let resp = svc.handle_request(&req, 9);
+        assert!(!resp.ok);
+        assert_eq!(resp.id, 9);
+        assert!(resp.error.as_deref().unwrap().contains("unknown algorithm"));
+
+        let mut req = example_request();
+        req.weight = Some(0.2);
+        req.algorithm = Some("wastar".to_string());
+        assert!(!svc.handle_request(&req, 0).ok);
+    }
+
+    #[test]
+    fn malformed_lines_are_structured_errors() {
+        let svc = SchedulingService::new(ServiceConfig::default());
+        for line in ["this is not json", "{\"id\": 1}", "[1,2,3]", "{\"instance\": 5}"] {
+            let resp = svc.handle_line(line, 42);
+            assert!(!resp.ok, "{line}");
+            assert_eq!(resp.id, 42);
+            assert!(resp.error.is_some());
+        }
+    }
+
+    #[test]
+    fn list_requests_are_tagged_heuristic() {
+        let svc = SchedulingService::new(ServiceConfig::default());
+        let mut req = example_request();
+        req.algorithm = Some("list".to_string());
+        let resp = svc.handle_request(&req, 0);
+        assert!(resp.ok);
+        assert_eq!(resp.quality.as_deref(), Some(quality::HEURISTIC));
+        assert!(resp.schedule_length.unwrap() >= 14);
+    }
+
+    #[test]
+    fn bounded_suboptimal_completions_are_tagged_anytime() {
+        let svc = SchedulingService::new(ServiceConfig::default());
+        let mut req = example_request();
+        req.algorithm = Some("wastar".to_string());
+        req.weight = Some(2.0);
+        let resp = svc.handle_request(&req, 0);
+        assert!(resp.ok);
+        assert_eq!(resp.quality.as_deref(), Some(quality::ANYTIME));
+        assert!(resp.schedule_length.unwrap() <= 28, "2 x optimal bound");
+    }
+}

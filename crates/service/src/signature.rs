@@ -1,0 +1,222 @@
+//! Canonical instance interning: a topology- and label-stable identity for
+//! scheduling instances.
+//!
+//! Two requests describe *the same* scheduling problem whenever they agree
+//! on everything the cost model can observe: node weights, the weighted
+//! precedence relation, processor speeds, the processor interconnect and the
+//! communication model.  Node/processor labels, edge insertion order and
+//! JSON field order are presentation details — they must not defeat the
+//! service's memoizing cache.
+//!
+//! [`CanonicalInstance`] is that observable content in a normal form
+//! (edges and links sorted), and [`canonical_signature`] is its stable
+//! 64-bit FNV-1a hash.  The cache keys shards by the hash but stores the
+//! canonical form itself and compares it on lookup, so a hash collision can
+//! never serve the wrong schedule — the signature is an interning
+//! accelerator, not a trust anchor.
+
+use optsched_procnet::CommModel;
+use optsched_taskgraph::Cost;
+
+use crate::protocol::Instance;
+
+/// The scheduling-relevant content of an [`Instance`], in normal form.
+///
+/// Everything the searches' cost model reads is here; labels and
+/// presentation order are not.  Derives `Hash`/`Eq`, so it can key a map
+/// directly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalInstance {
+    /// Per-node computation costs, in node-id order.
+    node_weights: Vec<Cost>,
+    /// Weighted edges `(src, dst, comm cost)`, sorted by `(src, dst)`.
+    edges: Vec<(u32, u32, Cost)>,
+    /// Per-processor cycle times, in processor-id order.
+    cycle_times: Vec<u64>,
+    /// Undirected processor links, each once with the smaller endpoint
+    /// first, sorted.
+    links: Vec<(usize, usize)>,
+    /// Communication model discriminant.
+    hop_scaled: bool,
+}
+
+impl CanonicalInstance {
+    /// Normalises `instance` into its canonical form.
+    pub fn of(instance: &Instance) -> CanonicalInstance {
+        let graph = &instance.graph;
+        let net = &instance.network;
+        let mut edges: Vec<(u32, u32, Cost)> =
+            graph.edges().iter().map(|e| (e.src.0, e.dst.0, e.weight)).collect();
+        edges.sort_unstable();
+        CanonicalInstance {
+            node_weights: graph.node_ids().map(|n| graph.weight(n)).collect(),
+            edges,
+            cycle_times: net.proc_ids().map(|p| net.processor(p).cycle_time).collect(),
+            links: net.links(),
+            hop_scaled: net.comm_model() == CommModel::HopScaled,
+        }
+    }
+
+    /// The stable 64-bit signature of this canonical form.
+    pub fn signature(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.node_weights.len() as u64);
+        for &w in &self.node_weights {
+            h.write_u64(w);
+        }
+        h.write_u64(self.edges.len() as u64);
+        for &(s, d, w) in &self.edges {
+            h.write_u64(u64::from(s));
+            h.write_u64(u64::from(d));
+            h.write_u64(w);
+        }
+        h.write_u64(self.cycle_times.len() as u64);
+        for &c in &self.cycle_times {
+            h.write_u64(c);
+        }
+        h.write_u64(self.links.len() as u64);
+        for &(a, b) in &self.links {
+            h.write_u64(a as u64);
+            h.write_u64(b as u64);
+        }
+        h.write_u64(u64::from(self.hop_scaled));
+        h.finish()
+    }
+}
+
+/// The canonical signature of an instance: `CanonicalInstance::of(i).signature()`.
+///
+/// Stable across processes and releases (hand-rolled FNV-1a, not the
+/// randomised std hasher), insensitive to labels, edge insertion order and
+/// JSON field order.
+pub fn canonical_signature(instance: &Instance) -> u64 {
+    CanonicalInstance::of(instance).signature()
+}
+
+/// Minimal FNV-1a, fixed offset/prime, so signatures are reproducible
+/// everywhere (the std `DefaultHasher` is per-process randomised by design).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::{paper_example_dag, GraphBuilder};
+
+    fn example() -> Instance {
+        Instance::new(paper_example_dag(), ProcNetwork::ring(3))
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_discriminates() {
+        let a = canonical_signature(&example());
+        let b = canonical_signature(&example());
+        assert_eq!(a, b);
+        // A different network is a different instance.
+        let other = Instance::new(paper_example_dag(), ProcNetwork::ring(4));
+        assert_ne!(a, canonical_signature(&other));
+        // A different comm model too.
+        let hop = Instance::new(
+            paper_example_dag(),
+            ProcNetwork::ring(3).with_comm_model(optsched_procnet::CommModel::HopScaled),
+        );
+        assert_ne!(a, canonical_signature(&hop));
+    }
+
+    /// Labels are presentation, not content: stripping them must not change
+    /// the signature (and the canonical forms compare equal, so the cache
+    /// interns the two).
+    #[test]
+    fn signature_is_label_stable() {
+        let labelled = paper_example_dag();
+        let mut unlabelled = GraphBuilder::with_capacity(labelled.num_nodes());
+        for n in labelled.node_ids() {
+            unlabelled.add_node(labelled.weight(n));
+        }
+        for e in labelled.edges() {
+            unlabelled.add_edge(e.src, e.dst, e.weight).unwrap();
+        }
+        let a = Instance::new(labelled, ProcNetwork::ring(3));
+        let b = Instance::new(unlabelled.build().unwrap(), ProcNetwork::ring(3));
+        assert_ne!(a.graph, b.graph, "labels differ, so the graphs are not equal");
+        assert_eq!(canonical_signature(&a), canonical_signature(&b));
+        assert_eq!(CanonicalInstance::of(&a), CanonicalInstance::of(&b));
+    }
+
+    /// Edge insertion order is presentation too.
+    #[test]
+    fn signature_is_edge_order_stable() {
+        let build = |flip: bool| {
+            let mut b = GraphBuilder::new();
+            let n0 = b.add_node(2);
+            let n1 = b.add_node(3);
+            let n2 = b.add_node(4);
+            if flip {
+                b.add_edge(n0, n2, 5).unwrap();
+                b.add_edge(n0, n1, 1).unwrap();
+            } else {
+                b.add_edge(n0, n1, 1).unwrap();
+                b.add_edge(n0, n2, 5).unwrap();
+            }
+            Instance::new(b.build().unwrap(), ProcNetwork::fully_connected(2))
+        };
+        assert_eq!(canonical_signature(&build(false)), canonical_signature(&build(true)));
+        assert_eq!(
+            CanonicalInstance::of(&build(false)),
+            CanonicalInstance::of(&build(true))
+        );
+    }
+
+    /// Weight changes *are* content.
+    #[test]
+    fn signature_tracks_costs() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(2);
+        let n1 = b.add_node(3);
+        b.add_edge(n0, n1, 1).unwrap();
+        let base = Instance::new(b.build().unwrap(), ProcNetwork::fully_connected(2));
+
+        let mut b2 = GraphBuilder::new();
+        let m0 = b2.add_node(2);
+        let m1 = b2.add_node(3);
+        b2.add_edge(m0, m1, 9).unwrap(); // different comm cost
+        let heavier = Instance::new(b2.build().unwrap(), ProcNetwork::fully_connected(2));
+        assert_ne!(canonical_signature(&base), canonical_signature(&heavier));
+
+        let slow = Instance::new(
+            base.graph.clone(),
+            ProcNetwork::fully_connected(2).with_cycle_times(&[1, 2]),
+        );
+        assert_ne!(canonical_signature(&base), canonical_signature(&slow));
+    }
+
+    #[test]
+    fn fnv_reference_values_are_stable() {
+        // Pin the hash so accidental algorithm changes (which would silently
+        // orphan every interned cache entry across a rolling deploy) are loud.
+        let mut h = Fnv1a::new();
+        h.write_u64(0);
+        assert_eq!(h.finish(), 0xa8c7_f832_281a_39c5);
+        assert_eq!(canonical_signature(&example()), canonical_signature(&example()));
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end service test — the PR's acceptance criterion.
+//!
+//! A mixed corpus of ≥ 20 requests (varying sizes, CCRs, algorithms,
+//! deadlines, with repeated instances) is pushed through the full JSON-lines
+//! pipeline on 2 worker threads, and every response is checked against the
+//! engine run directly:
+//!
+//! * every response is a feasible schedule that passes validation,
+//! * every `optimal`-tagged response matches the conformance optimum
+//!   (serial A* on the same instance),
+//! * the repeated instances are served from the memoizing cache
+//!   (`cache_hit` responses exist and the cache's hit counter is > 0),
+//! * the deadline-constrained requests return an `anytime`/`heuristic`
+//!   answer instead of an error.
+//!
+//! A second test drives the same corpus through the TCP transport.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use optsched::prelude::*;
+use optsched_service::{
+    quality, run_service, serve_tcp, Request, Response, SchedulingService, ServiceConfig,
+};
+use optsched_workload::{generate_request_corpus, CorpusRequest, RequestCorpusConfig};
+
+/// The deterministic mixed corpus: ≥ 20 requests over 4 algorithm families,
+/// with duplicates and tight deadlines guaranteed by the generator.
+fn corpus() -> Vec<CorpusRequest> {
+    let cfg = RequestCorpusConfig { count: 24, ..Default::default() };
+    let corpus = generate_request_corpus(&cfg, &mut StdRng::seed_from_u64(1998));
+    assert!(corpus.len() >= 20);
+    assert!(corpus.iter().any(|c| c.duplicate_of.is_some()));
+    assert!(corpus.iter().any(|c| c.deadline_ms.is_some()));
+    corpus
+}
+
+/// Wire requests with their submission index as id.
+fn request_lines(corpus: &[CorpusRequest]) -> String {
+    let mut lines = String::new();
+    for (i, c) in corpus.iter().enumerate() {
+        let mut req = Request::from(c);
+        req.id = Some(i as u64);
+        lines.push_str(&serde_json::to_string(&req).expect("requests serialise"));
+        lines.push('\n');
+    }
+    lines
+}
+
+/// Checks the acceptance criteria for one batch of responses (indexed by id).
+fn check_responses(corpus: &[CorpusRequest], responses: &HashMap<u64, Response>) {
+    assert_eq!(responses.len(), corpus.len(), "one response per request");
+    let mut cache_hits = 0u64;
+    for (i, c) in corpus.iter().enumerate() {
+        let resp = &responses[&(i as u64)];
+        assert!(resp.ok, "request {i}: {:?}", resp.error);
+        assert_eq!(resp.algorithm.as_deref(), Some(c.algorithm.as_str()), "request {i}");
+
+        // Feasibility: every schedule validates against its instance.
+        let net = ProcNetwork::fully_connected(c.procs);
+        let schedule = resp.schedule.as_ref().unwrap_or_else(|| panic!("request {i}: no schedule"));
+        schedule.validate(&c.graph, &net).unwrap_or_else(|e| panic!("request {i}: {e}"));
+        assert_eq!(Some(schedule.makespan()), resp.schedule_length, "request {i}");
+
+        // Quality contract, checked against the engine run directly.
+        let problem = SchedulingProblem::new(c.graph.clone(), net);
+        let tag = resp.quality.as_deref().unwrap_or_else(|| panic!("request {i}: no quality tag"));
+        match tag {
+            quality::OPTIMAL => {
+                let optimum = AStarScheduler::new(&problem).run().schedule_length;
+                assert_eq!(
+                    resp.schedule_length,
+                    Some(optimum),
+                    "request {i}: optimal-tagged response off the conformance optimum"
+                );
+            }
+            quality::ANYTIME | quality::HEURISTIC => {
+                // No optimality claim, but never worse than list scheduling.
+                assert!(
+                    resp.schedule_length.unwrap() <= problem.upper_bound(),
+                    "request {i}"
+                );
+            }
+            other => panic!("request {i}: unknown quality tag `{other}`"),
+        }
+
+        // Deadline-constrained requests must *answer* — a schedule and a
+        // tag, never an error shape.  (That an expired deadline cannot claim
+        // `optimal` is enforced by `zero_deadline_requests_still_get_feasible
+        // _schedules` below, where the deadline is guaranteed to expire;
+        // here a 1 ms budget may legitimately complete and prove optimality.)
+        if c.deadline_ms.is_some() {
+            assert!(resp.error.is_none(), "request {i}: deadline answered with an error");
+            assert!(resp.schedule.is_some(), "request {i}: deadline answered without a schedule");
+            if tag == quality::OPTIMAL {
+                // An optimal claim under a deadline is only legal if the
+                // search genuinely completed — which the match above already
+                // cross-checked against the conformance optimum.
+                assert!(resp.cache_hit || resp.expanded > 0, "request {i}: empty optimal claim");
+            }
+        }
+        if resp.cache_hit {
+            cache_hits += 1;
+        }
+    }
+    assert!(cache_hits > 0, "the repeated instances must be served from the cache");
+}
+
+#[test]
+fn mixed_corpus_end_to_end_over_the_stream_transport() {
+    let corpus = corpus();
+    let service = SchedulingService::new(ServiceConfig { workers: 2, ..Default::default() });
+    let input = request_lines(&corpus);
+
+    let mut out = Vec::new();
+    let summary = run_service(&service, input.as_bytes(), &mut out).expect("pool run");
+    assert_eq!(summary.responses, corpus.len() as u64);
+    assert_eq!(summary.errors, 0);
+    assert!(summary.cache_hits > 0, "duplicate instances must hit the cache");
+
+    let responses: HashMap<u64, Response> = String::from_utf8(out)
+        .expect("utf8 output")
+        .lines()
+        .map(|l| {
+            let r: Response = serde_json::from_str(l).expect("response parses");
+            (r.id, r)
+        })
+        .collect();
+    check_responses(&corpus, &responses);
+
+    // The service-side counters agree with what the responses showed.
+    let stats = service.cache_stats();
+    assert!(stats.hits > 0, "cache hit counter must be > 0");
+    assert_eq!(stats.hits, summary.cache_hits);
+    assert!(stats.entries > 0);
+    assert!(stats.hit_rate() > 0.0);
+}
+
+/// A deadline of 0 ms — no time at all — still yields a feasible, validated
+/// schedule, not an error (the anytime fallback contract at its harshest).
+#[test]
+fn zero_deadline_requests_still_get_feasible_schedules() {
+    let service = SchedulingService::new(ServiceConfig { workers: 2, ..Default::default() });
+    let corpus = corpus();
+    for (i, c) in corpus.iter().enumerate().take(4) {
+        let mut req = Request::from(c);
+        req.deadline_ms = Some(0);
+        req.algorithm = None; // deadline pressure: the service picks wastar
+        let resp = service.handle_request(&req, i as u64);
+        assert!(resp.ok, "{:?}", resp.error);
+        assert_eq!(resp.algorithm.as_deref(), Some("wastar"));
+        let net = ProcNetwork::fully_connected(c.procs);
+        resp.schedule.as_ref().unwrap().validate(&c.graph, &net).unwrap();
+        let tag = resp.quality.as_deref().unwrap();
+        assert!(
+            tag == quality::ANYTIME || tag == quality::HEURISTIC,
+            "0 ms cannot prove optimality, got {tag}"
+        );
+    }
+}
+
+#[test]
+fn mixed_corpus_end_to_end_over_tcp() {
+    let corpus = corpus();
+    let service = SchedulingService::new(ServiceConfig { workers: 2, ..Default::default() });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    std::thread::scope(|scope| {
+        let service = &service;
+        let listener = &listener;
+        let server = scope.spawn(move || serve_tcp(service, listener, Some(1)));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        stream.write_all(request_lines(&corpus).as_bytes()).expect("send requests");
+        // Half-close the write side so the server sees end-of-input and
+        // drains its pool.
+        stream.shutdown(std::net::Shutdown::Write).expect("shutdown write half");
+
+        let mut responses: HashMap<u64, Response> = HashMap::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).expect("read response") == 0 {
+                break;
+            }
+            let r: Response = serde_json::from_str(line.trim()).expect("response parses");
+            responses.insert(r.id, r);
+        }
+        check_responses(&corpus, &responses);
+        server.join().expect("server thread").expect("serve_tcp");
+    });
+
+    assert!(service.cache_stats().hits > 0);
+}

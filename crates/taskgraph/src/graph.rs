@@ -60,7 +60,17 @@ pub struct EdgeData {
 /// Construct one through [`GraphBuilder`]; the builder rejects self-loops,
 /// duplicate edges, dangling endpoints and cyclic graphs, so every
 /// `TaskGraph` in existence is a well-formed DAG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # Wire format
+///
+/// `TaskGraph` (de)serialises as `{"nodes": [...], "edges": [...]}` — the
+/// canonical parts only, *not* the derived adjacency lists.  Deserialisation
+/// rebuilds the graph through [`GraphBuilder`], so a document carrying a
+/// self-loop, a duplicate or dangling edge, or a cycle is rejected with a
+/// [`GraphError`] message instead of producing an inconsistent graph (the
+/// old derive-based format accepted arbitrary `succs`/`preds`; documents in
+/// that format still parse — the extra fields are ignored).
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskGraph {
     nodes: Vec<NodeData>,
     edges: Vec<EdgeData>,
@@ -228,6 +238,44 @@ impl TaskGraph {
             groups.entry(key).or_default().push(n);
         }
         groups.into_values().filter(|v| v.len() > 1).collect()
+    }
+}
+
+impl serde::Serialize for TaskGraph {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("edges".to_string(), self.edges.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for TaskGraph {
+    fn from_value(v: &serde::Value) -> Result<TaskGraph, serde::Error> {
+        let pairs = v.as_object().ok_or_else(|| {
+            serde::Error::custom(format!(
+                "expected an object for `TaskGraph`, found {}",
+                v.type_name()
+            ))
+        })?;
+        let nodes = Vec::<NodeData>::from_value(serde::__field(pairs, "nodes"))
+            .map_err(|e| serde::Error::custom(format!("field `nodes` of `TaskGraph`: {e}")))?;
+        let edges = Vec::<EdgeData>::from_value(serde::__field(pairs, "edges"))
+            .map_err(|e| serde::Error::custom(format!("field `edges` of `TaskGraph`: {e}")))?;
+        // Rebuild through the builder so every invariant (dense ids, no
+        // self-loops/duplicates/dangling edges, acyclicity) is re-validated.
+        let mut b = GraphBuilder::with_capacity(nodes.len());
+        for n in nodes {
+            match n.label {
+                Some(label) => b.add_labeled_node(n.weight, label),
+                None => b.add_node(n.weight),
+            };
+        }
+        for e in &edges {
+            b.add_edge(e.src, e.dst, e.weight)
+                .map_err(|err| serde::Error::custom(format!("invalid `TaskGraph` edges: {err}")))?;
+        }
+        b.build().map_err(|err| serde::Error::custom(format!("invalid `TaskGraph`: {err}")))
     }
 }
 
@@ -494,6 +542,44 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let g2: TaskGraph = serde_json::from_str(&json).unwrap();
         assert_eq!(g, g2);
+    }
+
+    /// The wire format carries only the canonical parts; adjacency is derived.
+    #[test]
+    fn wire_format_is_nodes_plus_edges_only() {
+        let json = serde_json::to_string(&paper_example_dag()).unwrap();
+        assert!(json.contains("\"nodes\""));
+        assert!(json.contains("\"edges\""));
+        assert!(!json.contains("\"succs\""), "derived adjacency must not be serialised: {json}");
+        assert!(!json.contains("\"preds\""));
+    }
+
+    /// Deserialisation re-validates: structurally broken documents are
+    /// rejected with a clear error instead of yielding an inconsistent graph.
+    #[test]
+    fn malformed_graph_documents_are_rejected() {
+        // A cycle.
+        let cyclic = r#"{"nodes": [{"weight": 1, "label": null}, {"weight": 1, "label": null}],
+                         "edges": [{"src": 0, "dst": 1, "weight": 1},
+                                   {"src": 1, "dst": 0, "weight": 1}]}"#;
+        let err = serde_json::from_str::<TaskGraph>(cyclic).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+
+        // A dangling edge endpoint.
+        let dangling = r#"{"nodes": [{"weight": 1, "label": null}],
+                           "edges": [{"src": 0, "dst": 7, "weight": 1}]}"#;
+        assert!(serde_json::from_str::<TaskGraph>(dangling).is_err());
+
+        // A self-loop.
+        let self_loop = r#"{"nodes": [{"weight": 1, "label": null}],
+                            "edges": [{"src": 0, "dst": 0, "weight": 1}]}"#;
+        assert!(serde_json::from_str::<TaskGraph>(self_loop).is_err());
+
+        // An empty node list.
+        assert!(serde_json::from_str::<TaskGraph>(r#"{"nodes": [], "edges": []}"#).is_err());
+
+        // Not an object at all.
+        assert!(serde_json::from_str::<TaskGraph>("[1, 2, 3]").is_err());
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Request-corpus generation for the scheduling service.
+//!
+//! The service's `batch` front end (and the CI smoke test) need a stream of
+//! *mixed* scheduling requests: varying graph sizes and CCRs, several
+//! algorithm families, occasional deadlines, and repeated instances that
+//! should hit the service's memoizing result cache.  This module generates
+//! such a corpus deterministically from a seed, as plain data — the service
+//! crate converts each [`CorpusRequest`] into its wire-format request.
+//!
+//! Sizes stay small (≤ 10 nodes by default) so the exact searches answer in
+//! milliseconds on the single-core CI host; the deadline entries exist to
+//! exercise the anytime path, not to time out the suite.
+
+use rand::Rng;
+
+use optsched_taskgraph::TaskGraph;
+
+use crate::random::{generate_random_dag, RandomDagConfig, PAPER_CCRS};
+
+/// Parameters of the request-corpus generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestCorpusConfig {
+    /// Number of requests to generate.
+    pub count: usize,
+    /// Graph sizes to draw from (uniformly).
+    pub sizes: Vec<usize>,
+    /// Number of target processors to draw from (uniformly).
+    pub procs: Vec<usize>,
+    /// Algorithm names to rotate through (must be registry names).
+    pub algorithms: Vec<String>,
+    /// Every `deadline_every`-th request carries a tight wall-clock deadline
+    /// (0 disables deadlines).  At least one deadline request is always
+    /// emitted when the corpus has ≥ 2 entries and this is non-zero.
+    pub deadline_every: usize,
+    /// The deadline value used for deadline-carrying requests, in ms.
+    pub deadline_ms: u64,
+    /// Every `duplicate_every`-th request repeats an earlier instance
+    /// verbatim (0 disables duplicates).  At least one duplicate is always
+    /// emitted when the corpus has ≥ 2 entries and this is non-zero.
+    pub duplicate_every: usize,
+}
+
+impl Default for RequestCorpusConfig {
+    fn default() -> Self {
+        RequestCorpusConfig {
+            count: 20,
+            sizes: vec![6, 7, 8, 9],
+            procs: vec![2, 3],
+            algorithms: vec![
+                "astar".to_string(),
+                "wastar".to_string(),
+                "aeps".to_string(),
+                "list".to_string(),
+            ],
+            deadline_every: 5,
+            deadline_ms: 1,
+            duplicate_every: 4,
+        }
+    }
+}
+
+/// One generated request, as plain data: the instance parts plus the
+/// scheduling knobs.  The service crate converts this into its wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusRequest {
+    /// The task graph to schedule.
+    pub graph: TaskGraph,
+    /// Number of fully connected target processors.
+    pub procs: usize,
+    /// Registry name of the algorithm to run.
+    pub algorithm: String,
+    /// Optional wall-clock budget in milliseconds (the anytime path).
+    pub deadline_ms: Option<u64>,
+    /// Index of the earlier corpus entry this request duplicates
+    /// (same graph, same processor count — a service cache hit), if any.
+    pub duplicate_of: Option<usize>,
+}
+
+/// Generates `cfg.count` mixed requests, deterministically for a given RNG
+/// stream.
+///
+/// A duplicate repeats an earlier *request* — same graph, same processor
+/// count, same algorithm — so that a memoizing service must answer it from
+/// its cache.  The original is always a memoizable one: never itself a
+/// duplicate, never deadline-constrained, never the `list` heuristic (whose
+/// answers a service has no reason to intern).  With the default
+/// configuration a ≥ 2-request corpus is guaranteed to contain at least one
+/// duplicate and at least one deadline request — the two cases the service
+/// smoke test must observe (a cache hit and an anytime answer).
+pub fn generate_request_corpus(
+    cfg: &RequestCorpusConfig,
+    rng: &mut impl Rng,
+) -> Vec<CorpusRequest> {
+    assert!(!cfg.sizes.is_empty(), "corpus needs at least one size");
+    assert!(!cfg.procs.is_empty(), "corpus needs at least one processor count");
+    assert!(!cfg.algorithms.is_empty(), "corpus needs at least one algorithm");
+
+    let mut corpus: Vec<CorpusRequest> = Vec::with_capacity(cfg.count);
+    for i in 0..cfg.count {
+        let wants_duplicate = cfg.duplicate_every > 0
+            && i > 0
+            && (i % cfg.duplicate_every == 0 || (i == cfg.count - 1 && !has_duplicate(&corpus)));
+        let wants_deadline = cfg.deadline_every > 0
+            && (i % cfg.deadline_every == cfg.deadline_every - 1
+                || (i == cfg.count - 1 && !has_deadline(&corpus)));
+        let deadline_ms = wants_deadline.then_some(cfg.deadline_ms);
+
+        let original = wants_duplicate
+            .then(|| {
+                // Pick an earlier memoizable original: not a duplicate
+                // itself, not deadline-bound, not the list heuristic.
+                let originals: Vec<usize> = (0..i)
+                    .filter(|&j| {
+                        corpus[j].duplicate_of.is_none()
+                            && corpus[j].deadline_ms.is_none()
+                            && corpus[j].algorithm != "list"
+                    })
+                    .collect();
+                if originals.is_empty() {
+                    None
+                } else {
+                    Some(originals[rng.gen_range(0..originals.len())])
+                }
+            })
+            .flatten();
+
+        let entry = match original {
+            Some(j) => CorpusRequest {
+                graph: corpus[j].graph.clone(),
+                procs: corpus[j].procs,
+                algorithm: corpus[j].algorithm.clone(),
+                deadline_ms,
+                duplicate_of: Some(j),
+            },
+            None => {
+                let nodes = cfg.sizes[rng.gen_range(0..cfg.sizes.len())];
+                let ccr = PAPER_CCRS[rng.gen_range(0..PAPER_CCRS.len())];
+                let graph = generate_random_dag(
+                    &RandomDagConfig { nodes, ccr, ..Default::default() },
+                    rng,
+                );
+                CorpusRequest {
+                    graph,
+                    procs: cfg.procs[rng.gen_range(0..cfg.procs.len())],
+                    algorithm: cfg.algorithms[i % cfg.algorithms.len()].clone(),
+                    deadline_ms,
+                    duplicate_of: None,
+                }
+            }
+        };
+        corpus.push(entry);
+    }
+    corpus
+}
+
+fn has_duplicate(corpus: &[CorpusRequest]) -> bool {
+    corpus.iter().any(|r| r.duplicate_of.is_some())
+}
+
+fn has_deadline(corpus: &[CorpusRequest]) -> bool {
+    corpus.iter().any(|r| r.deadline_ms.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_corpus_mixes_all_the_required_cases() {
+        let cfg = RequestCorpusConfig::default();
+        let corpus = generate_request_corpus(&cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(corpus.len(), cfg.count);
+        assert!(has_duplicate(&corpus), "a default corpus must contain a duplicate instance");
+        assert!(has_deadline(&corpus), "a default corpus must contain a deadline request");
+        // Duplicates really repeat the full request of a memoizable original.
+        for (i, r) in corpus.iter().enumerate() {
+            if let Some(j) = r.duplicate_of {
+                assert!(j < i);
+                assert!(corpus[j].duplicate_of.is_none(), "duplicate of a duplicate");
+                assert_eq!(corpus[j].graph, r.graph);
+                assert_eq!(corpus[j].procs, r.procs);
+                assert_eq!(corpus[j].algorithm, r.algorithm, "a cache hit needs the same key");
+                assert!(corpus[j].deadline_ms.is_none(), "original must be memoizable");
+                assert_ne!(corpus[j].algorithm, "list", "original must be memoizable");
+            }
+            assert!(cfg.algorithms.contains(&r.algorithm));
+            assert!(cfg.procs.contains(&r.procs));
+        }
+        // More than one algorithm family is exercised.
+        let distinct: std::collections::BTreeSet<&str> =
+            corpus.iter().map(|r| r.algorithm.as_str()).collect();
+        assert!(distinct.len() >= 3, "{distinct:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = RequestCorpusConfig::default();
+        let a = generate_request_corpus(&cfg, &mut StdRng::seed_from_u64(11));
+        let b = generate_request_corpus(&cfg, &mut StdRng::seed_from_u64(11));
+        let c = generate_request_corpus(&cfg, &mut StdRng::seed_from_u64(12));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_corpora_still_cover_the_smoke_cases() {
+        // Even a 2-request corpus ends with the forced duplicate/deadline.
+        let cfg = RequestCorpusConfig { count: 2, ..Default::default() };
+        let corpus = generate_request_corpus(&cfg, &mut StdRng::seed_from_u64(3));
+        assert!(has_duplicate(&corpus) && has_deadline(&corpus));
+    }
+
+    #[test]
+    fn knobs_can_disable_special_cases() {
+        let cfg = RequestCorpusConfig {
+            count: 12,
+            deadline_every: 0,
+            duplicate_every: 0,
+            ..Default::default()
+        };
+        let corpus = generate_request_corpus(&cfg, &mut StdRng::seed_from_u64(3));
+        assert!(!has_duplicate(&corpus));
+        assert!(!has_deadline(&corpus));
+    }
+}

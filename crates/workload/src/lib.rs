@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod random;
 pub mod structured;
 
+pub use corpus::{generate_request_corpus, CorpusRequest, RequestCorpusConfig};
 pub use random::{generate_random_dag, paper_workload_suite, RandomDagConfig, PAPER_CCRS, PAPER_SIZES};
 pub use structured::{chain, diamond_lattice, fft_butterfly, fork_join, gaussian_elimination, in_tree, out_tree};

@@ -55,7 +55,7 @@ pub mod prelude {
     pub use optsched_core::{
         exhaustive_optimal, AEpsScheduler, AStarScheduler, ChenYuScheduler, ExhaustiveScheduler,
         HeuristicKind, PruningConfig, SchedulingProblem, SearchLimits, SearchOutcome, SearchResult,
-        SearchStats, StoreKind,
+        SearchStats, StoreKind, WAStarScheduler,
     };
     pub use optsched_listsched::{
         best_heuristic_schedule, list_schedule, upper_bound, upper_bound_schedule, ListConfig,

@@ -11,6 +11,7 @@
 use optsched_core::{
     AEpsScheduler, AStarScheduler, ChenYuScheduler, ExhaustiveScheduler, HeuristicKind,
     PruningConfig, SchedulingProblem, SearchLimits, SearchOutcome, SearchResult, StoreKind,
+    WAStarScheduler,
 };
 use optsched_listsched::upper_bound_schedule;
 use optsched_parallel::{ParallelAStarScheduler, ParallelConfig, ParallelSearchResult};
@@ -66,6 +67,17 @@ pub struct SchedulerSpec {
     /// Approximation factor of `aeps` (also applied to `parallel` when
     /// [`ParallelConfig::epsilon`] is set there).
     pub epsilon: f64,
+    /// Heuristic weight of `wastar` (`>= 1`; 1.0 makes it bit-identical to
+    /// `astar`).
+    pub weight: f64,
+    /// Seeds the serial searches (`astar`, `wastar`, `aeps`, `chenyu`) with
+    /// the list-scheduling schedule as an *attained* incumbent: the
+    /// branch-and-bound elimination starts from the list upper bound instead
+    /// of infinity and the upper-bound rule prunes states that cannot
+    /// strictly improve on it.  Off by default (the classic behaviour, and
+    /// what the pinned `tests/engine_equivalence.rs` literals measure); the
+    /// scheduling service switches it on.
+    pub seed_incumbent: bool,
     /// Configuration of the `parallel` family.
     pub parallel: ParallelConfig,
 }
@@ -78,6 +90,8 @@ impl Default for SchedulerSpec {
             heuristic: HeuristicKind::default(),
             store: StoreKind::default(),
             epsilon: 0.2,
+            weight: 1.0,
+            seed_incumbent: false,
             parallel: ParallelConfig::default(),
         }
     }
@@ -96,6 +110,7 @@ pub fn parallel_to_search_result(r: &ParallelSearchResult) -> SearchResult {
 }
 
 struct AStarEntry(SchedulerSpec);
+struct WAStarEntry(SchedulerSpec);
 struct AEpsEntry(SchedulerSpec);
 struct ChenYuEntry(SchedulerSpec);
 struct ExhaustiveEntry(SchedulerSpec);
@@ -116,6 +131,27 @@ impl Scheduler for AStarEntry {
                 .with_heuristic(self.0.heuristic)
                 .with_limits(self.0.limits)
                 .with_store(self.0.store)
+                .with_seeded_incumbent(self.0.seed_incumbent)
+                .run(),
+        )
+    }
+}
+
+impl Scheduler for WAStarEntry {
+    fn name(&self) -> &'static str {
+        "wastar"
+    }
+    fn description(&self) -> String {
+        format!("weighted A* (w = {}, anytime)", self.0.weight)
+    }
+    fn run(&self, problem: &SchedulingProblem) -> SearchReport {
+        SearchReport::plain(
+            WAStarScheduler::new(problem, self.0.weight)
+                .with_pruning(self.0.pruning)
+                .with_heuristic(self.0.heuristic)
+                .with_limits(self.0.limits)
+                .with_store(self.0.store)
+                .with_seeded_incumbent(self.0.seed_incumbent)
                 .run(),
         )
     }
@@ -135,6 +171,7 @@ impl Scheduler for AEpsEntry {
                 .with_heuristic(self.0.heuristic)
                 .with_limits(self.0.limits)
                 .with_store(self.0.store)
+                .with_seeded_incumbent(self.0.seed_incumbent)
                 .run(),
         )
     }
@@ -149,7 +186,11 @@ impl Scheduler for ChenYuEntry {
     }
     fn run(&self, problem: &SchedulingProblem) -> SearchReport {
         SearchReport::plain(
-            ChenYuScheduler::new(problem).with_limits(self.0.limits).with_store(self.0.store).run(),
+            ChenYuScheduler::new(problem)
+                .with_limits(self.0.limits)
+                .with_store(self.0.store)
+                .with_seeded_incumbent(self.0.seed_incumbent)
+                .run(),
         )
     }
 }
@@ -213,6 +254,7 @@ impl Scheduler for ParallelEntry {
                 r.redundant_expansions_avoided().to_string(),
             ),
             ("peak_live_states".to_string(), r.peak_live_states().to_string()),
+            ("in-flight peak".to_string(), r.peak_in_flight.to_string()),
             ("election transfers".to_string(), r.election_transfers().to_string()),
         ];
         if let Some(table) = &r.closed_stats {
@@ -236,12 +278,13 @@ pub struct SchedulerRegistry {
 }
 
 impl SchedulerRegistry {
-    /// The built-in families (`astar`, `aeps`, `chenyu`, `exhaustive`,
-    /// `list`, `parallel`), each configured from `spec`.
+    /// The built-in families (`astar`, `wastar`, `aeps`, `chenyu`,
+    /// `exhaustive`, `list`, `parallel`), each configured from `spec`.
     pub fn with_spec(spec: SchedulerSpec) -> SchedulerRegistry {
         SchedulerRegistry {
             entries: vec![
                 Box::new(AStarEntry(spec.clone())),
+                Box::new(WAStarEntry(spec.clone())),
                 Box::new(AEpsEntry(spec.clone())),
                 Box::new(ChenYuEntry(spec.clone())),
                 Box::new(ExhaustiveEntry(spec.clone())),
@@ -280,8 +323,12 @@ mod tests {
     #[test]
     fn registry_lists_every_family() {
         let reg = SchedulerRegistry::builtin();
-        assert_eq!(reg.names(), vec!["astar", "aeps", "chenyu", "exhaustive", "list", "parallel"]);
+        assert_eq!(
+            reg.names(),
+            vec!["astar", "wastar", "aeps", "chenyu", "exhaustive", "list", "parallel"]
+        );
         assert!(reg.get("astar").is_some());
+        assert!(reg.get("wastar").is_some());
         assert!(reg.get("quantum").is_none());
     }
 
@@ -289,9 +336,10 @@ mod tests {
     fn every_exact_family_reaches_the_paper_optimum_via_dispatch() {
         let problem = example_problem();
         let reg = SchedulerRegistry::builtin();
-        for name in ["astar", "aeps", "chenyu", "exhaustive", "parallel"] {
+        for name in ["astar", "wastar", "aeps", "chenyu", "exhaustive", "parallel"] {
             let report = reg.get(name).expect(name).run(&problem);
-            // aeps runs at the default ε = 0.2 yet still finds 14 here.
+            // aeps runs at the default ε = 0.2 (and wastar at the default
+            // w = 1.0) yet still finds 14 here.
             assert_eq!(report.result.schedule_length, 14, "{name}");
             report
                 .result
@@ -358,9 +406,37 @@ mod tests {
             ..SchedulerSpec::default()
         };
         let reg = SchedulerRegistry::with_spec(spec);
-        for name in ["astar", "exhaustive"] {
+        for name in ["astar", "wastar", "exhaustive"] {
             let report = reg.get(name).unwrap().run(&problem);
             assert_eq!(report.result.outcome, SearchOutcome::LimitReached, "{name}");
+        }
+    }
+
+    /// The `wastar` entry reads the spec's weight (visible in its banner and
+    /// in the `w x optimal` bound) and the seeded-incumbent knob reaches the
+    /// serial families without changing their optima.
+    #[test]
+    fn weight_and_seed_knobs_flow_through() {
+        let problem = example_problem();
+        let spec = SchedulerSpec { weight: 2.0, seed_incumbent: true, ..SchedulerSpec::default() };
+        let reg = SchedulerRegistry::with_spec(spec);
+        assert!(reg.get("wastar").unwrap().description().contains("w = 2"));
+        let w = reg.get("wastar").unwrap().run(&problem);
+        assert!(w.result.schedule_length <= 28, "2 x optimal bound");
+        w.result.schedule.as_ref().unwrap().validate(problem.graph(), problem.network()).unwrap();
+        for name in ["astar", "chenyu"] {
+            let seeded = reg.get(name).unwrap().run(&problem);
+            assert!(seeded.result.is_optimal(), "{name}");
+            assert_eq!(seeded.result.schedule_length, 14, "{name}");
+            // Strict pruning against the attained list incumbent can only
+            // shrink the search.
+            let plain = SchedulerRegistry::builtin().get(name).unwrap().run(&problem);
+            assert!(
+                seeded.result.stats.expanded <= plain.result.stats.expanded,
+                "{name}: seeded {} vs plain {}",
+                seeded.result.stats.expanded,
+                plain.result.stats.expanded
+            );
         }
     }
 }

@@ -132,6 +132,49 @@ fn all_schedulers_agree_on_the_optimal_makespan() {
     }
 }
 
+/// Weighted-A* conformance over the whole corpus: at weight 1.0 the `wastar`
+/// entry *is* A* — same optimum and bit-identical expansion/generation
+/// counts — and at larger weights every schedule stays within `w × optimum`
+/// while remaining feasible.  (The service relies on both halves: weight-1
+/// requests are exact, and deadline-pressure weights keep their bound.)
+#[test]
+fn wastar_at_weight_one_agrees_with_astar_and_respects_its_bound_above() {
+    for (name, graph, net) in corpus() {
+        let problem = SchedulingProblem::new(graph.clone(), net.clone());
+        let astar = AStarScheduler::new(&problem).run();
+        assert!(astar.is_optimal(), "{name}");
+        let optimum = astar.schedule_length;
+
+        let spec = SchedulerSpec { weight: 1.0, ..Default::default() };
+        let exact =
+            SchedulerRegistry::with_spec(spec).get("wastar").expect("registered").run(&problem);
+        assert!(exact.result.is_optimal(), "{name}: wastar(1.0)");
+        assert_eq!(exact.result.schedule_length, optimum, "{name}: wastar(1.0)");
+        assert_eq!(
+            (exact.result.stats.expanded, exact.result.stats.generated),
+            (astar.stats.expanded, astar.stats.generated),
+            "{name}: wastar at weight 1.0 must be bit-identical to A*"
+        );
+        exact.result.expect_schedule().validate(&graph, &net).unwrap();
+
+        for weight in [1.5, 2.0] {
+            let spec = SchedulerSpec { weight, ..Default::default() };
+            let r = SchedulerRegistry::with_spec(spec)
+                .get("wastar")
+                .expect("registered")
+                .run(&problem)
+                .result;
+            let bound = ((optimum as f64) * weight).floor() as Cost;
+            assert!(
+                r.schedule_length >= optimum && r.schedule_length <= bound,
+                "{name}: wastar({weight}) gave {} outside [{optimum}, {bound}]",
+                r.schedule_length
+            );
+            r.expect_schedule().validate(&graph, &net).unwrap();
+        }
+    }
+}
+
 /// Aε* conformance: for every ε the schedule stays within (1+ε)·optimum, in
 /// both the serial and the parallel realisation (and both duplicate modes).
 #[test]

@@ -44,6 +44,17 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv`] when all senders are gone and the
+    /// channel has been drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
@@ -65,6 +76,18 @@ pub mod channel {
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
             })
         }
+
+        /// Blocks until a message arrives, failing only once every sender is
+        /// dropped and the channel is drained (used by worker-pool threads).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// A blocking iterator over received messages; ends when every
+        /// sender has been dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
     }
 
     #[cfg(test)]
@@ -81,6 +104,29 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Ok(2));
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_blocks_until_message_or_disconnect() {
+            let (tx, rx) = unbounded();
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    tx.send(7).unwrap();
+                    // Dropping tx disconnects after the message is consumed.
+                });
+                assert_eq!(rx.recv(), Ok(7));
+                assert_eq!(rx.recv(), Err(RecvError));
+            });
+        }
+
+        #[test]
+        fn iter_drains_until_disconnect() {
+            let (tx, rx) = unbounded();
+            for i in 0..3 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
         }
 
         #[test]
