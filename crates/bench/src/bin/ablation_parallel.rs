@@ -10,9 +10,12 @@
 //! Reported per configuration: wall-clock time, total states expanded across
 //! all PPEs (the redundant-work measure), cross-PPE duplicates dropped by
 //! the global table, the peak number of live full states any PPE held (the
-//! state-store memory measure), and the load imbalance between the busiest
-//! and laziest PPE.  Every configuration must return the optimal schedule
-//! length.
+//! state-store memory measure), the arena-lifecycle counters (peak live
+//! records and records reclaimed by the chain GC, summed across PPEs), the
+//! peak number of *records* in flight between PPEs (a full clone costs `v`
+//! records, a shipped delta chain only its depth), and the load imbalance
+//! between the busiest and laziest PPE.  Every configuration must return
+//! the optimal schedule length.
 //!
 //! Besides the CSV, the local-vs-sharded and arena-vs-eager comparisons are
 //! written as `results/BENCH_parallel.json` datapoints (the before/after
@@ -34,7 +37,7 @@ fn main() {
     let q = 8;
     let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
     let mut csv = CsvWriter::new(
-        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,peak_live_states,peak_in_flight,election_transfers,load_imbalance",
+        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,peak_live_states,peak_live_records,reclaimed_records,peak_in_flight,election_transfers,load_imbalance",
     );
     // Accumulates the before/after (local vs. sharded CLOSED) datapoints.
     let mut bench_json: Vec<String> = Vec::new();
@@ -120,9 +123,13 @@ fn main() {
             let ms = r.elapsed.as_secs_f64() * 1e3;
             let redundant = r.total_expanded() as f64 / serial.stats.expanded.max(1) as f64;
             let avoided = r.redundant_expansions_avoided();
-            // Airtight headline: per-PPE store peak + in-flight transfer peak.
+            // Airtight headline: per-PPE store peak + in-flight transfer peak
+            // (the latter counted in *records* since delta chains ship as-is).
             let peak_live = r.peak_live_states();
             let peak_in_flight = r.peak_in_flight;
+            let totals = r.total_stats();
+            let peak_records = totals.peak_live_records;
+            let reclaimed = totals.reclaimed_records;
             let elections = r.election_transfers();
             let imbalance = r.load_imbalance();
             println!(
@@ -144,6 +151,8 @@ fn main() {
                 format!("{redundant:.3}"),
                 avoided.to_string(),
                 peak_live.to_string(),
+                peak_records.to_string(),
+                reclaimed.to_string(),
                 peak_in_flight.to_string(),
                 elections.to_string(),
                 format!("{imbalance:.3}"),
@@ -166,7 +175,9 @@ fn main() {
                 mode_points.push(format!(
                     "\"{key}\": {{\"time_ms\": {ms:.3}, \"total_expanded\": {}, \
                      \"redundant_vs_serial\": {redundant:.3}, \"dup_avoided\": {avoided}, \
-                     \"peak_live_states\": {peak_live}, \"peak_in_flight\": {peak_in_flight}, \
+                     \"peak_live_states\": {peak_live}, \"peak_live_records\": {peak_records}, \
+                     \"reclaimed_records\": {reclaimed}, \
+                     \"peak_in_flight\": {peak_in_flight}, \
                      \"election_transfers\": {elections}, \
                      \"schedule_length\": {}}}",
                     r.total_expanded(),

@@ -5,6 +5,7 @@
 //!                   [--algorithm astar|wastar|aeps|chenyu|exhaustive|list|parallel] [--epsilon 0.2]
 //!                   [--weight 1.5] [--seed-incumbent] [--ppes 4] [--dup-detection local|sharded]
 //!                   [--shards N] [--budget-ms N] [--max-expansions N] [--store eager|arena]
+//!                   [--arena-gc on|off] [--path-cache K] [--election-batch B]
 //!                   [--gantt] [--json]
 //! optsched generate --nodes 20 --ccr 1.0 [--seed 7] [--output graph.json]
 //! optsched example
@@ -19,6 +20,10 @@
 //! `--store eager|arena` selects the state-store layout for the serial
 //! engine *and* the per-PPE arenas of `--algorithm parallel`, whose counter
 //! output includes the store's `peak_live_states` high-water mark.
+//! `--arena-gc on|off` toggles the store's refcounted reclamation of dead
+//! delta chains and `--path-cache K` sizes its materialisation replay cache
+//! (0 disables it); every run prints the resulting `peak_live_records`,
+//! `reclaimed_records` and path-cache hit-rate counters.
 //!
 //! Graph files are the `serde_json` serialisation of
 //! [`optsched_taskgraph::TaskGraph`] (produced by `optsched generate`).
@@ -34,7 +39,7 @@
 
 use std::process::ExitCode;
 
-use optsched::registry::{SchedulerRegistry, SchedulerSpec};
+use optsched::registry::{path_cache_hit_rate, SchedulerRegistry, SchedulerSpec};
 use optsched_core::{AStarScheduler, SchedulingProblem, SearchLimits, SearchOutcome};
 use optsched_procnet::{ProcNetwork, Topology};
 use optsched_schedule::{render_gantt, Schedule};
@@ -87,7 +92,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--weight W] [--seed-incumbent] [--ppes Q] \\\n                    [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n  optsched serve [--workers N] [--listen ADDR:PORT]\n  optsched batch --requests file.jsonl|- [--workers N] [--min-cache-hits N] [--summary]\n  optsched requests --count N [--seed S] [--output file.jsonl]\n(`--input -` reads the graph JSON from stdin; algorithms: astar|wastar|aeps|chenyu|exhaustive|list|parallel)"
+        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--weight W] [--seed-incumbent] [--ppes Q] \\\n                    [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] \\\n                    [--arena-gc on|off] [--path-cache K] [--election-batch B] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n  optsched serve [--workers N] [--listen ADDR:PORT]\n  optsched batch --requests file.jsonl|- [--workers N] [--min-cache-hits N] [--summary]\n  optsched requests --count N [--seed S] [--output file.jsonl]\n(`--input -` reads the graph JSON from stdin; algorithms: astar|wastar|aeps|chenyu|exhaustive|list|parallel)"
     );
     ExitCode::FAILURE
 }
@@ -157,6 +162,16 @@ fn build_spec(args: &Args) -> Result<SchedulerSpec, String> {
     if let Some(v) = args.get("store") {
         spec.store = v.parse()?;
     }
+    if let Some(v) = args.get("arena-gc") {
+        spec.arena_gc = match v {
+            "on" | "true" | "1" => true,
+            "off" | "false" | "0" => false,
+            _ => return Err(format!("unknown --arena-gc value `{v}` (expected on|off)")),
+        };
+    }
+    spec.path_cache = args.get_parse("path-cache", spec.path_cache);
+    spec.parallel.election_batch =
+        args.get_parse("election-batch", spec.parallel.election_batch);
     spec.parallel.num_ppes = args.get_parse("ppes", spec.parallel.num_ppes);
     spec.parallel.epsilon = args.get("epsilon").and_then(|v| v.parse().ok());
     if let Some(v) = args.get("dup-detection") {
@@ -198,6 +213,14 @@ fn cmd_schedule(args: &Args, graph: TaskGraph) -> ExitCode {
     if !args.has("json") {
         for (label, value) in &run.extras {
             println!("{label:<15}: {value}");
+        }
+        // The parallel entry reports the arena-lifecycle counters among its
+        // extras; print them from the uniform stats for every other family.
+        if !run.extras.iter().any(|(k, _)| k == "peak_live_records") {
+            let s = &run.result.stats;
+            println!("{:<15}: {}", "peak_live_records", s.peak_live_records);
+            println!("{:<15}: {}", "reclaimed_records", s.reclaimed_records);
+            println!("{:<15}: {}", "path-cache hit rate", path_cache_hit_rate(s));
         }
     }
     ExitCode::SUCCESS
@@ -277,11 +300,12 @@ fn cmd_serve(args: &Args) -> ExitCode {
                 Ok(summary) => {
                     let stats = service.cache_stats();
                     eprintln!(
-                        "served {} responses ({} errors, {} cache hits, {:.0}% hit rate)",
+                        "served {} responses ({} errors, {} cache hits, {:.0}% hit rate, {} evictions)",
                         summary.responses,
                         summary.errors,
                         summary.cache_hits,
-                        stats.hit_rate() * 100.0
+                        stats.hit_rate() * 100.0,
+                        stats.evictions
                     );
                     ExitCode::SUCCESS
                 }
@@ -336,12 +360,13 @@ fn cmd_batch(args: &Args) -> ExitCode {
     let stats = service.cache_stats();
     if args.has("summary") {
         eprintln!(
-            "batch: {} responses, {} errors, {} cache hits ({} entries, {:.0}% hit rate)",
+            "batch: {} responses, {} errors, {} cache hits ({} entries, {:.0}% hit rate, {} evictions)",
             summary.responses,
             summary.errors,
             summary.cache_hits,
             stats.entries,
-            stats.hit_rate() * 100.0
+            stats.hit_rate() * 100.0,
+            stats.evictions
         );
     }
     if summary.errors > 0 {

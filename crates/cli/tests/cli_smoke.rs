@@ -335,3 +335,61 @@ fn parallel_store_modes_agree_and_report_peak_live_states() {
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown state store"));
 }
+
+/// Every schedule run prints the arena-lifecycle counters
+/// (`peak_live_records`, `reclaimed_records`, the path-cache hit rate);
+/// `--arena-gc off` restores the append-only store (zero reclaimed) without
+/// moving the optimum, and a malformed value fails cleanly.
+#[test]
+fn arena_gc_knob_and_lifecycle_counters_from_the_cli() {
+    let generated = run(&["generate", "--nodes", "10", "--ccr", "1.0", "--seed", "7"]);
+    assert!(generated.status.success());
+    let graph_json = generated.stdout;
+
+    let counter = |stdout: &str, name: &str| -> u64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|v| v.trim_start_matches([' ', ':']).trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no {name} counter in: {stdout}"))
+    };
+
+    let mut lengths = Vec::new();
+    let mut reclaimed = Vec::new();
+    for gc in ["on", "off"] {
+        let out = run_with_stdin(
+            &[
+                "schedule", "--input", "-", "--algorithm", "astar", "--procs", "3",
+                "--arena-gc", gc,
+            ],
+            &graph_json,
+        );
+        assert!(out.status.success(), "gc={gc} stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(stdout.contains("path-cache hit rate"), "stdout: {stdout}");
+        assert!(counter(&stdout, "peak_live_records") > 0, "stdout: {stdout}");
+        lengths.push(counter(&stdout, "schedule length"));
+        reclaimed.push(counter(&stdout, "reclaimed_records"));
+    }
+    assert_eq!(lengths[0], lengths[1], "GC never changes the search");
+    assert!(reclaimed[0] > 0, "default GC must reclaim dead chains");
+    assert_eq!(reclaimed[1], 0, "--arena-gc off is append-only");
+
+    // The parallel family reports the same counters among its extras.
+    let par = run_with_stdin(
+        &[
+            "schedule", "--input", "-", "--algorithm", "parallel", "--ppes", "2", "--procs",
+            "3",
+        ],
+        &graph_json,
+    );
+    assert!(par.status.success(), "stderr: {}", String::from_utf8_lossy(&par.stderr));
+    let stdout = String::from_utf8_lossy(&par.stdout).to_string();
+    assert!(counter(&stdout, "reclaimed_records") > 0, "stdout: {stdout}");
+    assert!(stdout.contains("path-cache hit rate"), "stdout: {stdout}");
+
+    // A malformed value fails cleanly.
+    let bad = run_with_stdin(&["schedule", "--input", "-", "--arena-gc", "sometimes"], &graph_json);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown --arena-gc"));
+}

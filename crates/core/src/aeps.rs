@@ -11,7 +11,7 @@
 use optsched_taskgraph::Cost;
 
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
-use crate::engine::{focal_threshold, run_search, FocalPolicy, StoreKind};
+use crate::engine::{focal_threshold, run_search, ArenaConfig, FocalPolicy, StoreKind};
 use crate::problem::SchedulingProblem;
 use crate::stats::SearchResult;
 
@@ -25,7 +25,7 @@ pub struct AEpsScheduler<'a> {
     pruning: PruningConfig,
     heuristic: HeuristicKind,
     limits: SearchLimits,
-    store: StoreKind,
+    store: ArenaConfig,
     seed_incumbent: bool,
 }
 
@@ -44,7 +44,7 @@ impl<'a> AEpsScheduler<'a> {
             pruning: PruningConfig::all(),
             heuristic: HeuristicKind::PaperStaticLevel,
             limits: SearchLimits::unlimited(),
-            store: StoreKind::default(),
+            store: ArenaConfig::default(),
             seed_incumbent: false,
         }
     }
@@ -74,7 +74,19 @@ impl<'a> AEpsScheduler<'a> {
 
     /// Selects the state-store layout (delta arena by default).
     pub fn with_store(mut self, store: StoreKind) -> Self {
-        self.store = store;
+        self.store.kind = store;
+        self
+    }
+
+    /// Enables or disables refcounted arena reclamation (on by default).
+    pub fn with_arena_gc(mut self, gc: bool) -> Self {
+        self.store.gc = gc;
+        self
+    }
+
+    /// Sets the materialisation path-cache capacity (0 disables it).
+    pub fn with_path_cache(mut self, entries: u32) -> Self {
+        self.store.path_cache = entries;
         self
     }
 

@@ -20,7 +20,7 @@
 //! ```
 
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
-use crate::engine::{run_search, AStarPolicy, StoreKind};
+use crate::engine::{run_search, AStarPolicy, ArenaConfig, StoreKind};
 use crate::problem::SchedulingProblem;
 use crate::stats::SearchResult;
 
@@ -32,7 +32,7 @@ pub struct AStarScheduler<'a> {
     pruning: PruningConfig,
     heuristic: HeuristicKind,
     limits: SearchLimits,
-    store: StoreKind,
+    store: ArenaConfig,
     seed_incumbent: bool,
 }
 
@@ -44,7 +44,7 @@ impl<'a> AStarScheduler<'a> {
             pruning: PruningConfig::all(),
             heuristic: HeuristicKind::PaperStaticLevel,
             limits: SearchLimits::unlimited(),
-            store: StoreKind::default(),
+            store: ArenaConfig::default(),
             seed_incumbent: false,
         }
     }
@@ -70,7 +70,20 @@ impl<'a> AStarScheduler<'a> {
     /// Selects the state-store layout (delta arena by default; the eager
     /// clone-per-generation layout exists for before/after measurements).
     pub fn with_store(mut self, store: StoreKind) -> Self {
-        self.store = store;
+        self.store.kind = store;
+        self
+    }
+
+    /// Enables or disables refcounted arena reclamation (on by default; off
+    /// restores the append-only arena for before/after measurements).
+    pub fn with_arena_gc(mut self, gc: bool) -> Self {
+        self.store.gc = gc;
+        self
+    }
+
+    /// Sets the materialisation path-cache capacity (0 disables it).
+    pub fn with_path_cache(mut self, entries: u32) -> Self {
+        self.store.path_cache = entries;
         self
     }
 

@@ -29,7 +29,7 @@ use optsched_procnet::ProcId;
 use optsched_taskgraph::{Cost, NodeId};
 
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
-use crate::engine::{run_search, BoundPolicy, StoreKind};
+use crate::engine::{run_search, ArenaConfig, BoundPolicy, StoreKind};
 use crate::problem::SchedulingProblem;
 use crate::state::SearchState;
 use crate::stats::{SearchResult, SearchStats};
@@ -52,7 +52,7 @@ const MAX_SEGMENTS_PER_EVALUATION: u64 = 4_000;
 pub struct ChenYuScheduler<'a> {
     problem: &'a SchedulingProblem,
     limits: SearchLimits,
-    store: StoreKind,
+    store: ArenaConfig,
     seed_incumbent: bool,
 }
 
@@ -62,7 +62,7 @@ impl<'a> ChenYuScheduler<'a> {
         ChenYuScheduler {
             problem,
             limits: SearchLimits::unlimited(),
-            store: StoreKind::default(),
+            store: ArenaConfig::default(),
             seed_incumbent: false,
         }
     }
@@ -75,7 +75,19 @@ impl<'a> ChenYuScheduler<'a> {
 
     /// Selects the state-store layout (delta arena by default).
     pub fn with_store(mut self, store: StoreKind) -> Self {
-        self.store = store;
+        self.store.kind = store;
+        self
+    }
+
+    /// Enables or disables refcounted arena reclamation (on by default).
+    pub fn with_arena_gc(mut self, gc: bool) -> Self {
+        self.store.gc = gc;
+        self
+    }
+
+    /// Sets the materialisation path-cache capacity (0 disables it).
+    pub fn with_path_cache(mut self, entries: u32) -> Self {
+        self.store.path_cache = entries;
         self
     }
 

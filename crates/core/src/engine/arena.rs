@@ -1,4 +1,5 @@
-//! Arena-backed storage of generated search states.
+//! Arena-backed storage of generated search states, with a refcounted
+//! lifecycle.
 //!
 //! The pre-engine schedulers kept every generated state as a fully
 //! materialised [`SearchState`] — six boxed slices per state, cloned on every
@@ -8,27 +9,59 @@
 //! state is actually selected for expansion, by replaying the delta chain
 //! onto a single reusable scratch state (no allocation on the replay path).
 //!
+//! Two further mechanisms keep the arena O(live frontier) in both memory and
+//! replay time:
+//!
+//! * **Refcounted reclamation.**  Every record carries a reference count: one
+//!   for the caller's handle (the OPEN entry), plus one per child record
+//!   pointing at it.  [`StateArena::release`] drops the caller handle once a
+//!   state has been expanded (or pruned, or shipped to another PPE); when a
+//!   count reaches zero the slot is freed into a free list for id reuse and
+//!   the decrement cascades up the delta chain, so a dead subtree is
+//!   reclaimed as soon as its last frontier descendant dies.  The initial
+//!   root (slot 0) is pinned and never freed.  Reclamation can be switched
+//!   off ([`ArenaConfig::gc`]) to restore the append-only layout; either way
+//!   the search behaviour is bit-identical — only the memory profile changes.
+//! * **Materialisation path-cache.**  Replaying from the root makes a single
+//!   materialisation O(depth).  The arena keeps the last K materialised
+//!   states whose replay was long enough to be worth caching
+//!   ([`ArenaConfig::path_cache`]); a later materialisation walks its parent
+//!   chain only until it meets the scratch state, a cached ancestor or a full
+//!   snapshot, whichever is nearest.
+//!
 //! The eager clone-per-generation layout is retained as
 //! [`StoreKind::EagerClone`] so the `ablation_serial` experiment binary can
 //! measure the before/after of the arena on identical search behaviour —
 //! both stores produce bit-identical search results; only the memory/time
-//! profile differs.
+//! profile differs.  (Under the eager layout `release` frees the dead full
+//! clone directly; there is no chain to cascade along.)
 
 use crate::problem::SchedulingProblem;
 use crate::state::{ChildDelta, SearchState};
 
 /// Identifier of a state held by a [`StateArena`].
 ///
-/// Ids are dense and allocated in insertion order (the root is id 0), which
-/// the search engine relies on for FIFO tie-breaking.
+/// Ids of reclaimed states are reused from a free list, so an id is only
+/// meaningful while the caller holds its handle (i.e. before
+/// [`StateArena::release`]).  Expansion order never depends on ids — the
+/// engine's FIFO tie-breaking uses the explicit `seq` counter instead.
 pub type StateId = u32;
+
+/// Sentinel id used internally to mark invalidated scratch/cache entries.
+/// Never allocated: the arena panics on id overflow long before.
+const INVALID_ID: StateId = StateId::MAX;
+
+/// A replay must be at least this many deltas long before the materialised
+/// state is promoted into the path-cache (short replays are cheaper than the
+/// full-state copy a promotion costs).
+const PROMOTE_REPLAY_THRESHOLD: usize = 4;
 
 /// How the arena stores generated states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StoreKind {
     /// Every admitted child is materialised immediately (one full clone per
-    /// generation) and retained for the whole run — the pre-engine layout,
-    /// kept for the before/after measurement in `results/BENCH_serial.json`.
+    /// generation) — the pre-engine layout, kept for the before/after
+    /// measurement in `results/BENCH_serial.json`.
     EagerClone,
     /// Children are stored as parent-id + delta records and materialised
     /// lazily on expansion by replaying the chain onto a scratch state.
@@ -57,49 +90,132 @@ impl std::str::FromStr for StoreKind {
     }
 }
 
-/// One stored state: a full snapshot, or a delta against its parent.
+/// Storage-layer configuration: the layout plus the lifecycle knobs.
+///
+/// All three knobs are behaviour-preserving — they change memory and replay
+/// cost, never the search trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaConfig {
+    /// The storage layout.
+    pub kind: StoreKind,
+    /// Reclaim dead records via refcounted release (`true` by default).
+    /// `false` restores the append-only arena: `release` becomes a no-op and
+    /// nothing is ever freed.
+    pub gc: bool,
+    /// Number of materialised ancestors kept in the path-cache (`0` disables
+    /// the cache; the single scratch state is kept regardless).
+    pub path_cache: u32,
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        ArenaConfig { kind: StoreKind::default(), gc: true, path_cache: 8 }
+    }
+}
+
+impl From<StoreKind> for ArenaConfig {
+    fn from(kind: StoreKind) -> Self {
+        ArenaConfig { kind, ..ArenaConfig::default() }
+    }
+}
+
+impl ArenaConfig {
+    /// The default configuration with the given layout.
+    pub fn with_kind(mut self, kind: StoreKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Enables or disables refcounted reclamation.
+    pub fn with_gc(mut self, gc: bool) -> Self {
+        self.gc = gc;
+        self
+    }
+
+    /// Sets the path-cache capacity (0 disables).
+    pub fn with_path_cache(mut self, entries: u32) -> Self {
+        self.path_cache = entries;
+        self
+    }
+}
+
+/// One stored state: a full snapshot, a delta against its parent, or a freed
+/// slot awaiting reuse.
 #[derive(Debug, Clone)]
 enum Slot {
     Full(SearchState),
     Delta { parent: StateId, delta: ChildDelta },
+    Free,
 }
 
-/// Append-only store of every state a search run has generated.
+/// Store of every *live* state of a search run (see the module docs for the
+/// reclamation and path-cache mechanics).
 #[derive(Debug)]
 pub struct StateArena<'p> {
     problem: &'p SchedulingProblem,
-    kind: StoreKind,
+    config: ArenaConfig,
     slots: Vec<Slot>,
+    /// Reference count per slot: the caller's handle plus one per child
+    /// record.  Slot 0 (the initial root) carries one extra pin.
+    refs: Vec<u32>,
+    /// Reclaimed slot ids available for reuse.
+    free: Vec<StateId>,
     /// Reusable scratch state holding the most recently materialised delta
     /// slot (`None` until the first delta materialisation).  Re-materialising
     /// a descendant of the scratch state replays only the new deltas.
     scratch: Option<(StateId, SearchState)>,
+    /// The path-cache: up to `config.path_cache` recently materialised
+    /// states, replaced round-robin.  Entries whose state was reclaimed are
+    /// marked with [`INVALID_ID`] (the allocation is kept for reuse).
+    cache: Vec<(StateId, SearchState)>,
+    cache_cursor: usize,
     /// Reusable buffer for the delta chain collected during materialisation.
     chain: Vec<ChildDelta>,
     live_full: usize,
     peak_live_full: usize,
+    live_records: usize,
+    peak_live_records: usize,
+    reclaimed_records: u64,
+    materialisations: u64,
+    path_cache_hits: u64,
+    replayed_deltas: u64,
 }
 
 impl<'p> StateArena<'p> {
-    /// An empty arena for `problem` with the given storage layout.
-    pub fn new(problem: &'p SchedulingProblem, kind: StoreKind) -> StateArena<'p> {
+    /// An empty arena for `problem` with the given configuration.
+    pub fn new(problem: &'p SchedulingProblem, config: ArenaConfig) -> StateArena<'p> {
         StateArena {
             problem,
-            kind,
+            config,
             slots: Vec::new(),
+            refs: Vec::new(),
+            free: Vec::new(),
             scratch: None,
+            cache: Vec::new(),
+            cache_cursor: 0,
             chain: Vec::new(),
             live_full: 0,
             peak_live_full: 0,
+            live_records: 0,
+            peak_live_records: 0,
+            reclaimed_records: 0,
+            materialisations: 0,
+            path_cache_hits: 0,
+            replayed_deltas: 0,
         }
     }
 
     /// The storage layout in use.
     pub fn kind(&self) -> StoreKind {
-        self.kind
+        self.config.kind
     }
 
-    /// Number of states stored (roots + children, both layouts).
+    /// The full storage configuration in use.
+    pub fn config(&self) -> ArenaConfig {
+        self.config
+    }
+
+    /// Number of slots ever allocated (live records plus free slots).
     pub fn len(&self) -> usize {
         self.slots.len()
     }
@@ -110,11 +226,45 @@ impl<'p> StateArena<'p> {
     }
 
     /// Largest number of fully materialised states held at any point: every
-    /// state in the eager layout, only roots plus the scratch state in the
-    /// delta layout.  This is the allocation proxy reported by
-    /// `results/BENCH_serial.json`.
+    /// live state in the eager layout, only roots plus the scratch state in
+    /// the delta layout.  This is the allocation proxy reported by
+    /// `results/BENCH_serial.json`.  (The path-cache's up to K extra full
+    /// states are a fixed overhead, not counted here.)
     pub fn peak_live_full(&self) -> usize {
         self.peak_live_full
+    }
+
+    /// Number of records (roots + deltas, both layouts) currently live.
+    pub fn live_records(&self) -> usize {
+        self.live_records
+    }
+
+    /// Largest number of simultaneously live records observed.
+    pub fn peak_live_records(&self) -> usize {
+        self.peak_live_records
+    }
+
+    /// Total records reclaimed by [`StateArena::release`] cascades.
+    pub fn reclaimed_records(&self) -> u64 {
+        self.reclaimed_records
+    }
+
+    /// Delta-chain materialisations performed (full-slot fast-path reads are
+    /// not counted — nothing is replayed for them).
+    pub fn materialisations(&self) -> u64 {
+        self.materialisations
+    }
+
+    /// Materialisations whose parent-chain walk ended at a path-cache entry
+    /// (scratch-state reuse is not counted — it predates the cache).
+    pub fn path_cache_hits(&self) -> u64 {
+        self.path_cache_hits
+    }
+
+    /// Total deltas replayed across all materialisations — the arena's
+    /// CPU-overhead proxy that the path-cache exists to shrink.
+    pub fn replayed_deltas(&self) -> u64 {
+        self.replayed_deltas
     }
 
     fn note_live_full(&mut self, added: usize) {
@@ -123,36 +273,103 @@ impl<'p> StateArena<'p> {
         self.peak_live_full = self.peak_live_full.max(self.live_full + scratch);
     }
 
-    /// Stores a full state with no parent (the initial state; in the parallel
-    /// search, also states received from another PPE).
+    /// Allocates a slot (reusing a freed one if available) with one caller
+    /// handle on its refcount.
+    fn alloc(&mut self, slot: Slot) -> StateId {
+        self.live_records += 1;
+        self.peak_live_records = self.peak_live_records.max(self.live_records);
+        if let Some(id) = self.free.pop() {
+            debug_assert!(matches!(self.slots[id as usize], Slot::Free), "free list corrupt");
+            self.slots[id as usize] = slot;
+            self.refs[id as usize] = 1;
+            id
+        } else {
+            let id = StateId::try_from(self.slots.len()).expect("state arena overflowed StateId");
+            assert_ne!(id, INVALID_ID, "state arena overflowed StateId");
+            self.slots.push(slot);
+            self.refs.push(1);
+            id
+        }
+    }
+
+    /// Stores a full state with no parent (the initial state; in the eager
+    /// parallel store, also states received from another PPE).  The first
+    /// root (slot 0) is pinned: it anchors every delta chain and is never
+    /// reclaimed.
     pub fn insert_root(&mut self, state: SearchState) -> StateId {
-        let id = self.next_id();
-        self.slots.push(Slot::Full(state));
+        let id = self.alloc(Slot::Full(state));
+        if id == 0 {
+            self.refs[0] += 1; // pin: delta chains always bottom out here
+        }
         self.note_live_full(1);
         id
     }
 
-    /// Stores the child of `parent` described by `delta`.
+    /// Stores the child of `parent` described by `delta`.  The parent must be
+    /// live (the caller holds its handle while expanding it).
     pub fn insert_child(&mut self, parent: StateId, delta: &ChildDelta) -> StateId {
-        let id = self.next_id();
-        match self.kind {
+        match self.config.kind {
             StoreKind::EagerClone => {
                 let Slot::Full(parent_state) = &self.slots[parent as usize] else {
                     unreachable!("eager arenas store only full states");
                 };
                 let child = parent_state.apply_delta(self.problem, delta);
-                self.slots.push(Slot::Full(child));
+                let id = self.alloc(Slot::Full(child));
                 self.note_live_full(1);
+                id
             }
             StoreKind::DeltaArena => {
-                self.slots.push(Slot::Delta { parent, delta: *delta });
+                let id = self.alloc(Slot::Delta { parent, delta: *delta });
+                self.refs[parent as usize] += 1;
+                id
             }
         }
-        id
     }
 
-    fn next_id(&self) -> StateId {
-        StateId::try_from(self.slots.len()).expect("state arena overflowed StateId")
+    /// Drops the caller's handle on `id`.  When reclamation is enabled and no
+    /// child record keeps the state alive, its slot is freed for reuse and
+    /// the release cascades up the delta chain, reclaiming every ancestor
+    /// that just lost its last reference.  A no-op with `gc: false`.
+    ///
+    /// After releasing an id the caller must not use it again: the slot may
+    /// be reused by the next insertion.
+    pub fn release(&mut self, id: StateId) {
+        if !self.config.gc {
+            return;
+        }
+        let mut cursor = id;
+        loop {
+            let r = &mut self.refs[cursor as usize];
+            debug_assert!(*r > 0, "release of a dead slot {cursor}");
+            *r -= 1;
+            if *r > 0 {
+                break;
+            }
+            let slot = std::mem::replace(&mut self.slots[cursor as usize], Slot::Free);
+            self.live_records -= 1;
+            self.reclaimed_records += 1;
+            // A reused id must never alias the scratch state or a cached
+            // ancestor of the *old* incarnation: invalidate both.
+            if let Some((sid, _)) = &mut self.scratch {
+                if *sid == cursor {
+                    *sid = INVALID_ID;
+                }
+            }
+            for (cid, _) in &mut self.cache {
+                if *cid == cursor {
+                    *cid = INVALID_ID;
+                }
+            }
+            self.free.push(cursor);
+            match slot {
+                Slot::Full(_) => {
+                    self.live_full -= 1;
+                    break;
+                }
+                Slot::Delta { parent, .. } => cursor = parent,
+                Slot::Free => unreachable!("double free of slot {cursor}"),
+            }
+        }
     }
 
     /// Adopts a full state produced *outside* this arena (in the parallel
@@ -174,8 +391,39 @@ impl<'p> StateArena<'p> {
     /// Panics if this is a non-empty delta arena whose slot 0 is not the
     /// initial state.
     pub fn adopt(&mut self, state: SearchState) -> StateId {
-        match self.kind {
+        match self.config.kind {
             StoreKind::EagerClone => self.insert_root(state),
+            StoreKind::DeltaArena => {
+                let chain = state.to_delta_chain();
+                self.adopt_chain(&chain)
+            }
+        }
+    }
+
+    /// Adopts a state expressed as a delta chain against the initial state
+    /// (the wire format of the parallel scheduler's chain-shipping
+    /// transfers; see [`SearchState::to_delta_chain`]).  The delta layout
+    /// stores the records directly — the state is never materialised on
+    /// adoption; the eager layout replays the chain into one full clone.
+    ///
+    /// Intermediate chain records keep no caller handle (only the child link
+    /// holds them), so releasing the returned id reclaims the whole adopted
+    /// chain once reclamation is on.  An empty chain denotes the initial
+    /// state itself and returns the pinned root.
+    ///
+    /// # Panics
+    ///
+    /// As [`StateArena::adopt`]: a non-empty delta arena must be rooted at
+    /// the initial state.
+    pub fn adopt_chain(&mut self, chain: &[ChildDelta]) -> StateId {
+        match self.config.kind {
+            StoreKind::EagerClone => {
+                let mut state = SearchState::initial(self.problem);
+                for delta in chain {
+                    state.apply_delta_in_place(self.problem, delta);
+                }
+                self.insert_root(state)
+            }
             StoreKind::DeltaArena => {
                 if self.slots.is_empty() {
                     self.insert_root(SearchState::initial(self.problem));
@@ -185,17 +433,58 @@ impl<'p> StateArena<'p> {
                     "delta arenas re-root adopted states at the initial state in slot 0"
                 );
                 let mut id: StateId = 0;
-                for delta in state.to_delta_chain() {
-                    id = self.insert_child(id, &delta);
+                for delta in chain {
+                    let child = self.insert_child(id, delta);
+                    if id != 0 {
+                        // The child's parent link now keeps the intermediate
+                        // alive; drop our construction handle so the chain
+                        // can be reclaimed from its tip.
+                        self.release(id);
+                    }
+                    id = child;
                 }
                 id
             }
         }
     }
 
+    /// Decomposes the live state `id` into the delta chain that rebuilds it
+    /// from the initial state — the send-side of the parallel scheduler's
+    /// chain-shipping transfers.  Walks parent links only; nothing is
+    /// materialised or copied beyond the fixed-size records.
+    ///
+    /// Only meaningful for delta arenas rooted at the initial state (the
+    /// walk must bottom out at slot 0); eager arenas ship full states
+    /// instead.
+    pub fn extract_chain(&self, id: StateId) -> Vec<ChildDelta> {
+        debug_assert_eq!(self.config.kind, StoreKind::DeltaArena, "chains are a delta-store form");
+        let mut chain = Vec::new();
+        let mut cursor = id;
+        loop {
+            match &self.slots[cursor as usize] {
+                Slot::Full(s) => {
+                    debug_assert_eq!(
+                        s.depth(),
+                        0,
+                        "extract_chain walked to a non-initial snapshot; the chain would not \
+                         replay from the receiver's initial state"
+                    );
+                    break;
+                }
+                Slot::Delta { parent, delta } => {
+                    chain.push(*delta);
+                    cursor = *parent;
+                }
+                Slot::Free => unreachable!("extract_chain through a freed slot"),
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
     /// Materialises the state identified by `id` and returns an owned clone —
-    /// the send-path of the parallel scheduler, where a state leaving for
-    /// another PPE must outlive this arena's scratch state.
+    /// the eager send-path of the parallel scheduler, where a state leaving
+    /// for another PPE must outlive this arena's scratch state.
     pub fn materialise_owned(&mut self, id: StateId) -> SearchState {
         self.materialise(id).clone()
     }
@@ -210,46 +499,83 @@ impl<'p> StateArena<'p> {
             let Slot::Full(state) = &self.slots[id as usize] else { unreachable!() };
             return state;
         }
+        self.materialisations += 1;
 
-        // Collect the delta chain from `id` up to the nearest full snapshot,
-        // or to the scratch state if it already holds an ancestor.
+        // Collect the delta chain from `id` up to the nearest replay base:
+        // the scratch state, a path-cache entry, or a full snapshot.
+        enum Base {
+            Scratch,
+            Cached(usize),
+            Slot(StateId),
+        }
         let mut chain = std::mem::take(&mut self.chain);
         chain.clear();
         let scratch_id = self.scratch.as_ref().map(|&(sid, _)| sid);
         let mut cursor = id;
-        let base: Option<StateId> = loop {
+        let base = loop {
             if Some(cursor) == scratch_id {
-                break None; // replay directly onto the scratch state
+                break Base::Scratch; // replay directly onto the scratch state
+            }
+            if let Some(i) = self.cache.iter().position(|&(cid, _)| cid == cursor) {
+                self.path_cache_hits += 1;
+                break Base::Cached(i);
             }
             match &self.slots[cursor as usize] {
-                Slot::Full(_) => break Some(cursor),
+                Slot::Full(_) => break Base::Slot(cursor),
                 Slot::Delta { parent, delta } => {
                     chain.push(*delta);
                     cursor = *parent;
                 }
+                Slot::Free => unreachable!("materialise through a freed slot"),
             }
         };
+        self.replayed_deltas += chain.len() as u64;
 
-        if let Some(base_id) = base {
-            let Slot::Full(base_state) = &self.slots[base_id as usize] else { unreachable!() };
+        // Seat the base in the scratch state (unless it already is there).
+        if !matches!(base, Base::Scratch) {
+            let base_state: &SearchState = match base {
+                Base::Scratch => unreachable!(),
+                Base::Cached(i) => &self.cache[i].1,
+                Base::Slot(base_id) => {
+                    let Slot::Full(s) = &self.slots[base_id as usize] else { unreachable!() };
+                    s
+                }
+            };
             match &mut self.scratch {
                 Some((sid, scratch)) => {
                     scratch.copy_from(base_state);
-                    *sid = base_id;
+                    *sid = cursor;
                 }
                 None => {
-                    self.scratch = Some((base_id, base_state.clone()));
-                    let scratch = usize::from(self.scratch.is_some());
-                    self.peak_live_full = self.peak_live_full.max(self.live_full + scratch);
+                    let cloned = base_state.clone();
+                    self.scratch = Some((cursor, cloned));
+                    self.peak_live_full = self.peak_live_full.max(self.live_full + 1);
                 }
             }
         }
-        let (sid, scratch) = self.scratch.as_mut().expect("scratch initialised above");
-        for delta in chain.iter().rev() {
-            scratch.apply_delta_in_place(self.problem, delta);
+        let replay_len = chain.len();
+        {
+            let (sid, scratch) = self.scratch.as_mut().expect("scratch initialised above");
+            for delta in chain.iter().rev() {
+                scratch.apply_delta_in_place(self.problem, delta);
+            }
+            *sid = id;
         }
-        *sid = id;
         self.chain = chain;
+
+        // Promote long replays into the path-cache so a later jump back into
+        // this subtree starts from here instead of the root.
+        if replay_len >= PROMOTE_REPLAY_THRESHOLD && self.config.path_cache > 0 {
+            let state = &self.scratch.as_ref().expect("scratch initialised above").1;
+            if self.cache.len() < self.config.path_cache as usize {
+                self.cache.push((id, state.clone()));
+            } else {
+                let (cid, slot_state) = &mut self.cache[self.cache_cursor];
+                *cid = id;
+                slot_state.copy_from(state);
+                self.cache_cursor = (self.cache_cursor + 1) % self.cache.len();
+            }
+        }
         &self.scratch.as_ref().expect("scratch initialised above").1
     }
 }
@@ -268,6 +594,10 @@ mod tests {
         SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3))
     }
 
+    fn arena(problem: &SchedulingProblem, kind: StoreKind) -> StateArena<'_> {
+        StateArena::new(problem, ArenaConfig::from(kind))
+    }
+
     #[test]
     fn store_kind_parses_and_displays() {
         assert_eq!("eager".parse::<StoreKind>().unwrap(), StoreKind::EagerClone);
@@ -277,6 +607,15 @@ mod tests {
         assert_eq!(StoreKind::EagerClone.to_string(), "eager");
         assert_eq!(StoreKind::DeltaArena.to_string(), "arena");
         assert_eq!(StoreKind::default(), StoreKind::DeltaArena);
+        let cfg = ArenaConfig::default();
+        assert!(cfg.gc, "reclamation is on by default");
+        assert_eq!(cfg.kind, StoreKind::DeltaArena);
+        assert_eq!(ArenaConfig::from(StoreKind::EagerClone).kind, StoreKind::EagerClone);
+        let knobbed = ArenaConfig::default()
+            .with_kind(StoreKind::EagerClone)
+            .with_gc(false)
+            .with_path_cache(0);
+        assert_eq!(knobbed, ArenaConfig { kind: StoreKind::EagerClone, gc: false, path_cache: 0 });
     }
 
     /// The ISSUE's arena acceptance test: on a random expansion trace, every
@@ -292,7 +631,7 @@ mod tests {
         let problem = SchedulingProblem::new(graph, ProcNetwork::ring(3));
         let h = HeuristicKind::PaperStaticLevel;
 
-        let mut arena = StateArena::new(&problem, StoreKind::DeltaArena);
+        let mut arena = arena(&problem, StoreKind::DeltaArena);
         let root = SearchState::initial(&problem);
         let mut eager: Vec<SearchState> = vec![root.clone()];
         let mut parents: Vec<StateId> = vec![arena.insert_root(root)];
@@ -315,7 +654,7 @@ mod tests {
         }
 
         // Materialise in a shuffled order so the scratch state repeatedly
-        // starts over from the root.
+        // starts over from the root (or a cached ancestor).
         let mut order: Vec<usize> = (0..eager.len()).collect();
         for i in (1..order.len()).rev() {
             order.swap(i, rng.gen_range(0..=i));
@@ -333,6 +672,8 @@ mod tests {
                 assert_eq!(materialised.proc_ready_time(p), want.proc_ready_time(p));
             }
         }
+        assert!(arena.materialisations() > 0);
+        assert!(arena.replayed_deltas() > 0);
     }
 
     /// The scratch fast path: materialising a child of the most recently
@@ -341,7 +682,7 @@ mod tests {
     fn descendant_materialisation_reuses_the_scratch_state() {
         let problem = example_problem();
         let h = HeuristicKind::PaperStaticLevel;
-        let mut arena = StateArena::new(&problem, StoreKind::DeltaArena);
+        let mut arena = arena(&problem, StoreKind::DeltaArena);
         let root = SearchState::initial(&problem);
         let d1 = root.peek_child(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h);
         let root_id = arena.insert_root(root.clone());
@@ -350,12 +691,179 @@ mod tests {
         let d2 = s1.peek_child(&problem, optsched_taskgraph::NodeId(1), ProcId(1), h);
         let c2 = arena.insert_child(c1, &d2);
         // c2 is a child of the scratch (c1): replayed in place.
+        let before = arena.replayed_deltas();
         let s2 = arena.materialise(c2);
         assert_eq!(s2.depth(), 2);
         assert_eq!(s2.signature(), s1.apply_delta(&problem, &d2).signature());
+        assert_eq!(arena.replayed_deltas(), before + 1, "exactly one delta replayed");
         // Jumping back to the root still works (scratch rebuilt from the full slot).
         assert_eq!(arena.materialise(root_id).depth(), 0);
         assert_eq!(arena.materialise(c2).depth(), 2);
+    }
+
+    /// Releasing the last handle on a leaf reclaims the whole dead chain up
+    /// to (but excluding) ancestors that still have live descendants, and the
+    /// freed slots are reused by later insertions.
+    #[test]
+    fn release_cascades_up_dead_chains_and_reuses_slots() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena = arena(&problem, StoreKind::DeltaArena);
+        let root = SearchState::initial(&problem);
+        let d1 = root.peek_child(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h);
+        let root_id = arena.insert_root(root);
+        let c1 = arena.insert_child(root_id, &d1);
+        let s1 = arena.materialise(c1).clone();
+        let d2 = s1.peek_child(&problem, optsched_taskgraph::NodeId(1), ProcId(1), h);
+        let c2 = arena.insert_child(c1, &d2);
+        let d2b = s1.peek_child(&problem, optsched_taskgraph::NodeId(1), ProcId(0), h);
+        let c3 = arena.insert_child(c1, &d2b);
+        assert_eq!(arena.live_records(), 4);
+
+        // c1 has been expanded: dropping its handle must NOT free it while
+        // its children c2/c3 are alive.
+        arena.release(c1);
+        assert_eq!(arena.live_records(), 4);
+        assert_eq!(arena.reclaimed_records(), 0);
+
+        // Killing c2 frees only c2 (c3 still pins c1).
+        arena.release(c2);
+        assert_eq!(arena.live_records(), 3);
+        assert_eq!(arena.reclaimed_records(), 1);
+
+        // Killing c3 cascades: c3 and the now-orphaned c1 are both freed.
+        arena.release(c3);
+        assert_eq!(arena.live_records(), 1, "only the pinned root survives");
+        assert_eq!(arena.reclaimed_records(), 3);
+
+        // The pinned root never dies, even when its handle is dropped.
+        arena.release(root_id);
+        assert_eq!(arena.live_records(), 1);
+        assert_eq!(arena.materialise(root_id).depth(), 0);
+
+        // Freed ids are reused and materialise correctly (no stale scratch
+        // or cache aliasing from the old incarnation).
+        let e1 = arena.insert_child(root_id, &d1);
+        let e2 = arena.insert_child(e1, &d2);
+        assert!(arena.len() <= 4, "slots are reused, not appended: len {}", arena.len());
+        let s2 = arena.materialise(e2);
+        assert_eq!(s2.signature(), s1.apply_delta(&problem, &d2).signature());
+        assert_eq!(arena.peak_live_records(), 4);
+    }
+
+    /// With reclamation off the arena is append-only: `release` is a no-op
+    /// and nothing is ever reclaimed (the PR 5 baseline layout).
+    #[test]
+    fn gc_off_restores_the_append_only_arena() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena =
+            StateArena::new(&problem, ArenaConfig::from(StoreKind::DeltaArena).with_gc(false));
+        let root = SearchState::initial(&problem);
+        let d1 = root.peek_child(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h);
+        let root_id = arena.insert_root(root);
+        let c1 = arena.insert_child(root_id, &d1);
+        arena.release(c1);
+        assert_eq!(arena.live_records(), 2);
+        assert_eq!(arena.reclaimed_records(), 0);
+        assert_eq!(arena.materialise(c1).depth(), 1, "the record is still there");
+    }
+
+    /// Eager slots are reclaimed directly (no chain): releasing an expanded
+    /// clone frees its full state immediately.
+    #[test]
+    fn eager_release_frees_full_clones() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena = arena(&problem, StoreKind::EagerClone);
+        let root = SearchState::initial(&problem);
+        let d1 = root.peek_child(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h);
+        let root_id = arena.insert_root(root);
+        let c1 = arena.insert_child(root_id, &d1);
+        let d2 = arena.materialise(c1).peek_child(&problem, optsched_taskgraph::NodeId(1), ProcId(1), h);
+        let c2 = arena.insert_child(c1, &d2);
+        arena.release(c1);
+        assert_eq!(arena.live_records(), 2);
+        assert_eq!(arena.reclaimed_records(), 1);
+        // The freed clone's slot is reused by the next insertion.
+        let c3 = arena.insert_child(c2, &root_id_delta(&arena, &problem, c2, h));
+        assert_eq!(c3, c1, "eager slots are reused too");
+        assert_eq!(arena.peak_live_full(), 3);
+    }
+
+    fn root_id_delta(
+        arena: &StateArena<'_>,
+        problem: &SchedulingProblem,
+        parent: StateId,
+        h: HeuristicKind,
+    ) -> ChildDelta {
+        let Slot::Full(s) = &arena.slots[parent as usize] else { panic!("not full") };
+        let n = s.ready_nodes(problem)[0];
+        s.peek_child(problem, n, ProcId(0), h)
+    }
+
+    /// A long replay promotes the materialised state into the path-cache;
+    /// jumping away and back then walks only to the cached ancestor instead
+    /// of the root.
+    #[test]
+    fn path_cache_shortens_replays_after_jumps() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena = arena(&problem, StoreKind::DeltaArena);
+        let mut state = SearchState::initial(&problem);
+        let mut id = arena.insert_root(state.clone());
+        // A chain of depth 5 (>= promotion threshold).
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            let n = state.ready_nodes(&problem)[0];
+            let d = state.peek_child(&problem, n, ProcId(0), h);
+            id = arena.insert_child(id, &d);
+            state.apply_delta_in_place(&problem, &d);
+            ids.push(id);
+        }
+        // Materialise the tip: replay of 5, promoted into the cache.
+        assert_eq!(arena.materialise(id).depth(), 5);
+        assert_eq!(arena.replayed_deltas(), 5);
+        assert_eq!(arena.path_cache_hits(), 0);
+        // Jump to a sibling branch (overwrites the scratch position)...
+        let root_state = SearchState::initial(&problem);
+        let sib_delta =
+            root_state.peek_child(&problem, root_state.ready_nodes(&problem)[0], ProcId(1), h);
+        let sib = arena.insert_child(0, &sib_delta);
+        assert_eq!(arena.materialise(sib).depth(), 1);
+        // ...then extend the tip: the walk stops at the cached tip, not root.
+        let n = state.ready_nodes(&problem)[0];
+        let d = state.peek_child(&problem, n, ProcId(1), h);
+        let child = arena.insert_child(id, &d);
+        let before = arena.replayed_deltas();
+        assert_eq!(arena.materialise(child).depth(), 6);
+        assert_eq!(arena.path_cache_hits(), 1, "the cached ancestor was found");
+        assert_eq!(arena.replayed_deltas(), before + 1, "only the new delta was replayed");
+
+        // With the cache disabled the same jump replays from the root.
+        let mut no_cache =
+            StateArena::new(&problem, ArenaConfig::from(StoreKind::DeltaArena).with_path_cache(0));
+        let mut s = SearchState::initial(&problem);
+        let mut nid = no_cache.insert_root(s.clone());
+        for _ in 0..5 {
+            let n = s.ready_nodes(&problem)[0];
+            let d = s.peek_child(&problem, n, ProcId(0), h);
+            nid = no_cache.insert_child(nid, &d);
+            s.apply_delta_in_place(&problem, &d);
+        }
+        no_cache.materialise(nid);
+        let nroot = SearchState::initial(&problem);
+        let nsib_delta =
+            nroot.peek_child(&problem, nroot.ready_nodes(&problem)[0], ProcId(1), h);
+        let nsib = no_cache.insert_child(0, &nsib_delta);
+        no_cache.materialise(nsib);
+        let n = s.ready_nodes(&problem)[0];
+        let d = s.peek_child(&problem, n, ProcId(1), h);
+        let nchild = no_cache.insert_child(nid, &d);
+        let before = no_cache.replayed_deltas();
+        no_cache.materialise(nchild);
+        assert_eq!(no_cache.path_cache_hits(), 0);
+        assert_eq!(no_cache.replayed_deltas(), before + 6, "full replay from the root");
     }
 
     /// The transfer-adoption path of the parallel scheduler: a full state
@@ -389,7 +897,7 @@ mod tests {
             transfers.push(s);
         }
 
-        let mut delta = StateArena::new(&problem, StoreKind::DeltaArena);
+        let mut delta = arena(&problem, StoreKind::DeltaArena);
         let root = delta.insert_root(SearchState::initial(&problem));
         assert_eq!(root, 0);
         let ids: Vec<StateId> = transfers.iter().map(|s| delta.adopt(s.clone())).collect();
@@ -412,11 +920,59 @@ mod tests {
             }
         }
 
-        let mut eager = StateArena::new(&problem, StoreKind::EagerClone);
+        let mut eager = arena(&problem, StoreKind::EagerClone);
         eager.insert_root(SearchState::initial(&problem));
         let id = eager.adopt(transfers[0].clone());
         assert_eq!(eager.materialise(id).signature(), transfers[0].signature());
         assert_eq!(eager.peak_live_full(), 2, "eager adoption clones the state");
+    }
+
+    /// Chain shipping round-trip: `extract_chain` on the sender equals the
+    /// state's own decomposition, `adopt_chain` on the receiver rebuilds the
+    /// identical state, and releasing the adopted tip reclaims the whole
+    /// chain (intermediates hold no extra handles).
+    #[test]
+    fn extract_and_adopt_chain_round_trip_and_reclaim() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let graph = generate_random_dag(
+            &RandomDagConfig { nodes: 8, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let problem = SchedulingProblem::new(graph, ProcNetwork::ring(3));
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut state = SearchState::initial(&problem);
+        for _ in 0..5 {
+            let ready = state.ready_nodes(&problem);
+            let n = ready[rng.gen_range(0..ready.len())];
+            let p = ProcId(rng.gen_range(0..problem.num_procs()) as u32);
+            state = state.schedule_node(&problem, n, p, h);
+        }
+
+        // Sender: the stored chain is extracted without materialising.
+        let mut sender = arena(&problem, StoreKind::DeltaArena);
+        sender.insert_root(SearchState::initial(&problem));
+        let sid = sender.adopt(state.clone());
+        let wire = sender.extract_chain(sid);
+        assert_eq!(wire, state.to_delta_chain());
+        sender.release(sid);
+        assert_eq!(sender.live_records(), 1, "shipped chain reclaimed on the sender");
+
+        // Receiver: the chain adopts into an identical state.
+        let mut receiver = arena(&problem, StoreKind::DeltaArena);
+        let rid = receiver.adopt_chain(&wire);
+        let got = receiver.materialise_owned(rid);
+        assert_eq!(got.signature(), state.signature());
+        assert_eq!((got.g(), got.h(), got.depth()), (state.g(), state.h(), state.depth()));
+        receiver.release(rid);
+        assert_eq!(receiver.live_records(), 1, "adopted chain reclaimed on the receiver");
+
+        // The empty chain is the initial state (the pinned root).
+        assert_eq!(receiver.adopt_chain(&[]), 0);
+
+        // An eager receiver replays the chain into one full clone.
+        let mut eager = arena(&problem, StoreKind::EagerClone);
+        let eid = eager.adopt_chain(&wire);
+        assert_eq!(eager.materialise(eid).signature(), state.signature());
     }
 
     /// `adopt` is total on delta arenas: an empty one seeds its own initial
@@ -430,7 +986,7 @@ mod tests {
             .schedule_node(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h)
             .schedule_node(&problem, optsched_taskgraph::NodeId(1), ProcId(1), h);
 
-        let mut arena = StateArena::new(&problem, StoreKind::DeltaArena);
+        let mut arena = arena(&problem, StoreKind::DeltaArena);
         let id = arena.adopt(deep.clone());
         assert_eq!(arena.materialise(id).signature(), deep.signature());
         assert_eq!(arena.materialise(0).depth(), 0, "slot 0 is the seeded initial state");
@@ -447,7 +1003,7 @@ mod tests {
             ProcId(0),
             h,
         );
-        let mut arena = StateArena::new(&problem, StoreKind::DeltaArena);
+        let mut arena = arena(&problem, StoreKind::DeltaArena);
         arena.insert_root(non_initial.clone());
         let _ = arena.adopt(non_initial);
     }
@@ -459,14 +1015,14 @@ mod tests {
         let root = SearchState::initial(&problem);
         let d = root.peek_child(&problem, optsched_taskgraph::NodeId(0), ProcId(0), h);
 
-        let mut eager = StateArena::new(&problem, StoreKind::EagerClone);
+        let mut eager = arena(&problem, StoreKind::EagerClone);
         let r = eager.insert_root(root.clone());
         let c = eager.insert_child(r, &d);
         let _ = eager.materialise(c);
         assert_eq!(eager.peak_live_full(), 2, "eager: every state is a full clone");
         assert_eq!(eager.len(), 2);
 
-        let mut delta = StateArena::new(&problem, StoreKind::DeltaArena);
+        let mut delta = arena(&problem, StoreKind::DeltaArena);
         let r = delta.insert_root(root);
         let c = delta.insert_child(r, &d);
         let _ = delta.materialise(c);
@@ -474,5 +1030,6 @@ mod tests {
         assert_eq!(delta.len(), 2);
         assert!(!delta.is_empty());
         assert_eq!(delta.kind(), StoreKind::DeltaArena);
+        assert_eq!(delta.config().kind, StoreKind::DeltaArena);
     }
 }

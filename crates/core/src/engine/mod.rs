@@ -41,7 +41,7 @@ use crate::problem::SchedulingProblem;
 use crate::state::{ChildDelta, SearchState, StateSignature};
 use crate::stats::{SearchOutcome, SearchResult, SearchStats};
 
-pub use arena::{StateArena, StateId, StoreKind};
+pub use arena::{ArenaConfig, StateArena, StateId, StoreKind};
 pub use policy::{
     focal_threshold, AStarPolicy, BoundPolicy, DfsPolicy, FocalPolicy, FrontierPolicy, OpenEntry,
     WeightedAStarPolicy,
@@ -174,7 +174,7 @@ pub fn run_search<P: FrontierPolicy>(
     pruning: PruningConfig,
     heuristic: HeuristicKind,
     limits: SearchLimits,
-    store: StoreKind,
+    store: ArenaConfig,
     seed_incumbent: bool,
 ) -> SearchResult {
     let start_time = Instant::now();
@@ -223,7 +223,8 @@ pub fn run_search<P: FrontierPolicy>(
 
             // Goal test at expansion time: under a best-first policy the
             // first goal removed from OPEN is optimal; under an enumerating
-            // policy it only updates the incumbent.
+            // policy it only updates the incumbent (and, with `kept` empty,
+            // falls through to the handle release below).
             if state.is_goal(problem) {
                 if goal_is_final {
                     incumbent = state.to_schedule(problem);
@@ -233,52 +234,59 @@ pub fn run_search<P: FrontierPolicy>(
                     incumbent_len.set(state.g());
                     incumbent = state.to_schedule(problem);
                 }
-                continue;
-            }
-
-            // Limits.
-            if let Some(max_exp) = limits.max_expansions {
-                if stats.expanded >= max_exp {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(max_gen) = limits.max_generated {
-                if stats.generated >= max_gen {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(ms) = limits.max_millis {
-                if start_time.elapsed().as_millis() as u64 >= ms {
-                    break SearchOutcome::LimitReached;
-                }
-            }
-            if let Some(target) = limits.target_cost {
-                if incumbent_len.get() <= target {
-                    break SearchOutcome::TargetReached;
-                }
-            }
-
-            stats.expanded += 1;
-            expand_state(
-                ExpansionContext { problem, pruning: &pruning, heuristic },
-                state,
-                &mut dup,
-                &mut stats,
-                |parent, delta, stats| {
-                    policy.evaluate(problem, parent, delta, prune_bound(incumbent_len.get()), stats)
-                },
-                |parent, delta, value, _stats| {
-                    // Track incumbents discovered at generation time so the
-                    // bound tightens within this expansion and a
-                    // limit-bounded run still returns its best schedule.
-                    if track_goals && parent.depth() + 1 == goal_depth && delta.g < incumbent_len.get()
-                    {
-                        incumbent_len.set(delta.g);
-                        incumbent = parent.apply_delta(problem, &delta).to_schedule(problem);
+            } else {
+                // Limits.
+                if let Some(max_exp) = limits.max_expansions {
+                    if stats.expanded >= max_exp {
+                        break SearchOutcome::LimitReached;
                     }
-                    kept.push((delta, value));
-                },
-            );
+                }
+                if let Some(max_gen) = limits.max_generated {
+                    if stats.generated >= max_gen {
+                        break SearchOutcome::LimitReached;
+                    }
+                }
+                if let Some(ms) = limits.max_millis {
+                    if start_time.elapsed().as_millis() as u64 >= ms {
+                        break SearchOutcome::LimitReached;
+                    }
+                }
+                if let Some(target) = limits.target_cost {
+                    if incumbent_len.get() <= target {
+                        break SearchOutcome::TargetReached;
+                    }
+                }
+
+                stats.expanded += 1;
+                expand_state(
+                    ExpansionContext { problem, pruning: &pruning, heuristic },
+                    state,
+                    &mut dup,
+                    &mut stats,
+                    |parent, delta, stats| {
+                        policy.evaluate(
+                            problem,
+                            parent,
+                            delta,
+                            prune_bound(incumbent_len.get()),
+                            stats,
+                        )
+                    },
+                    |parent, delta, value, _stats| {
+                        // Track incumbents discovered at generation time so the
+                        // bound tightens within this expansion and a
+                        // limit-bounded run still returns its best schedule.
+                        if track_goals
+                            && parent.depth() + 1 == goal_depth
+                            && delta.g < incumbent_len.get()
+                        {
+                            incumbent_len.set(delta.g);
+                            incumbent = parent.apply_delta(problem, &delta).to_schedule(problem);
+                        }
+                        kept.push((delta, value));
+                    },
+                );
+            }
         }
 
         for &(delta, value) in &kept {
@@ -287,6 +295,11 @@ pub fn run_search<P: FrontierPolicy>(
             policy.push(OpenEntry { id, f: delta.f(), h: delta.h, value, seq });
             stats.generated += 1;
         }
+        // The popped state is dead to the frontier: its kept children (if
+        // any) hold it alive through their parent links; pruned-out or
+        // childless states are reclaimed here, cascading up their dead
+        // chains.
+        arena.release(entry.id);
     };
 
     // A seeded search that exhausted its frontier has *proved* that nothing
@@ -298,6 +311,11 @@ pub fn run_search<P: FrontierPolicy>(
     };
 
     stats.peak_live_states = arena.peak_live_full() as u64;
+    stats.peak_live_records = arena.peak_live_records() as u64;
+    stats.reclaimed_records = arena.reclaimed_records();
+    stats.materialisations = arena.materialisations();
+    stats.path_cache_hits = arena.path_cache_hits();
+    stats.replayed_deltas = arena.replayed_deltas();
     SearchResult {
         schedule_length: incumbent.makespan(),
         schedule: Some(incumbent),
@@ -335,14 +353,14 @@ mod tests {
     #[test]
     fn store_layouts_produce_identical_searches() {
         let problem = example_problem();
-        let run = |store| {
+        let run = |store: StoreKind| {
             run_search(
                 &problem,
                 AStarPolicy::new(true),
                 PruningConfig::all(),
                 HeuristicKind::PaperStaticLevel,
                 SearchLimits::unlimited(),
-                store,
+                store.into(),
                 false,
             )
         };
@@ -370,11 +388,55 @@ mod tests {
             PruningConfig::none(),
             HeuristicKind::Zero,
             SearchLimits::unlimited(),
-            StoreKind::DeltaArena,
+            ArenaConfig::default(),
             false,
         );
         assert_eq!(r.outcome, SearchOutcome::Exhausted);
         assert_eq!(r.schedule_length, 14);
+    }
+
+    /// Reclamation and the path-cache are pure storage knobs: switching them
+    /// off must not move a single counter of the search itself, while the
+    /// default (on) run visibly reclaims records and bounds the live set.
+    #[test]
+    fn gc_and_path_cache_knobs_never_change_the_search() {
+        let problem = example_problem();
+        let run = |cfg: ArenaConfig| {
+            run_search(
+                &problem,
+                AStarPolicy::new(true),
+                PruningConfig::all(),
+                HeuristicKind::PaperStaticLevel,
+                SearchLimits::unlimited(),
+                cfg,
+                false,
+            )
+        };
+        let on = run(ArenaConfig::default());
+        let off = run(ArenaConfig::default().with_gc(false).with_path_cache(0));
+        assert_eq!(on.schedule_length, off.schedule_length);
+        assert_eq!(
+            (on.stats.expanded, on.stats.generated, on.stats.duplicates),
+            (off.stats.expanded, off.stats.generated, off.stats.duplicates),
+            "storage lifecycle knobs leaked into search behaviour"
+        );
+        assert!(on.stats.reclaimed_records > 0, "default run reclaims dead chains");
+        assert_eq!(off.stats.reclaimed_records, 0, "gc off is append-only");
+        assert!(
+            on.stats.peak_live_records <= off.stats.peak_live_records,
+            "reclamation must not grow the live set: {} vs {}",
+            on.stats.peak_live_records,
+            off.stats.peak_live_records
+        );
+        assert!(
+            on.stats.peak_live_records < on.stats.generated,
+            "live records stay below the total ever generated"
+        );
+        assert_eq!(off.stats.path_cache_hits, 0, "cache disabled");
+        assert!(
+            on.stats.replayed_deltas <= off.stats.replayed_deltas,
+            "the path-cache must not lengthen replays"
+        );
     }
 
     /// The seeded mode prunes against the attained list incumbent (strictly)
@@ -390,7 +452,7 @@ mod tests {
                 PruningConfig::all(),
                 HeuristicKind::PaperStaticLevel,
                 SearchLimits::unlimited(),
-                StoreKind::DeltaArena,
+                ArenaConfig::default(),
                 seed,
             )
         };

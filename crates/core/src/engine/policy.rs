@@ -242,6 +242,10 @@ pub fn focal_threshold(epsilon: f64, fmin: Cost) -> Cost {
     ((fmin as f64) * (1.0 + epsilon)).floor() as Cost
 }
 
+/// Sentinel for "no live OPEN entry under this id" in [`FocalPolicy`]'s
+/// lazy-deletion table.
+const NO_OPEN_SEQ: u64 = u64::MAX;
+
 /// Aε\* (Section 3.4, Pearl & Kim): keeps two lazily synchronised orderings
 /// of OPEN — by `f` (for `fmin` and the fallback) and by `(h, f)` — and
 /// expands the smallest-`h` state whose `f` is within `(1 + ε) · fmin`
@@ -252,8 +256,11 @@ pub struct FocalPolicy {
     prune_upper_bound: bool,
     open_f: MinHeap<(Cost, u64)>,
     open_h: MinHeap<(Cost, Cost, u64)>,
-    /// Lazy-deletion marker, indexed by state id.
-    in_open: Vec<bool>,
+    /// Lazy-deletion marker: the `seq` of the live OPEN entry per state id
+    /// ([`NO_OPEN_SEQ`] when the id is closed).  Keyed on `seq` rather than
+    /// a boolean because the arena reuses reclaimed ids — a stale twin entry
+    /// for a freed-and-reused id must not be mistaken for the new state.
+    in_open: Vec<u64>,
 }
 
 impl FocalPolicy {
@@ -268,16 +275,16 @@ impl FocalPolicy {
         }
     }
 
-    fn is_open(&self, id: StateId) -> bool {
-        self.in_open.get(id as usize).copied().unwrap_or(false)
+    fn is_open(&self, entry: &OpenEntry) -> bool {
+        self.in_open.get(entry.id as usize).copied() == Some(entry.seq)
     }
 
-    fn mark(&mut self, id: StateId, open: bool) {
+    fn mark(&mut self, id: StateId, seq: u64) {
         let i = id as usize;
         if i >= self.in_open.len() {
-            self.in_open.resize(i + 1, false);
+            self.in_open.resize(i + 1, NO_OPEN_SEQ);
         }
-        self.in_open[i] = open;
+        self.in_open[i] = seq;
     }
 }
 
@@ -295,7 +302,7 @@ impl FrontierPolicy for FocalPolicy {
     }
 
     fn push(&mut self, entry: OpenEntry) {
-        self.mark(entry.id, true);
+        self.mark(entry.id, entry.seq);
         self.open_f.push((entry.f, entry.seq), entry);
         self.open_h.push((entry.h, entry.f, entry.seq), entry);
     }
@@ -305,7 +312,7 @@ impl FrontierPolicy for FocalPolicy {
         let fmin = loop {
             match self.open_f.peek() {
                 None => return None,
-                Some(e) if self.is_open(e.id) => break e.f,
+                Some(e) if self.is_open(e) => break e.f,
                 Some(_) => {
                     self.open_f.pop();
                 }
@@ -317,7 +324,7 @@ impl FrontierPolicy for FocalPolicy {
         // smallest-f state (which is trivially in FOCAL).
         let mut chosen: Option<OpenEntry> = None;
         while let Some(e) = self.open_h.peek() {
-            if !self.is_open(e.id) {
+            if !self.is_open(e) {
                 self.open_h.pop();
                 continue;
             }
@@ -330,7 +337,7 @@ impl FrontierPolicy for FocalPolicy {
             Some(e) => e,
             None => self.open_f.pop().expect("fmin was just observed"),
         };
-        self.mark(entry.id, false);
+        self.mark(entry.id, NO_OPEN_SEQ);
         Some(entry)
     }
 

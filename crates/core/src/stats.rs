@@ -53,6 +53,24 @@ pub struct SearchStats {
     /// gauge at any instant) are owned by no store and are *not* counted
     /// here.
     pub peak_live_states: u64,
+    /// Largest number of simultaneously live arena records (roots + delta
+    /// records) the agent's state store held — the O(live frontier) memory
+    /// proxy of the refcounted arena.  With reclamation on this tracks the
+    /// frontier; with it off it equals the total ever stored.
+    pub peak_live_records: u64,
+    /// Arena records reclaimed by refcounted release cascades (pruned,
+    /// duplicate-dropped or shipped-away subtrees).  Zero with reclamation
+    /// disabled.
+    pub reclaimed_records: u64,
+    /// Delta-chain materialisations performed by the arena (full-snapshot
+    /// fast-path reads are free and not counted).
+    pub materialisations: u64,
+    /// Materialisations whose replay started from a path-cache entry instead
+    /// of walking to a full snapshot (scratch-state reuse not counted).
+    pub path_cache_hits: u64,
+    /// Total deltas replayed across all materialisations — the arena's CPU
+    /// overhead that the scratch state and path-cache exist to shrink.
+    pub replayed_deltas: u64,
     /// Heuristic evaluations performed (one per generated state; the Chen &
     /// Yu baseline additionally counts its per-path evaluations here).
     pub heuristic_evaluations: u64,
@@ -91,6 +109,11 @@ impl SearchStats {
             election_transfers,
             max_open_size,
             peak_live_states,
+            peak_live_records,
+            reclaimed_records,
+            materialisations,
+            path_cache_hits,
+            replayed_deltas,
             heuristic_evaluations,
             path_segments_enumerated,
         } = other;
@@ -104,6 +127,11 @@ impl SearchStats {
         self.election_transfers += election_transfers;
         self.max_open_size = self.max_open_size.max(*max_open_size);
         self.peak_live_states = self.peak_live_states.max(*peak_live_states);
+        self.peak_live_records = self.peak_live_records.max(*peak_live_records);
+        self.reclaimed_records += reclaimed_records;
+        self.materialisations += materialisations;
+        self.path_cache_hits += path_cache_hits;
+        self.replayed_deltas += replayed_deltas;
         self.heuristic_evaluations += heuristic_evaluations;
         self.path_segments_enumerated += path_segments_enumerated;
     }
@@ -191,6 +219,11 @@ mod tests {
             election_transfers: 12,
             max_open_size: 9,
             peak_live_states: 8,
+            peak_live_records: 13,
+            reclaimed_records: 14,
+            materialisations: 15,
+            path_cache_hits: 16,
+            replayed_deltas: 17,
             heuristic_evaluations: 10,
             path_segments_enumerated: 11,
         };
@@ -205,6 +238,11 @@ mod tests {
             election_transfers: 1200,
             max_open_size: 4,
             peak_live_states: 3,
+            peak_live_records: 5,
+            reclaimed_records: 1400,
+            materialisations: 1500,
+            path_cache_hits: 1600,
+            replayed_deltas: 1700,
             heuristic_evaluations: 1000,
             path_segments_enumerated: 1100,
         };
@@ -221,8 +259,13 @@ mod tests {
                 duplicates: 606,
                 duplicates_global: 707,
                 election_transfers: 1212,
-                max_open_size: 9,    // high-water mark: max, not sum
-                peak_live_states: 8, // high-water mark: max, not sum
+                max_open_size: 9,      // high-water mark: max, not sum
+                peak_live_states: 8,   // high-water mark: max, not sum
+                peak_live_records: 13, // high-water mark: max, not sum
+                reclaimed_records: 1414,
+                materialisations: 1515,
+                path_cache_hits: 1616,
+                replayed_deltas: 1717,
                 heuristic_evaluations: 1010,
                 path_segments_enumerated: 1111,
             }

@@ -31,7 +31,7 @@
 //! ```
 
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
-use crate::engine::{run_search, StoreKind, WeightedAStarPolicy};
+use crate::engine::{run_search, ArenaConfig, StoreKind, WeightedAStarPolicy};
 use crate::problem::SchedulingProblem;
 use crate::stats::SearchResult;
 
@@ -48,7 +48,7 @@ pub struct WAStarScheduler<'a> {
     pruning: PruningConfig,
     heuristic: HeuristicKind,
     limits: SearchLimits,
-    store: StoreKind,
+    store: ArenaConfig,
     seed_incumbent: bool,
 }
 
@@ -66,7 +66,7 @@ impl<'a> WAStarScheduler<'a> {
             pruning: PruningConfig::all(),
             heuristic: HeuristicKind::PaperStaticLevel,
             limits: SearchLimits::unlimited(),
-            store: StoreKind::default(),
+            store: ArenaConfig::default(),
             seed_incumbent: false,
         }
     }
@@ -96,7 +96,19 @@ impl<'a> WAStarScheduler<'a> {
 
     /// Selects the state-store layout (delta arena by default).
     pub fn with_store(mut self, store: StoreKind) -> Self {
-        self.store = store;
+        self.store.kind = store;
+        self
+    }
+
+    /// Enables or disables refcounted arena reclamation (on by default).
+    pub fn with_arena_gc(mut self, gc: bool) -> Self {
+        self.store.gc = gc;
+        self
+    }
+
+    /// Sets the materialisation path-cache capacity (0 disables it).
+    pub fn with_path_cache(mut self, entries: u32) -> Self {
+        self.store.path_cache = entries;
         self
     }
 

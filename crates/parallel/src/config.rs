@@ -49,6 +49,21 @@ pub struct ParallelConfig {
     /// states, so their OPEN high-water mark — still reported as
     /// `max_open_size` — is the tighter historical comparison point).
     pub store: StoreKind,
+    /// Refcounted reclamation of dead delta chains in each PPE's arena (on
+    /// by default; it never changes the search, see the engine's arena
+    /// documentation).  Off restores the append-only store of PR 4/5 for
+    /// before/after measurements.
+    pub arena_gc: bool,
+    /// Capacity of each PPE arena's materialisation path-cache (0 disables
+    /// it; see [`optsched_core::ArenaConfig::path_cache`]).
+    pub path_cache: u32,
+    /// Largest number of states the `ShardedGlobal` best-state election
+    /// ships in one phase when the receiver's published frontier minimum is
+    /// *far* worse than this PPE's best `f` (empty, or more than 25% above).
+    /// Every batch member is still strictly better than the receiver's
+    /// published minimum; 1 restores the single-transfer election.  Ignored
+    /// in `Local` mode, whose election sends copies.
+    pub election_batch: u32,
     /// Resource limits applied to the whole parallel run (expansions and
     /// generations are counted across all PPEs).
     pub limits: SearchLimits,
@@ -66,6 +81,9 @@ impl Default for ParallelConfig {
             duplicate_detection: DuplicateDetection::default(),
             num_shards: 16,
             store: StoreKind::default(),
+            arena_gc: true,
+            path_cache: 8,
+            election_batch: 4,
             limits: SearchLimits::unlimited(),
         }
     }
@@ -90,6 +108,21 @@ impl ParallelConfig {
     /// Returns this configuration with the given per-PPE state-store layout.
     pub fn with_store(self, store: StoreKind) -> ParallelConfig {
         ParallelConfig { store, ..self }
+    }
+
+    /// Returns this configuration with arena reclamation switched on or off.
+    pub fn with_arena_gc(self, arena_gc: bool) -> ParallelConfig {
+        ParallelConfig { arena_gc, ..self }
+    }
+
+    /// Returns this configuration with the given per-PPE path-cache capacity.
+    pub fn with_path_cache(self, path_cache: u32) -> ParallelConfig {
+        ParallelConfig { path_cache, ..self }
+    }
+
+    /// Returns this configuration with the given election batch size.
+    pub fn with_election_batch(self, election_batch: u32) -> ParallelConfig {
+        ParallelConfig { election_batch, ..self }
     }
 
     /// The undirected neighbour lists of the PPE network.
@@ -161,6 +194,22 @@ mod tests {
         let eager = ParallelConfig::exact(4).with_store(StoreKind::EagerClone);
         assert_eq!(eager.store, StoreKind::EagerClone);
         assert_eq!(eager.num_ppes, 4);
+    }
+
+    #[test]
+    fn arena_lifecycle_knobs_default_on() {
+        let c = ParallelConfig::default();
+        assert!(c.arena_gc);
+        assert_eq!(c.path_cache, 8);
+        assert_eq!(c.election_batch, 4);
+        let tuned = ParallelConfig::exact(4)
+            .with_arena_gc(false)
+            .with_path_cache(0)
+            .with_election_batch(1);
+        assert!(!tuned.arena_gc);
+        assert_eq!(tuned.path_cache, 0);
+        assert_eq!(tuned.election_batch, 1);
+        assert_eq!(tuned.num_ppes, 4);
     }
 
     #[test]

@@ -25,12 +25,13 @@ pub struct ParallelSearchResult {
     pub elapsed: Duration,
     /// Number of PPE threads used.
     pub num_ppes: usize,
-    /// High-water mark of the `in_flight` gauge: the most materialised
-    /// transfer clones that were ever parked in the inter-PPE channels at
-    /// once.  Those clones are owned by no PPE's state store, so they escape
-    /// the per-PPE `peak_live_states` counters; the result folds them back
-    /// in (see [`ParallelSearchResult::peak_live_states`]) so the memory
-    /// headline stays airtight under eager communication.
+    /// High-water mark of the `in_flight` gauge in fixed-size state
+    /// *records*: one per scheduled node of a shipped delta chain, `v` (the
+    /// node count) per full clone shipped by the eager store.  Whatever is
+    /// parked in the inter-PPE channels is owned by no PPE's state store, so
+    /// it escapes the per-PPE `peak_live_states` counters; the result folds
+    /// the peak back in (see [`ParallelSearchResult::peak_live_states`]) so
+    /// the memory headline stays airtight under eager communication.
     pub peak_in_flight: u64,
 }
 

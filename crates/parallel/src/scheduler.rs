@@ -28,11 +28,17 @@
 //! [`StateArena`]: OPEN holds arena ids ordered by `(f, h, FIFO)`, generated
 //! children live as parent-id + [`ChildDelta`] records, and a full
 //! [`SearchState`] is built only when a state is selected for expansion
-//! (scratch replay) or shipped to another PPE (materialise-on-send).  A
-//! received state is re-rooted into the receiver's arena as a delta chain, so
-//! a PPE's live full states stay at root-plus-scratch regardless of OPEN
-//! size; [`StoreKind::EagerClone`] retains the clone-per-generation layout as
-//! the measurable baseline.
+//! (scratch replay).  Transfers between PPEs ship the state's *delta chain*
+//! (≤ v fixed-size records, extracted without materialising) rather than a
+//! full clone; the receiver re-roots the chain below its own slot-0 initial
+//! state, so a PPE's live full states stay at root-plus-scratch regardless of
+//! OPEN size or transfer volume.  With the refcounted arena (on by default)
+//! expanded, goal-popped and shipped-away states release their records, so
+//! the record count tracks the live frontier instead of the whole history.
+//! [`StoreKind::EagerClone`] retains the clone-per-generation layout — and
+//! full-clone transfers — as the measurable baseline; the `in_flight` gauge
+//! counts fixed-size *records* (one per scheduled node of a chain, `v` per
+//! full clone) so the two transfer forms are compared in the same unit.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -42,7 +48,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use optsched_core::engine::{expand_state, DuplicateFilter, ExpansionContext, StateArena, StateId};
+use optsched_core::engine::{
+    expand_state, ArenaConfig, DuplicateFilter, ExpansionContext, StateArena, StateId, StoreKind,
+};
 use optsched_core::state::{ChildDelta, StateSignature};
 use optsched_core::{SchedulingProblem, SearchOutcome, SearchState, SearchStats};
 use optsched_schedule::Schedule;
@@ -82,11 +90,87 @@ impl Ord for HeapEntry {
     }
 }
 
-/// A state travelling between PPEs.  Transfers always carry a fully
-/// materialised state (the arena layout materialises on send); the receiving
-/// arena decides how to store it.
+/// The wire form of a state travelling between PPEs.
+#[derive(Clone)]
+enum Payload {
+    /// A fully materialised clone — the eager store's native transfer form.
+    Full(SearchState),
+    /// A root-anchored delta chain (depth-ordered, last delta carries the
+    /// state's true `g`/`h`) — the arena store's transfer form: at most `v`
+    /// fixed-size [`ChildDelta`] records, extracted from the sender's arena
+    /// without materialising and re-rooted below the receiver's slot-0
+    /// initial state.
+    Chain(Vec<ChildDelta>),
+}
+
+impl Payload {
+    /// Channel footprint in fixed-size records: one per scheduled node of a
+    /// chain, one per node (`v`) for a full clone — the unit in which the
+    /// `in_flight` gauge and its peak are kept.
+    fn records(&self, problem: &SchedulingProblem) -> u64 {
+        match self {
+            Payload::Full(_) => problem.num_nodes() as u64,
+            Payload::Chain(chain) => chain.len() as u64,
+        }
+    }
+
+    /// `(f, g, h)` of the state this payload denotes, without materialising.
+    fn costs(&self) -> (Cost, Cost, Cost) {
+        match self {
+            Payload::Full(s) => (s.f(), s.g(), s.h()),
+            Payload::Chain(chain) => {
+                let last = chain.last().expect("transfers never ship the depth-0 root");
+                (last.f(), last.g, last.h)
+            }
+        }
+    }
+
+    /// True when the payload denotes a complete schedule.
+    fn is_goal(&self, problem: &SchedulingProblem) -> bool {
+        match self {
+            Payload::Full(s) => s.is_goal(problem),
+            Payload::Chain(chain) => chain.len() == problem.num_nodes(),
+        }
+    }
+
+    /// The partial schedule's signature (chains fold their assignments onto
+    /// the initial state's signature without building a full state).
+    fn signature(&self, problem: &SchedulingProblem) -> StateSignature {
+        match self {
+            Payload::Full(s) => s.signature(),
+            Payload::Chain(chain) => chain_signature(problem, chain),
+        }
+    }
+
+    /// Rebuilds the full state (delta replay for chains).  Only needed on
+    /// the rare goal-arrival path; everything else reads the payload as is.
+    fn to_state(&self, problem: &SchedulingProblem) -> SearchState {
+        match self {
+            Payload::Full(s) => s.clone(),
+            Payload::Chain(chain) => {
+                let mut s = SearchState::initial(problem);
+                for d in chain {
+                    s.apply_delta_in_place(problem, d);
+                }
+                s
+            }
+        }
+    }
+}
+
+/// Signature of the state a root-anchored delta chain denotes: the chain's
+/// assignments folded onto the initial (empty) signature.
+fn chain_signature(problem: &SchedulingProblem, chain: &[ChildDelta]) -> StateSignature {
+    let mut sig = SearchState::initial(problem).signature();
+    for d in chain {
+        sig = sig.with_assignment(d.node, d.proc, d.start);
+    }
+    sig
+}
+
+/// A state travelling between PPEs.
 struct Transfer {
-    state: SearchState,
+    payload: Payload,
     /// True when the sender popped the state from its own OPEN list (load
     /// sharing, or the sharded-mode ownership-transferring election): the
     /// receiver is the state's new owner and must keep it.  False for the
@@ -152,24 +236,26 @@ impl DupFilter<'_> {
     /// `duplicates`/`duplicates_global`.
     fn admit_transfer(
         &mut self,
-        state: &SearchState,
+        sig: impl FnOnce() -> StateSignature,
+        g: Cost,
         owned_transfer: bool,
         stats: &mut SearchStats,
     ) -> bool {
         if owned_transfer && matches!(self, DupFilter::Global { .. }) {
             return true;
         }
-        self.admit(state.signature(), state.g(), stats)
+        self.admit(sig(), g, stats)
     }
 
-    /// Called when a state is shipped away by load sharing.  In local mode
-    /// the sender forgets the signature so the state is accepted back should
-    /// another PPE return it (two PPEs exchanging their copies of one state
-    /// must not both drop it).  In global mode the claim stays in the table
-    /// and simply travels with the state.
-    fn release(&mut self, state: &SearchState) {
+    /// Called when a state is shipped away by load sharing or the sharded
+    /// election.  In local mode the sender forgets the signature so the state
+    /// is accepted back should another PPE return it (two PPEs exchanging
+    /// their copies of one state must not both drop it).  In global mode the
+    /// claim stays in the table and simply travels with the state (the
+    /// signature closure is never evaluated).
+    fn release(&mut self, sig: impl FnOnce() -> StateSignature) {
         if let DupFilter::Local { seen } = self {
-            seen.remove(&state.signature());
+            seen.remove(&sig());
         }
     }
 }
@@ -190,10 +276,13 @@ struct Shared {
     local_min_f: Vec<AtomicU64>,
     /// Size of each PPE's OPEN list (for load sharing).
     open_sizes: Vec<AtomicUsize>,
-    /// States currently travelling between PPEs.
+    /// Fixed-size state records currently travelling between PPEs (one per
+    /// scheduled node of a shipped delta chain, `v` per full clone).  Zero
+    /// exactly when no transfer is outstanding, which is all the termination
+    /// test needs.
     in_flight: AtomicI64,
-    /// High-water mark of `in_flight`: the most transfer clones that were
-    /// ever parked in the channels at once.  Those clones are owned by no
+    /// High-water mark of `in_flight`: the most transfer *records* that were
+    /// ever parked in the channels at once.  Those records are owned by no
     /// PPE's state store, so folding this gauge into the result's
     /// [`ParallelSearchResult::peak_live_states`] is what makes the memory
     /// headline airtight under eager communication.
@@ -235,12 +324,13 @@ impl Shared {
         self.incumbent_len.load(Ordering::SeqCst)
     }
 
-    /// Registers one more state entering the channels, updating the
-    /// in-flight high-water mark.  Every send site must use this (and undo
-    /// with a plain `fetch_sub` on a failed send) so the gauge and its peak
-    /// never diverge.
-    fn in_flight_add(&self) {
-        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+    /// Registers `records` more state records entering the channels,
+    /// updating the in-flight high-water mark.  Every send site must use
+    /// this (and undo with a plain `fetch_sub` of the same amount on a
+    /// failed send), and every receive must subtract exactly the payload's
+    /// record count, so the gauge and its peak never diverge.
+    fn in_flight_add(&self, records: u64) {
+        let now = self.in_flight.fetch_add(records as i64, Ordering::SeqCst) + records as i64;
         if now > 0 {
             self.in_flight_peak.fetch_max(now as u64, Ordering::SeqCst);
         }
@@ -456,7 +546,10 @@ fn ppe_worker(
 ) -> SearchStats {
     let mut stats = SearchStats::default();
     let mut open: BinaryHeap<HeapEntry> = BinaryHeap::new();
-    let mut arena = StateArena::new(problem, cfg.store);
+    let mut arena = StateArena::new(
+        problem,
+        ArenaConfig::from(cfg.store).with_gc(cfg.arena_gc).with_path_cache(cfg.path_cache),
+    );
     // Slot 0 is the problem's initial (empty) state: a delta arena re-roots
     // every state received from another PPE as a delta chain below it, so
     // transfers never add live full states on the receiving side.
@@ -499,31 +592,43 @@ fn ppe_worker(
                              dup: &mut DupFilter<'_>,
                              counter: &mut u64,
                              stats: &mut SearchStats,
-                             state: SearchState,
+                             payload: Payload,
                              arrival: Arrival| {
-        if cfg.pruning.upper_bound_pruning && state.f() > shared.incumbent_len() {
+        let (f, g, h) = payload.costs();
+        if cfg.pruning.upper_bound_pruning && f > shared.incumbent_len() {
             stats.pruned_upper_bound += 1;
             return;
         }
         let owned_transfer =
             matches!(arrival, Arrival::OwnedTransfer | Arrival::ElectionTransfer);
-        if !dup.admit_transfer(&state, owned_transfer, stats) {
+        if !dup.admit_transfer(|| payload.signature(problem), g, owned_transfer, stats) {
             return;
         }
         if matches!(arrival, Arrival::ElectionTransfer) {
             stats.election_transfers += 1;
         }
-        if state.is_goal(problem) {
-            shared.offer_incumbent(state.g(), || state.to_schedule(problem));
+        if payload.is_goal(problem) {
+            shared.offer_incumbent(g, || payload.to_state(problem).to_schedule(problem));
         }
         *counter += 1;
-        let key = (state.f(), state.h(), *counter);
-        let id = arena.adopt(state);
+        let key = (f, h, *counter);
+        let id = match payload {
+            Payload::Full(state) => arena.adopt(state),
+            Payload::Chain(chain) => arena.adopt_chain(&chain),
+        };
         open.push(HeapEntry { key, id });
     };
 
     for s in initial {
-        push_transfer(&mut open, &mut arena, &mut dup, &mut counter, &mut stats, s, Arrival::Initial);
+        push_transfer(
+            &mut open,
+            &mut arena,
+            &mut dup,
+            &mut counter,
+            &mut stats,
+            Payload::Full(s),
+            Arrival::Initial,
+        );
     }
 
     let mut kept: Vec<(ChildDelta, Cost)> = Vec::new();
@@ -536,15 +641,16 @@ fn ppe_worker(
         // in-flight counter are updated in an order that never lets another
         // PPE observe "nothing in flight" while this state is still invisible.
         while let Ok(t) = rx.try_recv() {
+            let records = t.payload.records(problem) as i64;
             let arrival = match (t.owned, t.election) {
                 (true, true) => Arrival::ElectionTransfer,
                 (true, false) => Arrival::OwnedTransfer,
                 (false, _) => Arrival::ElectionCopy,
             };
-            push_transfer(&mut open, &mut arena, &mut dup, &mut counter, &mut stats, t.state, arrival);
+            push_transfer(&mut open, &mut arena, &mut dup, &mut counter, &mut stats, t.payload, arrival);
             let min_f = open.peek().map_or(u64::MAX, |e| e.key.0);
             shared.local_min_f[id].store(min_f, Ordering::SeqCst);
-            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.in_flight.fetch_sub(records, Ordering::SeqCst);
         }
 
         // Publish this PPE's frontier cost and OPEN size.
@@ -615,6 +721,7 @@ fn ppe_worker(
 
         let entry = select_state(&mut open, cfg.epsilon);
         kept.clear();
+        let mut popped_goal = false;
         {
             // Materialise the selected state (scratch replay in the delta
             // layout); the borrow lasts until the children collected in
@@ -624,37 +731,39 @@ fn ppe_worker(
                 // Goal broadcast: publish and keep searching until the global
                 // termination condition proves it cannot be beaten.
                 shared.offer_incumbent(state.g(), || state.to_schedule(problem));
-                continue;
+                popped_goal = true;
+            } else {
+                stats.expanded += 1;
+                shared.total_expanded.fetch_add(1, Ordering::Relaxed);
+                since_comm += 1;
+
+                // Locally generated children flow through the engine's shared
+                // admission pipeline: each candidate is evaluated
+                // allocation-free, pruned against the shared incumbent, and
+                // claimed through the duplicate-detection hook (private set
+                // or sharded global table); only survivors are stored — as
+                // delta records in the arena layout, materialised clones in
+                // the eager baseline.
+                expand_state(
+                    ExpansionContext { problem, pruning: &cfg.pruning, heuristic: cfg.heuristic },
+                    state,
+                    &mut dup,
+                    &mut stats,
+                    |_parent, delta, _stats| {
+                        let f = delta.f();
+                        (!cfg.pruning.upper_bound_pruning || f <= shared.incumbent_len())
+                            .then_some(f)
+                    },
+                    |parent, delta, f, _stats| {
+                        if parent.depth() + 1 == goal_depth {
+                            shared.offer_incumbent(delta.g, || {
+                                parent.apply_delta(problem, &delta).to_schedule(problem)
+                            });
+                        }
+                        kept.push((delta, f));
+                    },
+                );
             }
-
-            stats.expanded += 1;
-            shared.total_expanded.fetch_add(1, Ordering::Relaxed);
-            since_comm += 1;
-
-            // Locally generated children flow through the engine's shared
-            // admission pipeline: each candidate is evaluated allocation-free,
-            // pruned against the shared incumbent, and claimed through the
-            // duplicate-detection hook (private set or sharded global table);
-            // only survivors are stored — as delta records in the arena
-            // layout, materialised clones in the eager baseline.
-            expand_state(
-                ExpansionContext { problem, pruning: &cfg.pruning, heuristic: cfg.heuristic },
-                state,
-                &mut dup,
-                &mut stats,
-                |_parent, delta, _stats| {
-                    let f = delta.f();
-                    (!cfg.pruning.upper_bound_pruning || f <= shared.incumbent_len()).then_some(f)
-                },
-                |parent, delta, f, _stats| {
-                    if parent.depth() + 1 == goal_depth {
-                        shared.offer_incumbent(delta.g, || {
-                            parent.apply_delta(problem, &delta).to_schedule(problem)
-                        });
-                    }
-                    kept.push((delta, f));
-                },
-            );
         }
         for &(delta, f) in &kept {
             counter += 1;
@@ -662,6 +771,15 @@ fn ppe_worker(
             shared.total_generated.fetch_add(1, Ordering::Relaxed);
             let child = arena.insert_child(entry.id, &delta);
             open.push(HeapEntry { key: (f, delta.h, counter), id: child });
+        }
+        // The popped state's own handle is done: children hold their own
+        // references up the chain, so with reclamation on, dead subtrees
+        // (no surviving children) release their records here.
+        arena.release(entry.id);
+        if popped_goal {
+            // Goal pops never trigger the communication phase (unchanged
+            // from the pre-reclamation loop).
+            continue;
         }
 
         // Communication phase: neighbour exchange + round-robin load sharing.
@@ -674,18 +792,25 @@ fn ppe_worker(
                 DuplicateDetection::Local => {
                     // The paper's election: offer a *copy* of this PPE's best
                     // state to every neighbour (each receiver keeps or drops
-                    // it through its own duplicate detection).
+                    // it through its own duplicate detection).  A delta arena
+                    // ships the state's chain without materialising it.
                     if let Some(best) = open.peek() {
-                        let best_state = arena.materialise_owned(best.id);
+                        let payload = match arena.kind() {
+                            StoreKind::DeltaArena => Payload::Chain(arena.extract_chain(best.id)),
+                            StoreKind::EagerClone => {
+                                Payload::Full(arena.materialise_owned(best.id))
+                            }
+                        };
+                        let records = payload.records(problem);
                         for &nb in neighbors {
-                            shared.in_flight_add();
+                            shared.in_flight_add(records);
                             let copy = Transfer {
-                                state: best_state.clone(),
+                                payload: payload.clone(),
                                 owned: false,
                                 election: true,
                             };
                             if txs[nb].send(copy).is_err() {
-                                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                                shared.in_flight.fetch_sub(records as i64, Ordering::SeqCst);
                             }
                         }
                     }
@@ -698,7 +823,11 @@ fn ppe_worker(
                     // to the neighbour whose published frontier is worst —
                     // and only to one that actually profits, i.e. whose
                     // frontier minimum is strictly worse than this state.
-                    // The receiver force-keeps it; nothing is wasted.
+                    // The receiver force-keeps it; nothing is wasted.  When
+                    // the receiver's frontier is *far* worse (empty, or more
+                    // than 25% above this PPE's best f), one state will not
+                    // keep it busy: ship a k-best batch, every member still
+                    // strictly better than the receiver's published minimum.
                     if let Some(best) = open.peek() {
                         let best_f = best.key.0;
                         let target = neighbors
@@ -706,14 +835,22 @@ fn ppe_worker(
                             .map(|&nb| (shared.local_min_f[nb].load(Ordering::SeqCst), Reverse(nb)))
                             .filter(|&(min_f, _)| min_f > best_f)
                             .max();
-                        if let Some((_, Reverse(nb))) = target {
-                            let e = open.pop().expect("peeked a best state above");
-                            let state = arena.materialise_owned(e.id);
-                            dup.release(&state);
-                            shared.in_flight_add();
-                            let t = Transfer { state, owned: true, election: true };
-                            if txs[nb].send(t).is_err() {
-                                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        if let Some((nb_min_f, Reverse(nb))) = target {
+                            let far_worse =
+                                nb_min_f == u64::MAX || nb_min_f > best_f + (best_f >> 2);
+                            let batch = if far_worse { cfg.election_batch.max(1) } else { 1 };
+                            for _ in 0..batch {
+                                if !open.peek().is_some_and(|e| e.key.0 < nb_min_f) {
+                                    break;
+                                }
+                                let e = open.pop().expect("peeked a qualifying state above");
+                                let payload = extract_owned(problem, &mut arena, &mut dup, e.id);
+                                let records = payload.records(problem);
+                                shared.in_flight_add(records);
+                                let t = Transfer { payload, owned: true, election: true };
+                                if txs[nb].send(t).is_err() {
+                                    shared.in_flight.fetch_sub(records as i64, Ordering::SeqCst);
+                                }
                             }
                         }
                     }
@@ -753,18 +890,19 @@ fn ppe_worker(
                         open.push(k);
                     }
                     for (i, sid) in outgoing.into_iter().enumerate() {
-                        // Materialise-on-send: the state leaves this arena as
-                        // a full clone.  Shipping it transfers ownership (see
+                        // Chain-on-send: the state leaves a delta arena as
+                        // its ≤ v-record delta chain (full clone from the
+                        // eager store).  Shipping transfers ownership (see
                         // `DupFilter::release`): the receiver force-inserts
                         // it, so the sole live copy of a claimed signature is
                         // never dropped by both sides of an exchange.
-                        let s = arena.materialise_owned(sid);
-                        dup.release(&s);
+                        let payload = extract_owned(problem, &mut arena, &mut dup, sid);
+                        let records = payload.records(problem);
                         let target = deficits[i % deficits.len()];
-                        shared.in_flight_add();
-                        let t = Transfer { state: s, owned: true, election: false };
+                        shared.in_flight_add(records);
+                        let t = Transfer { payload, owned: true, election: false };
                         if txs[target].send(t).is_err() {
-                            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                            shared.in_flight.fetch_sub(records as i64, Ordering::SeqCst);
                         }
                     }
                 }
@@ -774,9 +912,36 @@ fn ppe_worker(
 
     // The arena is the PPE's only holder of full states: every state in the
     // eager layout, root + scratch (plus nothing per OPEN entry) in the
-    // delta layout.
+    // delta layout.  The record counters report the O(live frontier)
+    // behaviour of the refcounted store and the replay work behind it.
     stats.peak_live_states = arena.peak_live_full() as u64;
+    stats.peak_live_records = arena.peak_live_records() as u64;
+    stats.reclaimed_records = arena.reclaimed_records();
+    stats.materialisations = arena.materialisations();
+    stats.path_cache_hits = arena.path_cache_hits();
+    stats.replayed_deltas = arena.replayed_deltas();
     stats
+}
+
+/// Pops state `id` out of the sender's store for an ownership transfer: the
+/// delta chain leaves a delta arena without materialising; a full clone
+/// leaves the eager store.  The sender's duplicate bookkeeping forgets the
+/// signature (`Local` mode only — in `ShardedGlobal` mode the claim travels
+/// with the state) and the state's arena records are released: from here on
+/// the payload in the channel is the state's only live copy.
+fn extract_owned(
+    problem: &SchedulingProblem,
+    arena: &mut StateArena<'_>,
+    dup: &mut DupFilter<'_>,
+    id: StateId,
+) -> Payload {
+    let payload = match arena.kind() {
+        StoreKind::DeltaArena => Payload::Chain(arena.extract_chain(id)),
+        StoreKind::EagerClone => Payload::Full(arena.materialise_owned(id)),
+    };
+    dup.release(|| payload.signature(problem));
+    arena.release(id);
+    payload
 }
 
 #[cfg(test)]

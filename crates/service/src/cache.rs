@@ -14,6 +14,13 @@
 //! `anytime` completion of a bounded-suboptimal algorithm) are inserted;
 //! deadline-truncated answers are not memoized, so a later unconstrained
 //! request for the same instance still gets the real search.
+//!
+//! The cache is *bounded*: each shard holds at most a configurable number
+//! of entries (see [`ResultCache::bounded`]) and inserting into a full
+//! shard evicts that shard's oldest entry first (per-shard insertion
+//! sequence numbers, no global clock), so a long-running service cannot
+//! grow without limit no matter how diverse its request stream is.
+//! Evictions are counted and reported next to hits and misses.
 
 use std::collections::HashMap;
 
@@ -49,11 +56,21 @@ pub struct CachedResult {
     pub algorithm: String,
 }
 
+/// The locked interior of one shard: the entries, each stamped with this
+/// shard's monotonically increasing insertion sequence (re-inserting an
+/// existing key refreshes its stamp, making it the newest again).
+#[derive(Default)]
+struct ShardMap {
+    entries: HashMap<CacheKey, (u64, CachedResult)>,
+    next_seq: u64,
+}
+
 #[derive(Default)]
 struct Shard {
-    map: Mutex<HashMap<CacheKey, CachedResult>>,
+    map: Mutex<ShardMap>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Aggregate counters of a [`ResultCache`].
@@ -67,6 +84,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that missed (and usually led to a search + insert).
     pub misses: u64,
+    /// Oldest-first entries dropped because their shard hit its capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -86,16 +105,29 @@ pub struct ResultCache {
     shards: Vec<Shard>,
     /// `shards.len() - 1`; shard count is a power of two.
     mask: u64,
+    /// Largest number of entries one shard retains (>= 1).
+    shard_capacity: usize,
 }
+
+/// Default per-shard entry cap of [`ResultCache::new`]: with the service's
+/// default 8 shards this bounds the cache at 8192 memoized schedules.
+pub const DEFAULT_SHARD_CAPACITY: usize = 1024;
 
 impl ResultCache {
     /// A cache with `num_shards` lock stripes (rounded up to a power of two,
-    /// minimum 1).
+    /// minimum 1) and the [`DEFAULT_SHARD_CAPACITY`] per-shard entry cap.
     pub fn new(num_shards: usize) -> ResultCache {
+        ResultCache::bounded(num_shards, DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// A cache retaining at most `shard_capacity` entries per shard
+    /// (minimum 1); inserting into a full shard evicts its oldest entry.
+    pub fn bounded(num_shards: usize, shard_capacity: usize) -> ResultCache {
         let n = num_shards.max(1).next_power_of_two();
         ResultCache {
             shards: (0..n).map(|_| Shard::default()).collect(),
             mask: (n - 1) as u64,
+            shard_capacity: shard_capacity.max(1),
         }
     }
 
@@ -117,7 +149,7 @@ impl ResultCache {
             algorithm: algorithm.to_string(),
             param_bits,
         };
-        let found = shard.map.lock().get(&key).cloned();
+        let found = shard.map.lock().entries.get(&key).map(|(_, r)| r.clone());
         match &found {
             Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
             None => shard.misses.fetch_add(1, Ordering::Relaxed),
@@ -127,7 +159,8 @@ impl ResultCache {
 
     /// Memoizes a result.  Last writer wins (identical keys produce
     /// equivalent results, so a benign race between two workers solving the
-    /// same fresh instance concurrently is harmless).
+    /// same fresh instance concurrently is harmless); when the insert
+    /// overflows the shard's capacity, the shard's oldest entry is evicted.
     pub fn insert(
         &self,
         signature: u64,
@@ -141,16 +174,31 @@ impl ResultCache {
             algorithm: algorithm.to_string(),
             param_bits,
         };
-        self.shard(signature).map.lock().insert(key, result);
+        let shard = self.shard(signature);
+        let mut m = shard.map.lock();
+        let seq = m.next_seq;
+        m.next_seq += 1;
+        m.entries.insert(key, (seq, result));
+        if m.entries.len() > self.shard_capacity {
+            let oldest = m
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("an over-capacity shard is not empty");
+            m.entries.remove(&oldest);
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Counter snapshot across all shards.
     pub fn stats(&self) -> CacheStats {
         let mut s = CacheStats { num_shards: self.shards.len(), ..Default::default() };
         for shard in &self.shards {
-            s.entries += shard.map.lock().len();
+            s.entries += shard.map.lock().entries.len();
             s.hits += shard.hits.load(Ordering::Relaxed);
             s.misses += shard.misses.load(Ordering::Relaxed);
+            s.evictions += shard.evictions.load(Ordering::Relaxed);
         }
         s
     }
@@ -217,6 +265,43 @@ mod tests {
         let other = Instance::new(paper_example_dag(), ProcNetwork::ring(4));
         let other_canon = CanonicalInstance::of(&other);
         assert!(cache.lookup(sig, &other_canon, "astar", 0).is_none());
+    }
+
+    /// The cache is bounded: a shard at capacity evicts its oldest entry on
+    /// the next insert (per-shard insertion order), counts the eviction, and
+    /// re-inserting an existing key refreshes its age.
+    #[test]
+    fn full_shard_evicts_its_oldest_entry() {
+        let cache = ResultCache::bounded(1, 2); // one shard, two entries
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "a", 0, dummy_result());
+        cache.insert(sig, &canon, "b", 0, dummy_result());
+        // Refreshing "a" makes it the newest entry, not a third one.
+        cache.insert(sig, &canon, "a", 0, dummy_result());
+        assert_eq!(cache.stats().evictions, 0);
+        // A third distinct key overflows the shard: the oldest ("b") goes.
+        cache.insert(sig, &canon, "c", 0, dummy_result());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.lookup(sig, &canon, "a", 0).is_some());
+        assert!(cache.lookup(sig, &canon, "b", 0).is_none());
+        assert!(cache.lookup(sig, &canon, "c", 0).is_some());
+    }
+
+    /// A zero capacity is clamped to one entry per shard — the cache
+    /// degrades to remembering only the most recent result, never to
+    /// dropping inserts on the floor.
+    #[test]
+    fn zero_capacity_clamps_to_one_entry() {
+        let cache = ResultCache::bounded(1, 0);
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "a", 0, dummy_result());
+        cache.insert(sig, &canon, "b", 0, dummy_result());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.lookup(sig, &canon, "b", 0).is_some());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod protocol;
 pub mod service;
 pub mod signature;
 
-pub use cache::{CacheStats, CachedResult, ResultCache};
+pub use cache::{CacheStats, CachedResult, ResultCache, DEFAULT_SHARD_CAPACITY};
 pub use pool::{run_service, serve_tcp, PoolSummary};
 pub use protocol::{quality, Instance, Request, Response};
 pub use service::{SchedulingService, ServiceConfig};

@@ -16,6 +16,9 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Lock stripes of the memoizing result cache.
     pub cache_shards: usize,
+    /// Per-shard entry cap of the result cache (a full shard evicts its
+    /// oldest entry first); clamped to at least one entry per shard.
+    pub cache_capacity: usize,
     /// Seed the serial searches from the list-scheduling upper bound (the
     /// `seed_incumbent` knob of [`SchedulerSpec`]).  On by default in the
     /// service: callers pay for answers, not for faithful-to-1998 search
@@ -33,6 +36,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: 2,
             cache_shards: 8,
+            cache_capacity: crate::cache::DEFAULT_SHARD_CAPACITY,
             seed_incumbent: true,
             epsilon: 0.2,
             deadline_weight: 1.5,
@@ -51,7 +55,10 @@ pub struct SchedulingService {
 impl SchedulingService {
     /// A service with the given configuration and an empty cache.
     pub fn new(config: ServiceConfig) -> SchedulingService {
-        SchedulingService { config, cache: ResultCache::new(config.cache_shards) }
+        SchedulingService {
+            config,
+            cache: ResultCache::bounded(config.cache_shards, config.cache_capacity),
+        }
     }
 
     /// The configuration in force.

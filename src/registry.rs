@@ -10,8 +10,8 @@
 
 use optsched_core::{
     AEpsScheduler, AStarScheduler, ChenYuScheduler, ExhaustiveScheduler, HeuristicKind,
-    PruningConfig, SchedulingProblem, SearchLimits, SearchOutcome, SearchResult, StoreKind,
-    WAStarScheduler,
+    PruningConfig, SchedulingProblem, SearchLimits, SearchOutcome, SearchResult, SearchStats,
+    StoreKind, WAStarScheduler,
 };
 use optsched_listsched::upper_bound_schedule;
 use optsched_parallel::{ParallelAStarScheduler, ParallelConfig, ParallelSearchResult};
@@ -64,6 +64,14 @@ pub struct SchedulerSpec {
     /// corresponding field of [`SchedulerSpec::parallel`] at dispatch time:
     /// the spec is the front ends' single source of truth.
     pub store: StoreKind,
+    /// Refcounted reclamation of dead delta chains in the state store (on by
+    /// default; never changes the search).  Applied, like
+    /// [`SchedulerSpec::store`], to the serial engine and to each PPE of the
+    /// `parallel` family, overriding [`ParallelConfig::arena_gc`].
+    pub arena_gc: bool,
+    /// Materialisation path-cache capacity of the state store (0 disables
+    /// it).  Same override semantics as [`SchedulerSpec::arena_gc`].
+    pub path_cache: u32,
     /// Approximation factor of `aeps` (also applied to `parallel` when
     /// [`ParallelConfig::epsilon`] is set there).
     pub epsilon: f64,
@@ -89,6 +97,8 @@ impl Default for SchedulerSpec {
             pruning: PruningConfig::all(),
             heuristic: HeuristicKind::default(),
             store: StoreKind::default(),
+            arena_gc: true,
+            path_cache: 8,
             epsilon: 0.2,
             weight: 1.0,
             seed_incumbent: false,
@@ -106,6 +116,22 @@ pub fn parallel_to_search_result(r: &ParallelSearchResult) -> SearchResult {
         outcome: r.outcome.clone(),
         stats: r.total_stats(),
         elapsed: r.elapsed,
+    }
+}
+
+/// Formats the arena path-cache hit rate (`path_cache_hits` over
+/// materialisations) for report lines; `"n/a"` when the run never
+/// materialised a state (eager store, or no expansions).
+pub fn path_cache_hit_rate(stats: &SearchStats) -> String {
+    if stats.materialisations == 0 {
+        "n/a".to_string()
+    } else {
+        format!(
+            "{:.1}% ({} of {})",
+            stats.path_cache_hits as f64 / stats.materialisations as f64 * 100.0,
+            stats.path_cache_hits,
+            stats.materialisations
+        )
     }
 }
 
@@ -131,6 +157,8 @@ impl Scheduler for AStarEntry {
                 .with_heuristic(self.0.heuristic)
                 .with_limits(self.0.limits)
                 .with_store(self.0.store)
+                .with_arena_gc(self.0.arena_gc)
+                .with_path_cache(self.0.path_cache)
                 .with_seeded_incumbent(self.0.seed_incumbent)
                 .run(),
         )
@@ -151,6 +179,8 @@ impl Scheduler for WAStarEntry {
                 .with_heuristic(self.0.heuristic)
                 .with_limits(self.0.limits)
                 .with_store(self.0.store)
+                .with_arena_gc(self.0.arena_gc)
+                .with_path_cache(self.0.path_cache)
                 .with_seeded_incumbent(self.0.seed_incumbent)
                 .run(),
         )
@@ -171,6 +201,8 @@ impl Scheduler for AEpsEntry {
                 .with_heuristic(self.0.heuristic)
                 .with_limits(self.0.limits)
                 .with_store(self.0.store)
+                .with_arena_gc(self.0.arena_gc)
+                .with_path_cache(self.0.path_cache)
                 .with_seeded_incumbent(self.0.seed_incumbent)
                 .run(),
         )
@@ -189,6 +221,8 @@ impl Scheduler for ChenYuEntry {
             ChenYuScheduler::new(problem)
                 .with_limits(self.0.limits)
                 .with_store(self.0.store)
+                .with_arena_gc(self.0.arena_gc)
+                .with_path_cache(self.0.path_cache)
                 .with_seeded_incumbent(self.0.seed_incumbent)
                 .run(),
         )
@@ -207,6 +241,8 @@ impl Scheduler for ExhaustiveEntry {
             ExhaustiveScheduler::new(problem)
                 .with_limits(self.0.limits)
                 .with_store(self.0.store)
+                .with_arena_gc(self.0.arena_gc)
+                .with_path_cache(self.0.path_cache)
                 .run(),
         )
     }
@@ -246,7 +282,10 @@ impl Scheduler for ParallelEntry {
         let mut cfg = self.0.parallel;
         cfg.limits = self.0.limits;
         cfg.store = self.0.store;
+        cfg.arena_gc = self.0.arena_gc;
+        cfg.path_cache = self.0.path_cache;
         let r = ParallelAStarScheduler::new(problem, cfg).run();
+        let totals = r.total_stats();
         let mut extras = vec![
             ("states expanded".to_string(), r.total_expanded().to_string()),
             (
@@ -254,6 +293,9 @@ impl Scheduler for ParallelEntry {
                 r.redundant_expansions_avoided().to_string(),
             ),
             ("peak_live_states".to_string(), r.peak_live_states().to_string()),
+            ("peak_live_records".to_string(), totals.peak_live_records.to_string()),
+            ("reclaimed_records".to_string(), totals.reclaimed_records.to_string()),
+            ("path-cache hit rate".to_string(), path_cache_hit_rate(&totals)),
             ("in-flight peak".to_string(), r.peak_in_flight.to_string()),
             ("election transfers".to_string(), r.election_transfers().to_string()),
         ];
@@ -361,6 +403,9 @@ mod tests {
         let report = reg.get("parallel").unwrap().run(&problem);
         assert!(report.extras.iter().any(|(k, _)| k == "states expanded"));
         assert!(report.extras.iter().any(|(k, _)| k == "peak_live_states"));
+        assert!(report.extras.iter().any(|(k, _)| k == "peak_live_records"));
+        assert!(report.extras.iter().any(|(k, _)| k == "reclaimed_records"));
+        assert!(report.extras.iter().any(|(k, _)| k == "path-cache hit rate"));
         assert!(report.extras.iter().any(|(k, _)| k == "election transfers"));
         assert!(
             report.extras.iter().any(|(k, _)| k == "closed table"),
@@ -396,6 +441,41 @@ mod tests {
             eager.result.stats.peak_live_states,
             arena.result.stats.peak_live_states
         );
+    }
+
+    /// The arena-lifecycle knobs reach both the serial engines and the PPE
+    /// workers: GC-off keeps `reclaimed_records` at zero (the PR 4/5
+    /// append-only store) while the default reclaims dead chains, and
+    /// neither setting moves the optimum.
+    #[test]
+    fn arena_gc_knob_flows_through() {
+        let problem = example_problem();
+        let run = |name: &str, gc: bool| {
+            let spec = SchedulerSpec { arena_gc: gc, ..SchedulerSpec::default() };
+            SchedulerRegistry::with_spec(spec).get(name).unwrap().run(&problem)
+        };
+        for name in ["astar", "parallel"] {
+            let on = run(name, true);
+            let off = run(name, false);
+            assert_eq!(on.result.schedule_length, 14, "{name}");
+            assert_eq!(off.result.schedule_length, 14, "{name}");
+            assert!(on.result.stats.reclaimed_records > 0, "{name}: GC on must reclaim");
+            assert_eq!(off.result.stats.reclaimed_records, 0, "{name}: GC off is append-only");
+            assert!(
+                on.result.stats.peak_live_records <= off.result.stats.peak_live_records,
+                "{name}: GC can only shrink the record high-water mark ({} vs {})",
+                on.result.stats.peak_live_records,
+                off.result.stats.peak_live_records
+            );
+        }
+    }
+
+    #[test]
+    fn path_cache_hit_rate_formats() {
+        let none = SearchStats::default();
+        assert_eq!(path_cache_hit_rate(&none), "n/a");
+        let some = SearchStats { materialisations: 8, path_cache_hits: 2, ..Default::default() };
+        assert_eq!(path_cache_hit_rate(&some), "25.0% (2 of 8)");
     }
 
     #[test]

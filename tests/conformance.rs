@@ -12,9 +12,11 @@
 //!
 //! The duplicate-detection modes exercised by the parallel runs can be
 //! pinned through the `OPTSCHED_DUP_MODE` environment variable (`local`,
-//! `sharded`, or unset for both), and the state-store layouts through
-//! `OPTSCHED_STORE` (`eager`, `arena`, or unset for both), so CI can fail
-//! fast on a regression in any path; see `.github/workflows/ci.yml`.
+//! `sharded`, or unset for both), the state-store layouts through
+//! `OPTSCHED_STORE` (`eager`, `arena`, or unset for both), and the arena's
+//! refcounted reclamation through `OPTSCHED_ARENA_GC` (`on`, `off`, or
+//! unset for both), so CI can fail fast on a regression in any path; see
+//! `.github/workflows/ci.yml`.
 
 use optsched::prelude::*;
 use rand::rngs::StdRng;
@@ -40,6 +42,18 @@ fn stores_under_test() -> Vec<StoreKind> {
             vec![store]
         }
         Err(_) => vec![StoreKind::EagerClone, StoreKind::DeltaArena],
+    }
+}
+
+/// The arena-GC settings this process should exercise.
+fn gcs_under_test() -> Vec<bool> {
+    match std::env::var("OPTSCHED_ARENA_GC") {
+        Ok(v) => match v.as_str() {
+            "on" | "true" | "1" => vec![true],
+            "off" | "false" | "0" => vec![false],
+            other => panic!("OPTSCHED_ARENA_GC: unknown value `{other}` (expected on|off)"),
+        },
+        Err(_) => vec![true, false],
     }
 }
 
@@ -75,56 +89,68 @@ fn corpus() -> Vec<(String, TaskGraph, ProcNetwork)> {
 fn all_schedulers_agree_on_the_optimal_makespan() {
     let modes = modes_under_test();
     let stores = stores_under_test();
+    let gcs = gcs_under_test();
     for (name, graph, net) in corpus() {
         let problem = SchedulingProblem::new(graph.clone(), net.clone());
-        // Aε* degenerates to an exact search at ε = 0; `exhaustive` certifies
-        // the optimum by brute force on the smallest instances (it is itself
-        // exponential, so it is skipped above 7 nodes).
-        let spec = SchedulerSpec { epsilon: 0.0, ..Default::default() };
-        let registry = SchedulerRegistry::with_spec(spec);
 
-        // Serial A* is the reference.
-        let astar = registry.get("astar").expect("registered").run(&problem).result;
+        // Serial A* at the defaults is the reference.
+        let astar =
+            SchedulerRegistry::builtin().get("astar").expect("registered").run(&problem).result;
         assert!(astar.is_optimal(), "{name}: A* must prove optimality");
         let optimum = astar.schedule_length;
 
-        let mut families = vec!["aeps", "chenyu"];
-        if graph.num_nodes() <= 7 {
-            families.push("exhaustive");
-        }
-        for family in families {
-            let r = registry.get(family).expect("registered").run(&problem).result;
-            assert!(r.is_optimal(), "{name}: {family}");
-            assert_eq!(r.schedule_length, optimum, "{name}: {family}");
-            r.expect_schedule().validate(&graph, &net).unwrap();
-        }
+        for &gc in &gcs {
+            // Aε* degenerates to an exact search at ε = 0; `exhaustive`
+            // certifies the optimum by brute force on the smallest instances
+            // (it is itself exponential, so it is skipped above 7 nodes).
+            let spec = SchedulerSpec { epsilon: 0.0, arena_gc: gc, ..Default::default() };
+            let registry = SchedulerRegistry::with_spec(spec);
+            let mut families = vec!["astar", "aeps", "chenyu"];
+            if graph.num_nodes() <= 7 {
+                families.push("exhaustive");
+            }
+            for family in families {
+                let r = registry.get(family).expect("registered").run(&problem).result;
+                assert!(r.is_optimal(), "{name}: {family} gc={gc}");
+                assert_eq!(r.schedule_length, optimum, "{name}: {family} gc={gc}");
+                r.expect_schedule().validate(&graph, &net).unwrap();
+            }
 
-        // Parallel A*: every duplicate-detection mode × state-store layout,
-        // q ∈ {1, 2}.  The store is passed through the spec's `store` knob —
-        // the same path the CLI's `--store` takes.
-        for &mode in &modes {
-            for &store in &stores {
-                for q in [1usize, 2] {
-                    let spec = SchedulerSpec {
-                        parallel: ParallelConfig::exact(q).with_duplicate_detection(mode),
-                        store,
-                        ..Default::default()
-                    };
-                    let ctx = format!("{name}: parallel q={q} mode={mode} store={store}");
-                    let r = SchedulerRegistry::with_spec(spec)
-                        .get("parallel")
-                        .expect("registered")
-                        .run(&problem)
-                        .result;
-                    assert!(r.is_optimal(), "{ctx}");
-                    assert_eq!(r.schedule_length, optimum, "{ctx}");
-                    r.expect_schedule().validate(&graph, &net).unwrap();
-                    if store == StoreKind::DeltaArena {
-                        assert!(
-                            r.stats.peak_live_states <= 2,
-                            "{ctx}: arena held {} live full states",
-                            r.stats.peak_live_states
-                        );
+            // Parallel A*: every duplicate-detection mode × state-store
+            // layout, q ∈ {1, 2}.  The store and GC knobs are passed through
+            // the spec — the same path the CLI's `--store`/`--arena-gc` take.
+            for &mode in &modes {
+                for &store in &stores {
+                    for q in [1usize, 2] {
+                        let spec = SchedulerSpec {
+                            parallel: ParallelConfig::exact(q).with_duplicate_detection(mode),
+                            store,
+                            arena_gc: gc,
+                            ..Default::default()
+                        };
+                        let ctx =
+                            format!("{name}: parallel q={q} mode={mode} store={store} gc={gc}");
+                        let r = SchedulerRegistry::with_spec(spec)
+                            .get("parallel")
+                            .expect("registered")
+                            .run(&problem)
+                            .result;
+                        assert!(r.is_optimal(), "{ctx}");
+                        assert_eq!(r.schedule_length, optimum, "{ctx}");
+                        r.expect_schedule().validate(&graph, &net).unwrap();
+                        if store == StoreKind::DeltaArena {
+                            assert!(
+                                r.stats.peak_live_states <= 2,
+                                "{ctx}: arena held {} live full states",
+                                r.stats.peak_live_states
+                            );
+                        }
+                        if !gc {
+                            assert_eq!(
+                                r.stats.reclaimed_records, 0,
+                                "{ctx}: GC off must be append-only"
+                            );
+                        }
                     }
                 }
             }
@@ -336,4 +362,51 @@ fn arena_transfers_lose_no_claims_under_4_thread_stress() {
     assert!(r.is_optimal());
     assert_eq!(r.schedule_length(), optimum);
     assert_eq!(r.election_transfers(), 0);
+}
+
+/// The chain-shipping acceptance criterion: under the same eagerly
+/// communicating 4-thread contention as the stress test above, shipping
+/// delta *chains* (one fixed-size record per scheduled node) must keep the
+/// in-flight record high-water mark strictly below the full-clone baseline,
+/// which parks `v` records per transfer no matter how shallow the shipped
+/// state is.  Both configurations are repeated and compared on their worst
+/// observed peak, so the strict inequality is robust to thread-scheduling
+/// noise on the single-core host; both must also stay optimal — cheaper
+/// shipping must never cost correctness.
+#[test]
+fn delta_chain_shipping_undercuts_full_clone_in_flight_records() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generate_random_dag(
+        &RandomDagConfig { nodes: 10, ccr: 1.0, ..Default::default() },
+        &mut rng,
+    );
+    let problem = SchedulingProblem::new(g, ProcNetwork::fully_connected(3));
+    let optimum = AStarScheduler::new(&problem).run().schedule_length;
+
+    let worst_peak = |store: StoreKind| {
+        (0..4)
+            .map(|run| {
+                let cfg = ParallelConfig {
+                    num_ppes: 4,
+                    min_comm_period: 1, // eager exchange: maximum transfer traffic
+                    store,
+                    ..Default::default()
+                };
+                let r = ParallelAStarScheduler::new(&problem, cfg).run();
+                assert!(r.is_optimal(), "store={store} run={run}");
+                assert_eq!(r.schedule_length(), optimum, "store={store} run={run}");
+                assert!(r.peak_in_flight > 0, "store={store} run={run}: transfers must flow");
+                r.peak_in_flight
+            })
+            .max()
+            .expect("four runs")
+    };
+
+    let chain_peak = worst_peak(StoreKind::DeltaArena);
+    let clone_peak = worst_peak(StoreKind::EagerClone);
+    assert!(
+        chain_peak < clone_peak,
+        "chain shipping parked {chain_peak} records in flight at worst, \
+         the full-clone baseline {clone_peak}"
+    );
 }

@@ -163,6 +163,108 @@ proptest! {
         }
     }
 
+    /// Arena lifecycle bookkeeping under random generate / materialise /
+    /// release / ship schedules: the refcount books stay balanced at every
+    /// step (every allocated record is either live or reclaimed — nothing
+    /// leaks, nothing is double-freed), and releasing every outstanding
+    /// handle drains the arena back to exactly its pinned root, no matter
+    /// the order the handles die in.
+    #[test]
+    fn arena_refcount_books_stay_balanced(
+        (nodes, ccr_idx, seed) in dag_params(),
+        op_seed in any::<u64>(),
+    ) {
+        use optsched::core::engine::StateArena;
+        use optsched::core::SearchState;
+        use rand::Rng;
+        let g = make_dag(nodes, ccr_idx, seed);
+        let problem = SchedulingProblem::new(g, ProcNetwork::fully_connected(2));
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena = StateArena::new(&problem, ArenaConfig::default());
+        let mut handles = vec![arena.insert_root(SearchState::initial(&problem))];
+        let mut allocs: u64 = 1;
+
+        let mut op_rng = StdRng::seed_from_u64(op_seed);
+        for _ in 0..80 {
+            let op = op_rng.next_u32();
+            prop_assert_eq!(
+                arena.live_records() as u64 + arena.reclaimed_records(),
+                allocs,
+                "books out of balance mid-run"
+            );
+            if handles.is_empty() {
+                break;
+            }
+            let pick = (op as usize / 4) % handles.len();
+            match op % 4 {
+                // Expand: store a child of a random held state (two op codes,
+                // so trees grow often enough to exercise deep cascades).
+                0 | 1 => {
+                    let parent = arena.materialise(handles[pick]).clone();
+                    let ready = parent.ready_nodes(&problem);
+                    if !ready.is_empty() {
+                        let n = ready[(op as usize / 8) % ready.len()];
+                        let p = ProcId((op / 16) % problem.num_procs() as u32);
+                        let d = parent.peek_child(&problem, n, p, h);
+                        handles.push(arena.insert_child(handles[pick], &d));
+                        allocs += 1;
+                    }
+                }
+                // Prune: drop the handle (reclamation may cascade).
+                2 => arena.release(handles.swap_remove(pick)),
+                // Ship: extract the wire chain, release the local copy, adopt
+                // it back — a loop-back transfer through the chain-shipping
+                // wire format.  (Depth-0 states are never shipped.)
+                _ => {
+                    let id = handles[pick];
+                    if arena.materialise(id).depth() > 0 {
+                        let wire = arena.extract_chain(id);
+                        handles.swap_remove(pick);
+                        arena.release(id);
+                        handles.push(arena.adopt_chain(&wire));
+                        allocs += wire.len() as u64;
+                    }
+                }
+            }
+        }
+
+        for id in handles.drain(..) {
+            arena.release(id);
+        }
+        prop_assert_eq!(arena.live_records(), 1, "only the pinned root survives the drain");
+        prop_assert_eq!(arena.live_records() as u64 + arena.reclaimed_records(), allocs);
+    }
+
+    /// The arena lifecycle knobs are behaviour-preserving: switching the
+    /// refcounted reclamation off, or disabling the materialisation
+    /// path-cache, leaves the search bit-identical — same optimum, same
+    /// expansion / generation / duplicate counts — on every instance.  Only
+    /// the memory and replay profile may differ, and reclamation can only
+    /// shrink the record high-water mark.
+    #[test]
+    fn gc_and_path_cache_never_change_the_search(
+        (nodes, ccr_idx, seed) in dag_params(),
+        procs in 2usize..=3,
+    ) {
+        let g = make_dag(nodes, ccr_idx, seed);
+        let problem = SchedulingProblem::new(g, ProcNetwork::fully_connected(procs));
+        let base = AStarScheduler::new(&problem).run();
+        let no_gc = AStarScheduler::new(&problem).with_arena_gc(false).run();
+        let no_cache = AStarScheduler::new(&problem).with_path_cache(0).run();
+        for (name, r) in [("gc-off", &no_gc), ("cache-off", &no_cache)] {
+            prop_assert_eq!(r.schedule_length, base.schedule_length, "{}", name);
+            prop_assert_eq!(r.stats.expanded, base.stats.expanded, "{}", name);
+            prop_assert_eq!(r.stats.generated, base.stats.generated, "{}", name);
+            prop_assert_eq!(r.stats.duplicates, base.stats.duplicates, "{}", name);
+        }
+        prop_assert_eq!(no_gc.stats.reclaimed_records, 0, "gc-off is append-only");
+        prop_assert!(
+            base.stats.peak_live_records <= no_gc.stats.peak_live_records,
+            "reclamation can only shrink the record high-water mark ({} vs {})",
+            base.stats.peak_live_records, no_gc.stats.peak_live_records
+        );
+    }
+
     /// Adding a processor never makes the optimal schedule longer.
     #[test]
     fn more_processors_never_hurt((nodes, ccr_idx, seed) in dag_params()) {
