@@ -1,0 +1,270 @@
+//! Load generator for the scheduling service: open-loop arrival schedules
+//! over the mixed request corpus, driven straight into the global
+//! [`ServiceRuntime`] through its programmatic connection API (no sockets —
+//! the measurement is the service, not the kernel's TCP stack).
+//!
+//! Two scenarios run by default and append one JSON row each to
+//! `results/BENCH_service.json`:
+//!
+//! * **steady** — a paced arrival schedule well inside the admission budget:
+//!   measures throughput, p50/p99 latency and the cache hit rate of the
+//!   corpus's repeated instances; expects zero shed.
+//! * **overload** — the whole corpus submitted as one burst against a tiny
+//!   admission budget: exercises the backpressure path (structured sheds and
+//!   deadline-clamped degrades) and proves the lossless-response invariant
+//!   under pressure.
+//!
+//! Every scenario asserts the core service contract: **one response per
+//! submitted request, no losses** — open-loop submission means slow service
+//! cannot silently throttle the offered load.  The `--expect-*` flags turn
+//! further observations into exit-code assertions for CI:
+//! `--expect-cache-hit` (≥ 1 cache hit over all scenarios), `--expect-shed`
+//! (≥ 1 shed), `--expect-degraded` (≥ 1 degrade).
+//!
+//! Usage: `cargo run --release -p optsched-bench --bin loadgen --
+//!         [--count N] [--seed S] [--workers W] [--rate RPS]
+//!         [--out FILE] [--expect-cache-hit] [--expect-shed] [--expect-degraded]`
+
+use std::time::{Duration, Instant};
+
+use optsched_bench::write_json_rows;
+use optsched_service::{Request, Response, SchedulingService, ServiceConfig, ServiceRuntime};
+use optsched_workload::{generate_request_corpus, RequestCorpusConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One load scenario: a service configuration plus an offered load.
+struct Scenario {
+    name: &'static str,
+    count: usize,
+    workers: usize,
+    admission_budget: u64,
+    degrade_threshold: u64,
+    degrade_deadline_ms: u64,
+    /// Offered arrival rate in requests/second; 0 submits the whole corpus
+    /// as one burst.
+    rate: f64,
+}
+
+/// What one scenario measured (one JSON row).
+struct Outcome {
+    name: &'static str,
+    requests: usize,
+    responses: usize,
+    lost: usize,
+    elapsed: Duration,
+    latencies_ms: Vec<f64>,
+    cache_hits: u64,
+    shed: u64,
+    degraded: u64,
+    errors: u64,
+    workers: usize,
+    admission_budget: u64,
+}
+
+impl Outcome {
+    /// Nearest-rank percentile over the served-response latencies.
+    fn percentile_ms(&self, p: usize) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = (p * self.latencies_ms.len() / 100).min(self.latencies_ms.len() - 1);
+        self.latencies_ms[idx]
+    }
+
+    fn row(&self) -> String {
+        let hit_rate = if self.responses == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.responses as f64
+        };
+        format!(
+            "{{\"scenario\": \"{}\", \"requests\": {}, \"responses\": {}, \"lost\": {}, \"elapsed_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \"cache_hit_rate\": {:.3}, \"shed\": {}, \"degraded\": {}, \"errors\": {}, \"workers\": {}, \"admission_budget\": {}}}",
+            self.name,
+            self.requests,
+            self.responses,
+            self.lost,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.responses as f64 / self.elapsed.as_secs_f64().max(1e-9),
+            self.percentile_ms(50),
+            self.percentile_ms(99),
+            self.cache_hits,
+            hit_rate,
+            self.shed,
+            self.degraded,
+            self.errors,
+            self.workers,
+            self.admission_budget,
+        )
+    }
+}
+
+/// Runs one scenario: start a fresh runtime, submit the corpus on the
+/// open-loop schedule, collect every reply, drain, measure.
+fn run_scenario(s: &Scenario, seed: u64) -> Outcome {
+    let corpus = generate_request_corpus(
+        &RequestCorpusConfig { count: s.count, ..Default::default() },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let requests: Vec<Request> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut req = Request::from(c);
+            req.id = Some(i as u64);
+            req
+        })
+        .collect();
+
+    let service = SchedulingService::new(ServiceConfig {
+        workers: s.workers,
+        admission_budget: s.admission_budget,
+        degrade_threshold: s.degrade_threshold,
+        degrade_deadline_ms: s.degrade_deadline_ms,
+        ..Default::default()
+    });
+    let runtime = ServiceRuntime::start(&service);
+    let (mut conn, replies) = runtime.open();
+
+    let start = Instant::now();
+    let mut submit_at: Vec<Instant> = Vec::with_capacity(requests.len());
+    let received = std::thread::scope(|scope| {
+        let collector = scope.spawn(|| {
+            let mut received: Vec<(u64, Instant, Response)> = Vec::new();
+            while let Ok(reply) = replies.recv() {
+                received.push((reply.seq, Instant::now(), reply.response));
+            }
+            received
+        });
+        for (i, req) in requests.iter().enumerate() {
+            if s.rate > 0.0 {
+                // Open loop: arrival i is due at start + i/rate regardless of
+                // how the service is keeping up.
+                let due = start + Duration::from_secs_f64(i as f64 / s.rate);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+            }
+            submit_at.push(Instant::now());
+            conn.submit(req.clone());
+        }
+        drop(conn); // end-of-input: the reply channel drains and disconnects
+        collector.join().expect("reply collector panicked")
+    });
+    let elapsed = start.elapsed();
+    runtime.shutdown();
+
+    let mut latencies_ms: Vec<f64> = received
+        .iter()
+        .filter(|(_, _, resp)| resp.ok)
+        .map(|(seq, at, _)| at.duration_since(submit_at[*seq as usize]).as_secs_f64() * 1e3)
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    Outcome {
+        name: s.name,
+        requests: requests.len(),
+        responses: received.len(),
+        lost: requests.len() - received.len(),
+        elapsed,
+        latencies_ms,
+        cache_hits: received.iter().filter(|(_, _, r)| r.cache_hit).count() as u64,
+        shed: received.iter().filter(|(_, _, r)| r.shed).count() as u64,
+        degraded: received.iter().filter(|(_, _, r)| r.degraded).count() as u64,
+        errors: received.iter().filter(|(_, _, r)| !r.ok).count() as u64,
+        workers: s.workers,
+        admission_budget: s.admission_budget,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let has = |key: &str| args.iter().any(|a| a == key);
+    let count: usize = get("--count").and_then(|v| v.parse().ok()).unwrap_or(48);
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(1998);
+    let workers: usize = get("--workers").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let rate: f64 = get("--rate").and_then(|v| v.parse().ok()).unwrap_or(150.0);
+    let out = get("--out").unwrap_or("BENCH_service.json");
+
+    let scenarios = [
+        Scenario {
+            name: "steady",
+            count,
+            workers,
+            admission_budget: 256,
+            degrade_threshold: 192,
+            degrade_deadline_ms: 25,
+            rate,
+        },
+        Scenario {
+            name: "overload",
+            // 4× the tiny budget guarantees pressure whatever the count.
+            count: count.max(32),
+            workers,
+            admission_budget: 8,
+            degrade_threshold: 4,
+            degrade_deadline_ms: 5,
+            rate: 0.0,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let mut total = (0u64, 0u64, 0u64); // (cache_hits, shed, degraded)
+    for s in &scenarios {
+        let outcome = run_scenario(s, seed);
+        println!(
+            "{:<9} {} requests -> {} responses ({} lost) in {:.1} ms | p50 {:.2} ms, p99 {:.2} ms, {} cache hits, {} shed, {} degraded, {} errors",
+            outcome.name,
+            outcome.requests,
+            outcome.responses,
+            outcome.lost,
+            outcome.elapsed.as_secs_f64() * 1e3,
+            outcome.percentile_ms(50),
+            outcome.percentile_ms(99),
+            outcome.cache_hits,
+            outcome.shed,
+            outcome.degraded,
+            outcome.errors,
+        );
+        // The core contract holds in every scenario: open-loop offered load,
+        // exactly one response per request.
+        if outcome.lost != 0 {
+            failures.push(format!("{}: lost {} response(s)", outcome.name, outcome.lost));
+        }
+        total.0 += outcome.cache_hits;
+        total.1 += outcome.shed;
+        total.2 += outcome.degraded;
+        rows.push(outcome.row());
+    }
+
+    if has("--expect-cache-hit") && total.0 == 0 {
+        failures.push("expected >= 1 cache hit, observed 0".to_string());
+    }
+    if has("--expect-shed") && total.1 == 0 {
+        failures.push("expected >= 1 shed, observed 0".to_string());
+    }
+    if has("--expect-degraded") && total.2 == 0 {
+        failures.push("expected >= 1 degraded, observed 0".to_string());
+    }
+
+    match write_json_rows(out, &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("loadgen: FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -10,8 +10,12 @@
 //! optsched generate --nodes 20 --ccr 1.0 [--seed 7] [--output graph.json]
 //! optsched example
 //! optsched levels --input graph.json
-//! optsched serve [--workers 2] [--listen 127.0.0.1:7878]
+//! optsched serve [--workers 2] [--listen 127.0.0.1:7878] [--admission-budget N]
+//!                [--degrade-threshold N] [--degrade-deadline-ms N] [--cache-capacity N]
+//!                [--cache-max-age-ms N] [--summary-interval-ms N]
 //! optsched batch --requests reqs.jsonl|- [--workers 2] [--min-cache-hits N] [--summary]
+//!                [--admission-budget N] [--degrade-threshold N] [--degrade-deadline-ms N]
+//!                [--cache-capacity N] [--cache-max-age-ms N]
 //! optsched requests --count 20 [--seed 7] [--output reqs.jsonl]
 //! ```
 //!
@@ -32,12 +36,22 @@
 //!
 //! The service subcommands speak the JSON-lines protocol of
 //! `optsched-service`: `serve` answers requests from stdin (or a TCP
-//! listener with `--listen`), `batch` drains a request file through the
-//! worker pool and reports a summary, and `requests` generates a mixed
-//! request corpus — so the whole pipeline composes as
-//! `optsched requests --count 20 | optsched batch --requests -`.
+//! listener with `--listen`) over **one** global worker pool shared by all
+//! connections, `batch` drains a request file through that pool and reports
+//! a summary, and `requests` generates a mixed request corpus — so the whole
+//! pipeline composes as `optsched requests --count 20 | optsched batch
+//! --requests -`.  `--admission-budget` / `--degrade-threshold` /
+//! `--degrade-deadline-ms` tune the service's backpressure (shed with a
+//! structured `overloaded` response past the budget, degrade to
+//! deadline-clamped `wastar` past the threshold), `--cache-capacity` /
+//! `--cache-max-age-ms` size the LRU result cache and its TTL, and
+//! `serve --summary-interval-ms N` prints a metrics snapshot (pending,
+//! shed, degraded, cache hit rate, evictions, expirations) to stderr every
+//! N milliseconds.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use optsched::registry::{path_cache_hit_rate, SchedulerRegistry, SchedulerSpec};
 use optsched_core::{AStarScheduler, SchedulingProblem, SearchLimits, SearchOutcome};
@@ -92,7 +106,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--weight W] [--seed-incumbent] [--ppes Q] \\\n                    [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] \\\n                    [--arena-gc on|off] [--path-cache K] [--election-batch B] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n  optsched serve [--workers N] [--listen ADDR:PORT]\n  optsched batch --requests file.jsonl|- [--workers N] [--min-cache-hits N] [--summary]\n  optsched requests --count N [--seed S] [--output file.jsonl]\n(`--input -` reads the graph JSON from stdin; algorithms: astar|wastar|aeps|chenyu|exhaustive|list|parallel)"
+        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--weight W] [--seed-incumbent] [--ppes Q] \\\n                    [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] \\\n                    [--arena-gc on|off] [--path-cache K] [--election-batch B] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n  optsched serve [--workers N] [--listen ADDR:PORT] [--admission-budget N] \\\n                 [--degrade-threshold N] [--degrade-deadline-ms N] [--cache-capacity N] \\\n                 [--cache-max-age-ms N] [--summary-interval-ms N]\n  optsched batch --requests file.jsonl|- [--workers N] [--min-cache-hits N] [--summary] \\\n                 [--admission-budget N] [--degrade-threshold N] [--cache-capacity N]\n  optsched requests --count N [--seed S] [--output file.jsonl]\n(`--input -` reads the graph JSON from stdin; algorithms: astar|wastar|aeps|chenyu|exhaustive|list|parallel)"
     );
     ExitCode::FAILURE
 }
@@ -263,15 +277,91 @@ fn cmd_levels(graph: &TaskGraph) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `optsched serve`: the JSON-lines scheduling service over stdin/stdout,
-/// or over TCP with `--listen ADDR:PORT`.
-fn cmd_serve(args: &Args) -> ExitCode {
-    let config = ServiceConfig {
-        workers: args.get_parse("workers", ServiceConfig::default().workers),
+/// Builds the service configuration shared by `serve` and `batch` from the
+/// command line.
+fn service_config_from_args(args: &Args) -> ServiceConfig {
+    let d = ServiceConfig::default();
+    let admission_budget = args.get_parse("admission-budget", d.admission_budget);
+    ServiceConfig {
+        workers: args.get_parse("workers", d.workers),
+        cache_capacity: args.get_parse("cache-capacity", d.cache_capacity),
+        cache_max_age_ms: args.get("cache-max-age-ms").and_then(|v| v.parse().ok()),
+        admission_budget,
+        // The threshold must stay within the budget to mean anything.
+        degrade_threshold: args
+            .get_parse("degrade-threshold", d.degrade_threshold)
+            .min(admission_budget),
+        degrade_deadline_ms: args.get_parse("degrade-deadline-ms", d.degrade_deadline_ms),
         seed_incumbent: !args.has("no-seed-incumbent"),
-        ..Default::default()
-    };
+        ..d
+    }
+}
+
+/// One metrics line for the periodic and final `serve` summaries.
+fn metrics_line(service: &SchedulingService) -> String {
+    let m = service.metrics_snapshot();
+    let c = service.cache_stats();
+    format!(
+        "submitted {} responses {} pending {} (peak {}) shed {} degraded {} | cache: {} entries, {:.0}% hit rate, {} evictions, {} expired",
+        m.submitted,
+        m.responses,
+        m.pending,
+        m.peak_pending,
+        m.shed,
+        m.degraded,
+        c.entries,
+        c.hit_rate() * 100.0,
+        c.evictions,
+        c.expired
+    )
+}
+
+/// Prints a metrics snapshot to stderr every `--summary-interval-ms` until
+/// the returned guard is dropped (no-op at the default of 0).
+fn spawn_summary_monitor(args: &Args, service: &SchedulingService) -> Option<SummaryMonitor> {
+    let interval_ms = args.get_parse("summary-interval-ms", 0u64);
+    if interval_ms == 0 {
+        return None;
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let service = service.clone();
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let interval = std::time::Duration::from_millis(interval_ms.max(1));
+        while !flag.load(Ordering::Relaxed) {
+            std::thread::park_timeout(interval);
+            if flag.load(Ordering::Relaxed) {
+                break;
+            }
+            eprintln!("serve: {}", metrics_line(&service));
+        }
+    });
+    Some(SummaryMonitor { stop, handle: Some(handle) })
+}
+
+/// Guard of the periodic summary thread; stops it on drop.
+struct SummaryMonitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for SummaryMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            handle.join().expect("summary monitor panicked");
+        }
+    }
+}
+
+/// `optsched serve`: the JSON-lines scheduling service over stdin/stdout,
+/// or over TCP with `--listen ADDR:PORT` — either way one global worker
+/// pool answers every connection.
+fn cmd_serve(args: &Args) -> ExitCode {
+    let config = service_config_from_args(args);
     let service = SchedulingService::new(config);
+    let _monitor = spawn_summary_monitor(args, &service);
     match args.get("listen") {
         Some(addr) => {
             let listener = match std::net::TcpListener::bind(addr) {
@@ -282,8 +372,8 @@ fn cmd_serve(args: &Args) -> ExitCode {
                 }
             };
             eprintln!(
-                "optsched-service listening on {addr} ({} workers per connection)",
-                config.workers
+                "optsched-service listening on {addr} ({} shared workers, admission budget {})",
+                config.workers, config.admission_budget
             );
             if let Err(e) = serve_tcp(&service, &listener, None) {
                 eprintln!("serve error: {e}");
@@ -292,21 +382,21 @@ fn cmd_serve(args: &Args) -> ExitCode {
             ExitCode::SUCCESS
         }
         None => {
-            // `BufReader<Stdin>` rather than `StdinLock`: the pool's
-            // dispatcher thread needs a `Send` reader.
+            // `BufReader<Stdin>` rather than `StdinLock`: the runtime's
+            // reader thread needs a `Send` reader.
             let stdin = std::io::BufReader::new(std::io::stdin());
             let mut stdout = std::io::stdout();
             match run_service(&service, stdin, &mut stdout) {
                 Ok(summary) => {
-                    let stats = service.cache_stats();
                     eprintln!(
-                        "served {} responses ({} errors, {} cache hits, {:.0}% hit rate, {} evictions)",
+                        "served {} responses ({} errors, {} cache hits, {} shed, {} degraded)",
                         summary.responses,
                         summary.errors,
                         summary.cache_hits,
-                        stats.hit_rate() * 100.0,
-                        stats.evictions
+                        summary.shed,
+                        summary.degraded
                     );
+                    eprintln!("serve: {}", metrics_line(&service));
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -343,10 +433,7 @@ fn cmd_batch(args: &Args) -> ExitCode {
         }
     };
 
-    let config = ServiceConfig {
-        workers: args.get_parse("workers", ServiceConfig::default().workers),
-        ..Default::default()
-    };
+    let config = service_config_from_args(args);
     let service = SchedulingService::new(config);
     let mut stdout = std::io::stdout();
     let summary = match run_service(&service, text.as_bytes(), &mut stdout) {
@@ -360,13 +447,16 @@ fn cmd_batch(args: &Args) -> ExitCode {
     let stats = service.cache_stats();
     if args.has("summary") {
         eprintln!(
-            "batch: {} responses, {} errors, {} cache hits ({} entries, {:.0}% hit rate, {} evictions)",
+            "batch: {} responses, {} errors, {} cache hits, {} shed, {} degraded ({} entries, {:.0}% hit rate, {} evictions, {} expired)",
             summary.responses,
             summary.errors,
             summary.cache_hits,
+            summary.shed,
+            summary.degraded,
             stats.entries,
             stats.hit_rate() * 100.0,
-            stats.evictions
+            stats.evictions,
+            stats.expired
         );
     }
     if summary.errors > 0 {

@@ -393,3 +393,82 @@ fn arena_gc_knob_and_lifecycle_counters_from_the_cli() {
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown --arena-gc"));
 }
+
+/// Feeds stdin in two chunks with a pause between, keeping the service alive
+/// long enough for time-based behaviour (the periodic summary) to fire.
+fn run_with_chunked_stdin(args: &[&str], first: &[u8], second: &[u8]) -> Output {
+    let mut child = optsched(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn optsched");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        stdin.write_all(first).expect("write first chunk");
+        stdin.flush().expect("flush");
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        stdin.write_all(second).expect("write second chunk");
+    }
+    child.wait_with_output().expect("wait for optsched")
+}
+
+/// `serve --summary-interval-ms` prints periodic metrics snapshots to stderr
+/// while serving, and the final summary surfaces the admission-control and
+/// cache-lifecycle counters (shed, degraded, evictions, expirations).
+#[test]
+fn serve_periodic_summaries_surface_backpressure_counters() {
+    let corpus = run(&["requests", "--count", "6", "--seed", "7"]);
+    assert!(corpus.status.success());
+    let lines = String::from_utf8(corpus.stdout).unwrap();
+    let split = lines.find('\n').unwrap() + 1;
+
+    let served = run_with_chunked_stdin(
+        &["serve", "--workers", "2", "--summary-interval-ms", "10"],
+        &lines.as_bytes()[..split],
+        &lines.as_bytes()[split..],
+    );
+    assert!(served.status.success(), "stderr: {}", String::from_utf8_lossy(&served.stderr));
+    let stderr = String::from_utf8_lossy(&served.stderr);
+    let metric_lines: Vec<&str> =
+        stderr.lines().filter(|l| l.starts_with("serve: ")).collect();
+    assert!(
+        metric_lines.len() >= 2,
+        "at least one periodic snapshot plus the final one, got: {stderr}"
+    );
+    for needle in ["pending", "shed", "degraded", "evictions", "expired", "hit rate"] {
+        assert!(metric_lines[0].contains(needle), "`{needle}` missing from: {}", metric_lines[0]);
+    }
+    // The final per-connection summary also carries the shed/degrade tallies.
+    assert!(stderr.contains("served 6 responses"), "stderr: {stderr}");
+    assert!(stderr.contains("0 shed, 0 degraded"), "stderr: {stderr}");
+}
+
+/// `batch --summary` surfaces the new counters, and `--cache-max-age-ms 0`
+/// is plumbed through: with everything expiring instantly the duplicate
+/// instances cannot hit the cache, and the expiry counter shows why.
+#[test]
+fn batch_summary_reports_cache_lifecycle_counters_and_honours_max_age() {
+    let corpus = run(&["requests", "--count", "8", "--seed", "7"]);
+    assert!(corpus.status.success());
+
+    let batch = run_with_stdin(
+        &["batch", "--requests", "-", "--workers", "2", "--summary", "--cache-max-age-ms", "0"],
+        corpus.stdout.as_slice(),
+    );
+    assert!(batch.status.success(), "stderr: {}", String::from_utf8_lossy(&batch.stderr));
+    let stderr = String::from_utf8_lossy(&batch.stderr);
+    let summary = stderr
+        .lines()
+        .find(|l| l.starts_with("batch:"))
+        .unwrap_or_else(|| panic!("no summary in: {stderr}"));
+    assert!(summary.contains("0 cache hits"), "a 0 ms TTL serves nothing: {summary}");
+    assert!(summary.contains("0 shed, 0 degraded"), "{summary}");
+    let expired: u64 = summary
+        .split(" expired")
+        .next()
+        .and_then(|s| s.rsplit(", ").next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no expired counter in: {summary}"));
+    assert!(expired > 0, "the duplicate lookups must have expired entries: {summary}");
+}

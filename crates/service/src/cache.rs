@@ -15,14 +15,27 @@
 //! deadline-truncated answers are not memoized, so a later unconstrained
 //! request for the same instance still gets the real search.
 //!
-//! The cache is *bounded*: each shard holds at most a configurable number
-//! of entries (see [`ResultCache::bounded`]) and inserting into a full
-//! shard evicts that shard's oldest entry first (per-shard insertion
-//! sequence numbers, no global clock), so a long-running service cannot
-//! grow without limit no matter how diverse its request stream is.
-//! Evictions are counted and reported next to hits and misses.
+//! The cache is *bounded* two ways:
+//!
+//! * **LRU capacity** — each shard holds at most a configurable number of
+//!   entries (see [`ResultCache::bounded`]); inserting into a full shard
+//!   evicts the entry that was *used* (looked up or re-inserted) least
+//!   recently, per a shard-local recency clock.  Eviction scans the shard
+//!   (O(capacity)), which at the default 1024-entry shards is noise next to
+//!   a single search; what matters is the policy — a hot entry is never the
+//!   one dropped, which the old insertion-order eviction could not promise.
+//! * **`max_age` TTL** — an optional time-to-live (see
+//!   [`ResultCache::with_max_age`]).  Expiry is *lazy*: an entry older than
+//!   `max_age` is removed by the lookup that finds it (counted as a miss
+//!   plus an expiry, never served), and inserts purge expired entries
+//!   before falling back to LRU eviction.  `Duration::ZERO` means nothing
+//!   is ever served back — handy for tests and for running the service
+//!   effectively cache-less.
+//!
+//! Evictions and expiries are counted and reported next to hits and misses.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,13 +69,23 @@ pub struct CachedResult {
     pub algorithm: String,
 }
 
-/// The locked interior of one shard: the entries, each stamped with this
-/// shard's monotonically increasing insertion sequence (re-inserting an
-/// existing key refreshes its stamp, making it the newest again).
+/// One stored entry: the result plus its recency stamp (LRU) and insertion
+/// time (TTL).
+struct Entry {
+    /// Shard-local recency clock value of the last use (lookup hit or
+    /// insert); the LRU victim is the minimum.
+    stamp: u64,
+    /// When the entry was (re-)inserted; age beyond `max_age` expires it.
+    inserted: Instant,
+    result: CachedResult,
+}
+
+/// The locked interior of one shard: the entries plus the shard's
+/// monotonically increasing recency clock.
 #[derive(Default)]
 struct ShardMap {
-    entries: HashMap<CacheKey, (u64, CachedResult)>,
-    next_seq: u64,
+    entries: HashMap<CacheKey, Entry>,
+    clock: u64,
 }
 
 #[derive(Default)]
@@ -71,6 +94,7 @@ struct Shard {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    expired: AtomicU64,
 }
 
 /// Aggregate counters of a [`ResultCache`].
@@ -82,10 +106,15 @@ pub struct CacheStats {
     pub entries: usize,
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that missed (and usually led to a search + insert).
+    /// Lookups that missed (and usually led to a search + insert).  An
+    /// expired entry counts as a miss *and* an expiry.
     pub misses: u64,
-    /// Oldest-first entries dropped because their shard hit its capacity.
+    /// Least-recently-used entries dropped because their shard hit its
+    /// capacity.
     pub evictions: u64,
+    /// Entries dropped because they outlived `max_age` (lazily, on the
+    /// lookup or insert that found them stale).
+    pub expired: u64,
 }
 
 impl CacheStats {
@@ -100,13 +129,16 @@ impl CacheStats {
     }
 }
 
-/// A sharded, lock-striped memoizing result cache.
+/// A sharded, lock-striped memoizing result cache with per-shard LRU
+/// eviction and an optional `max_age` TTL.
 pub struct ResultCache {
     shards: Vec<Shard>,
     /// `shards.len() - 1`; shard count is a power of two.
     mask: u64,
     /// Largest number of entries one shard retains (>= 1).
     shard_capacity: usize,
+    /// Optional time-to-live; `None` disables expiry.
+    max_age: Option<Duration>,
 }
 
 /// Default per-shard entry cap of [`ResultCache::new`]: with the service's
@@ -115,19 +147,34 @@ pub const DEFAULT_SHARD_CAPACITY: usize = 1024;
 
 impl ResultCache {
     /// A cache with `num_shards` lock stripes (rounded up to a power of two,
-    /// minimum 1) and the [`DEFAULT_SHARD_CAPACITY`] per-shard entry cap.
+    /// minimum 1), the [`DEFAULT_SHARD_CAPACITY`] per-shard entry cap and no
+    /// TTL.
     pub fn new(num_shards: usize) -> ResultCache {
         ResultCache::bounded(num_shards, DEFAULT_SHARD_CAPACITY)
     }
 
     /// A cache retaining at most `shard_capacity` entries per shard
-    /// (minimum 1); inserting into a full shard evicts its oldest entry.
+    /// (minimum 1); inserting into a full shard evicts its least-recently
+    /// used entry.  No TTL.
     pub fn bounded(num_shards: usize, shard_capacity: usize) -> ResultCache {
+        ResultCache::with_max_age(num_shards, shard_capacity, None)
+    }
+
+    /// A bounded cache whose entries additionally expire `max_age` after
+    /// insertion (lazily, on the lookup that finds them stale).  An entry is
+    /// expired once its age is ≥ `max_age`, so `Duration::ZERO` serves
+    /// nothing back.
+    pub fn with_max_age(
+        num_shards: usize,
+        shard_capacity: usize,
+        max_age: Option<Duration>,
+    ) -> ResultCache {
         let n = num_shards.max(1).next_power_of_two();
         ResultCache {
             shards: (0..n).map(|_| Shard::default()).collect(),
             mask: (n - 1) as u64,
             shard_capacity: shard_capacity.max(1),
+            max_age,
         }
     }
 
@@ -135,7 +182,9 @@ impl ResultCache {
         &self.shards[(signature & self.mask) as usize]
     }
 
-    /// Looks a memoized result up, counting the hit/miss.
+    /// Looks a memoized result up, counting the hit/miss.  A hit refreshes
+    /// the entry's LRU recency; an entry past `max_age` is removed, counted
+    /// as expired, and reported as a miss — a stale result is never served.
     pub fn lookup(
         &self,
         signature: u64,
@@ -149,7 +198,22 @@ impl ResultCache {
             algorithm: algorithm.to_string(),
             param_bits,
         };
-        let found = shard.map.lock().entries.get(&key).map(|(_, r)| r.clone());
+        let mut m = shard.map.lock();
+        let stamp = m.clock;
+        m.clock += 1;
+        let found = match m.entries.get_mut(&key) {
+            Some(entry) if self.max_age.is_some_and(|ttl| entry.inserted.elapsed() >= ttl) => {
+                m.entries.remove(&key);
+                shard.expired.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(entry) => {
+                entry.stamp = stamp;
+                Some(entry.result.clone())
+            }
+            None => None,
+        };
+        drop(m);
         match &found {
             Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
             None => shard.misses.fetch_add(1, Ordering::Relaxed),
@@ -159,8 +223,10 @@ impl ResultCache {
 
     /// Memoizes a result.  Last writer wins (identical keys produce
     /// equivalent results, so a benign race between two workers solving the
-    /// same fresh instance concurrently is harmless); when the insert
-    /// overflows the shard's capacity, the shard's oldest entry is evicted.
+    /// same fresh instance concurrently is harmless); re-inserting an
+    /// existing key refreshes both its recency and its age.  When the insert
+    /// overflows the shard's capacity, expired entries are purged first and
+    /// the least-recently-used entry is evicted if the shard is still over.
     pub fn insert(
         &self,
         signature: u64,
@@ -176,18 +242,28 @@ impl ResultCache {
         };
         let shard = self.shard(signature);
         let mut m = shard.map.lock();
-        let seq = m.next_seq;
-        m.next_seq += 1;
-        m.entries.insert(key, (seq, result));
+        let stamp = m.clock;
+        m.clock += 1;
+        m.entries.insert(key, Entry { stamp, inserted: Instant::now(), result });
         if m.entries.len() > self.shard_capacity {
-            let oldest = m
-                .entries
-                .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
-                .map(|(k, _)| k.clone())
-                .expect("an over-capacity shard is not empty");
-            m.entries.remove(&oldest);
-            shard.evictions.fetch_add(1, Ordering::Relaxed);
+            // A full shard sheds dead weight before live weight: purge
+            // everything past its TTL, then fall back to the LRU victim.
+            if let Some(ttl) = self.max_age {
+                let before = m.entries.len();
+                m.entries.retain(|_, e| e.stamp == stamp || e.inserted.elapsed() < ttl);
+                let purged = (before - m.entries.len()) as u64;
+                shard.expired.fetch_add(purged, Ordering::Relaxed);
+            }
+            while m.entries.len() > self.shard_capacity {
+                let oldest = m
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(k, _)| k.clone())
+                    .expect("an over-capacity shard is not empty");
+                m.entries.remove(&oldest);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -199,6 +275,7 @@ impl ResultCache {
             s.hits += shard.hits.load(Ordering::Relaxed);
             s.misses += shard.misses.load(Ordering::Relaxed);
             s.evictions += shard.evictions.load(Ordering::Relaxed);
+            s.expired += shard.expired.load(Ordering::Relaxed);
         }
         s
     }
@@ -239,6 +316,7 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
+        assert_eq!(stats.expired, 0);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
     }
 
@@ -267,25 +345,27 @@ mod tests {
         assert!(cache.lookup(sig, &other_canon, "astar", 0).is_none());
     }
 
-    /// The cache is bounded: a shard at capacity evicts its oldest entry on
-    /// the next insert (per-shard insertion order), counts the eviction, and
-    /// re-inserting an existing key refreshes its age.
+    /// The cache is bounded: a shard at capacity evicts its least-recently
+    /// *used* entry on the next insert, counts the eviction, and both
+    /// lookups and re-inserts refresh recency.
     #[test]
-    fn full_shard_evicts_its_oldest_entry() {
+    fn full_shard_evicts_the_least_recently_used_entry() {
         let cache = ResultCache::bounded(1, 2); // one shard, two entries
         let (sig, canon) = canon();
         cache.insert(sig, &canon, "a", 0, dummy_result());
         cache.insert(sig, &canon, "b", 0, dummy_result());
-        // Refreshing "a" makes it the newest entry, not a third one.
+        // Re-inserting "a" refreshes it in place, not as a third entry.
         cache.insert(sig, &canon, "a", 0, dummy_result());
         assert_eq!(cache.stats().evictions, 0);
-        // A third distinct key overflows the shard: the oldest ("b") goes.
+        // Touching "b" by lookup makes *"a"* the LRU victim — the insertion
+        // order (a before b) no longer decides.
+        assert!(cache.lookup(sig, &canon, "b", 0).is_some());
         cache.insert(sig, &canon, "c", 0, dummy_result());
         let stats = cache.stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 1);
-        assert!(cache.lookup(sig, &canon, "a", 0).is_some());
-        assert!(cache.lookup(sig, &canon, "b", 0).is_none());
+        assert!(cache.lookup(sig, &canon, "a", 0).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(sig, &canon, "b", 0).is_some(), "recently used entry kept");
         assert!(cache.lookup(sig, &canon, "c", 0).is_some());
     }
 
@@ -302,6 +382,46 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 1);
         assert!(cache.lookup(sig, &canon, "b", 0).is_some());
+    }
+
+    /// `max_age = ZERO`: every entry is already stale at its first lookup —
+    /// it is removed, counted expired + miss, and never served.
+    #[test]
+    fn zero_max_age_serves_nothing() {
+        let cache = ResultCache::with_max_age(1, 8, Some(Duration::ZERO));
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "astar", 0, dummy_result());
+        assert!(cache.lookup(sig, &canon, "astar", 0).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "expired entries are removed by the lookup");
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    /// A generous `max_age` behaves exactly like no TTL at all.
+    #[test]
+    fn long_max_age_still_serves() {
+        let cache = ResultCache::with_max_age(1, 8, Some(Duration::from_secs(3600)));
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "astar", 0, dummy_result());
+        assert!(cache.lookup(sig, &canon, "astar", 0).is_some());
+        assert_eq!(cache.stats().expired, 0);
+    }
+
+    /// An over-capacity insert purges expired entries before evicting live
+    /// ones: with everything stale, the purge (not LRU eviction) makes room.
+    #[test]
+    fn insert_purges_expired_entries_before_evicting() {
+        let cache = ResultCache::with_max_age(1, 2, Some(Duration::ZERO));
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "a", 0, dummy_result());
+        cache.insert(sig, &canon, "b", 0, dummy_result());
+        cache.insert(sig, &canon, "c", 0, dummy_result());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0, "stale entries expire instead of evicting");
+        assert!(stats.expired >= 2, "the earlier entries were purged, got {}", stats.expired);
+        assert_eq!(stats.entries, 1, "only the just-inserted entry survives");
     }
 
     #[test]

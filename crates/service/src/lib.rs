@@ -16,9 +16,11 @@
 //!   canonical form plus its 64-bit FNV signature identify instances by
 //!   scheduling-relevant *content*, so presentation differences (labels,
 //!   edge order, JSON field order) cannot defeat memoization.
-//! * **Memoizing cache** ([`cache`]) — a sharded, lock-striped result cache
-//!   (the `crates/parallel/src/closed.rs` idiom) answers repeated instances
-//!   without re-search; only completed runs are memoized, so
+//! * **Memoizing cache** ([`cache`]) — a sharded, lock-striped **LRU**
+//!   result cache (the `crates/parallel/src/closed.rs` idiom) answers
+//!   repeated instances without re-search; per-shard capacity evicts the
+//!   least-recently-used entry, an optional `max_age` TTL lazily expires
+//!   stale results on lookup, and only completed runs are memoized, so
 //!   deadline-truncated answers never shadow a real search.
 //! * **Anytime fallback** — the engine pre-seeds every search with the
 //!   list-scheduling schedule and returns the best incumbent when a
@@ -27,10 +29,24 @@
 //!   schedule.  Requests under deadline pressure default to the weighted-A\*
 //!   `wastar` algorithm, and the service switches the engine's
 //!   `seed_incumbent` pruning on.
-//! * **Worker pool** ([`pool`]) — a dispatcher deals request lines onto
-//!   crossbeam channels, one per worker thread; responses stream back as
-//!   they complete, over stdin/stdout ([`run_service`]) or a
-//!   `std::net::TcpListener` ([`serve_tcp`]).
+//! * **Global runtime** ([`runtime`]) — **one** worker pool shared by every
+//!   connection of every transport: per-connection readers tag requests with
+//!   a sequence number and push them onto one shared MPMC injector, idle
+//!   workers pull the next job (so an expensive request cannot convoy cheap
+//!   ones behind a private queue), identical in-flight instances coalesce
+//!   onto one search, and per-connection writers reorder completions back
+//!   into request arrival order.  N concurrent connections cost
+//!   [`ServiceConfig::workers`] threads, not N × workers.
+//! * **Admission control** ([`metrics`]) — the number of
+//!   admitted-but-unanswered requests is hard-bounded by
+//!   [`ServiceConfig::admission_budget`] (a CAS reservation): past the
+//!   degrade threshold requests are rewritten to deadline-clamped `wastar`
+//!   (response marked `degraded`), and with the budget exhausted they are
+//!   refused with a structured `overloaded` response (`shed`) — bounded
+//!   memory and bounded queueing delay under any load.
+//! * **Transports** ([`pool`]) — JSON lines over stdin/stdout
+//!   ([`run_service`]) or a `std::net::TcpListener` ([`serve_tcp`]), both
+//!   thin shells over the runtime.
 //!
 //! ```
 //! use optsched_procnet::ProcNetwork;
@@ -49,13 +65,17 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod runtime;
 pub mod service;
 pub mod signature;
 
 pub use cache::{CacheStats, CachedResult, ResultCache, DEFAULT_SHARD_CAPACITY};
+pub use metrics::{Admission, MetricsSnapshot, ServiceMetrics};
 pub use pool::{run_service, serve_tcp, PoolSummary};
-pub use protocol::{quality, Instance, Request, Response};
+pub use protocol::{quality, Instance, Request, Response, OVERLOADED};
+pub use runtime::{Connection, Reply, ServiceRuntime};
 pub use service::{SchedulingService, ServiceConfig};
 pub use signature::{canonical_signature, CanonicalInstance};

@@ -1,0 +1,159 @@
+//! Runtime counters of the scheduling service: admission control, overload
+//! shedding/degradation, and pool accounting — everything the `serve`/`batch`
+//! front ends print in their periodic and final summaries, and everything the
+//! overload tests assert on.
+//!
+//! All counters are relaxed atomics shared (via the service handle) between
+//! the connection readers that admit requests, the pool workers that answer
+//! them, and whoever is reporting.  `pending` is the admission-control
+//! centrepiece: it is raised with a compare-and-swap that *refuses* to pass
+//! the configured budget, so the number of admitted-but-unanswered requests
+//! can never exceed the budget no matter how many connections submit
+//! concurrently — the overflow is shed (or degraded) instead of queued.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What admission control decided for one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued for the requested algorithm, within budget.
+    Enqueued,
+    /// Queued, but beyond the degrade threshold: the request was rewritten
+    /// to deadline-clamped `wastar` and its response will carry
+    /// `degraded: true`.
+    Degraded,
+    /// Refused: the pending budget is exhausted; the caller gets an
+    /// immediate structured `overloaded` error response.
+    Shed,
+}
+
+/// Shared runtime counters (see the module docs).
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests submitted (valid, non-empty lines; includes shed ones).
+    pub submitted: AtomicU64,
+    /// Responses produced (solved, shed, degraded and malformed-error alike).
+    pub responses: AtomicU64,
+    /// Requests refused with a structured `overloaded` error.
+    pub shed: AtomicU64,
+    /// Requests admitted beyond the degrade threshold and rewritten to
+    /// deadline-clamped `wastar`.
+    pub degraded: AtomicU64,
+    /// Admitted requests not yet answered (≤ the admission budget, always).
+    pub pending: AtomicU64,
+    /// High-water mark of `pending`.
+    pub peak_pending: AtomicU64,
+    /// Worker threads the global pool has ever spawned — with one shared
+    /// runtime this equals the configured pool size, *not* pool size ×
+    /// connections.
+    pub workers_spawned: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServiceMetrics`], for printing and asserting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests submitted (valid, non-empty lines; includes shed ones).
+    pub submitted: u64,
+    /// Responses produced.
+    pub responses: u64,
+    /// Requests refused with a structured `overloaded` error.
+    pub shed: u64,
+    /// Requests degraded to deadline-clamped `wastar`.
+    pub degraded: u64,
+    /// Admitted requests not yet answered.
+    pub pending: u64,
+    /// High-water mark of `pending`.
+    pub peak_pending: u64,
+    /// Worker threads the global pool has spawned.
+    pub workers_spawned: u64,
+}
+
+impl ServiceMetrics {
+    /// Tries to reserve one pending slot under `budget`; returns false (and
+    /// leaves the counter untouched) when the budget is exhausted.  The CAS
+    /// loop makes the budget a hard bound under any number of concurrent
+    /// admitting threads.
+    pub fn try_reserve_pending(&self, budget: u64) -> bool {
+        let mut current = self.pending.load(Ordering::Relaxed);
+        loop {
+            if current >= budget {
+                return false;
+            }
+            match self.pending.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak_pending.fetch_max(current + 1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Releases one pending slot (the request was answered).
+    pub fn release_pending(&self) {
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            pending: self.pending.load(Ordering::Relaxed),
+            peak_pending: self.peak_pending.load(Ordering::Relaxed),
+            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_reservation_is_budget_bounded() {
+        let m = ServiceMetrics::default();
+        assert!(m.try_reserve_pending(2));
+        assert!(m.try_reserve_pending(2));
+        assert!(!m.try_reserve_pending(2), "third reservation exceeds the budget");
+        m.release_pending();
+        assert!(m.try_reserve_pending(2), "released slots are reusable");
+        let snap = m.snapshot();
+        assert_eq!(snap.pending, 2);
+        assert_eq!(snap.peak_pending, 2);
+    }
+
+    #[test]
+    fn zero_budget_sheds_everything() {
+        let m = ServiceMetrics::default();
+        assert!(!m.try_reserve_pending(0));
+        assert_eq!(m.snapshot().pending, 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_pass_the_budget() {
+        let m = ServiceMetrics::default();
+        let budget = 16u64;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        if m.try_reserve_pending(budget) {
+                            assert!(m.pending.load(Ordering::Relaxed) <= budget);
+                            m.release_pending();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().pending, 0);
+        assert!(m.snapshot().peak_pending <= budget);
+    }
+}

@@ -1,54 +1,30 @@
-//! The worker pool and the two transports: JSON-lines over arbitrary
-//! reader/writer pairs (stdin/stdout for `optsched serve`, in-memory buffers
-//! for tests) and a TCP listener.
+//! The stream transports of the service, built on the global
+//! [`ServiceRuntime`]: JSON-lines over arbitrary reader/writer pairs
+//! (stdin/stdout for `optsched serve`, in-memory buffers for tests) and a
+//! TCP listener.
 //!
-//! Shape: a dispatcher thread reads and parses request lines and deals them
-//! onto one crossbeam channel per worker — routed by **canonical-signature
-//! affinity**, so identical instances always queue behind each other on the
-//! same worker and a repeated instance deterministically finds its
-//! original's memoized result instead of racing it (round-robin dispatch
-//! would make the cache hit a scheduling accident).  Each worker solves and
-//! ships its [`Response`] to a single results channel; the calling thread
-//! streams responses out as they complete (out of submission order — callers
-//! correlate by `id`).  Malformed lines are answered by the dispatcher
-//! directly.  All channels are unbounded, so no stage can deadlock another;
-//! everything shuts down cleanly off end-of-input via channel disconnection.
+//! Both transports are thin: all scheduling happens on the runtime's shared
+//! worker pool ([`crate::runtime`] has the architecture).  [`run_service`]
+//! starts a runtime, serves one connection, and drains it — the one-shot
+//! shape.  [`serve_tcp`] starts **one** runtime before the accept loop and
+//! serves every accepted connection over it, so N connections still cost
+//! [`ServiceConfig::workers`](crate::ServiceConfig) threads (not N × workers)
+//! and share the admission budget, the memoizing cache, and the metrics.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
-use crate::protocol::{Request, Response};
+pub use crate::runtime::PoolSummary;
+use crate::runtime::ServiceRuntime;
 use crate::service::SchedulingService;
-use crate::signature::canonical_signature;
-
-/// One queued, already-parsed request.
-struct Job {
-    /// Submission sequence number — the fallback response id.
-    seq: u64,
-    request: Request,
-}
-
-/// What a [`run_service`] call processed, for callers that assert on the
-/// outcome (the `batch` front end and the CI smoke test).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PoolSummary {
-    /// Responses written (one per non-empty input line).
-    pub responses: u64,
-    /// Responses with `ok == false`.
-    pub errors: u64,
-    /// Responses served from the memoizing result cache.
-    pub cache_hits: u64,
-}
 
 /// Runs the service over a JSON-lines stream until end-of-input: one request
 /// per line in, one response per line out, solved on
-/// [`ServiceConfig::workers`](crate::ServiceConfig) worker threads.
+/// [`ServiceConfig::workers`](crate::ServiceConfig) worker threads which are
+/// started for this stream and drained before returning.
 ///
-/// Responses are flushed as workers finish, so a slow request does not block
-/// the answers behind it — but it does mean responses can arrive out of
-/// submission order; correlate by `id`.  Empty lines are skipped.
+/// Responses come back in request arrival order (the runtime's per-connection
+/// writer reorders pool completions); empty lines are skipped.
 pub fn run_service<R, W>(
     service: &SchedulingService,
     input: R,
@@ -58,101 +34,39 @@ where
     R: BufRead + Send,
     W: Write,
 {
-    let workers = service.config().workers.max(1);
-
-    let (resp_tx, resp_rx) = unbounded::<Response>();
-    let mut job_txs: Vec<Sender<Job>> = Vec::with_capacity(workers);
-    let mut job_rxs: Vec<Receiver<Job>> = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let (tx, rx) = unbounded::<Job>();
-        job_txs.push(tx);
-        job_rxs.push(rx);
-    }
-
-    std::thread::scope(|scope| -> io::Result<PoolSummary> {
-        for rx in job_rxs {
-            let resp_tx = resp_tx.clone();
-            scope.spawn(move || {
-                // `recv` blocks until the dispatcher hangs up; a failed send
-                // means the writer already gave up — nothing left to do.
-                while let Ok(job) = rx.recv() {
-                    let _ = resp_tx.send(service.handle_request(&job.request, job.seq));
-                }
-            });
-        }
-        let dispatcher_resp_tx = resp_tx.clone();
-        // The writer's receiver must observe disconnection once the workers
-        // finish: drop the original sender now that every worker (and the
-        // dispatcher) has a clone.
-        drop(resp_tx);
-
-        let dispatcher = scope.spawn(move || -> io::Result<()> {
-            let mut seq: u64 = 0;
-            for line in input.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                match serde_json::from_str::<Request>(&line) {
-                    Ok(request) => {
-                        // Signature affinity: requests for one instance share
-                        // a worker queue (FIFO), so a repeated instance runs
-                        // *after* its original and hits the memoized result
-                        // instead of racing the search for it.
-                        let shard = canonical_signature(&request.instance) % workers as u64;
-                        // A failed send means the pool is shutting down early.
-                        let _ = job_txs[shard as usize].send(Job { seq, request });
-                    }
-                    Err(e) => {
-                        let _ = dispatcher_resp_tx
-                            .send(Response::error(seq, format!("malformed request: {e}")));
-                    }
-                }
-                seq += 1;
-            }
-            Ok(()) // dropping job_txs (and the resp clone) hangs everyone up
-        });
-
-        let mut summary = PoolSummary::default();
-        while let Ok(resp) = resp_rx.recv() {
-            summary.responses += 1;
-            if !resp.ok {
-                summary.errors += 1;
-            }
-            if resp.cache_hit {
-                summary.cache_hits += 1;
-            }
-            let line = serde_json::to_string(&resp).expect("responses serialise");
-            writeln!(output, "{line}")?;
-            output.flush()?;
-        }
-        dispatcher.join().expect("dispatcher thread panicked")?;
-        Ok(summary)
-    })
+    let runtime = ServiceRuntime::start(service);
+    let summary = runtime.serve_connection(input, output);
+    runtime.shutdown();
+    summary
 }
 
-/// Serves the JSON-lines protocol over TCP: each accepted connection gets
-/// the full worker pool treatment of [`run_service`], all connections
-/// sharing one service (and therefore one memoizing cache).
+/// Serves the JSON-lines protocol over TCP: **one** global worker pool,
+/// started before the accept loop, answers every connection — so concurrent
+/// connections share the configured worker threads, the admission budget,
+/// and the memoizing cache, and a flood of connections cannot multiply the
+/// service's thread count.
 ///
 /// `max_connections` bounds how many connections are accepted before the
 /// function returns (`None` serves forever — the `optsched serve --listen`
-/// mode); connections are handled concurrently.
+/// mode); connections are handled concurrently, and the pool drains before
+/// this returns.
 pub fn serve_tcp(
     service: &SchedulingService,
     listener: &TcpListener,
     max_connections: Option<usize>,
 ) -> io::Result<()> {
+    let runtime = ServiceRuntime::start(service);
     let mut accepted = 0usize;
-    std::thread::scope(|scope| -> io::Result<()> {
+    let served = std::thread::scope(|scope| -> io::Result<()> {
         for conn in listener.incoming() {
             let stream = conn?;
+            let runtime = &runtime;
             scope.spawn(move || {
                 let Ok(read_half) = stream.try_clone() else { return };
                 let mut write_half = stream;
                 // A dropped connection mid-stream is the client's business,
                 // not a server failure.
-                let _ = run_service(service, BufReader::new(read_half), &mut write_half);
+                let _ = runtime.serve_connection(BufReader::new(read_half), &mut write_half);
             });
             accepted += 1;
             if max_connections.is_some_and(|max| accepted >= max) {
@@ -160,13 +74,15 @@ pub fn serve_tcp(
             }
         }
         Ok(())
-    })
+    });
+    runtime.shutdown();
+    served
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{Instance, Request};
+    use crate::protocol::{Instance, Request, Response};
     use crate::service::ServiceConfig;
     use optsched_procnet::ProcNetwork;
     use optsched_taskgraph::paper_example_dag;
@@ -178,7 +94,7 @@ mod tests {
     }
 
     #[test]
-    fn pool_answers_every_line_and_skips_blanks() {
+    fn pool_answers_every_line_in_arrival_order() {
         let service = SchedulingService::new(ServiceConfig { workers: 2, ..Default::default() });
         let input = format!("{}\n\n{}\nnot json\n", request_line(10), request_line(11));
         let mut out = Vec::new();
@@ -186,16 +102,19 @@ mod tests {
         assert_eq!(summary.responses, 3);
         assert_eq!(summary.errors, 1, "the `not json` line answers a structured error");
         assert_eq!(summary.cache_hits, 1, "the repeated instance hits the cache");
+        assert_eq!(summary.shed, 0);
+        assert_eq!(summary.degraded, 0);
 
         let text = String::from_utf8(out).unwrap();
         let responses: Vec<Response> =
             text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
         assert_eq!(responses.len(), 3);
-        let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
-        ids.sort_unstable();
-        // Blank lines are skipped without consuming a sequence number, so
-        // the malformed third request falls back to id 2.
-        assert_eq!(ids, vec![2, 10, 11], "fallback id is the submission sequence number");
+        let ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        // Responses come back in request arrival order, whatever order the
+        // pool finished them in.  Blank lines are skipped without consuming
+        // a sequence number, so the malformed third request falls back to
+        // id 2.
+        assert_eq!(ids, vec![10, 11, 2], "arrival order; fallback id is the sequence number");
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! validated wire formats of `optsched-taskgraph`/`optsched-procnet`), the
 //! registry name of the algorithm to run, and optional resource limits; a
 //! response carries the schedule, its quality tag, and the service-side
-//! accounting (cache hit, states expanded, elapsed time).  Responses are
-//! written as workers finish, so they may arrive out of submission order —
-//! match them to requests by `id`.
+//! accounting (cache hit, states expanded, elapsed time, plus the
+//! admission-control `shed`/`degraded` markers).  Each connection's writer
+//! delivers responses in request arrival order, whatever order the shared
+//! worker pool finished them in; `id` still correlates across connections.
 
 use serde::{Deserialize, Serialize};
 
@@ -129,6 +130,16 @@ pub struct Response {
     pub signature: Option<String>,
     /// True when the response was served from the memoizing result cache.
     pub cache_hit: bool,
+    /// True when admission control refused the request because the pending
+    /// budget was exhausted (`ok == false`, `error` starts with
+    /// [`OVERLOADED`]) — structured load shedding, not a failure of the
+    /// request itself.
+    pub shed: bool,
+    /// True when admission control degraded the request to deadline-clamped
+    /// `wastar` under overload: the response is a feasible schedule
+    /// (`ok == true`), but from the cheap anytime path rather than the
+    /// requested algorithm.
+    pub degraded: bool,
     /// States the search expanded for this response (0 on a cache hit).
     pub expanded: u64,
     /// Service-side wall-clock time for this request, in milliseconds.
@@ -136,6 +147,9 @@ pub struct Response {
     /// Error message (only for `ok == false`).
     pub error: Option<String>,
 }
+
+/// Prefix of the `error` message of a shed (overloaded) response.
+pub const OVERLOADED: &str = "overloaded";
 
 impl Response {
     /// A structured error response: the service answers malformed or
@@ -150,10 +164,27 @@ impl Response {
             schedule: None,
             signature: None,
             cache_hit: false,
+            shed: false,
+            degraded: false,
             expanded: 0,
             elapsed_ms: 0.0,
             error: Some(message.into()),
         }
+    }
+
+    /// The structured shed response: admission control refused the request
+    /// because `budget` requests are already pending.  The caller should
+    /// retry later (or with a deadline, which the degrade path honours).
+    pub fn overloaded(id: u64, budget: u64) -> Response {
+        let mut resp =
+            Response::error(id, format!("{OVERLOADED}: admission budget {budget} exhausted"));
+        resp.shed = true;
+        resp
+    }
+
+    /// True for responses refused by admission control.
+    pub fn is_overloaded(&self) -> bool {
+        self.shed
     }
 }
 

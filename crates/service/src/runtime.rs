@@ -1,0 +1,498 @@
+//! The global service runtime: **one** worker pool shared by every
+//! connection of every transport.
+//!
+//! The previous pool (`pool.rs` before this runtime existed) spawned a full
+//! worker pool per accepted connection — N connections cost N × workers
+//! threads and convoyed each other's requests behind their private queues.
+//! The runtime inverts that shape:
+//!
+//! ```text
+//!  conn 0 reader ─┐                        ┌─ worker 0 ─┐
+//!  conn 1 reader ─┼──▶ shared injector ────┼─ worker 1 ─┼──▶ per-conn writers
+//!  conn 2 reader ─┘    (MPMC channel)      └─ worker W ─┘    (seq-reordered)
+//! ```
+//!
+//! * **Readers** parse one JSON line at a time, run *admission control*
+//!   (below) and tag every accepted request with their connection id and a
+//!   per-connection sequence number before pushing it onto the shared
+//!   injector.  Malformed lines and shed requests are answered by the
+//!   reader directly — they never occupy a worker.
+//! * **Workers** (exactly [`ServiceConfig::workers`] threads, however many
+//!   connections exist) pull from the shared injector: an idle worker takes
+//!   the next job immediately, so one expensive exact request occupies one
+//!   worker while cheap requests flow through the others — the
+//!   work-stealing property that per-connection (or per-worker) FIFO queues
+//!   cannot give.  Jobs whose cache identity is already being solved are
+//!   *coalesced*: they park on the in-flight entry and are answered right
+//!   after the leader completes (from the then-warm cache), so duplicate
+//!   instances cost one search no matter how they race.
+//! * **Writers** (one per connection) buffer worker replies by sequence
+//!   number and emit them in request arrival order, so every connection
+//!   observes FIFO responses even though the shared pool completes out of
+//!   order, and one connection's replies can never reach another.
+//!
+//! **Admission control.**  The number of admitted-but-unanswered requests is
+//! bounded by [`ServiceConfig::admission_budget`] across all connections
+//! (a CAS reservation — see [`ServiceMetrics::try_reserve_pending`]).  At or
+//! beyond [`ServiceConfig::degrade_threshold`] pending requests, an admitted
+//! request is rewritten to deadline-clamped `wastar` (response marked
+//! `degraded`); with the budget exhausted it is refused outright with a
+//! structured `overloaded` response (`shed`).  Either way the caller gets
+//! exactly one response per request and the queue cannot grow unboundedly.
+//!
+//! **Shutdown.**  [`ServiceRuntime::shutdown`] closes the injector and joins
+//! the workers, which first drain every job still queued — a graceful drain,
+//! asserted by the soak test.  All [`Connection`]s must be finished first
+//! (they hold injector handles).
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::metrics::Admission;
+use crate::protocol::{Request, Response};
+use crate::service::SchedulingService;
+
+/// In-flight coalescing key: requests with equal cache identity are answered
+/// by one search.
+type FlightKey = (u64, String, u64);
+
+/// One admitted, tagged request travelling to a worker.
+struct Job {
+    /// Per-connection arrival sequence number — the writer's ordering key
+    /// and the fallback response id.
+    seq: u64,
+    request: Request,
+    /// Set when admission control degraded this request.
+    degraded: bool,
+    /// Reply route back to the owning connection's writer.
+    reply: Sender<Reply>,
+}
+
+/// One response tagged with its per-connection sequence number.
+pub struct Reply {
+    /// The request's per-connection arrival sequence number.
+    pub seq: u64,
+    /// The response.
+    pub response: Response,
+}
+
+/// State shared between the runtime, its workers and every connection.
+struct Shared {
+    service: SchedulingService,
+    /// Cache identities currently being solved, each with the jobs parked
+    /// behind the solver ("singleflight"): a duplicate arriving while its
+    /// original is mid-search waits for that search instead of racing it.
+    in_flight: Mutex<HashMap<FlightKey, Vec<Job>>>,
+}
+
+/// The global worker pool.  Create one per process (or per listener) with
+/// [`ServiceRuntime::start`]; open any number of concurrent [`Connection`]s
+/// against it; [`ServiceRuntime::shutdown`] drains and joins.
+pub struct ServiceRuntime {
+    shared: Arc<Shared>,
+    /// The runtime's injector handle; every connection clones it, and
+    /// dropping all clones (shutdown + finished connections) hangs the
+    /// workers up.
+    injector: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServiceRuntime {
+    /// Starts the pool: exactly `service.config().workers` (≥ 1) worker
+    /// threads pulling from one shared injector.  The service handle is
+    /// cloned — cache, metrics and configuration stay shared with the
+    /// caller's handle.
+    pub fn start(service: &SchedulingService) -> ServiceRuntime {
+        let workers = service.config().workers.max(1);
+        let shared = Arc::new(Shared {
+            service: service.clone(),
+            in_flight: Mutex::new(HashMap::new()),
+        });
+        let (injector, jobs) = unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let jobs = jobs.clone();
+                std::thread::spawn(move || worker_loop(&shared, &jobs))
+            })
+            .collect();
+        ServiceRuntime { shared, injector, workers: handles }
+    }
+
+    /// The configured pool size.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The service this runtime answers for (shared cache/metrics handle).
+    pub fn service(&self) -> &SchedulingService {
+        &self.shared.service
+    }
+
+    /// Opens a programmatic connection: a submission handle plus the
+    /// receiver its replies arrive on (unordered, tagged with `seq`; the
+    /// IO transports reorder — see [`ServiceRuntime::serve_connection`]).
+    /// The receiver disconnects once the handle is dropped *and* every
+    /// admitted request has been answered.
+    pub fn open(&self) -> (Connection, Receiver<Reply>) {
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
+        (
+            Connection {
+                shared: Arc::clone(&self.shared),
+                injector: self.injector.clone(),
+                reply: reply_tx,
+                seq: 0,
+            },
+            reply_rx,
+        )
+    }
+
+    /// Serves one JSON-lines connection over the shared pool: requests in on
+    /// `input` (one per line; empty lines skipped), responses out on
+    /// `output` in request arrival order.  Returns the connection's tally.
+    ///
+    /// The calling thread is the writer; a scoped thread reads.  A response
+    /// is flushed as soon as it *and every response before it* is done, so a
+    /// slow request delays its successors' output but their searches still
+    /// proceed concurrently on the pool.
+    pub fn serve_connection<R, W>(&self, input: R, output: &mut W) -> io::Result<PoolSummary>
+    where
+        R: BufRead + Send,
+        W: Write,
+    {
+        let (mut conn, replies) = self.open();
+        std::thread::scope(|scope| -> io::Result<PoolSummary> {
+            let reader = scope.spawn(move || -> io::Result<()> {
+                for line in input.lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    conn.submit_line(&line);
+                }
+                Ok(()) // dropping `conn` closes this connection's reply route
+            });
+
+            // Writer: reorder worker completions back into arrival order.
+            let mut summary = PoolSummary::default();
+            let mut pending_out: BTreeMap<u64, Response> = BTreeMap::new();
+            let mut next_seq = 0u64;
+            let mut io_result: io::Result<()> = Ok(());
+            while let Ok(reply) = replies.recv() {
+                pending_out.insert(reply.seq, reply.response);
+                while let Some(resp) = pending_out.remove(&next_seq) {
+                    next_seq += 1;
+                    summary.tally(&resp);
+                    if io_result.is_ok() {
+                        io_result = serde_json::to_string(&resp)
+                            .map_err(io::Error::other)
+                            .and_then(|line| writeln!(output, "{line}"))
+                            .and_then(|()| output.flush());
+                        // A dead client stops the writing, not the draining:
+                        // the loop keeps consuming replies so the pool's
+                        // pending accounting settles, then reports the error.
+                    }
+                }
+            }
+            debug_assert!(pending_out.is_empty(), "every admitted seq must be answered");
+            let read_result = reader.join().expect("connection reader panicked");
+            io_result?;
+            read_result?;
+            Ok(summary)
+        })
+    }
+
+    /// Closes the injector and joins the workers after they drain every job
+    /// still queued.  Call once all connections are finished (their handles
+    /// keep the injector open).
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Replace the held injector with a dangling one so the workers'
+        // receive side disconnects as soon as the connections are done.
+        let (dangling, _) = unbounded::<Job>();
+        drop(std::mem::replace(&mut self.injector, dangling));
+        for handle in self.workers.drain(..) {
+            handle.join().expect("service worker panicked");
+        }
+    }
+}
+
+impl Drop for ServiceRuntime {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// The submission half of one connection (see [`ServiceRuntime::open`]).
+/// Dropping it signals end-of-input for the connection.
+pub struct Connection {
+    shared: Arc<Shared>,
+    injector: Sender<Job>,
+    reply: Sender<Reply>,
+    seq: u64,
+}
+
+impl Connection {
+    /// Parses and submits one JSON line.  Malformed lines are answered with
+    /// a structured error immediately (no worker involved).  Returns what
+    /// admission control decided, and the sequence number the reply will
+    /// carry.
+    pub fn submit_line(&mut self, line: &str) -> (u64, Option<Admission>) {
+        match serde_json::from_str::<Request>(line) {
+            Ok(request) => {
+                let (seq, admission) = self.submit(request);
+                (seq, Some(admission))
+            }
+            Err(e) => {
+                let seq = self.next_seq();
+                let response = Response::error(seq, format!("malformed request: {e}"));
+                self.deliver(seq, response);
+                (seq, None)
+            }
+        }
+    }
+
+    /// Runs admission control on one parsed request and either enqueues it
+    /// (possibly degraded) or answers it shed, returning the decision and
+    /// the reply's sequence number.
+    pub fn submit(&mut self, mut request: Request) -> (u64, Admission) {
+        let seq = self.next_seq();
+        let metrics = self.shared.service.metrics();
+        let config = *self.shared.service.config();
+        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+
+        if !metrics.try_reserve_pending(config.admission_budget) {
+            metrics.shed.fetch_add(1, Ordering::Relaxed);
+            let id = request.id.unwrap_or(seq);
+            self.deliver(seq, Response::overloaded(id, config.admission_budget));
+            return (seq, Admission::Shed);
+        }
+
+        // Past the degrade threshold, the backlog must drain at heuristic
+        // speed: the request loses its algorithm choice and becomes
+        // deadline-clamped wastar.  (`pending` was just raised past the
+        // threshold check value, hence `>`.)
+        let pending = metrics.pending.load(Ordering::Relaxed);
+        let degraded = pending > config.degrade_threshold;
+        if degraded {
+            metrics.degraded.fetch_add(1, Ordering::Relaxed);
+            request.algorithm = Some("wastar".to_string());
+            request.deadline_ms = Some(
+                request
+                    .deadline_ms
+                    .map_or(config.degrade_deadline_ms, |d| d.min(config.degrade_deadline_ms)),
+            );
+        }
+
+        let job = Job { seq, request, degraded, reply: self.reply.clone() };
+        // A failed send means the runtime already shut down; answer shed so
+        // the caller still gets its one structured response per request.
+        if let Err(send_err) = self.injector.send(job) {
+            metrics.release_pending();
+            metrics.shed.fetch_add(1, Ordering::Relaxed);
+            let id = send_err.0.request.id.unwrap_or(seq);
+            self.deliver(seq, Response::overloaded(id, config.admission_budget));
+            return (seq, Admission::Shed);
+        }
+        (seq, if degraded { Admission::Degraded } else { Admission::Enqueued })
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    /// Sends a reader-generated (malformed/shed) reply to this connection's
+    /// writer.
+    fn deliver(&self, seq: u64, response: Response) {
+        self.shared.service.metrics().responses.fetch_add(1, Ordering::Relaxed);
+        let _ = self.reply.send(Reply { seq, response });
+    }
+}
+
+/// What one connection processed, for callers that assert on the outcome
+/// (the `batch` front end, the CI smoke test, and the load/soak tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolSummary {
+    /// Responses written (one per non-empty input line).
+    pub responses: u64,
+    /// Responses with `ok == false` (malformed requests, unknown
+    /// algorithms, shed requests, …).
+    pub errors: u64,
+    /// Responses served from the memoizing result cache.
+    pub cache_hits: u64,
+    /// Requests refused by admission control (`overloaded`).
+    pub shed: u64,
+    /// Requests degraded to deadline-clamped `wastar` under overload.
+    pub degraded: u64,
+}
+
+impl PoolSummary {
+    /// Accounts one response.
+    fn tally(&mut self, resp: &Response) {
+        self.responses += 1;
+        if !resp.ok {
+            self.errors += 1;
+        }
+        if resp.cache_hit {
+            self.cache_hits += 1;
+        }
+        if resp.shed {
+            self.shed += 1;
+        }
+        if resp.degraded {
+            self.degraded += 1;
+        }
+    }
+}
+
+/// One worker: pull a job from the shared injector, solve it (or park it
+/// behind an identical in-flight job), answer the parked duplicates once the
+/// leader completes.
+fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
+    shared.service.metrics().workers_spawned.fetch_add(1, Ordering::Relaxed);
+    while let Ok(job) = jobs.recv() {
+        let key = shared.service.cache_identity(&job.request);
+        let job = {
+            let mut in_flight = shared.in_flight.lock();
+            match in_flight.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    // An identical request is mid-search on another worker:
+                    // park this one; the leader answers it on completion
+                    // (from the then-memoized result).
+                    entry.get_mut().push(job);
+                    continue;
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(Vec::new());
+                    job
+                }
+            }
+        };
+        answer(shared, job);
+        // Everything that parked behind this search is a warm-cache answer
+        // now (or, for non-memoized deadline runs, a cheap re-run).
+        let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
+        for waiter in waiters {
+            answer(shared, waiter);
+        }
+    }
+}
+
+/// Solves one job and routes the reply to its connection.
+fn answer(shared: &Shared, job: Job) {
+    let metrics = shared.service.metrics();
+    let mut response = shared.service.handle_request(&job.request, job.seq);
+    response.degraded = job.degraded;
+    metrics.responses.fetch_add(1, Ordering::Relaxed);
+    // The send fails only if the connection's writer already went away (a
+    // dead client); the request is still accounted as answered.
+    let _ = job.reply.send(Reply { seq: job.seq, response });
+    metrics.release_pending();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Instance;
+    use crate::service::ServiceConfig;
+    use optsched_procnet::ProcNetwork;
+    use optsched_taskgraph::paper_example_dag;
+
+    fn example_request(id: u64) -> Request {
+        let mut req = Request::new(Instance::new(paper_example_dag(), ProcNetwork::ring(3)));
+        req.id = Some(id);
+        req
+    }
+
+    #[test]
+    fn open_connection_round_trip() {
+        let service = SchedulingService::new(ServiceConfig { workers: 2, ..Default::default() });
+        let runtime = ServiceRuntime::start(&service);
+        let (mut conn, replies) = runtime.open();
+        let (seq, admission) = conn.submit(example_request(7));
+        assert_eq!(seq, 0);
+        assert_eq!(admission, Admission::Enqueued);
+        drop(conn);
+        let got: Vec<Reply> = replies.iter().collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 0);
+        assert!(got[0].response.ok);
+        assert_eq!(got[0].response.id, 7);
+        runtime.shutdown();
+        assert_eq!(service.metrics_snapshot().pending, 0);
+    }
+
+    #[test]
+    fn zero_budget_sheds_with_a_structured_response() {
+        let service = SchedulingService::new(ServiceConfig {
+            workers: 1,
+            admission_budget: 0,
+            ..Default::default()
+        });
+        let runtime = ServiceRuntime::start(&service);
+        let (mut conn, replies) = runtime.open();
+        let (_, admission) = conn.submit(example_request(3));
+        assert_eq!(admission, Admission::Shed);
+        drop(conn);
+        let got: Vec<Reply> = replies.iter().collect();
+        assert_eq!(got.len(), 1);
+        let resp = &got[0].response;
+        assert!(!resp.ok);
+        assert!(resp.shed && resp.is_overloaded());
+        assert_eq!(resp.id, 3);
+        assert!(resp.error.as_deref().unwrap().starts_with("overloaded"));
+        runtime.shutdown();
+        assert_eq!(service.metrics_snapshot().shed, 1);
+    }
+
+    #[test]
+    fn degrade_threshold_rewrites_to_deadline_clamped_wastar() {
+        // Threshold 0: every admitted request is beyond it and degrades.
+        let service = SchedulingService::new(ServiceConfig {
+            workers: 1,
+            degrade_threshold: 0,
+            degrade_deadline_ms: 0,
+            ..Default::default()
+        });
+        let runtime = ServiceRuntime::start(&service);
+        let (mut conn, replies) = runtime.open();
+        let (_, admission) = conn.submit(example_request(1));
+        assert_eq!(admission, Admission::Degraded);
+        drop(conn);
+        let got: Vec<Reply> = replies.iter().collect();
+        assert_eq!(got.len(), 1);
+        let resp = &got[0].response;
+        assert!(resp.ok, "{:?}", resp.error);
+        assert!(resp.degraded);
+        assert_eq!(resp.algorithm.as_deref(), Some("wastar"));
+        runtime.shutdown();
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.pending, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let service = SchedulingService::new(ServiceConfig { workers: 1, ..Default::default() });
+        let runtime = ServiceRuntime::start(&service);
+        let (mut conn, replies) = runtime.open();
+        for i in 0..8 {
+            conn.submit(example_request(i));
+        }
+        drop(conn);
+        runtime.shutdown(); // must answer all 8 before joining
+        assert_eq!(replies.iter().count(), 8);
+        assert_eq!(service.metrics_snapshot().pending, 0);
+    }
+}

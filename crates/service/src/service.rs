@@ -1,24 +1,45 @@
 //! The request handler: parse → intern → cache → dispatch → validate → tag.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use optsched::registry::{SchedulerRegistry, SchedulerSpec};
 use optsched_core::{SchedulingProblem, SearchLimits, SearchOutcome};
 
 use crate::cache::{CacheStats, CachedResult, ResultCache};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::protocol::{quality, Request, Response};
 use crate::signature::CanonicalInstance;
 
 /// Configuration of a [`SchedulingService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
-    /// Worker threads draining the request queue.
+    /// Worker threads of the global pool draining the shared request queue
+    /// (shared by *all* connections — not a pool per connection).
     pub workers: usize,
     /// Lock stripes of the memoizing result cache.
     pub cache_shards: usize,
     /// Per-shard entry cap of the result cache (a full shard evicts its
-    /// oldest entry first); clamped to at least one entry per shard.
+    /// least-recently-used entry); clamped to at least one entry per shard.
     pub cache_capacity: usize,
+    /// Optional time-to-live of memoized results, in milliseconds: an entry
+    /// older than this is lazily expired on lookup instead of served.
+    /// `None` disables expiry.
+    pub cache_max_age_ms: Option<u64>,
+    /// Admission budget: the hard bound on admitted-but-unanswered requests
+    /// across all connections.  A request arriving with the budget exhausted
+    /// is refused with a structured `overloaded` response (shed) — the
+    /// service never queues unboundedly.
+    pub admission_budget: u64,
+    /// Degrade threshold (≤ `admission_budget`): a request admitted while at
+    /// least this many requests are already pending is rewritten to
+    /// deadline-clamped `wastar` (response marked `degraded: true`) so the
+    /// backlog drains at heuristic speed instead of exact-search speed.
+    /// Setting this equal to `admission_budget` disables degradation
+    /// (pure shed).
+    pub degrade_threshold: u64,
+    /// The deadline (ms) clamped onto degraded requests.
+    pub degrade_deadline_ms: u64,
     /// Seed the serial searches from the list-scheduling upper bound (the
     /// `seed_incumbent` knob of [`SchedulerSpec`]).  On by default in the
     /// service: callers pay for answers, not for faithful-to-1998 search
@@ -37,6 +58,10 @@ impl Default for ServiceConfig {
             workers: 2,
             cache_shards: 8,
             cache_capacity: crate::cache::DEFAULT_SHARD_CAPACITY,
+            cache_max_age_ms: None,
+            admission_budget: 256,
+            degrade_threshold: 192,
+            degrade_deadline_ms: 25,
             seed_incumbent: true,
             epsilon: 0.2,
             deadline_weight: 1.5,
@@ -45,11 +70,18 @@ impl Default for ServiceConfig {
 }
 
 /// The scheduling service: stateless request handling over a shared
-/// memoizing result cache.  `&SchedulingService` is `Sync`, so one instance
-/// serves every worker thread (and every TCP connection) concurrently.
+/// memoizing result cache and shared runtime counters.
+///
+/// A `SchedulingService` is a cheap *handle*: cloning it shares the cache,
+/// the metrics and the configuration, so the global worker pool, every
+/// transport and the reporting front end all observe one state.
+/// `&SchedulingService` is also `Sync`, so a single handle can serve many
+/// threads directly.
+#[derive(Clone)]
 pub struct SchedulingService {
     config: ServiceConfig,
-    cache: ResultCache,
+    cache: Arc<ResultCache>,
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl SchedulingService {
@@ -57,7 +89,12 @@ impl SchedulingService {
     pub fn new(config: ServiceConfig) -> SchedulingService {
         SchedulingService {
             config,
-            cache: ResultCache::bounded(config.cache_shards, config.cache_capacity),
+            cache: Arc::new(ResultCache::with_max_age(
+                config.cache_shards,
+                config.cache_capacity,
+                config.cache_max_age_ms.map(Duration::from_millis),
+            )),
+            metrics: Arc::new(ServiceMetrics::default()),
         }
     }
 
@@ -69,6 +106,43 @@ impl SchedulingService {
     /// Counter snapshot of the memoizing result cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The shared runtime counters (admission control, shed/degrade, pool
+    /// accounting).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of the runtime counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The algorithm this request resolves to: its explicit choice, or the
+    /// service default (`wastar` under deadline pressure, `astar` otherwise).
+    pub fn resolve_algorithm(&self, req: &Request) -> String {
+        match &req.algorithm {
+            Some(a) => a.clone(),
+            None if req.deadline_ms.is_some() => "wastar".to_string(),
+            None => "astar".to_string(),
+        }
+    }
+
+    /// The cache identity of a request — canonical signature, resolved
+    /// algorithm and quality-relevant parameter bits.  Two requests with
+    /// equal identities are answered by one search (the runtime coalesces
+    /// them in flight; the cache memoizes across time).
+    pub(crate) fn cache_identity(&self, req: &Request) -> (u64, String, u64) {
+        let algorithm = self.resolve_algorithm(req);
+        let epsilon = req.epsilon.unwrap_or(self.config.epsilon);
+        let weight = req.weight.unwrap_or(self.config.deadline_weight);
+        let param_bits = match algorithm.as_str() {
+            "aeps" => epsilon.to_bits(),
+            "wastar" => weight.to_bits(),
+            _ => 0,
+        };
+        (crate::signature::canonical_signature(&req.instance), algorithm, param_bits)
     }
 
     /// Parses and serves one JSON request line.  A malformed line yields a
@@ -95,11 +169,7 @@ impl SchedulingService {
         let instance = &req.instance;
 
         // Deadline pressure defaults to the anytime algorithm.
-        let algorithm = match &req.algorithm {
-            Some(a) => a.clone(),
-            None if req.deadline_ms.is_some() => "wastar".to_string(),
-            None => "astar".to_string(),
-        };
+        let algorithm = self.resolve_algorithm(req);
         let epsilon = req.epsilon.unwrap_or(self.config.epsilon);
         let weight = req.weight.unwrap_or(self.config.deadline_weight);
         if !epsilon.is_finite() || epsilon < 0.0 {
@@ -133,6 +203,8 @@ impl SchedulingService {
                     schedule: Some(cached.schedule),
                     signature: Some(sig_hex),
                     cache_hit: true,
+                    shed: false,
+                    degraded: false,
                     expanded: 0,
                     elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
                     error: None,
@@ -229,6 +301,8 @@ impl SchedulingService {
             schedule: Some(schedule),
             signature: Some(sig_hex),
             cache_hit: false,
+            shed: false,
+            degraded: false,
             expanded: run.result.stats.expanded,
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             error: None,

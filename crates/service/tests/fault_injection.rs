@@ -1,0 +1,157 @@
+//! Fault-injection net for the global service runtime: misbehaving clients —
+//! disconnects mid-request, a half-written JSON line followed by a stall,
+//! floods of malformed lines — must never wedge the shared pool, leak a
+//! worker thread, or disturb another connection's replies.
+//!
+//! Every test here ends with the same three invariants:
+//!
+//! * `serve_tcp` **returns** (no wedged reader, writer or worker),
+//! * `workers_spawned == configured pool size` (one global pool, no
+//!   per-connection pools, no replacement threads spawned after faults),
+//! * `pending == 0` (admission slots of dead clients were released — the
+//!   budget is not leaked to future requests).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use optsched_procnet::ProcNetwork;
+use optsched_service::{serve_tcp, Instance, Request, Response, SchedulingService, ServiceConfig};
+use optsched_taskgraph::paper_example_dag;
+
+fn request_line(id: u64) -> String {
+    let mut req = Request::new(Instance::new(paper_example_dag(), ProcNetwork::ring(3)));
+    req.id = Some(id);
+    serde_json::to_string(&req).unwrap()
+}
+
+/// Reads responses until the server closes the connection.
+fn read_responses(stream: &TcpStream) -> Vec<Response> {
+    let mut out = Vec::new();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return out;
+        }
+        out.push(serde_json::from_str(line.trim()).expect("response parses"));
+    }
+}
+
+/// A well-behaved client sends `ids` and expects exactly its own responses,
+/// in order, all ok.
+fn well_behaved_client(addr: std::net::SocketAddr, ids: &[u64]) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for &id in ids {
+        stream.write_all(request_line(id).as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send newline");
+    }
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let responses = read_responses(&stream);
+    let got: Vec<u64> = responses.iter().map(|r| r.id).collect();
+    assert_eq!(got, ids, "a well-behaved client gets exactly its own ids, in order");
+    for r in &responses {
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.schedule_length, Some(14));
+    }
+}
+
+#[test]
+fn misbehaving_clients_do_not_wedge_the_pool_or_starve_others() {
+    let service = SchedulingService::new(ServiceConfig { workers: 2, ..Default::default() });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    std::thread::scope(|scope| {
+        let service = &service;
+        let listener = &listener;
+        let server = scope.spawn(move || serve_tcp(service, listener, Some(4)));
+
+        // Fault 1: disconnect mid-request — half a JSON object, no newline,
+        // immediate teardown.
+        scope.spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"{\"id\": 1, \"instance\": {\"graph\"").expect("send half");
+            // Dropping the stream closes both halves abruptly.
+        });
+
+        // Fault 2: half a line, then a stall, then teardown — the reader
+        // must survive blocking on a client that never finishes its line.
+        scope.spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"{\"id\": 2, ").expect("send half");
+            std::thread::sleep(Duration::from_millis(100));
+        });
+
+        // Fault 3: a flood of malformed lines — every one must be answered
+        // with a structured error under its arrival sequence number; the
+        // connection works fine afterwards.
+        scope.spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            for _ in 0..20 {
+                s.write_all(b"this is not json\n").expect("send garbage");
+            }
+            s.write_all(request_line(777).as_bytes()).expect("send valid");
+            s.write_all(b"\n").expect("send newline");
+            s.shutdown(std::net::Shutdown::Write).expect("half-close");
+            let responses = read_responses(&s);
+            assert_eq!(responses.len(), 21, "every line gets exactly one response");
+            for (seq, r) in responses.iter().take(20).enumerate() {
+                assert!(!r.ok);
+                assert_eq!(r.id, seq as u64, "fallback id is the arrival sequence number");
+                assert!(r.error.as_deref().unwrap().contains("malformed request"));
+            }
+            let last = responses.last().unwrap();
+            assert!(last.ok, "{:?}", last.error);
+            assert_eq!(last.id, 777);
+        });
+
+        // The victim: a well-behaved client sharing the pool with all three
+        // faults must be completely unaffected.
+        let victim = scope.spawn(move || well_behaved_client(addr, &[10, 11, 12]));
+
+        victim.join().expect("victim client");
+        server.join().expect("server thread").expect("serve_tcp returns cleanly");
+    });
+
+    let m = service.metrics_snapshot();
+    assert_eq!(
+        m.workers_spawned, 2,
+        "one global pool: 4 connections still cost `workers` threads, and faults spawn none"
+    );
+    assert_eq!(m.pending, 0, "dead clients must not leak admission slots");
+    assert!(m.responses >= 24 + 2, "faulted requests were still answered internally");
+}
+
+#[test]
+fn disconnect_after_submit_releases_the_admission_slots() {
+    // A client that submits real work and vanishes before reading: the pool
+    // must still solve (or drain) its requests, release every admission
+    // slot, and keep serving a later connection.
+    let service = SchedulingService::new(ServiceConfig { workers: 2, ..Default::default() });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    std::thread::scope(|scope| {
+        let service = &service;
+        let listener = &listener;
+        let server = scope.spawn(move || serve_tcp(service, listener, Some(2)));
+
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            for id in 0..6 {
+                s.write_all(request_line(id).as_bytes()).expect("send");
+                s.write_all(b"\n").expect("send newline");
+            }
+            // Drop without reading a single response.
+        }
+
+        well_behaved_client(addr, &[100, 101]);
+        server.join().expect("server thread").expect("serve_tcp");
+    });
+
+    let m = service.metrics_snapshot();
+    assert_eq!(m.pending, 0, "the vanished client's slots were released");
+    assert_eq!(m.workers_spawned, 2);
+}

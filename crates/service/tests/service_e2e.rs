@@ -122,14 +122,21 @@ fn mixed_corpus_end_to_end_over_the_stream_transport() {
     assert_eq!(summary.errors, 0);
     assert!(summary.cache_hits > 0, "duplicate instances must hit the cache");
 
-    let responses: HashMap<u64, Response> = String::from_utf8(out)
+    let ordered: Vec<Response> = String::from_utf8(out)
         .expect("utf8 output")
         .lines()
-        .map(|l| {
-            let r: Response = serde_json::from_str(l).expect("response parses");
-            (r.id, r)
-        })
+        .map(|l| serde_json::from_str(l).expect("response parses"))
         .collect();
+    // The per-connection writer reorders pool completions back into request
+    // arrival order — ids were assigned 0..n in submission order, so that is
+    // exactly the output order, whatever order the workers finished in.
+    let output_ids: Vec<u64> = ordered.iter().map(|r| r.id).collect();
+    assert_eq!(
+        output_ids,
+        (0..corpus.len() as u64).collect::<Vec<_>>(),
+        "responses must arrive in request submission order"
+    );
+    let responses: HashMap<u64, Response> = ordered.into_iter().map(|r| (r.id, r)).collect();
     check_responses(&corpus, &responses);
 
     // The service-side counters agree with what the responses showed.
@@ -183,6 +190,7 @@ fn mixed_corpus_end_to_end_over_tcp() {
         stream.shutdown(std::net::Shutdown::Write).expect("shutdown write half");
 
         let mut responses: HashMap<u64, Response> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
         let mut line = String::new();
         loop {
             line.clear();
@@ -190,8 +198,11 @@ fn mixed_corpus_end_to_end_over_tcp() {
                 break;
             }
             let r: Response = serde_json::from_str(line.trim()).expect("response parses");
+            order.push(r.id);
             responses.insert(r.id, r);
         }
+        // In-arrival-order delivery holds over TCP too.
+        assert_eq!(order, (0..corpus.len() as u64).collect::<Vec<_>>());
         check_responses(&corpus, &responses);
         server.join().expect("server thread").expect("serve_tcp");
     });

@@ -463,3 +463,159 @@ fn service_answers_malformed_requests_with_structured_errors() {
     assert!(resp.ok);
     assert_eq!(resp.schedule_length, Some(14));
 }
+
+// ---------------------------------------------------------------------------
+// Service result-cache properties: the LRU + max_age cache against a
+// reference model.
+// ---------------------------------------------------------------------------
+
+/// A shared single-shard cache setup for the cache properties: one canonical
+/// instance, entries distinguished by their algorithm string (distinct cache
+/// keys in one shard without building many instances).
+fn cache_fixture() -> (u64, optsched_service::CanonicalInstance, optsched_service::CachedResult) {
+    use optsched_service::{canonical_signature, CachedResult, CanonicalInstance, Instance};
+    let inst = Instance::new(paper_example_dag(), ProcNetwork::ring(3));
+    let result = CachedResult {
+        schedule: Schedule::new(1, 1),
+        schedule_length: 14,
+        quality: "optimal".to_string(),
+        algorithm: "astar".to_string(),
+    };
+    (canonical_signature(&inst), CanonicalInstance::of(&inst), result)
+}
+
+/// Deterministic op stream: (is_lookup, key index) pairs from a SplitMix64
+/// walk, so every proptest case replays exactly.
+fn cache_ops(seed: u64, n: usize) -> Vec<(bool, usize)> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    (0..n).map(|_| ((next() % 2) == 0, (next() % 6) as usize)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The LRU cache against a reference model: for any op sequence the
+    /// shard never exceeds its capacity, lookups hit exactly when the model
+    /// says the key is live, the evicted key is always the least-recently
+    /// *used* one, and the hit/miss/eviction counters balance exactly.
+    #[test]
+    fn cache_lru_matches_a_reference_model(capacity in 1usize..=4, seed in any::<u64>()) {
+        use optsched_service::ResultCache;
+        use std::collections::HashMap;
+
+        let (sig, canon, result) = cache_fixture();
+        let cache = ResultCache::bounded(1, capacity); // one shard: capacity == shard capacity
+        // The model mirrors the shard: key -> recency stamp, one clock tick
+        // per operation (the cache's shard clock advances on every lookup
+        // *and* insert), evict the minimum stamp on overflow.
+        let mut model: HashMap<usize, u64> = HashMap::new();
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        let mut lookups = 0u64;
+
+        for (clock, (is_lookup, k)) in cache_ops(seed, 48).into_iter().enumerate() {
+            let alg = format!("alg{k}");
+            let stamp = clock as u64;
+            if is_lookup {
+                lookups += 1;
+                let got = cache.lookup(sig, &canon, &alg, 0).is_some();
+                let expected = model.contains_key(&k);
+                prop_assert_eq!(got, expected, "lookup of key {} disagrees with the model", k);
+                if expected {
+                    model.insert(k, stamp); // a hit refreshes recency
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            } else {
+                cache.insert(sig, &canon, &alg, 0, result.clone());
+                model.insert(k, stamp); // re-insert refreshes in place
+                if model.len() > capacity {
+                    let victim = *model.iter().min_by_key(|(_, s)| **s).unwrap().0;
+                    model.remove(&victim);
+                    evictions += 1;
+                }
+            }
+            prop_assert!(
+                cache.stats().entries <= capacity,
+                "the shard exceeded its capacity"
+            );
+        }
+
+        let stats = cache.stats();
+        prop_assert_eq!(stats.entries, model.len(), "live entries match the model");
+        prop_assert_eq!(stats.hits, hits);
+        prop_assert_eq!(stats.misses, misses);
+        prop_assert_eq!(stats.evictions, evictions);
+        prop_assert_eq!(stats.expired, 0, "no TTL, no expiry");
+        prop_assert_eq!(stats.hits + stats.misses, lookups, "counters balance");
+    }
+
+    /// `max_age = ZERO` makes every entry stale by its first lookup: for any
+    /// op sequence not a single lookup is served, stale entries are expired
+    /// (never LRU-evicted), and the shard still respects its capacity.
+    #[test]
+    fn cache_expired_entries_are_never_served(capacity in 1usize..=4, seed in any::<u64>()) {
+        use optsched_service::ResultCache;
+        use std::time::Duration;
+
+        let (sig, canon, result) = cache_fixture();
+        let cache = ResultCache::with_max_age(1, capacity, Some(Duration::ZERO));
+        let mut lookups = 0u64;
+        for (is_lookup, k) in cache_ops(seed, 48) {
+            let alg = format!("alg{k}");
+            if is_lookup {
+                lookups += 1;
+                prop_assert!(
+                    cache.lookup(sig, &canon, &alg, 0).is_none(),
+                    "an expired entry was served"
+                );
+            } else {
+                cache.insert(sig, &canon, &alg, 0, result.clone());
+            }
+            prop_assert!(cache.stats().entries <= capacity);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, 0, "nothing stale is ever a hit");
+        prop_assert_eq!(stats.misses, lookups);
+        prop_assert_eq!(stats.evictions, 0, "stale entries expire instead of evicting");
+        prop_assert!(stats.entries <= capacity);
+    }
+
+    /// A generous `max_age` is behaviourally identical to no TTL: the same
+    /// op sequence produces the same lookup outcomes and the same counters.
+    #[test]
+    fn cache_long_max_age_behaves_like_no_ttl(capacity in 1usize..=4, seed in any::<u64>()) {
+        use optsched_service::ResultCache;
+        use std::time::Duration;
+
+        let (sig, canon, result) = cache_fixture();
+        let plain = ResultCache::bounded(1, capacity);
+        let aged = ResultCache::with_max_age(1, capacity, Some(Duration::from_secs(3600)));
+        for (is_lookup, k) in cache_ops(seed, 48) {
+            let alg = format!("alg{k}");
+            if is_lookup {
+                prop_assert_eq!(
+                    plain.lookup(sig, &canon, &alg, 0).is_some(),
+                    aged.lookup(sig, &canon, &alg, 0).is_some(),
+                    "a long TTL changed a lookup outcome"
+                );
+            } else {
+                plain.insert(sig, &canon, &alg, 0, result.clone());
+                aged.insert(sig, &canon, &alg, 0, result.clone());
+            }
+        }
+        let (p, a) = (plain.stats(), aged.stats());
+        prop_assert_eq!(p.entries, a.entries);
+        prop_assert_eq!(p.hits, a.hits);
+        prop_assert_eq!(p.misses, a.misses);
+        prop_assert_eq!(p.evictions, a.evictions);
+        prop_assert_eq!(a.expired, 0);
+    }
+}

@@ -1,31 +1,45 @@
 //! Offline, API-compatible stand-in for the subset of [`crossbeam`] this
-//! workspace uses: unbounded channels with cloneable senders.
+//! workspace uses: unbounded channels with cloneable senders **and**
+//! cloneable receivers (real `crossbeam-channel` channels are
+//! multi-producer/multi-consumer; the service's global worker pool relies on
+//! that to let every worker pull from one shared injector queue).
 //!
-//! Backed by `std::sync::mpsc`, which provides exactly the
-//! multi-producer/single-consumer shape the parallel scheduler needs (every
-//! PPE thread owns one receiver; senders are cloned freely).
+//! Backed by a `Mutex<VecDeque>` + `Condvar` queue that tracks live sender
+//! and receiver counts, so disconnection semantics match upstream: a `send`
+//! fails once every receiver is gone, and a blocking `recv` fails only once
+//! every sender is gone *and* the queue is drained.
 //!
 //! [`crossbeam`]: https://docs.rs/crossbeam
 
-/// Multi-producer channels (the `crossbeam-channel` subset).
+/// Multi-producer multi-consumer channels (the `crossbeam-channel` subset).
 pub mod channel {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::mpsc;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
-
-    impl<T> Clone for Sender<T> {
-        fn clone(&self) -> Self {
-            Sender(self.0.clone())
-        }
+    /// The shared interior of a channel.
+    struct Core<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled on every push and on every sender drop, so blocked
+        /// receivers re-check both the queue and the disconnect condition.
+        ready: Condvar,
     }
 
-    /// The receiving half of an unbounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
 
-    /// Error returned by [`Sender::send`] when the receiver is gone; carries
-    /// the unsent message.
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Core<T>>);
+
+    /// The receiving half of an unbounded channel.  Cloneable: each message
+    /// is delivered to exactly one receiver (the MPMC work-queue shape).
+    pub struct Receiver<T>(Arc<Core<T>>);
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message.
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
@@ -40,7 +54,7 @@ pub mod channel {
     pub enum TryRecvError {
         /// The channel is currently empty.
         Empty,
-        /// All senders have been dropped.
+        /// All senders have been dropped and the queue is drained.
         Disconnected,
     }
 
@@ -57,30 +71,83 @@ pub mod channel {
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let core = Arc::new(Core {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&core)), Receiver(core))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().expect("channel lock poisoned").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake every blocked receiver so it can observe disconnection.
+                drop(inner);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().expect("channel lock poisoned").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.inner.lock().expect("channel lock poisoned").receivers -= 1;
+        }
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing only if the receiver was dropped.
+        /// Sends a message, failing only if every receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.ready.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
         /// Receives a message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
         /// Blocks until a message arrives, failing only once every sender is
         /// dropped and the channel is drained (used by worker-pool threads).
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+            let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.ready.wait(inner).expect("channel lock poisoned");
+            }
         }
 
         /// A blocking iterator over received messages; ends when every
@@ -156,6 +223,50 @@ pub mod channel {
                 got.sort_unstable();
                 assert_eq!(got, vec![0, 1, 2, 3]);
             });
+        }
+
+        /// MPMC delivery: cloned receivers split one message stream — every
+        /// message is consumed exactly once, across however many consumers.
+        #[test]
+        fn cloned_receivers_share_one_queue() {
+            let (tx, rx) = unbounded();
+            let counted = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    let rx = rx.clone();
+                    let counted = &counted;
+                    scope.spawn(move || {
+                        while let Ok(v) = rx.recv() {
+                            counted.lock().unwrap().push(v);
+                        }
+                    });
+                }
+                drop(rx);
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+            });
+            let mut got = counted.into_inner().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        /// Disconnection needs *all* receiver clones gone before send fails,
+        /// and all sender clones gone before recv fails.
+        #[test]
+        fn clones_keep_the_channel_alive() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            drop(rx);
+            tx.send(9).unwrap();
+            assert_eq!(rx2.recv(), Ok(9));
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(10).unwrap();
+            assert_eq!(rx2.try_recv(), Ok(10));
+            drop(tx2);
+            assert_eq!(rx2.try_recv(), Err(TryRecvError::Disconnected));
         }
     }
 }
