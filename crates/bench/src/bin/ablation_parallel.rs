@@ -37,7 +37,7 @@ fn main() {
     let q = 8;
     let limits = SearchLimits { max_millis: opts.budget_ms, ..Default::default() };
     let mut csv = CsvWriter::new(
-        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,peak_live_states,peak_live_records,reclaimed_records,peak_in_flight,election_transfers,load_imbalance",
+        "size,configuration,schedule_length,time_ms,total_expanded,redundant_work,dup_avoided,peak_live_states,peak_live_records,reclaimed_records,replayed_deltas,replayed_deltas_saved,replay_overhead_pct,peak_in_flight,election_transfers,load_imbalance",
     );
     // Accumulates the before/after (local vs. sharded CLOSED) datapoints.
     let mut bench_json: Vec<String> = Vec::new();
@@ -120,7 +120,25 @@ fn main() {
                     "parallel search must stay optimal ({name})"
                 );
             }
-            let ms = r.elapsed.as_secs_f64() * 1e3;
+            let mut ms = r.elapsed.as_secs_f64() * 1e3;
+            // Sub-second completed rows are re-measured best-of-N (same
+            // idiom as ablation_serial): at that scale a store or table
+            // comparison drowns in thread-scheduling noise, and the minimum
+            // over repetitions is the honest estimate of the configuration's
+            // cost.  Counters are reported from the first run.
+            let reps = if r.outcome != SearchOutcome::Optimal {
+                0
+            } else if ms < 50.0 {
+                12
+            } else if ms < 1000.0 {
+                4
+            } else {
+                0
+            };
+            for _ in 0..reps {
+                let rep = ParallelAStarScheduler::new(&problem, cfg).run();
+                ms = ms.min(rep.elapsed.as_secs_f64() * 1e3);
+            }
             let redundant = r.total_expanded() as f64 / serial.stats.expanded.max(1) as f64;
             let avoided = r.redundant_expansions_avoided();
             // Airtight headline: per-PPE store peak + in-flight transfer peak
@@ -130,6 +148,16 @@ fn main() {
             let totals = r.total_stats();
             let peak_records = totals.peak_live_records;
             let reclaimed = totals.reclaimed_records;
+            let replayed = totals.replayed_deltas;
+            let replay_saved = totals.replayed_deltas_saved;
+            // Share of delta applications the arena actually replayed out of
+            // what a cache-less walk-to-snapshot arena would have replayed —
+            // the smaller, the better the scratch/path-cache/ancestor reuse.
+            let replay_overhead_pct = if replayed + replay_saved == 0 {
+                0.0
+            } else {
+                replayed as f64 / (replayed + replay_saved) as f64 * 100.0
+            };
             let elections = r.election_transfers();
             let imbalance = r.load_imbalance();
             println!(
@@ -153,6 +181,9 @@ fn main() {
                 peak_live.to_string(),
                 peak_records.to_string(),
                 reclaimed.to_string(),
+                replayed.to_string(),
+                replay_saved.to_string(),
+                format!("{replay_overhead_pct:.1}"),
                 peak_in_flight.to_string(),
                 elections.to_string(),
                 format!("{imbalance:.3}"),
@@ -177,10 +208,15 @@ fn main() {
                      \"redundant_vs_serial\": {redundant:.3}, \"dup_avoided\": {avoided}, \
                      \"peak_live_states\": {peak_live}, \"peak_live_records\": {peak_records}, \
                      \"reclaimed_records\": {reclaimed}, \
+                     \"replayed_deltas\": {replayed}, \
+                     \"replayed_deltas_saved\": {replay_saved}, \
+                     \"path_cache_ancestor_hits\": {}, \
+                     \"replay_overhead_pct\": {replay_overhead_pct:.1}, \
                      \"peak_in_flight\": {peak_in_flight}, \
                      \"election_transfers\": {elections}, \
                      \"schedule_length\": {}}}",
                     r.total_expanded(),
+                    totals.path_cache_ancestor_hits,
                     r.schedule_length()
                 ));
             }

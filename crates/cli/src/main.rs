@@ -235,6 +235,8 @@ fn cmd_schedule(args: &Args, graph: TaskGraph) -> ExitCode {
             println!("{:<15}: {}", "peak_live_records", s.peak_live_records);
             println!("{:<15}: {}", "reclaimed_records", s.reclaimed_records);
             println!("{:<15}: {}", "path-cache hit rate", path_cache_hit_rate(s));
+            println!("{:<15}: {}", "path-cache ancestor hits", s.path_cache_ancestor_hits);
+            println!("{:<15}: {}", "replayed deltas saved", s.replayed_deltas_saved);
         }
     }
     ExitCode::SUCCESS
@@ -302,17 +304,19 @@ fn metrics_line(service: &SchedulingService) -> String {
     let m = service.metrics_snapshot();
     let c = service.cache_stats();
     format!(
-        "submitted {} responses {} pending {} (peak {}) shed {} degraded {} | cache: {} entries, {:.0}% hit rate, {} evictions, {} expired",
+        "submitted {} responses {} pending {} (peak {}) shed {} degraded {} peak_live_records {} | cache: {} entries, {:.0}% hit rate, {} evictions, {} expired, {} filter skips",
         m.submitted,
         m.responses,
         m.pending,
         m.peak_pending,
         m.shed,
         m.degraded,
+        m.peak_live_records,
         c.entries,
         c.hit_rate() * 100.0,
         c.evictions,
-        c.expired
+        c.expired,
+        c.filter_skips
     )
 }
 

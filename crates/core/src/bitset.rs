@@ -65,8 +65,24 @@ impl BitSet {
     }
 
     /// Iterator over the set elements in increasing order.
+    ///
+    /// Scans word-by-word, peeling one set bit per step with
+    /// `trailing_zeros`, so sparse sets cost O(words + popcount) rather than
+    /// O(capacity) membership probes.  Bits above `len` are never set
+    /// (`insert` range-checks), so no trailing mask is needed.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.contains(i))
+        let words = &self.words;
+        let mut word_idx = 0;
+        let mut current = words.first().copied().unwrap_or(0);
+        std::iter::from_fn(move || loop {
+            if current != 0 {
+                let bit = current.trailing_zeros() as usize;
+                current &= current - 1;
+                return Some(word_idx * 64 + bit);
+            }
+            word_idx += 1;
+            current = *words.get(word_idx)?;
+        })
     }
 
     /// Overwrites this set with the contents of `other` without allocating.

@@ -56,6 +56,18 @@ const INVALID_ID: StateId = StateId::MAX;
 /// full-state copy a promotion costs).
 const PROMOTE_REPLAY_THRESHOLD: usize = 4;
 
+/// A replay at least this long additionally promotes its *midpoint* ancestor
+/// into the path-cache, so a later jump into any part of the subtree finds a
+/// nearby cached ancestor instead of only the tip.  Twice the tip threshold:
+/// each half of the chain must be long enough to be worth a cache slot.
+const MID_PROMOTE_REPLAY_THRESHOLD: usize = 2 * PROMOTE_REPLAY_THRESHOLD;
+
+/// Automatic compaction cadence: after this many reclaimed records since the
+/// last compaction the arena checks whether the trailing run of free slots is
+/// worth truncating (a "generation" of reclaims).  Explicit
+/// [`StateArena::compact`] calls are not throttled.
+const COMPACT_RECLAIM_INTERVAL: u64 = 8192;
+
 /// How the arena stores generated states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StoreKind {
@@ -169,16 +181,22 @@ pub struct StateArena<'p> {
     /// marked with [`INVALID_ID`] (the allocation is kept for reuse).
     cache: Vec<(StateId, SearchState)>,
     cache_cursor: usize,
-    /// Reusable buffer for the delta chain collected during materialisation.
-    chain: Vec<ChildDelta>,
+    /// Reusable buffer for the delta chain collected during materialisation:
+    /// each element is the id of the state the delta produces, so intermediate
+    /// ancestors can be promoted into the path-cache mid-replay.
+    chain: Vec<(StateId, ChildDelta)>,
     live_full: usize,
     peak_live_full: usize,
     live_records: usize,
     peak_live_records: usize,
     reclaimed_records: u64,
+    /// Reclaim count at the last automatic compaction check.
+    last_compact_reclaims: u64,
     materialisations: u64,
     path_cache_hits: u64,
+    path_cache_ancestor_hits: u64,
     replayed_deltas: u64,
+    replayed_deltas_saved: u64,
 }
 
 impl<'p> StateArena<'p> {
@@ -199,9 +217,12 @@ impl<'p> StateArena<'p> {
             live_records: 0,
             peak_live_records: 0,
             reclaimed_records: 0,
+            last_compact_reclaims: 0,
             materialisations: 0,
             path_cache_hits: 0,
+            path_cache_ancestor_hits: 0,
             replayed_deltas: 0,
+            replayed_deltas_saved: 0,
         }
     }
 
@@ -261,10 +282,30 @@ impl<'p> StateArena<'p> {
         self.path_cache_hits
     }
 
+    /// The subset of [`StateArena::path_cache_hits`] where the cached entry
+    /// was a strict *ancestor* of the requested state (not an exact-id hit):
+    /// the replay-from-nearest-ancestor win.
+    pub fn path_cache_ancestor_hits(&self) -> u64 {
+        self.path_cache_ancestor_hits
+    }
+
     /// Total deltas replayed across all materialisations — the arena's
     /// CPU-overhead proxy that the path-cache exists to shrink.
     pub fn replayed_deltas(&self) -> u64 {
         self.replayed_deltas
+    }
+
+    /// Total deltas *not* replayed because a walk ended at the scratch state
+    /// or a cached (ancestor) entry instead of descending to a full snapshot:
+    /// the depth of the reused base, summed over those materialisations.
+    pub fn replayed_deltas_saved(&self) -> u64 {
+        self.replayed_deltas_saved
+    }
+
+    /// Slot capacity currently allocated by the record vector (compaction
+    /// exists to shrink this back towards the live count after a drain).
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
     }
 
     fn note_live_full(&mut self, added: usize) {
@@ -370,6 +411,47 @@ impl<'p> StateArena<'p> {
                 Slot::Free => unreachable!("double free of slot {cursor}"),
             }
         }
+        // Generation-scoped compaction: every COMPACT_RECLAIM_INTERVAL
+        // reclaims, truncate the record vector if a substantial trailing run
+        // of slots has been freed, so a drained arena gives capacity back
+        // instead of only recycling ids.
+        if self.reclaimed_records - self.last_compact_reclaims >= COMPACT_RECLAIM_INTERVAL {
+            self.last_compact_reclaims = self.reclaimed_records;
+            let len = self.slots.len();
+            let tail = len - self.live_len();
+            if tail * 4 >= len {
+                self.compact();
+            }
+        }
+    }
+
+    /// One past the highest non-free slot index (the length the record
+    /// vector can truncate to without touching a live record).
+    fn live_len(&self) -> usize {
+        self.slots.iter().rposition(|s| !matches!(s, Slot::Free)).map_or(0, |i| i + 1)
+    }
+
+    /// Compacts the record vector: truncates the trailing run of freed slots,
+    /// drops their ids from the free list and releases the spare capacity of
+    /// the slot/refcount/free vectors back to the allocator.  Live ids are
+    /// never moved — only `Free` slots past the last live record are cut — so
+    /// every outstanding handle (and the scratch/path-cache ids, which are
+    /// invalidated eagerly on release) survives compaction unchanged.
+    ///
+    /// Runs automatically every [`COMPACT_RECLAIM_INTERVAL`] reclaims when
+    /// the trailing free run is at least a quarter of the vector; callers
+    /// with a natural generation boundary (e.g. a service worker between
+    /// requests) can invoke it directly.
+    pub fn compact(&mut self) {
+        let new_len = self.live_len();
+        if new_len < self.slots.len() {
+            self.slots.truncate(new_len);
+            self.refs.truncate(new_len);
+            self.free.retain(|&id| (id as usize) < new_len);
+        }
+        self.slots.shrink_to_fit();
+        self.refs.shrink_to_fit();
+        self.free.shrink_to_fit();
     }
 
     /// Adopts a full state produced *outside* this arena (in the parallel
@@ -396,6 +478,52 @@ impl<'p> StateArena<'p> {
             StoreKind::DeltaArena => {
                 let chain = state.to_delta_chain();
                 self.adopt_chain(&chain)
+            }
+        }
+    }
+
+    /// Adopts a full state as a *snapshot root*: one `Slot::Full` record that
+    /// later children hang their deltas off and that `materialise` replays
+    /// from directly — the receive-side of the parallel scheduler's snapshot
+    /// transfers.  Unlike [`StateArena::adopt`], a delta arena stores the
+    /// state as-is instead of decomposing it, so adopting (and later
+    /// releasing) a depth-`d` transfer costs one record instead of `d`
+    /// records plus a refcount cascade.  An empty delta arena is still seeded
+    /// with the pinned initial root first, preserving the slot-0 invariant
+    /// that chain adoption relies on; a depth-0 state *is* the initial state
+    /// and takes the chain path (no duplicate root record).
+    pub fn adopt_snapshot(&mut self, state: SearchState) -> StateId {
+        match self.config.kind {
+            StoreKind::EagerClone => self.insert_root(state),
+            StoreKind::DeltaArena => {
+                if state.depth() == 0 {
+                    return self.adopt(state);
+                }
+                if self.slots.is_empty() {
+                    self.insert_root(SearchState::initial(self.problem));
+                }
+                let id = self.alloc(Slot::Full(state));
+                self.note_live_full(1);
+                id
+            }
+        }
+    }
+
+    /// Depth of the record `id` in deltas from the initial state, walked over
+    /// parent links without materialising anything: the hop count to the
+    /// nearest full snapshot plus that snapshot's own depth.  The sender-side
+    /// cost model for choosing between chain and snapshot transfers.
+    pub fn record_depth(&self, id: StateId) -> usize {
+        let mut hops = 0usize;
+        let mut cursor = id;
+        loop {
+            match &self.slots[cursor as usize] {
+                Slot::Full(s) => return hops + s.depth() as usize,
+                Slot::Delta { parent, .. } => {
+                    hops += 1;
+                    cursor = *parent;
+                }
+                Slot::Free => unreachable!("record_depth through a freed slot"),
             }
         }
     }
@@ -453,9 +581,10 @@ impl<'p> StateArena<'p> {
     /// chain-shipping transfers.  Walks parent links only; nothing is
     /// materialised or copied beyond the fixed-size records.
     ///
-    /// Only meaningful for delta arenas rooted at the initial state (the
-    /// walk must bottom out at slot 0); eager arenas ship full states
-    /// instead.
+    /// Only meaningful for delta arenas rooted at the initial state: the walk
+    /// bottoms out either at slot 0 or at an adopted snapshot root, whose own
+    /// decomposition is spliced in so the chain always replays from the
+    /// receiver's initial state.  Eager arenas ship full states instead.
     pub fn extract_chain(&self, id: StateId) -> Vec<ChildDelta> {
         debug_assert_eq!(self.config.kind, StoreKind::DeltaArena, "chains are a delta-store form");
         let mut chain = Vec::new();
@@ -463,12 +592,12 @@ impl<'p> StateArena<'p> {
         loop {
             match &self.slots[cursor as usize] {
                 Slot::Full(s) => {
-                    debug_assert_eq!(
-                        s.depth(),
-                        0,
-                        "extract_chain walked to a non-initial snapshot; the chain would not \
-                         replay from the receiver's initial state"
-                    );
+                    // A snapshot root sits `s.depth()` deltas above the
+                    // initial state; splice its decomposition in (reversed —
+                    // the chain is tip-first until the final reverse).
+                    if s.depth() > 0 {
+                        chain.extend(s.to_delta_chain().into_iter().rev());
+                    }
                     break;
                 }
                 Slot::Delta { parent, delta } => {
@@ -502,7 +631,8 @@ impl<'p> StateArena<'p> {
         self.materialisations += 1;
 
         // Collect the delta chain from `id` up to the nearest replay base:
-        // the scratch state, a path-cache entry, or a full snapshot.
+        // the scratch state, a path-cache entry (exact id *or* any cached
+        // ancestor), or a full snapshot.
         enum Base {
             Scratch,
             Cached(usize),
@@ -518,65 +648,94 @@ impl<'p> StateArena<'p> {
             }
             if let Some(i) = self.cache.iter().position(|&(cid, _)| cid == cursor) {
                 self.path_cache_hits += 1;
+                if cursor != id {
+                    self.path_cache_ancestor_hits += 1;
+                }
                 break Base::Cached(i);
             }
             match &self.slots[cursor as usize] {
                 Slot::Full(_) => break Base::Slot(cursor),
                 Slot::Delta { parent, delta } => {
-                    chain.push(*delta);
+                    chain.push((cursor, *delta));
                     cursor = *parent;
                 }
                 Slot::Free => unreachable!("materialise through a freed slot"),
             }
         };
         self.replayed_deltas += chain.len() as u64;
+        let reused_base = matches!(base, Base::Scratch | Base::Cached(_));
 
-        // Seat the base in the scratch state (unless it already is there).
-        if !matches!(base, Base::Scratch) {
-            let base_state: &SearchState = match base {
-                Base::Scratch => unreachable!(),
-                Base::Cached(i) => &self.cache[i].1,
-                Base::Slot(base_id) => {
-                    let Slot::Full(s) = &self.slots[base_id as usize] else { unreachable!() };
-                    s
-                }
-            };
-            match &mut self.scratch {
-                Some((sid, scratch)) => {
-                    scratch.copy_from(base_state);
-                    *sid = cursor;
-                }
-                None => {
-                    let cloned = base_state.clone();
-                    self.scratch = Some((cursor, cloned));
-                    self.peak_live_full = self.peak_live_full.max(self.live_full + 1);
+        // Seat the base in the scratch state (unless it already is there),
+        // taking the scratch out of `self` so the mid-replay promotion below
+        // can borrow the cache.
+        let mut scratch = match (&base, self.scratch.take()) {
+            (Base::Scratch, Some((_, s))) => s,
+            (_, existing) => {
+                let base_state: &SearchState = match base {
+                    Base::Scratch => unreachable!("scratch base without a scratch state"),
+                    Base::Cached(i) => &self.cache[i].1,
+                    Base::Slot(base_id) => {
+                        let Slot::Full(s) = &self.slots[base_id as usize] else { unreachable!() };
+                        s
+                    }
+                };
+                match existing {
+                    Some((_, mut s)) => {
+                        s.copy_from(base_state);
+                        s
+                    }
+                    None => {
+                        let cloned = base_state.clone();
+                        self.peak_live_full = self.peak_live_full.max(self.live_full + 1);
+                        cloned
+                    }
                 }
             }
+        };
+        if reused_base {
+            // Every delta below the reused base would have been replayed by a
+            // walk to the full snapshot: the ancestor-replay win.
+            self.replayed_deltas_saved += scratch.depth() as u64;
         }
+
+        // Replay the suffix; a long enough replay also promotes its midpoint
+        // ancestor so later jumps anywhere into this subtree start nearby.
         let replay_len = chain.len();
-        {
-            let (sid, scratch) = self.scratch.as_mut().expect("scratch initialised above");
-            for delta in chain.iter().rev() {
-                scratch.apply_delta_in_place(self.problem, delta);
+        let mid_idx = (replay_len >= MID_PROMOTE_REPLAY_THRESHOLD && self.config.path_cache > 0)
+            .then_some(replay_len / 2);
+        for i in (0..replay_len).rev() {
+            let (delta_id, delta) = chain[i];
+            scratch.apply_delta_in_place(self.problem, &delta);
+            if mid_idx == Some(i) {
+                self.cache_insert(delta_id, &scratch);
             }
-            *sid = id;
         }
         self.chain = chain;
 
         // Promote long replays into the path-cache so a later jump back into
         // this subtree starts from here instead of the root.
         if replay_len >= PROMOTE_REPLAY_THRESHOLD && self.config.path_cache > 0 {
-            let state = &self.scratch.as_ref().expect("scratch initialised above").1;
-            if self.cache.len() < self.config.path_cache as usize {
-                self.cache.push((id, state.clone()));
-            } else {
-                let (cid, slot_state) = &mut self.cache[self.cache_cursor];
-                *cid = id;
-                slot_state.copy_from(state);
-                self.cache_cursor = (self.cache_cursor + 1) % self.cache.len();
-            }
+            self.cache_insert(id, &scratch);
         }
-        &self.scratch.as_ref().expect("scratch initialised above").1
+        self.scratch = Some((id, scratch));
+        &self.scratch.as_ref().expect("scratch seated above").1
+    }
+
+    /// Inserts (or refreshes, round-robin) a path-cache entry.  An id already
+    /// cached is left in place — its entry holds the identical state.
+    fn cache_insert(&mut self, id: StateId, state: &SearchState) {
+        if self.cache.iter().any(|&(cid, _)| cid == id) {
+            return;
+        }
+        if self.cache.len() < self.config.path_cache as usize {
+            self.cache.push((id, state.clone()));
+        } else {
+            let cursor = self.cache_cursor;
+            let (cid, slot_state) = &mut self.cache[cursor];
+            *cid = id;
+            slot_state.copy_from(state);
+            self.cache_cursor = (cursor + 1) % self.cache.len();
+        }
     }
 }
 
@@ -836,9 +995,16 @@ mod tests {
         let d = state.peek_child(&problem, n, ProcId(1), h);
         let child = arena.insert_child(id, &d);
         let before = arena.replayed_deltas();
+        let saved_before = arena.replayed_deltas_saved();
         assert_eq!(arena.materialise(child).depth(), 6);
         assert_eq!(arena.path_cache_hits(), 1, "the cached ancestor was found");
+        assert_eq!(arena.path_cache_ancestor_hits(), 1, "a strict ancestor, not an exact id");
         assert_eq!(arena.replayed_deltas(), before + 1, "only the new delta was replayed");
+        assert_eq!(
+            arena.replayed_deltas_saved(),
+            saved_before + 5,
+            "the cached base's five deltas were not replayed"
+        );
 
         // With the cache disabled the same jump replays from the root.
         let mut no_cache =
@@ -864,6 +1030,103 @@ mod tests {
         no_cache.materialise(nchild);
         assert_eq!(no_cache.path_cache_hits(), 0);
         assert_eq!(no_cache.replayed_deltas(), before + 6, "full replay from the root");
+    }
+
+    /// A replay long enough for midpoint promotion caches an intermediate
+    /// ancestor: a later branch off the *middle* of the chain replays only
+    /// from that ancestor instead of from the root or the far tip.
+    #[test]
+    fn midpoint_promotion_caches_an_interior_ancestor() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let graph = generate_random_dag(
+            &RandomDagConfig { nodes: 10, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let problem = SchedulingProblem::new(graph, ProcNetwork::ring(3));
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena = arena(&problem, StoreKind::DeltaArena);
+        let mut state = SearchState::initial(&problem);
+        let mut id = arena.insert_root(state.clone());
+        // A chain of depth 8 (>= midpoint promotion threshold); remember the
+        // state at depth 4 so we can branch off it later.
+        let mut mid_state = None;
+        let mut mid_id = 0;
+        for depth in 1..=8 {
+            let n = state.ready_nodes(&problem)[0];
+            let d = state.peek_child(&problem, n, ProcId(0), h);
+            id = arena.insert_child(id, &d);
+            state.apply_delta_in_place(&problem, &d);
+            if depth == 4 {
+                mid_state = Some(state.clone());
+                mid_id = id;
+            }
+        }
+        let mid_state = mid_state.unwrap();
+        assert_eq!(arena.materialise(id).depth(), 8);
+        assert_eq!(arena.replayed_deltas(), 8);
+
+        // Branch off the midpoint: the walk must stop at the promoted
+        // interior ancestor (depth 4), replaying one delta, not eight.
+        let n = mid_state.ready_nodes(&problem)[0];
+        let d = mid_state.peek_child(&problem, n, ProcId(1), h);
+        let branch = arena.insert_child(mid_id, &d);
+        let before = arena.replayed_deltas();
+        assert_eq!(arena.materialise(branch).depth(), 5);
+        assert_eq!(arena.replayed_deltas(), before + 1, "replayed from the midpoint entry");
+        assert_eq!(arena.path_cache_ancestor_hits(), 1);
+        assert_eq!(arena.replayed_deltas_saved(), 4, "the midpoint's four deltas were saved");
+    }
+
+    /// Compaction truncates the trailing run of freed slots and returns the
+    /// spare capacity, while every live id survives untouched.
+    #[test]
+    fn compact_shrinks_capacity_and_preserves_live_ids() {
+        let problem = example_problem();
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena = arena(&problem, StoreKind::DeltaArena);
+        let mut state = SearchState::initial(&problem);
+        let mut id = arena.insert_root(state.clone());
+        let keep = {
+            let n = state.ready_nodes(&problem)[0];
+            let d = state.peek_child(&problem, n, ProcId(1), h);
+            arena.insert_child(id, &d)
+        };
+        let keep_sig = {
+            let n = state.ready_nodes(&problem)[0];
+            let d = state.peek_child(&problem, n, ProcId(1), h);
+            state.apply_delta(&problem, &d).signature()
+        };
+        // Grow a long disposable chain past the kept child, then drain it.
+        let mut ids = Vec::new();
+        for _ in 0..6 {
+            let n = state.ready_nodes(&problem)[0];
+            let d = state.peek_child(&problem, n, ProcId(0), h);
+            id = arena.insert_child(id, &d);
+            state.apply_delta_in_place(&problem, &d);
+            ids.push(id);
+        }
+        let grown = arena.len();
+        assert_eq!(grown, 8);
+        for dead in ids.iter().rev() {
+            arena.release(*dead);
+        }
+        // The chain is gone but the slots (and their capacity) linger.
+        assert_eq!(arena.live_records(), 2);
+        assert_eq!(arena.len(), grown);
+
+        arena.compact();
+        assert_eq!(arena.len(), 2, "trailing free slots truncated");
+        assert!(arena.capacity() < grown, "capacity given back: {}", arena.capacity());
+        // The live child survives and still materialises correctly.
+        assert_eq!(arena.materialise(keep).signature(), keep_sig);
+        // New insertions extend the compacted vector cleanly.
+        let tail = {
+            let root_state = SearchState::initial(&problem);
+            let n = root_state.ready_nodes(&problem)[0];
+            let d = root_state.peek_child(&problem, n, ProcId(2), h);
+            arena.insert_child(0, &d)
+        };
+        assert_eq!(arena.materialise(tail).depth(), 1);
     }
 
     /// The transfer-adoption path of the parallel scheduler: a full state
@@ -973,6 +1236,61 @@ mod tests {
         let mut eager = arena(&problem, StoreKind::EagerClone);
         let eid = eager.adopt_chain(&wire);
         assert_eq!(eager.materialise(eid).signature(), state.signature());
+    }
+
+    /// Snapshot adoption stores a deep transfer as ONE record, descendants
+    /// replay from it, extraction splices its decomposition back into a
+    /// root-anchored chain, and releasing it reclaims one record — no
+    /// refcount cascade through a re-rooted chain.
+    #[test]
+    fn adopt_snapshot_costs_one_record_and_splices_on_extract() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let graph = generate_random_dag(
+            &RandomDagConfig { nodes: 8, ccr: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        let problem = SchedulingProblem::new(graph, ProcNetwork::ring(3));
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut state = SearchState::initial(&problem);
+        for _ in 0..6 {
+            let ready = state.ready_nodes(&problem);
+            let n = ready[rng.gen_range(0..ready.len())];
+            let p = ProcId(rng.gen_range(0..problem.num_procs()) as u32);
+            state = state.schedule_node(&problem, n, p, h);
+        }
+
+        let mut delta = arena(&problem, StoreKind::DeltaArena);
+        let id = delta.adopt_snapshot(state.clone());
+        assert_eq!(delta.live_records(), 2, "the pinned initial root plus one snapshot");
+        assert_eq!(delta.record_depth(id), state.depth() as usize);
+        assert_eq!(delta.materialise(id).signature(), state.signature());
+
+        // A descendant replays from the snapshot, not the distant root.
+        let ready = state.ready_nodes(&problem);
+        let d = state.peek_child(&problem, ready[0], ProcId(0), h);
+        let child = delta.insert_child(id, &d);
+        assert_eq!(delta.record_depth(child), state.depth() as usize + 1);
+        let replayed_before = delta.replayed_deltas();
+        let child_sig = delta.materialise(child).signature();
+        assert_eq!(delta.replayed_deltas() - replayed_before, 1, "one delta above the snapshot");
+
+        // Extraction splices the snapshot's decomposition back in: a fresh
+        // receiver rebuilds the identical state from its own initial root.
+        let wire = delta.extract_chain(child);
+        assert_eq!(wire.len(), state.depth() as usize + 1);
+        let mut receiver = arena(&problem, StoreKind::DeltaArena);
+        let rid = receiver.adopt_chain(&wire);
+        assert_eq!(receiver.materialise(rid).signature(), child_sig);
+
+        // Releasing the chain reclaims the snapshot with no cascade beyond it.
+        delta.release(child);
+        delta.release(id);
+        assert_eq!(delta.live_records(), 1, "only the pinned root survives");
+
+        // Depth-0 snapshots reuse the pinned root instead of duplicating it.
+        let mut fresh = arena(&problem, StoreKind::DeltaArena);
+        assert_eq!(fresh.adopt_snapshot(SearchState::initial(&problem)), 0);
+        assert_eq!(fresh.live_records(), 1);
     }
 
     /// `adopt` is total on delta arenas: an empty one seeds its own initial

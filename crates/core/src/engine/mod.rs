@@ -315,7 +315,9 @@ pub fn run_search<P: FrontierPolicy>(
     stats.reclaimed_records = arena.reclaimed_records();
     stats.materialisations = arena.materialisations();
     stats.path_cache_hits = arena.path_cache_hits();
+    stats.path_cache_ancestor_hits = arena.path_cache_ancestor_hits();
     stats.replayed_deltas = arena.replayed_deltas();
+    stats.replayed_deltas_saved = arena.replayed_deltas_saved();
     SearchResult {
         schedule_length: incumbent.makespan(),
         schedule: Some(incumbent),

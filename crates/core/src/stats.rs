@@ -68,9 +68,17 @@ pub struct SearchStats {
     /// Materialisations whose replay started from a path-cache entry instead
     /// of walking to a full snapshot (scratch-state reuse not counted).
     pub path_cache_hits: u64,
+    /// The subset of [`path_cache_hits`](SearchStats::path_cache_hits) whose
+    /// cached entry was a strict *ancestor* of the requested state rather
+    /// than an exact-id hit — the replay-from-nearest-ancestor win.
+    pub path_cache_ancestor_hits: u64,
     /// Total deltas replayed across all materialisations — the arena's CPU
     /// overhead that the scratch state and path-cache exist to shrink.
     pub replayed_deltas: u64,
+    /// Total deltas *not* replayed because materialisation reused the scratch
+    /// state or a cached ancestor as its base instead of walking to a full
+    /// snapshot (the depth of the reused base, summed over those replays).
+    pub replayed_deltas_saved: u64,
     /// Heuristic evaluations performed (one per generated state; the Chen &
     /// Yu baseline additionally counts its per-path evaluations here).
     pub heuristic_evaluations: u64,
@@ -113,7 +121,9 @@ impl SearchStats {
             reclaimed_records,
             materialisations,
             path_cache_hits,
+            path_cache_ancestor_hits,
             replayed_deltas,
+            replayed_deltas_saved,
             heuristic_evaluations,
             path_segments_enumerated,
         } = other;
@@ -131,7 +141,9 @@ impl SearchStats {
         self.reclaimed_records += reclaimed_records;
         self.materialisations += materialisations;
         self.path_cache_hits += path_cache_hits;
+        self.path_cache_ancestor_hits += path_cache_ancestor_hits;
         self.replayed_deltas += replayed_deltas;
+        self.replayed_deltas_saved += replayed_deltas_saved;
         self.heuristic_evaluations += heuristic_evaluations;
         self.path_segments_enumerated += path_segments_enumerated;
     }
@@ -223,7 +235,9 @@ mod tests {
             reclaimed_records: 14,
             materialisations: 15,
             path_cache_hits: 16,
+            path_cache_ancestor_hits: 18,
             replayed_deltas: 17,
+            replayed_deltas_saved: 19,
             heuristic_evaluations: 10,
             path_segments_enumerated: 11,
         };
@@ -242,7 +256,9 @@ mod tests {
             reclaimed_records: 1400,
             materialisations: 1500,
             path_cache_hits: 1600,
+            path_cache_ancestor_hits: 1800,
             replayed_deltas: 1700,
+            replayed_deltas_saved: 1900,
             heuristic_evaluations: 1000,
             path_segments_enumerated: 1100,
         };
@@ -265,7 +281,9 @@ mod tests {
                 reclaimed_records: 1414,
                 materialisations: 1515,
                 path_cache_hits: 1616,
+                path_cache_ancestor_hits: 1818,
                 replayed_deltas: 1717,
+                replayed_deltas_saved: 1919,
                 heuristic_evaluations: 1010,
                 path_segments_enumerated: 1111,
             }

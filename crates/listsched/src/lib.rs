@@ -20,7 +20,9 @@
 #![warn(missing_docs)]
 
 use optsched_procnet::{ProcId, ProcNetwork};
-use optsched_schedule::{earliest_start_time, earliest_start_time_insertion, Schedule};
+use optsched_schedule::{
+    earliest_start_time, earliest_start_time_insertion_with, Schedule, ScheduledTask,
+};
 use optsched_taskgraph::{Cost, GraphLevels, LevelKind, NodeId, TaskGraph};
 
 /// How a processor is chosen for the task under consideration.
@@ -83,6 +85,8 @@ pub fn list_schedule_with_levels(
     // and keeps tie-breaking (by node id) explicit and deterministic.
     let mut ready: Vec<NodeId> =
         graph.node_ids().filter(|&n| graph.in_degree(n) == 0).collect();
+    // One task-list buffer reused across every insertion-EST probe below.
+    let mut est_scratch: Vec<ScheduledTask> = Vec::new();
 
     for _ in 0..v {
         // Highest priority ready node; ties broken toward the smaller id.
@@ -102,7 +106,14 @@ pub fn list_schedule_with_levels(
         let mut best: Option<(Cost, Cost, ProcId)> = None; // (key, start, proc)
         for proc in net.proc_ids() {
             let start = if config.insertion {
-                earliest_start_time_insertion(graph, net, &schedule, node, proc)
+                earliest_start_time_insertion_with(
+                    graph,
+                    net,
+                    &schedule,
+                    node,
+                    proc,
+                    &mut est_scratch,
+                )
             } else {
                 earliest_start_time(graph, net, &schedule, node, proc)
             };

@@ -3,8 +3,8 @@
 //! The paper's PPEs each keep a *private* CLOSED list, so the same partial
 //! schedule can be generated — and expanded — by several PPEs.  On shared
 //! memory nothing forces that design: this module provides a single logical
-//! CLOSED/seen table shared by every PPE, split into `N` independently locked
-//! shards so concurrent claims on different signatures almost never contend.
+//! CLOSED/seen table shared by every PPE, split into `N` independent shards
+//! so concurrent claims on different signatures almost never contend.
 //!
 //! A PPE *claims* a [`StateSignature`] at generation time; the first claim
 //! wins and every later claim of the same signature (by any PPE) reports a
@@ -16,6 +16,25 @@
 //! stays exact.  The table still records the claimed `g` and re-opens a
 //! signature on a strictly better claim as a defensive measure.
 //!
+//! Two shard backends implement the claim protocol ([`TableBackend`]):
+//!
+//! * **`atomic`** (the default) — a chaining hash table of atomic bucket
+//!   heads over immutable push-front nodes.  A claim hashes its signature,
+//!   walks its bucket's chain (a fingerprint word short-circuits mismatched
+//!   nodes; a match is always decided by full signature equality) and, if
+//!   absent, publishes a heap node with one compare-and-swap on the head; a
+//!   loser re-walks only the prefix its race inserted and retries.  Nodes
+//!   are never removed or moved, so no locks, no spinning and no ABA; growth
+//!   is a non-event — the load factor rises and chains lengthen gracefully
+//!   (~`entries / 2^20` nodes per walk) instead of migrating or probing
+//!   saturated windows.
+//! * **`mutex`** — the PR 2 lock-striped `Mutex<HashMap>` shards, kept for
+//!   the ablation and as the reference model the atomic backend is
+//!   property-tested against.
+//!
+//! Both backends keep identical per-shard hit/miss/reopen counters with the
+//! exact `entries == misses` invariant.
+//!
 //! Ownership of a claim travels with the state: when load sharing moves a
 //! state to another PPE, the receiver inserts it into its OPEN list without
 //! consulting the table (the claim is still "alive", merely held elsewhere),
@@ -24,7 +43,8 @@
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -38,7 +58,7 @@ pub enum DuplicateDetection {
     /// message-passing Paragon.  The same state can be expanded by several
     /// PPEs; kept for ablation and as the faithful-to-the-paper mode.
     Local,
-    /// One global table shared by all PPEs, lock-striped into
+    /// One global table shared by all PPEs, split into
     /// [`ParallelConfig::num_shards`](crate::ParallelConfig::num_shards)
     /// shards: a state already claimed by any PPE is dropped at generation
     /// time, eliminating redundant cross-PPE expansions.
@@ -67,6 +87,55 @@ impl std::str::FromStr for DuplicateDetection {
     }
 }
 
+/// Which shard store a [`ShardedClosedTable`] claims through.
+///
+/// Selected per table at construction; [`ShardedClosedTable::new`] reads the
+/// `OPTSCHED_CLOSED_TABLE` environment knob (`atomic` is the default) so the
+/// conformance matrix and the ablation bins can pin either backend without a
+/// recompile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableBackend {
+    /// Lock-striped `Mutex<HashMap>` shards (the PR 2 design; the reference
+    /// model for the atomic backend's property tests).
+    Mutex,
+    /// Lock-free chaining over atomic bucket heads: CAS claim, immutable
+    /// push-front nodes, migration-free growth.
+    #[default]
+    Atomic,
+}
+
+impl TableBackend {
+    /// The backend selected by `OPTSCHED_CLOSED_TABLE` (`mutex`|`atomic`),
+    /// defaulting to [`TableBackend::Atomic`] when unset or unparsable.
+    pub fn from_env() -> TableBackend {
+        std::env::var("OPTSCHED_CLOSED_TABLE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for TableBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableBackend::Mutex => write!(f, "mutex"),
+            TableBackend::Atomic => write!(f, "atomic"),
+        }
+    }
+}
+
+impl std::str::FromStr for TableBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mutex" | "locked" | "hashmap" => Ok(TableBackend::Mutex),
+            "atomic" | "lockfree" | "lock-free" => Ok(TableBackend::Atomic),
+            other => Err(format!("unknown closed-table backend `{other}` (expected mutex|atomic)")),
+        }
+    }
+}
+
 /// Result of [`ShardedClosedTable::try_claim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClaimOutcome {
@@ -81,6 +150,18 @@ pub enum ClaimOutcome {
     DuplicateOtherOwner,
 }
 
+/// How a claim resolved inside a shard store — the store reports the kind and
+/// the shard translates it into counter updates, so both backends keep
+/// bit-compatible counters by construction.
+enum ClaimKind {
+    /// New signature inserted (counts as a miss).
+    Fresh,
+    /// Existing entry replaced by a strictly better `g` (counts as a reopen).
+    Reopen,
+    /// Duplicate dropped (counts as a hit); carries the owning PPE.
+    Duplicate { owner: u32 },
+}
+
 /// A claim: the best `g` seen for the signature and the PPE that holds it.
 #[derive(Debug, Clone, Copy)]
 struct ClaimEntry {
@@ -88,14 +169,274 @@ struct ClaimEntry {
     owner: u32,
 }
 
-/// One lock-striped shard: a map guarded by its own mutex plus lock-free
-/// hit/miss counters (updated under the shard lock, read without it).
-#[derive(Debug, Default)]
+// ---------------------------------------------------------------------------
+// Atomic shard store
+// ---------------------------------------------------------------------------
+
+/// Bucket heads across the *whole table*, divided among its shards — a claim
+/// costs one bucket load plus an average chain walk of
+/// `entries / TOTAL_BUCKET_BUDGET` nodes, independent of the shard count.
+/// 2^20 head pointers are 8 MiB; a v = 12 parallel run claims ~3 M
+/// signatures, so chains average ~3 nodes at the largest searches this
+/// repository runs and the cost never cliffs (an earlier open-addressed
+/// design degraded to window-scanning whole saturated segments).
+const TOTAL_BUCKET_BUDGET: usize = 1 << 20;
+
+/// Floor on the per-shard bucket array, so high shard counts keep useful
+/// per-shard tables.
+const MIN_BUCKETS_PER_SHARD: usize = 1 << 10;
+
+/// One published claim of the atomic store: an immutable chain node (except
+/// for the defensive better-`g` reopen fields).  The full signature is kept
+/// so a match is always decided by signature equality, never by the
+/// fingerprint.
+struct ClaimNode {
+    /// Fingerprint of the signature hash; checked before the signature so
+    /// walking over a mismatched node costs one word comparison, not a slice
+    /// comparison.
+    fp: u64,
+    sig: StateSignature,
+    g: AtomicU64,
+    owner: AtomicU32,
+    /// The next node in the bucket chain.  Written only while the node is
+    /// still privately owned (before its publishing CAS); immutable after.
+    next: *mut ClaimNode,
+}
+
+/// The lock-free shard store: a fixed power-of-two array of bucket heads,
+/// each an atomic pointer to an immutable push-front chain of [`ClaimNode`]s.
+///
+/// A claim walks its bucket's chain; if the signature is absent it CAS-es a
+/// new node in at the head.  A loser re-walks only the *prefix* its race
+/// inserted (chains grow at the head and nodes are never removed, so the old
+/// head is still reachable and there is no ABA), then retries.  Growth is a
+/// non-event: load factor rises and chains lengthen gracefully instead of
+/// probing saturated windows.
+struct AtomicStore {
+    buckets: Box<[AtomicPtr<ClaimNode>]>,
+    mask: usize,
+}
+
+// SAFETY: all mutation goes through atomics; published `ClaimNode` pointers
+// are immutable (bar their atomic fields) and freed only in `Drop`, which
+// requires `&mut`.
+unsafe impl Send for AtomicStore {}
+unsafe impl Sync for AtomicStore {}
+
+impl AtomicStore {
+    fn new(num_buckets: usize) -> AtomicStore {
+        let capacity = num_buckets.max(MIN_BUCKETS_PER_SHARD).next_power_of_two();
+        let buckets = (0..capacity).map(|_| AtomicPtr::new(ptr::null_mut())).collect();
+        AtomicStore { buckets, mask: capacity - 1 }
+    }
+
+    /// Walks `chain` (stopping at `until`, exclusive) for a node matching
+    /// `fp`/`sig`.
+    ///
+    /// SAFETY: every pointer reachable from a published head stays valid
+    /// until `Drop`, and `until` must be a pointer previously loaded from
+    /// this bucket (chains only grow at the head, so it remains reachable).
+    fn walk(
+        mut chain: *mut ClaimNode,
+        until: *mut ClaimNode,
+        fp: u64,
+        sig: &StateSignature,
+    ) -> Option<&ClaimNode> {
+        while chain != until {
+            // SAFETY: see above — non-null chain pointers stay valid.
+            let node = unsafe { &*chain };
+            if node.fp == fp && node.sig == *sig {
+                return Some(node);
+            }
+            chain = node.next;
+        }
+        None
+    }
+
+    fn try_claim(&self, sig: StateSignature, g: Cost, owner: u32) -> ClaimKind {
+        let h = slot_hash(&sig);
+        let fp = h | 1;
+        let bucket = &self.buckets[(h as usize) & self.mask];
+        let mut head = bucket.load(Ordering::Acquire);
+        if let Some(node) = AtomicStore::walk(head, ptr::null_mut(), fp, &sig) {
+            return resolve_occupied(node, g, owner);
+        }
+        // Absent: publish a new node at the head.  The signature moves into
+        // the node (no clone); the box is reused across failed CAS attempts
+        // and simply dropped if a racing claim turns out to hold it already.
+        let mut node = Box::new(ClaimNode {
+            fp,
+            sig,
+            g: AtomicU64::new(g),
+            owner: AtomicU32::new(owner),
+            next: head,
+        });
+        loop {
+            let raw = Box::into_raw(node);
+            match bucket.compare_exchange(head, raw, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return ClaimKind::Fresh,
+                Err(new_head) => {
+                    // SAFETY: `raw` lost the race and was never published; we
+                    // still own it.
+                    node = unsafe { Box::from_raw(raw) };
+                    // Only the freshly inserted prefix (new_head..head) can
+                    // contain our signature — everything from `head` down was
+                    // checked before the CAS.
+                    if let Some(won) = AtomicStore::walk(new_head, head, fp, &node.sig) {
+                        return resolve_occupied(won, g, owner);
+                    }
+                    node.next = new_head;
+                    head = new_head;
+                }
+            }
+        }
+    }
+
+    fn find(&self, sig: &StateSignature) -> bool {
+        let h = slot_hash(sig);
+        let head = self.buckets[(h as usize) & self.mask].load(Ordering::Acquire);
+        AtomicStore::walk(head, ptr::null_mut(), h | 1, sig).is_some()
+    }
+
+    /// Chain nodes across all buckets (each claimed signature occupies
+    /// exactly one node, so this equals the entry count).
+    fn len(&self) -> usize {
+        let mut n = 0;
+        for bucket in self.buckets.iter() {
+            let mut p = bucket.load(Ordering::Acquire);
+            while !p.is_null() {
+                n += 1;
+                // SAFETY: as in `walk`.
+                p = unsafe { &*p }.next;
+            }
+        }
+        n
+    }
+}
+
+impl Drop for AtomicStore {
+    fn drop(&mut self) {
+        for bucket in self.buckets.iter_mut() {
+            let mut p = *bucket.get_mut();
+            while !p.is_null() {
+                // SAFETY: `&mut self` means no concurrent readers; every
+                // non-null pointer was produced by `Box::into_raw` and
+                // published once.
+                let node = unsafe { Box::from_raw(p) };
+                p = node.next;
+            }
+        }
+    }
+}
+
+/// Duplicate/reopen resolution on an already-published entry, shared by the
+/// atomic probe loop.  The reopen CAS loop mirrors the mutex backend's
+/// replace-under-lock: only a strictly better `g` wins, and the owner follows
+/// the winning `g`.
+fn resolve_occupied(entry: &ClaimNode, g: Cost, owner: u32) -> ClaimKind {
+    let mut current = entry.g.load(Ordering::Acquire);
+    while g < current {
+        match entry.g.compare_exchange(current, g, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {
+                entry.owner.store(owner, Ordering::Release);
+                return ClaimKind::Reopen;
+            }
+            Err(better) => current = better,
+        }
+    }
+    ClaimKind::Duplicate { owner: entry.owner.load(Ordering::Acquire) }
+}
+
+/// Within-shard slot hash: the shard index consumes the low bits of the
+/// signature hash, so the slot hash remixes the full word to keep bucket
+/// indices independent of shard selection.  A bare odd-constant multiply is
+/// NOT enough here: it maps a fixed-low-bits residue class onto a stride
+/// lattice, leaving only `buckets / num_shards` of each shard's buckets
+/// reachable — the xor-shift finalizer (splitmix64's) restores full
+/// avalanche into the low bits the bucket mask reads.
+fn slot_hash(sig: &StateSignature) -> u64 {
+    let mut x = sig_hash(sig);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn sig_hash(sig: &StateSignature) -> u64 {
+    let mut h = DefaultHasher::new();
+    sig.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Shards and the table
+// ---------------------------------------------------------------------------
+
+/// The per-shard claim store: one of the two [`TableBackend`]s.
+enum ShardStore {
+    Mutex(Mutex<HashMap<StateSignature, ClaimEntry>>),
+    Atomic(AtomicStore),
+}
+
+impl ShardStore {
+    fn try_claim(&self, sig: StateSignature, g: Cost, owner: u32) -> ClaimKind {
+        match self {
+            ShardStore::Mutex(map) => match map.lock().entry(sig) {
+                Entry::Occupied(mut e) => {
+                    if g < e.get().g {
+                        e.insert(ClaimEntry { g, owner });
+                        ClaimKind::Reopen
+                    } else {
+                        ClaimKind::Duplicate { owner: e.get().owner }
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert(ClaimEntry { g, owner });
+                    ClaimKind::Fresh
+                }
+            },
+            ShardStore::Atomic(store) => store.try_claim(sig, g, owner),
+        }
+    }
+
+    fn contains(&self, sig: &StateSignature) -> bool {
+        match self {
+            ShardStore::Mutex(map) => map.lock().contains_key(sig),
+            ShardStore::Atomic(store) => store.find(sig),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ShardStore::Mutex(map) => map.lock().len(),
+            ShardStore::Atomic(store) => store.len(),
+        }
+    }
+}
+
+/// One shard: a claim store plus lock-free hit/miss counters (read without
+/// any lock by [`ShardedClosedTable::stats`]).
 struct Shard {
-    map: Mutex<HashMap<StateSignature, ClaimEntry>>,
+    store: ShardStore,
     hits: AtomicU64,
     misses: AtomicU64,
     reopens: AtomicU64,
+}
+
+impl Shard {
+    fn new(backend: TableBackend, buckets: usize) -> Shard {
+        let store = match backend {
+            TableBackend::Mutex => ShardStore::Mutex(Mutex::new(HashMap::new())),
+            TableBackend::Atomic => ShardStore::Atomic(AtomicStore::new(buckets)),
+        };
+        Shard {
+            store,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            reopens: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Counters of one shard, snapshot by [`ShardedClosedTable::stats`].
@@ -159,23 +500,46 @@ impl ClosedTableStats {
     }
 }
 
-/// The sharded, lock-striped global CLOSED/duplicate-detection table.
-#[derive(Debug)]
+/// The sharded global CLOSED/duplicate-detection table.
 pub struct ShardedClosedTable {
     shards: Vec<Shard>,
+    backend: TableBackend,
     /// `shards.len() - 1`; shard count is a power of two so masking replaces
     /// the modulo on the hot path.
     mask: usize,
 }
 
+impl std::fmt::Debug for ShardedClosedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedClosedTable")
+            .field("backend", &self.backend)
+            .field("num_shards", &self.shards.len())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
 impl ShardedClosedTable {
     /// Creates a table with `num_shards` shards, rounded up to the next power
-    /// of two (minimum 1, capped at 1024 — beyond that the per-shard mutexes
-    /// cost more memory than they save in contention).
+    /// of two (minimum 1, capped at 1024 — beyond that the per-shard stores
+    /// cost more memory than they save in contention), using the backend
+    /// selected by the `OPTSCHED_CLOSED_TABLE` environment knob
+    /// ([`TableBackend::from_env`]; `atomic` by default).
     pub fn new(num_shards: usize) -> ShardedClosedTable {
+        ShardedClosedTable::with_backend(num_shards, TableBackend::from_env())
+    }
+
+    /// As [`ShardedClosedTable::new`], but with an explicit backend — the
+    /// constructor the ablation bins and the reference-model property tests
+    /// use.
+    pub fn with_backend(num_shards: usize, backend: TableBackend) -> ShardedClosedTable {
         let n = num_shards.clamp(1, 1024).next_power_of_two();
+        // The atomic backend's bucket budget is a whole-table constant: more
+        // shards mean smaller per-shard arrays, not more memory.
+        let buckets = (TOTAL_BUCKET_BUDGET / n).max(MIN_BUCKETS_PER_SHARD);
         ShardedClosedTable {
-            shards: (0..n).map(|_| Shard::default()).collect(),
+            shards: (0..n).map(|_| Shard::new(backend, buckets)).collect(),
+            backend,
             mask: n - 1,
         }
     }
@@ -185,10 +549,13 @@ impl ShardedClosedTable {
         self.shards.len()
     }
 
+    /// The shard backend in use.
+    pub fn backend(&self) -> TableBackend {
+        self.backend
+    }
+
     fn shard_of(&self, sig: &StateSignature) -> &Shard {
-        let mut h = DefaultHasher::new();
-        sig.hash(&mut h);
-        &self.shards[(h.finish() as usize) & self.mask]
+        &self.shards[(sig_hash(sig) as usize) & self.mask]
     }
 
     /// Attempts to claim `sig` with cost `g` on behalf of PPE `owner`.
@@ -199,43 +566,39 @@ impl ShardedClosedTable {
     /// signatures imply equal `g`, so completeness is preserved either way).
     pub fn try_claim(&self, sig: StateSignature, g: Cost, owner: usize) -> ClaimOutcome {
         let shard = self.shard_of(&sig);
-        let mut map = shard.map.lock();
-        match map.entry(sig) {
-            Entry::Occupied(mut e) => {
-                if g < e.get().g {
-                    e.insert(ClaimEntry { g, owner: owner as u32 });
-                    shard.reopens.fetch_add(1, Ordering::Relaxed);
-                    ClaimOutcome::Claimed
-                } else {
-                    shard.hits.fetch_add(1, Ordering::Relaxed);
-                    if e.get().owner as usize == owner {
-                        ClaimOutcome::DuplicateSameOwner
-                    } else {
-                        ClaimOutcome::DuplicateOtherOwner
-                    }
-                }
-            }
-            Entry::Vacant(v) => {
-                v.insert(ClaimEntry { g, owner: owner as u32 });
+        match shard.store.try_claim(sig, g, owner as u32) {
+            ClaimKind::Fresh => {
                 shard.misses.fetch_add(1, Ordering::Relaxed);
                 ClaimOutcome::Claimed
+            }
+            ClaimKind::Reopen => {
+                shard.reopens.fetch_add(1, Ordering::Relaxed);
+                ClaimOutcome::Claimed
+            }
+            ClaimKind::Duplicate { owner: holder } => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                if holder as usize == owner {
+                    ClaimOutcome::DuplicateSameOwner
+                } else {
+                    ClaimOutcome::DuplicateOtherOwner
+                }
             }
         }
     }
 
     /// True if `sig` has been claimed.
     pub fn contains(&self, sig: &StateSignature) -> bool {
-        self.shard_of(sig).map.lock().contains_key(sig)
+        self.shard_of(sig).store.contains(sig)
     }
 
     /// Total signatures claimed across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.lock().len()).sum()
+        self.shards.iter().map(|s| s.store.len()).sum()
     }
 
     /// True if no signature has been claimed yet.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.map.lock().is_empty())
+        self.shards.iter().all(|s| s.store.len() == 0)
     }
 
     /// Snapshot of the per-shard counters.
@@ -245,7 +608,7 @@ impl ShardedClosedTable {
                 .shards
                 .iter()
                 .map(|s| ShardCounters {
-                    entries: s.map.lock().len(),
+                    entries: s.store.len(),
                     hits: s.hits.load(Ordering::Relaxed),
                     misses: s.misses.load(Ordering::Relaxed),
                     reopens: s.reopens.load(Ordering::Relaxed),
@@ -261,6 +624,8 @@ mod tests {
     use optsched_core::{HeuristicKind, SchedulingProblem, SearchState};
     use optsched_procnet::ProcNetwork;
     use optsched_taskgraph::paper_example_dag;
+
+    const BACKENDS: [TableBackend; 2] = [TableBackend::Mutex, TableBackend::Atomic];
 
     /// Distinct signatures harvested from a breadth-first enumeration of the
     /// paper example's state space (no pruning): real states, real hashes.
@@ -292,53 +657,79 @@ mod tests {
 
     #[test]
     fn first_claim_wins_and_owners_are_tracked() {
-        let table = ShardedClosedTable::new(4);
-        let corpus = signature_corpus();
-        let (sig, g) = corpus[0].clone();
-        assert!(!table.contains(&sig));
-        assert_eq!(table.try_claim(sig.clone(), g, 0), ClaimOutcome::Claimed);
-        assert_eq!(table.try_claim(sig.clone(), g, 0), ClaimOutcome::DuplicateSameOwner);
-        assert_eq!(table.try_claim(sig.clone(), g, 1), ClaimOutcome::DuplicateOtherOwner);
-        assert!(table.contains(&sig));
-        assert_eq!(table.len(), 1);
+        for backend in BACKENDS {
+            let table = ShardedClosedTable::with_backend(4, backend);
+            let corpus = signature_corpus();
+            let (sig, g) = corpus[0].clone();
+            assert!(!table.contains(&sig));
+            assert_eq!(table.try_claim(sig.clone(), g, 0), ClaimOutcome::Claimed);
+            assert_eq!(table.try_claim(sig.clone(), g, 0), ClaimOutcome::DuplicateSameOwner);
+            assert_eq!(table.try_claim(sig.clone(), g, 1), ClaimOutcome::DuplicateOtherOwner);
+            assert!(table.contains(&sig));
+            assert_eq!(table.len(), 1);
 
-        let stats = table.stats();
-        assert_eq!(stats.total_entries(), 1);
-        assert_eq!(stats.total_misses(), 1);
-        assert_eq!(stats.total_hits(), 2);
-        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+            let stats = table.stats();
+            assert_eq!(stats.total_entries(), 1);
+            assert_eq!(stats.total_misses(), 1);
+            assert_eq!(stats.total_hits(), 2);
+            assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9, "{backend}");
+        }
     }
 
     #[test]
     fn better_g_reopens_a_signature() {
-        let table = ShardedClosedTable::new(1);
-        let (sig, g) = signature_corpus()[0].clone();
-        assert_eq!(table.try_claim(sig.clone(), g + 5, 0), ClaimOutcome::Claimed);
-        // Equal g: duplicate.  Strictly better g: re-claimed.
-        assert_eq!(table.try_claim(sig.clone(), g + 5, 1), ClaimOutcome::DuplicateOtherOwner);
-        assert_eq!(table.try_claim(sig.clone(), g, 1), ClaimOutcome::Claimed);
-        assert_eq!(table.try_claim(sig, g, 0), ClaimOutcome::DuplicateOtherOwner);
-        assert_eq!(table.len(), 1);
+        for backend in BACKENDS {
+            let table = ShardedClosedTable::with_backend(1, backend);
+            let (sig, g) = signature_corpus()[0].clone();
+            assert_eq!(table.try_claim(sig.clone(), g + 5, 0), ClaimOutcome::Claimed);
+            // Equal g: duplicate.  Strictly better g: re-claimed.
+            assert_eq!(table.try_claim(sig.clone(), g + 5, 1), ClaimOutcome::DuplicateOtherOwner);
+            assert_eq!(table.try_claim(sig.clone(), g, 1), ClaimOutcome::Claimed);
+            assert_eq!(table.try_claim(sig, g, 0), ClaimOutcome::DuplicateOtherOwner);
+            assert_eq!(table.len(), 1);
 
-        // A re-open replaces the entry and is counted separately, so the
-        // `entries == misses` invariant survives it.
-        let stats = table.stats();
-        assert_eq!(stats.total_misses(), 1);
-        assert_eq!(stats.total_reopens(), 1);
-        assert_eq!(stats.total_hits(), 2);
-        assert_eq!(stats.total_entries() as u64, stats.total_misses());
+            // A re-open replaces the entry and is counted separately, so the
+            // `entries == misses` invariant survives it.
+            let stats = table.stats();
+            assert_eq!(stats.total_misses(), 1);
+            assert_eq!(stats.total_reopens(), 1);
+            assert_eq!(stats.total_hits(), 2);
+            assert_eq!(stats.total_entries() as u64, stats.total_misses());
+        }
     }
 
     #[test]
     fn shard_count_is_a_power_of_two() {
-        assert_eq!(ShardedClosedTable::new(0).num_shards(), 1);
-        assert_eq!(ShardedClosedTable::new(1).num_shards(), 1);
-        assert_eq!(ShardedClosedTable::new(5).num_shards(), 8);
-        assert_eq!(ShardedClosedTable::new(16).num_shards(), 16);
-        assert_eq!(ShardedClosedTable::new(1_000_000).num_shards(), 1024);
-        let t = ShardedClosedTable::new(6);
-        assert!(t.is_empty());
-        assert_eq!(t.stats().num_shards(), 8);
+        for backend in BACKENDS {
+            assert_eq!(ShardedClosedTable::with_backend(0, backend).num_shards(), 1);
+            assert_eq!(ShardedClosedTable::with_backend(1, backend).num_shards(), 1);
+            assert_eq!(ShardedClosedTable::with_backend(5, backend).num_shards(), 8);
+            assert_eq!(ShardedClosedTable::with_backend(16, backend).num_shards(), 16);
+            assert_eq!(ShardedClosedTable::with_backend(1_000_000, backend).num_shards(), 1024);
+            let t = ShardedClosedTable::with_backend(6, backend);
+            assert!(t.is_empty());
+            assert_eq!(t.stats().num_shards(), 8);
+            assert_eq!(t.backend(), backend);
+        }
+    }
+
+    /// A single shard takes the whole corpus without losing or duplicating
+    /// any signature, however dense its buckets get: chains simply lengthen.
+    #[test]
+    fn atomic_backend_survives_dense_single_shard_fill() {
+        let table = ShardedClosedTable::with_backend(1, TableBackend::Atomic);
+        let corpus = signature_corpus();
+        for (sig, g) in &corpus {
+            assert_eq!(table.try_claim(sig.clone(), *g, 0), ClaimOutcome::Claimed);
+        }
+        for (sig, g) in &corpus {
+            assert_eq!(table.try_claim(sig.clone(), *g, 1), ClaimOutcome::DuplicateOtherOwner);
+            assert!(table.contains(sig));
+        }
+        assert_eq!(table.len(), corpus.len());
+        let stats = table.stats();
+        assert_eq!(stats.total_misses(), corpus.len() as u64);
+        assert_eq!(stats.total_entries(), corpus.len());
     }
 
     /// The stress test of the ISSUE: q = 4 threads hammer one table with an
@@ -350,61 +741,64 @@ mod tests {
     fn concurrent_claims_equal_a_serial_replay() {
         const THREADS: usize = 4;
         const ROUNDS: usize = 25;
-        let corpus = signature_corpus();
-        let table = ShardedClosedTable::new(8);
+        for backend in BACKENDS {
+            let corpus = signature_corpus();
+            let table = ShardedClosedTable::with_backend(8, backend);
 
-        let claim_wins: Vec<u64> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..THREADS)
-                .map(|id| {
-                    let corpus = &corpus;
-                    let table = &table;
-                    scope.spawn(move || {
-                        let mut wins = 0u64;
-                        for round in 0..ROUNDS {
-                            // Rotate the iteration order per thread and round
-                            // so claims collide in every interleaving.
-                            let offset = (id * 7 + round * 13) % corpus.len();
-                            for i in 0..corpus.len() {
-                                let (sig, g) = &corpus[(i + offset) % corpus.len()];
-                                if table.try_claim(sig.clone(), *g, id) == ClaimOutcome::Claimed {
-                                    wins += 1;
+            let claim_wins: Vec<u64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|id| {
+                        let corpus = &corpus;
+                        let table = &table;
+                        scope.spawn(move || {
+                            let mut wins = 0u64;
+                            for round in 0..ROUNDS {
+                                // Rotate the iteration order per thread and round
+                                // so claims collide in every interleaving.
+                                let offset = (id * 7 + round * 13) % corpus.len();
+                                for i in 0..corpus.len() {
+                                    let (sig, g) = &corpus[(i + offset) % corpus.len()];
+                                    if table.try_claim(sig.clone(), *g, id) == ClaimOutcome::Claimed
+                                    {
+                                        wins += 1;
+                                    }
                                 }
                             }
-                        }
-                        wins
+                            wins
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("stress thread panicked")).collect()
-        });
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("stress thread panicked")).collect()
+            });
 
-        // Serial replay: claiming the corpus on a fresh table yields exactly
-        // one entry (and one win) per distinct signature.
-        let replay = ShardedClosedTable::new(8);
-        let mut replay_wins = 0u64;
-        for (sig, g) in &corpus {
-            if replay.try_claim(sig.clone(), *g, 0) == ClaimOutcome::Claimed {
-                replay_wins += 1;
+            // Serial replay: claiming the corpus on a fresh table yields exactly
+            // one entry (and one win) per distinct signature.
+            let replay = ShardedClosedTable::with_backend(8, backend);
+            let mut replay_wins = 0u64;
+            for (sig, g) in &corpus {
+                if replay.try_claim(sig.clone(), *g, 0) == ClaimOutcome::Claimed {
+                    replay_wins += 1;
+                }
             }
-        }
-        assert_eq!(replay_wins, corpus.len() as u64);
-        assert_eq!(replay.len(), corpus.len());
+            assert_eq!(replay_wins, corpus.len() as u64);
+            assert_eq!(replay.len(), corpus.len());
 
-        // No lost updates: same total wins, same final contents.
-        let total_wins: u64 = claim_wins.iter().sum();
-        assert_eq!(total_wins, replay_wins, "a claim was lost or double-granted");
-        assert_eq!(table.len(), replay.len());
-        for (sig, _) in &corpus {
-            assert!(table.contains(sig));
-        }
+            // No lost updates: same total wins, same final contents.
+            let total_wins: u64 = claim_wins.iter().sum();
+            assert_eq!(total_wins, replay_wins, "{backend}: a claim was lost or double-granted");
+            assert_eq!(table.len(), replay.len());
+            for (sig, _) in &corpus {
+                assert!(table.contains(sig));
+            }
 
-        // Counter bookkeeping: every attempt is either a hit or a miss, and
-        // entries mirror the successful claims.
-        let stats = table.stats();
-        let attempts = (THREADS * ROUNDS * corpus.len()) as u64;
-        assert_eq!(stats.total_hits() + stats.total_misses(), attempts);
-        assert_eq!(stats.total_misses(), total_wins);
-        assert_eq!(stats.total_entries(), corpus.len());
+            // Counter bookkeeping: every attempt is either a hit or a miss, and
+            // entries mirror the successful claims.
+            let stats = table.stats();
+            let attempts = (THREADS * ROUNDS * corpus.len()) as u64;
+            assert_eq!(stats.total_hits() + stats.total_misses(), attempts);
+            assert_eq!(stats.total_misses(), total_wins);
+            assert_eq!(stats.total_entries(), corpus.len());
+        }
     }
 
     #[test]
@@ -422,5 +816,16 @@ mod tests {
         assert_eq!(DuplicateDetection::Local.to_string(), "local");
         assert_eq!(DuplicateDetection::ShardedGlobal.to_string(), "sharded");
         assert_eq!(DuplicateDetection::default(), DuplicateDetection::ShardedGlobal);
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("mutex".parse::<TableBackend>().unwrap(), TableBackend::Mutex);
+        assert_eq!("ATOMIC".parse::<TableBackend>().unwrap(), TableBackend::Atomic);
+        assert_eq!("lock-free".parse::<TableBackend>().unwrap(), TableBackend::Atomic);
+        assert!("bogus".parse::<TableBackend>().is_err());
+        assert_eq!(TableBackend::Mutex.to_string(), "mutex");
+        assert_eq!(TableBackend::Atomic.to_string(), "atomic");
+        assert_eq!(TableBackend::default(), TableBackend::Atomic);
     }
 }

@@ -54,7 +54,7 @@ pub mod config;
 pub mod result;
 pub mod scheduler;
 
-pub use closed::{ClaimOutcome, ClosedTableStats, DuplicateDetection, ShardedClosedTable};
+pub use closed::{ClaimOutcome, ClosedTableStats, DuplicateDetection, ShardedClosedTable, TableBackend};
 pub use config::ParallelConfig;
 pub use result::ParallelSearchResult;
 pub use scheduler::ParallelAStarScheduler;

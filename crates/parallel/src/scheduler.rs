@@ -90,10 +90,22 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Transfer depth at or below which a delta arena ships the raw chain; any
+/// deeper and it materialises the state and ships one snapshot instead.  A
+/// shallow chain is a couple of fixed-size records — cheaper than a clone on
+/// both ends — but a deep one costs the receiver `d` record insertions plus a
+/// refcount cascade of `d` releases when the state dies, which is what kept
+/// the arena store behind the eager baseline on transfer-heavy runs.  A
+/// snapshot adopts (and reclaims) as one record and doubles as a nearby
+/// replay base for every descendant.
+const SNAPSHOT_DEPTH_THRESHOLD: usize = 4;
+
 /// The wire form of a state travelling between PPEs.
 #[derive(Clone)]
 enum Payload {
-    /// A fully materialised clone — the eager store's native transfer form.
+    /// A fully materialised clone — the eager store's native transfer form,
+    /// and the delta store's form for states deeper than
+    /// [`SNAPSHOT_DEPTH_THRESHOLD`] (adopted as a single snapshot record).
     Full(SearchState),
     /// A root-anchored delta chain (depth-ordered, last delta carries the
     /// state's true `g`/`h`) — the arena store's transfer form: at most `v`
@@ -613,7 +625,7 @@ fn ppe_worker(
         *counter += 1;
         let key = (f, h, *counter);
         let id = match payload {
-            Payload::Full(state) => arena.adopt(state),
+            Payload::Full(state) => arena.adopt_snapshot(state),
             Payload::Chain(chain) => arena.adopt_chain(&chain),
         };
         open.push(HeapEntry { key, id });
@@ -793,14 +805,10 @@ fn ppe_worker(
                     // The paper's election: offer a *copy* of this PPE's best
                     // state to every neighbour (each receiver keeps or drops
                     // it through its own duplicate detection).  A delta arena
-                    // ships the state's chain without materialising it.
+                    // ships a shallow state's chain without materialising it
+                    // and a deep one as a single snapshot.
                     if let Some(best) = open.peek() {
-                        let payload = match arena.kind() {
-                            StoreKind::DeltaArena => Payload::Chain(arena.extract_chain(best.id)),
-                            StoreKind::EagerClone => {
-                                Payload::Full(arena.materialise_owned(best.id))
-                            }
-                        };
+                        let payload = extract_payload(&mut arena, best.id);
                         let records = payload.records(problem);
                         for &nb in neighbors {
                             shared.in_flight_add(records);
@@ -919,26 +927,39 @@ fn ppe_worker(
     stats.reclaimed_records = arena.reclaimed_records();
     stats.materialisations = arena.materialisations();
     stats.path_cache_hits = arena.path_cache_hits();
+    stats.path_cache_ancestor_hits = arena.path_cache_ancestor_hits();
     stats.replayed_deltas = arena.replayed_deltas();
+    stats.replayed_deltas_saved = arena.replayed_deltas_saved();
     stats
 }
 
-/// Pops state `id` out of the sender's store for an ownership transfer: the
-/// delta chain leaves a delta arena without materialising; a full clone
-/// leaves the eager store.  The sender's duplicate bookkeeping forgets the
-/// signature (`Local` mode only — in `ShardedGlobal` mode the claim travels
-/// with the state) and the state's arena records are released: from here on
-/// the payload in the channel is the state's only live copy.
+/// Builds the wire form of state `id` without disturbing the sender's store:
+/// a shallow delta-arena state leaves as its raw chain, a deep one (past
+/// [`SNAPSHOT_DEPTH_THRESHOLD`]) and every eager state as a materialised
+/// snapshot clone.
+fn extract_payload(arena: &mut StateArena<'_>, id: StateId) -> Payload {
+    match arena.kind() {
+        StoreKind::DeltaArena if arena.record_depth(id) <= SNAPSHOT_DEPTH_THRESHOLD => {
+            Payload::Chain(arena.extract_chain(id))
+        }
+        StoreKind::DeltaArena | StoreKind::EagerClone => {
+            Payload::Full(arena.materialise_owned(id))
+        }
+    }
+}
+
+/// Pops state `id` out of the sender's store for an ownership transfer (wire
+/// form per [`extract_payload`]).  The sender's duplicate bookkeeping forgets
+/// the signature (`Local` mode only — in `ShardedGlobal` mode the claim
+/// travels with the state) and the state's arena records are released: from
+/// here on the payload in the channel is the state's only live copy.
 fn extract_owned(
     problem: &SchedulingProblem,
     arena: &mut StateArena<'_>,
     dup: &mut DupFilter<'_>,
     id: StateId,
 ) -> Payload {
-    let payload = match arena.kind() {
-        StoreKind::DeltaArena => Payload::Chain(arena.extract_chain(id)),
-        StoreKind::EagerClone => Payload::Full(arena.materialise_owned(id)),
-    };
+    let payload = extract_payload(arena, id);
     dup.release(|| payload.signature(problem));
     arena.release(id);
     payload
@@ -1210,14 +1231,27 @@ mod tests {
                 assert!(arena.is_optimal() && eager.is_optimal(), "mode={mode}");
                 assert_eq!(arena.schedule_length(), serial.schedule_length, "mode={mode}");
                 assert_eq!(eager.schedule_length(), serial.schedule_length, "mode={mode}");
-                // The *stores* hold at most root + scratch with the delta
-                // arena; the airtight headline additionally folds in the
-                // in-flight transfer peak (these eager-communication runs
-                // park real clones in the channels).
+                // The delta arena's stores hold roots, scratch states and
+                // adopted snapshot transfers — a subset of the live records
+                // plus one scratch per PPE; the airtight headline
+                // additionally folds in the in-flight transfer peak (these
+                // eager-communication runs park real clones in the
+                // channels).  Only the delta store rebuilds by replay.
                 assert!(
-                    arena.total_stats().peak_live_states <= 2,
-                    "mode={mode}: delta arena held {} live full states",
                     arena.total_stats().peak_live_states
+                        <= arena.total_stats().peak_live_records + cfg.num_ppes as u64,
+                    "mode={mode}: delta arena held {} live full states over {} records",
+                    arena.total_stats().peak_live_states,
+                    arena.total_stats().peak_live_records
+                );
+                assert!(
+                    arena.total_stats().replayed_deltas > 0,
+                    "mode={mode}: the delta store expands by replay"
+                );
+                assert_eq!(
+                    eager.total_stats().replayed_deltas,
+                    0,
+                    "mode={mode}: the eager store never replays"
                 );
                 assert_eq!(
                     arena.peak_live_states(),

@@ -4,7 +4,7 @@
 use optsched_procnet::{ProcId, ProcNetwork};
 use optsched_taskgraph::{Cost, NodeId, TaskGraph};
 
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, ScheduledTask};
 
 /// Earliest time `node` could start on `proc`, **appending after the last
 /// task already on `proc`** (non-insertion policy, as used by the paper's
@@ -47,6 +47,21 @@ pub fn earliest_start_time_insertion(
     node: NodeId,
     proc: ProcId,
 ) -> Cost {
+    let mut scratch = Vec::new();
+    earliest_start_time_insertion_with(graph, net, schedule, node, proc, &mut scratch)
+}
+
+/// [`earliest_start_time_insertion`] with a caller-provided scratch buffer for
+/// the per-processor task list, so a scoring loop probing many
+/// (node, processor) pairs performs no per-probe allocation.
+pub fn earliest_start_time_insertion_with(
+    graph: &TaskGraph,
+    net: &ProcNetwork,
+    schedule: &Schedule,
+    node: NodeId,
+    proc: ProcId,
+    scratch: &mut Vec<ScheduledTask>,
+) -> Cost {
     // Data-ready time.
     let mut drt = 0;
     for &(parent, comm) in graph.predecessors(node) {
@@ -55,10 +70,10 @@ pub fn earliest_start_time_insertion(
         }
     }
     let duration = net.exec_time(graph.weight(node), proc);
-    let tasks = schedule.tasks_on(proc);
+    schedule.tasks_on_into(proc, scratch);
     // Try the gap before the first task, between consecutive tasks, then after the last.
     let mut slot_start = 0;
-    for t in &tasks {
+    for t in scratch.iter() {
         let candidate = drt.max(slot_start);
         if candidate + duration <= t.start {
             return candidate;

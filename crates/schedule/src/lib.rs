@@ -22,6 +22,8 @@ pub mod est;
 pub mod gantt;
 pub mod schedule;
 
-pub use est::{earliest_start_time, earliest_start_time_insertion};
+pub use est::{
+    earliest_start_time, earliest_start_time_insertion, earliest_start_time_insertion_with,
+};
 pub use gantt::render_gantt;
 pub use schedule::{Schedule, ScheduleError, ScheduledTask};

@@ -150,10 +150,19 @@ impl Schedule {
 
     /// Tasks assigned to `proc`, sorted by start time.
     pub fn tasks_on(&self, proc: ProcId) -> Vec<ScheduledTask> {
-        let mut v: Vec<ScheduledTask> =
-            self.tasks().filter(|t| t.proc == proc).copied().collect();
-        v.sort_by_key(|t| (t.start, t.finish, t.node));
+        let mut v = Vec::new();
+        self.tasks_on_into(proc, &mut v);
         v
+    }
+
+    /// Fills `out` with the tasks assigned to `proc`, sorted by start time,
+    /// reusing `out`'s existing allocation.  The allocation-free counterpart
+    /// of [`tasks_on`](Schedule::tasks_on) for callers that probe many
+    /// (node, processor) pairs in a loop.
+    pub fn tasks_on_into(&self, proc: ProcId, out: &mut Vec<ScheduledTask>) {
+        out.clear();
+        out.extend(self.tasks().filter(|t| t.proc == proc).copied());
+        out.sort_by_key(|t| (t.start, t.finish, t.node));
     }
 
     /// Ready time of a processor: finish time of the last task on it (0 if empty).

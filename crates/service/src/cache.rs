@@ -33,12 +33,22 @@
 //!   effectively cache-less.
 //!
 //! Evictions and expiries are counted and reported next to hits and misses.
+//!
+//! In front of each shard's mutex sits a write-once **atomic fingerprint
+//! filter** (the atomic-slot idiom of the parallel CLOSED table's lock-free
+//! backend, reduced to membership): a lookup whose key fingerprint was never
+//! published returns its miss without locking the shard or cloning the
+//! canonical instance — the common case for a service stream of fresh
+//! instances.  Filter fast misses are counted as `filter_skips` (a subset of
+//! misses).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use optsched_schedule::Schedule;
 use optsched_taskgraph::Cost;
@@ -88,13 +98,103 @@ struct ShardMap {
     clock: u64,
 }
 
-#[derive(Default)]
+/// Slots probed around a fingerprint's home position before the filter gives
+/// up and answers "maybe present".
+const FILTER_PROBE_WINDOW: usize = 16;
+
+/// A write-once atomic fingerprint index in front of a shard's mutex: the
+/// same atomic-slot idiom as the parallel CLOSED table's lock-free backend,
+/// reduced to a membership filter.  `maybe_contains` returning `false` is
+/// authoritative (no entry with that fingerprint was ever published), so a
+/// cold lookup — the common case for a service meeting fresh instances —
+/// never takes the shard lock and never clones the canonical instance into a
+/// key.  Slots are never cleared: fingerprints of evicted or expired entries
+/// linger as false positives, which only cost the locked slow path, never a
+/// wrong answer.
+struct FpFilter {
+    slots: Box<[AtomicU64]>,
+    mask: usize,
+    /// Set when a publish finds no free slot in its probe window; from then
+    /// on the filter conservatively answers "maybe present" for everything.
+    saturated: AtomicBool,
+}
+
+impl FpFilter {
+    fn new(shard_capacity: usize) -> FpFilter {
+        // 2x the entry cap keeps the load factor low enough that saturation
+        // needs sustained churn well past capacity.
+        let n = (shard_capacity * 2).next_power_of_two().max(64);
+        FpFilter {
+            slots: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            mask: n - 1,
+            saturated: AtomicBool::new(false),
+        }
+    }
+
+    /// False only if no entry with fingerprint `fp` was ever published.
+    fn maybe_contains(&self, fp: u64) -> bool {
+        if self.saturated.load(Ordering::Relaxed) {
+            return true;
+        }
+        let mut idx = (fp as usize) & self.mask;
+        for _ in 0..FILTER_PROBE_WINDOW {
+            match self.slots[idx].load(Ordering::Acquire) {
+                0 => return false,
+                s if s == fp => return true,
+                _ => idx = (idx + 1) & self.mask,
+            }
+        }
+        true
+    }
+
+    /// Publishes `fp` (idempotent); saturates the filter if the probe window
+    /// around its home slot is full.
+    fn publish(&self, fp: u64) {
+        let mut idx = (fp as usize) & self.mask;
+        for _ in 0..FILTER_PROBE_WINDOW {
+            match self.slots[idx].compare_exchange(0, fp, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return,
+                Err(existing) if existing == fp => return,
+                Err(_) => idx = (idx + 1) & self.mask,
+            }
+        }
+        self.saturated.store(true, Ordering::Relaxed);
+    }
+}
+
 struct Shard {
     map: Mutex<ShardMap>,
+    filter: FpFilter,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     expired: AtomicU64,
+    filter_skips: AtomicU64,
+}
+
+impl Shard {
+    fn new(shard_capacity: usize) -> Shard {
+        Shard {
+            map: Mutex::default(),
+            filter: FpFilter::new(shard_capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            filter_skips: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fingerprint of a cache key, computed without materialising the key (no
+/// canonical-instance clone, no `String`).  `| 1` keeps it nonzero so 0 can
+/// mean "empty slot" in the filter.
+fn key_fingerprint(canon: &CanonicalInstance, algorithm: &str, param_bits: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    canon.hash(&mut h);
+    algorithm.hash(&mut h);
+    param_bits.hash(&mut h);
+    h.finish() | 1
 }
 
 /// Aggregate counters of a [`ResultCache`].
@@ -115,6 +215,9 @@ pub struct CacheStats {
     /// Entries dropped because they outlived `max_age` (lazily, on the
     /// lookup or insert that found them stale).
     pub expired: u64,
+    /// The subset of [`misses`](CacheStats::misses) answered by the lock-free
+    /// fingerprint filter without taking a shard lock or building a key.
+    pub filter_skips: u64,
 }
 
 impl CacheStats {
@@ -170,10 +273,11 @@ impl ResultCache {
         max_age: Option<Duration>,
     ) -> ResultCache {
         let n = num_shards.max(1).next_power_of_two();
+        let shard_capacity = shard_capacity.max(1);
         ResultCache {
-            shards: (0..n).map(|_| Shard::default()).collect(),
+            shards: (0..n).map(|_| Shard::new(shard_capacity)).collect(),
             mask: (n - 1) as u64,
-            shard_capacity: shard_capacity.max(1),
+            shard_capacity,
             max_age,
         }
     }
@@ -193,6 +297,16 @@ impl ResultCache {
         param_bits: u64,
     ) -> Option<CachedResult> {
         let shard = self.shard(signature);
+        // Lock-free fast path: a fingerprint the filter has never seen
+        // cannot be in the map (a racing insert of the same key publishes
+        // its fingerprint before this lookup could have found the entry
+        // under the lock anyway — the same benign solve-twice race the
+        // locked path already tolerates).
+        if !shard.filter.maybe_contains(key_fingerprint(canon, algorithm, param_bits)) {
+            shard.filter_skips.fetch_add(1, Ordering::Relaxed);
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let key = CacheKey {
             canon: canon.clone(),
             algorithm: algorithm.to_string(),
@@ -241,6 +355,10 @@ impl ResultCache {
             param_bits,
         };
         let shard = self.shard(signature);
+        // Publish the fingerprint before the entry becomes visible so the
+        // lock-free fast path can never fast-miss a key that is already in
+        // the map.
+        shard.filter.publish(key_fingerprint(canon, algorithm, param_bits));
         let mut m = shard.map.lock();
         let stamp = m.clock;
         m.clock += 1;
@@ -276,6 +394,7 @@ impl ResultCache {
             s.misses += shard.misses.load(Ordering::Relaxed);
             s.evictions += shard.evictions.load(Ordering::Relaxed);
             s.expired += shard.expired.load(Ordering::Relaxed);
+            s.filter_skips += shard.filter_skips.load(Ordering::Relaxed);
         }
         s
     }
@@ -422,6 +541,24 @@ mod tests {
         assert_eq!(stats.evictions, 0, "stale entries expire instead of evicting");
         assert!(stats.expired >= 2, "the earlier entries were purged, got {}", stats.expired);
         assert_eq!(stats.entries, 1, "only the just-inserted entry survives");
+    }
+
+    /// A cold lookup is answered by the fingerprint filter without taking
+    /// the shard lock; once the key is inserted, the filter never hides it.
+    #[test]
+    fn cold_lookups_skip_the_lock_via_the_fingerprint_filter() {
+        let cache = ResultCache::new(4);
+        let (sig, canon) = canon();
+        assert!(cache.lookup(sig, &canon, "astar", 0).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.filter_skips, 1, "cold miss answered lock-free");
+        cache.insert(sig, &canon, "astar", 0, dummy_result());
+        assert!(
+            cache.lookup(sig, &canon, "astar", 0).is_some(),
+            "filter never hides a published entry"
+        );
+        assert_eq!(cache.stats().filter_skips, 1, "warm lookup takes the locked path");
     }
 
     #[test]

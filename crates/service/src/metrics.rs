@@ -47,6 +47,9 @@ pub struct ServiceMetrics {
     /// runtime this equals the configured pool size, *not* pool size ×
     /// connections.
     pub workers_spawned: AtomicU64,
+    /// High-water mark of `peak_live_records` over every answered request —
+    /// the worst per-request state-store footprint the service has seen.
+    pub peak_live_records: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServiceMetrics`], for printing and asserting.
@@ -66,6 +69,8 @@ pub struct MetricsSnapshot {
     pub peak_pending: u64,
     /// Worker threads the global pool has spawned.
     pub workers_spawned: u64,
+    /// High-water mark of per-request `peak_live_records`.
+    pub peak_live_records: u64,
 }
 
 impl ServiceMetrics {
@@ -99,6 +104,11 @@ impl ServiceMetrics {
         self.pending.fetch_sub(1, Ordering::AcqRel);
     }
 
+    /// Folds one answered request's `peak_live_records` into the gauge.
+    pub fn observe_peak_live_records(&self, records: u64) {
+        self.peak_live_records.fetch_max(records, Ordering::Relaxed);
+    }
+
     /// Copies every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -109,6 +119,7 @@ impl ServiceMetrics {
             pending: self.pending.load(Ordering::Relaxed),
             peak_pending: self.peak_pending.load(Ordering::Relaxed),
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            peak_live_records: self.peak_live_records.load(Ordering::Relaxed),
         }
     }
 }

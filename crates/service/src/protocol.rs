@@ -142,6 +142,11 @@ pub struct Response {
     pub degraded: bool,
     /// States the search expanded for this response (0 on a cache hit).
     pub expanded: u64,
+    /// Peak simultaneously-live state-store records of the search that
+    /// produced this response (0 on a cache hit or error) — the per-request
+    /// memory proxy of the delta arena, surfaced so callers and dashboards
+    /// can see what a request cost beyond wall-clock.
+    pub peak_live_records: u64,
     /// Service-side wall-clock time for this request, in milliseconds.
     pub elapsed_ms: f64,
     /// Error message (only for `ok == false`).
@@ -167,6 +172,7 @@ impl Response {
             shed: false,
             degraded: false,
             expanded: 0,
+            peak_live_records: 0,
             elapsed_ms: 0.0,
             error: Some(message.into()),
         }

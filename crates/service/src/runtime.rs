@@ -50,6 +50,7 @@ use std::io::{self, BufRead, Write};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -70,6 +71,12 @@ struct Job {
     request: Request,
     /// Set when admission control degraded this request.
     degraded: bool,
+    /// When admission control accepted the request.  A `deadline_ms` is a
+    /// promise measured from here, not from when a worker frees up: the
+    /// worker subtracts the queue wait from the search budget (see
+    /// [`answer`]), so a request that waited out its whole deadline gets an
+    /// immediate anytime answer instead of a full search.
+    admitted: Instant,
     /// Reply route back to the owning connection's writer.
     reply: Sender<Reply>,
 }
@@ -293,7 +300,8 @@ impl Connection {
             );
         }
 
-        let job = Job { seq, request, degraded, reply: self.reply.clone() };
+        let job =
+            Job { seq, request, degraded, admitted: Instant::now(), reply: self.reply.clone() };
         // A failed send means the runtime already shut down; answer shed so
         // the caller still gets its one structured response per request.
         if let Err(send_err) = self.injector.send(job) {
@@ -390,10 +398,22 @@ fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
 }
 
 /// Solves one job and routes the reply to its connection.
+///
+/// The job's `deadline_ms` is re-based to the time *remaining* since
+/// admission before the search starts: queue wait spends the caller's
+/// deadline exactly like search time does, so an admitted request that went
+/// stale behind a backlog stops at its original deadline with the anytime
+/// incumbent rather than running its full budget late.
 fn answer(shared: &Shared, job: Job) {
     let metrics = shared.service.metrics();
-    let mut response = shared.service.handle_request(&job.request, job.seq);
+    let mut request = job.request;
+    if let Some(deadline) = request.deadline_ms {
+        let waited = u64::try_from(job.admitted.elapsed().as_millis()).unwrap_or(u64::MAX);
+        request.deadline_ms = Some(deadline.saturating_sub(waited));
+    }
+    let mut response = shared.service.handle_request(&request, job.seq);
     response.degraded = job.degraded;
+    metrics.observe_peak_live_records(response.peak_live_records);
     metrics.responses.fetch_add(1, Ordering::Relaxed);
     // The send fails only if the connection's writer already went away (a
     // dead client); the request is still accounted as answered.
@@ -429,8 +449,18 @@ mod tests {
         assert_eq!(got[0].seq, 0);
         assert!(got[0].response.ok);
         assert_eq!(got[0].response.id, 7);
+        assert!(
+            got[0].response.peak_live_records > 0,
+            "a solved (non-cached) response reports its store footprint"
+        );
         runtime.shutdown();
-        assert_eq!(service.metrics_snapshot().pending, 0);
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.pending, 0);
+        assert_eq!(
+            snap.peak_live_records,
+            got[0].response.peak_live_records,
+            "the service gauge tracks the worst per-request footprint"
+        );
     }
 
     #[test]
@@ -480,6 +510,61 @@ mod tests {
         let snap = service.metrics_snapshot();
         assert_eq!(snap.degraded, 1);
         assert_eq!(snap.pending, 0);
+    }
+
+    /// Queue wait spends the deadline: a job whose admission timestamp lies
+    /// a full deadline in the past is answered with the anytime incumbent,
+    /// while the same request admitted just now gets its full search.
+    #[test]
+    fn queue_wait_counts_against_the_deadline() {
+        use optsched_workload::{generate_random_dag, RandomDagConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph =
+            generate_random_dag(&RandomDagConfig { nodes: 10, ccr: 1.0, ..Default::default() }, &mut rng);
+        let mut request = Request::new(Instance::new(graph, ProcNetwork::ring(3)));
+        request.algorithm = Some("astar".to_string());
+        request.deadline_ms = Some(5_000);
+
+        let service = SchedulingService::new(ServiceConfig::default());
+        let shared =
+            Arc::new(Shared { service, in_flight: Mutex::new(HashMap::new()) });
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
+
+        // Admitted 10 s ago: the 5 s deadline has fully elapsed in the
+        // queue, so the worker must answer without an optimality proof.
+        let stale_admitted = Instant::now()
+            .checked_sub(std::time::Duration::from_secs(10))
+            .expect("host has been up for more than ten seconds");
+        shared.service.metrics().try_reserve_pending(u64::MAX);
+        answer(
+            &shared,
+            Job {
+                seq: 0,
+                request: request.clone(),
+                degraded: false,
+                admitted: stale_admitted,
+                reply: reply_tx.clone(),
+            },
+        );
+        let stale = reply_rx.recv().expect("stale job answered").response;
+        assert!(stale.ok, "{:?}", stale.error);
+        assert_ne!(
+            stale.quality.as_deref(),
+            Some("optimal"),
+            "an expired deadline must not run the full search"
+        );
+
+        // The same request admitted now has its whole deadline left.
+        shared.service.metrics().try_reserve_pending(u64::MAX);
+        answer(
+            &shared,
+            Job { seq: 1, request, degraded: false, admitted: Instant::now(), reply: reply_tx },
+        );
+        let fresh = reply_rx.recv().expect("fresh job answered").response;
+        assert_eq!(fresh.quality.as_deref(), Some("optimal"), "{:?}", fresh.error);
     }
 
     #[test]

@@ -206,6 +206,7 @@ impl SchedulingService {
                     shed: false,
                     degraded: false,
                     expanded: 0,
+                    peak_live_records: 0,
                     elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
                     error: None,
                 };
@@ -304,6 +305,7 @@ impl SchedulingService {
             shed: false,
             degraded: false,
             expanded: run.result.stats.expanded,
+            peak_live_records: run.result.stats.peak_live_records,
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             error: None,
         }

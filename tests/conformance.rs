@@ -139,11 +139,28 @@ fn all_schedulers_agree_on_the_optimal_makespan() {
                         assert_eq!(r.schedule_length, optimum, "{ctx}");
                         r.expect_schedule().validate(&graph, &net).unwrap();
                         if store == StoreKind::DeltaArena {
-                            assert!(
-                                r.stats.peak_live_states <= 2,
-                                "{ctx}: arena held {} live full states",
-                                r.stats.peak_live_states
-                            );
+                            // Without transfers (q = 1) the delta arena keeps
+                            // at most the pinned root plus one scratch state;
+                            // at q > 1 deep transfers arrive as snapshot
+                            // roots, so only the replay signature (no eager
+                            // run ever replays a delta) still discriminates.
+                            if q == 1 {
+                                assert!(
+                                    r.stats.peak_live_states <= 2,
+                                    "{ctx}: arena held {} live full states",
+                                    r.stats.peak_live_states
+                                );
+                            }
+                            // A search that pops past the root must rebuild
+                            // those states by replay (bound-terminated runs
+                            // that only ever expand full roots replay
+                            // nothing, so gate on the expansion count).
+                            if r.stats.expanded > 2 {
+                                assert!(
+                                    r.stats.replayed_deltas > 0,
+                                    "{ctx}: the delta store expands by replay"
+                                );
+                            }
                         }
                         if !gc {
                             assert_eq!(
@@ -283,7 +300,8 @@ fn sharded_mode_expands_strictly_fewer_states_under_contention() {
 /// stores hammer the sharded CLOSED table through the *real* scheduler with
 /// eager communication, so claimed states are continuously popped,
 /// materialised, shipped (load sharing **and** the ownership-transferring
-/// election) and re-rooted into the receivers' delta arenas.  Across
+/// election) and adopted into the receivers' delta arenas — shallow states
+/// as re-rooted chains, deep ones as single snapshot records.  Across
 /// repeated contended runs no signature claim may be lost:
 ///
 /// * every run stays optimal (a lost claim silently drops the sole live copy
@@ -335,12 +353,16 @@ fn arena_transfers_lose_no_claims_under_4_thread_stress() {
             total.duplicates + total.duplicates_global,
             "run {run}: a transfer was re-admitted through the table"
         );
-        // Arena transfers re-root on arrival: live full states stay at
-        // root + scratch on every PPE no matter how many states travelled.
+        // Transfers arrive as delta chains (shallow) or snapshot roots
+        // (deep), never as an eagerly cloned working set: descendants of
+        // every arrival are delta records rebuilt by replay, and full
+        // snapshots stay a strict subset of the live records.
+        assert!(total.replayed_deltas > 0, "run {run}: the delta store expands by replay");
         assert!(
-            total.peak_live_states <= 2,
-            "run {run}: peak {} live full states",
-            total.peak_live_states
+            total.peak_live_states <= total.peak_live_records,
+            "run {run}: {} live full states exceed {} live records",
+            total.peak_live_states,
+            total.peak_live_records
         );
         elections_seen += total.election_transfers;
     }

@@ -143,14 +143,18 @@ proptest! {
             );
             prop_assert!(arena.schedule.validate(&g, problem.network()).is_ok());
             prop_assert!(eager.schedule.validate(&g, problem.network()).is_ok());
-            // The per-PPE *stores* hold at most root + scratch; the airtight
-            // headline `peak_live_states()` additionally folds in the
-            // in-flight transfer peak, so it may exceed 2 under this eager
-            // communication but never by more than the recorded peak.
+            // The per-PPE stores hold roots, scratch states and adopted
+            // snapshot transfers — always a subset of the live records; the
+            // airtight headline `peak_live_states()` additionally folds in
+            // the in-flight transfer peak.
             prop_assert!(
-                arena.total_stats().peak_live_states <= 2,
-                "mode={}: arena held {} live full states",
-                mode, arena.total_stats().peak_live_states
+                arena.total_stats().peak_live_states
+                    <= arena.total_stats().peak_live_records
+                        + q as u64, // one scratch state per PPE is not a record
+                "mode={}: arena held {} live full states over {} records",
+                mode,
+                arena.total_stats().peak_live_states,
+                arena.total_stats().peak_live_records
             );
             prop_assert_eq!(
                 arena.peak_live_states(),
@@ -586,6 +590,180 @@ proptest! {
         prop_assert_eq!(stats.misses, lookups);
         prop_assert_eq!(stats.evictions, 0, "stale entries expire instead of evicting");
         prop_assert!(stats.entries <= capacity);
+    }
+
+    /// The lock-free atomic-slot CLOSED table against the lock-striped
+    /// `Mutex<HashMap>` backend under real 4-thread interleavings: for any
+    /// op stream both backends end with the same table contents (every
+    /// distinct signature present, its stored `g` equal to the minimum ever
+    /// submitted for it — probed via the claim protocol itself, which must
+    /// answer `Duplicate`, never `Claimed`, at that minimum) and the same
+    /// order-independent counter totals (`entries == misses ==` distinct
+    /// signatures; hits + reopens account for every remaining claim).
+    #[test]
+    fn closed_table_backends_agree_under_concurrency(
+        seed in any::<u64>(),
+        shards in 1usize..=4,
+    ) {
+        use optsched::core::SearchState;
+        use optsched::parallel::{ClaimOutcome, ShardedClosedTable, TableBackend};
+        use std::collections::HashMap;
+
+        // Key universe: distinct real signatures (the paper DAG's initial
+        // state with one extra assignment each).
+        let problem = SchedulingProblem::new(paper_example_dag(), ProcNetwork::ring(3));
+        let base = SearchState::initial(&problem).signature();
+        let keys: Vec<_> = (0..12u32)
+            .map(|i| base.with_assignment(NodeId(i % 6), ProcId(i / 6), Cost::from(i) * 3))
+            .collect();
+
+        // Deterministic op stream (key index, g); thread t executes ops
+        // i ≡ t (mod 4), so all four threads race on the shared key set.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let ops: Vec<(usize, Cost)> =
+            (0..160).map(|_| ((next() % 12) as usize, (next() % 8) + 1)).collect();
+
+        let mut min_g: HashMap<usize, Cost> = HashMap::new();
+        for &(k, g) in &ops {
+            min_g.entry(k).and_modify(|m| *m = (*m).min(g)).or_insert(g);
+        }
+
+        for backend in [TableBackend::Mutex, TableBackend::Atomic] {
+            let table = ShardedClosedTable::with_backend(shards, backend);
+            std::thread::scope(|scope| {
+                for t in 0..4usize {
+                    let (table, ops, keys) = (&table, &ops, &keys);
+                    scope.spawn(move || {
+                        for (i, &(k, g)) in ops.iter().enumerate() {
+                            if i % 4 == t {
+                                table.try_claim(keys[k].clone(), g, t);
+                            }
+                        }
+                    });
+                }
+            });
+
+            // Order-independent counter totals, checked before the probe
+            // claims below disturb them.
+            let stats = table.stats();
+            let entries: u64 = stats.per_shard.iter().map(|s| s.entries as u64).sum();
+            let hits: u64 = stats.per_shard.iter().map(|s| s.hits).sum();
+            let misses: u64 = stats.per_shard.iter().map(|s| s.misses).sum();
+            let reopens: u64 = stats.per_shard.iter().map(|s| s.reopens).sum();
+            prop_assert_eq!(table.len(), min_g.len(), "{}: one entry per distinct signature", backend);
+            prop_assert_eq!(entries, min_g.len() as u64, "{}", backend);
+            prop_assert_eq!(misses, entries, "{}: every entry began as a miss", backend);
+            prop_assert_eq!(hits + misses + reopens, ops.len() as u64, "{}: every claim accounted", backend);
+
+            // Final contents: each signature present, its stored g no worse
+            // than the best ever submitted (a claim at that minimum must
+            // resolve as a duplicate, never win).
+            for (&k, &mg) in &min_g {
+                prop_assert!(table.contains(&keys[k]), "{}: key {} missing", backend, k);
+                let outcome = table.try_claim(keys[k].clone(), mg, 7);
+                prop_assert!(
+                    matches!(
+                        outcome,
+                        ClaimOutcome::DuplicateSameOwner | ClaimOutcome::DuplicateOtherOwner
+                    ),
+                    "{}: stored g for key {} is worse than the submitted minimum {}",
+                    backend, k, mg
+                );
+            }
+        }
+    }
+
+    /// Arena compaction under random grow/release schedules: every live id
+    /// materialises to the same state after `compact()` as before it, and
+    /// draining the arena back to its root then compacting shrinks the slot
+    /// capacity — after which the arena still accepts and materialises new
+    /// children correctly.
+    #[test]
+    fn arena_compaction_preserves_live_states_and_shrinks(
+        (nodes, ccr_idx, seed) in dag_params(),
+        op_seed in any::<u64>(),
+    ) {
+        use optsched::core::engine::StateArena;
+        use optsched::core::SearchState;
+        use rand::Rng;
+
+        let g = make_dag(nodes, ccr_idx, seed);
+        let problem = SchedulingProblem::new(g, ProcNetwork::fully_connected(2));
+        let h = HeuristicKind::PaperStaticLevel;
+        let mut arena = StateArena::new(&problem, ArenaConfig::default());
+        let root = arena.insert_root(SearchState::initial(&problem));
+        let mut handles = vec![root];
+
+        let mut op_rng = StdRng::seed_from_u64(op_seed);
+        for _ in 0..60 {
+            let op = op_rng.next_u32();
+            if op % 3 < 2 {
+                // Grow: store a child of a random held state.
+                let pick = (op as usize / 4) % handles.len();
+                let parent = arena.materialise(handles[pick]).clone();
+                let ready = parent.ready_nodes(&problem);
+                if !ready.is_empty() {
+                    let n = ready[(op as usize / 8) % ready.len()];
+                    let p = ProcId((op / 16) % problem.num_procs() as u32);
+                    let d = parent.peek_child(&problem, n, p, h);
+                    handles.push(arena.insert_child(handles[pick], &d));
+                }
+            } else if handles.len() > 1 {
+                // Release a random non-root handle.
+                let pick = 1 + (op as usize / 4) % (handles.len() - 1);
+                arena.release(handles.swap_remove(pick));
+            }
+        }
+
+        // Snapshot every live state, compact, verify nothing moved.
+        let expected: Vec<_> = handles
+            .iter()
+            .map(|&id| {
+                let s = arena.materialise(id);
+                (id, s.signature(), s.g())
+            })
+            .collect();
+        let cap_before = arena.capacity();
+        arena.compact();
+        prop_assert!(arena.capacity() <= cap_before, "compaction never grows the arena");
+        for (id, sig, cost) in &expected {
+            let s = arena.materialise(*id);
+            prop_assert_eq!(&s.signature(), sig, "live id survived with a different state");
+            prop_assert_eq!(s.g(), *cost);
+        }
+
+        // Drain to the root and compact: the capacity collapses with it.
+        let cap_full = arena.capacity();
+        for id in handles.drain(1..) {
+            arena.release(id);
+        }
+        arena.compact();
+        prop_assert_eq!(arena.live_records(), 1, "only the pinned root survives the drain");
+        prop_assert!(
+            arena.capacity() < cap_full || cap_full <= 2,
+            "a drained arena must shrink ({} -> {})",
+            cap_full,
+            arena.capacity()
+        );
+
+        // And the compacted arena still works end to end.
+        let root_state = arena.materialise(root).clone();
+        let ready = root_state.ready_nodes(&problem);
+        prop_assert!(!ready.is_empty());
+        let d = root_state.peek_child(&problem, ready[0], ProcId(0), h);
+        let fresh = arena.insert_child(root, &d);
+        prop_assert_eq!(
+            arena.materialise(fresh).signature(),
+            root_state.apply_delta(&problem, &d).signature(),
+            "a post-compaction insert materialises correctly"
+        );
     }
 
     /// A generous `max_age` is behaviourally identical to no TTL: the same
