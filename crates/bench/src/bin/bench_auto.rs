@@ -1,0 +1,127 @@
+//! Offline calibration corpus for the `algorithm: "auto"` portfolio
+//! (`crates/service/src/portfolio.rs`).
+//!
+//! For every (size, CCR) cell of the paper's workload this binary
+//!
+//! * extracts the portfolio's cheap instance features and its predicted
+//!   exact-search time (`InstanceFeatures::predicted_exact_ms`),
+//! * runs the generous band (no deadline: the seeded exact search the
+//!   portfolio would pick) and records the *measured* wall-clock time next
+//!   to the prediction — the ratio column is what the predictor's constants
+//!   are calibrated against,
+//! * runs the tight band (`deadline_ms: 0`) and the mid band
+//!   (`deadline_ms: 2 × predicted`) on fresh services and records each
+//!   band's plan tag and schedule length, so the quality spread between the
+//!   bands is visible in one row.
+//!
+//! One JSON row per cell is written to `results/BENCH_auto.json` (checked
+//! in); the text table prints the same data.  The run is seeded and
+//! deterministic in everything except the measured milliseconds.
+//!
+//! Usage: `cargo run --release -p optsched-bench --bin bench_auto --
+//!         [--sizes 8,10,12] [--tpes 3] [--seed N]`
+
+use optsched_bench::{write_json_rows, ExperimentOptions, CCRS};
+use optsched_procnet::ProcNetwork;
+use optsched_service::{Instance, InstanceFeatures, Request, SchedulingService, ServiceConfig};
+
+/// Runs one `auto` request on a fresh service (no cache carry-over between
+/// cells or bands) and returns the response.
+fn run_auto(instance: &Instance, deadline_ms: Option<u64>) -> optsched_service::Response {
+    let service = SchedulingService::new(ServiceConfig::default());
+    let mut req = Request::new(instance.clone());
+    req.algorithm = Some("auto".to_string());
+    req.deadline_ms = deadline_ms;
+    let resp = service.handle_request(&req, 0);
+    assert!(resp.ok, "auto request failed: {:?}", resp.error);
+    resp
+}
+
+fn main() {
+    let mut opts = ExperimentOptions::parse(std::env::args().skip(1));
+    if opts.sizes == ExperimentOptions::default().sizes {
+        // The calibration corpus stays in the range the exact band answers
+        // in well under a second per cell; pass --sizes to extend it.
+        opts.sizes = vec![8, 10, 12];
+    }
+
+    println!(
+        "{:>4} {:>5} {:>6} {:>6} {:>5} {:>5} {:>9} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9}",
+        "size",
+        "ccr",
+        "levels",
+        "width",
+        "conn",
+        "algo",
+        "pred_ms",
+        "exact_ms",
+        "ratio",
+        "opt_len",
+        "tight_len",
+        "raced_len",
+        "expanded",
+    );
+
+    let mut rows = Vec::new();
+    for &size in &opts.sizes {
+        for &ccr in &CCRS {
+            let graph = optsched_bench::workload_graph(size, ccr, opts.seed);
+            let instance =
+                Instance::new(graph, ProcNetwork::fully_connected(opts.num_tpes));
+            let features = InstanceFeatures::of(&instance);
+            let predicted_ms = features.predicted_exact_ms();
+
+            let exact = run_auto(&instance, None);
+            let tight = run_auto(&instance, Some(0));
+            let raced = run_auto(&instance, Some(predicted_ms * 2));
+
+            let opt_len = exact.schedule_length.expect("exact band returns a schedule");
+            let tight_len = tight.schedule_length.expect("tight band returns a schedule");
+            let raced_len = raced.schedule_length.expect("mid band returns a schedule");
+            assert!(opt_len <= tight_len, "the exact band is never worse than tight");
+            assert!(opt_len <= raced_len, "the exact band is never worse than the race");
+
+            let ratio = exact.elapsed_ms / predicted_ms as f64;
+            println!(
+                "{:>4} {:>5} {:>6} {:>6} {:>5} {:>5} {:>9} {:>9.3} {:>9.3} {:>7} {:>9} {:>9} {:>9}",
+                size,
+                ccr,
+                features.levels,
+                features.max_level_width,
+                features.fully_connected,
+                features.exact_algorithm(),
+                predicted_ms,
+                exact.elapsed_ms,
+                ratio,
+                opt_len,
+                tight_len,
+                raced_len,
+                exact.expanded,
+            );
+            rows.push(format!(
+                "{{\"size\": {size}, \"ccr\": {ccr}, \"nodes\": {}, \"edges\": {}, \"procs\": {}, \"levels\": {}, \"max_level_width\": {}, \"fully_connected\": {}, \"exact_algorithm\": \"{}\", \"predicted_ms\": {predicted_ms}, \"exact_ms\": {:.3}, \"ratio\": {:.3}, \"exact_plan\": \"{}\", \"optimal_len\": {opt_len}, \"tight_plan\": \"{}\", \"tight_len\": {tight_len}, \"raced_plan\": \"{}\", \"raced_len\": {raced_len}, \"exact_expanded\": {}}}",
+                features.nodes,
+                features.edges,
+                features.procs,
+                features.levels,
+                features.max_level_width,
+                features.fully_connected,
+                features.exact_algorithm(),
+                exact.elapsed_ms,
+                ratio,
+                exact.plan.as_deref().unwrap_or("?"),
+                tight.plan.as_deref().unwrap_or("?"),
+                raced.plan.as_deref().unwrap_or("?"),
+                exact.expanded,
+            ));
+        }
+    }
+
+    match write_json_rows("BENCH_auto.json", &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write BENCH_auto.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

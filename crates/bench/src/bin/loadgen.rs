@@ -13,25 +13,45 @@
 //!   admission budget: exercises the backpressure path (structured sheds and
 //!   deadline-clamped degrades) and proves the lossless-response invariant
 //!   under pressure.
+//! * **auto_bands** — the corpus rewritten to `algorithm: "auto"` with
+//!   deadlines cycling through the portfolio's three bands (none / mid /
+//!   tight): measures the per-band mix and the tight band's p99, and proves
+//!   the no-loss contract holds for portfolio-resolved requests too.
 //!
 //! Every scenario asserts the core service contract: **one response per
 //! submitted request, no losses** — open-loop submission means slow service
 //! cannot silently throttle the offered load.  The `--expect-*` flags turn
 //! further observations into exit-code assertions for CI:
 //! `--expect-cache-hit` (≥ 1 cache hit over all scenarios), `--expect-shed`
-//! (≥ 1 shed), `--expect-degraded` (≥ 1 degrade).
+//! (≥ 1 shed), `--expect-degraded` (≥ 1 degrade), `--expect-auto-bands`
+//! (every auto band observed ≥ 1 response, 0 errors, and the tight band's
+//! p99 inside its deadline plus scheduling slack).
 //!
 //! Usage: `cargo run --release -p optsched-bench --bin loadgen --
 //!         [--count N] [--seed S] [--workers W] [--rate RPS]
-//!         [--out FILE] [--expect-cache-hit] [--expect-shed] [--expect-degraded]`
+//!         [--out FILE] [--expect-cache-hit] [--expect-shed]
+//!         [--expect-degraded] [--expect-auto-bands]`
 
 use std::time::{Duration, Instant};
 
 use optsched_bench::write_json_rows;
-use optsched_service::{Request, Response, SchedulingService, ServiceConfig, ServiceRuntime};
+use optsched_service::{
+    InstanceFeatures, Request, Response, SchedulingService, ServiceConfig, ServiceRuntime,
+};
 use optsched_workload::{generate_request_corpus, RequestCorpusConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Deadline given to the tight-band third of the `auto_bands` corpus, in
+/// ms.  Zero is the one value guaranteed tight for *every* instance (the
+/// predictor never forecasts below 1 ms), and it exercises the strongest
+/// anytime promise: a feasible answer with no search time at all.
+const AUTO_TIGHT_DEADLINE_MS: u64 = 0;
+
+/// Allowed overshoot of the tight band's p99 *service-side* time beyond its
+/// deadline: covers the engine's expansion-cadence granularity plus response
+/// assembly, not queueing (which is a property of the offered load).
+const AUTO_TIGHT_SLACK_MS: f64 = 90.0;
 
 /// One load scenario: a service configuration plus an offered load.
 struct Scenario {
@@ -44,6 +64,9 @@ struct Scenario {
     /// Offered arrival rate in requests/second; 0 submits the whole corpus
     /// as one burst.
     rate: f64,
+    /// Rewrite the corpus to `algorithm: "auto"` with deadlines cycling
+    /// through the portfolio bands (none / mid / tight).
+    auto: bool,
 }
 
 /// What one scenario measured (one JSON row).
@@ -60,6 +83,11 @@ struct Outcome {
     errors: u64,
     workers: usize,
     admission_budget: u64,
+    /// Per-band response counts of an `auto` scenario (exact, anytime,
+    /// raced), all zero for direct-algorithm scenarios.
+    auto_bands: (u64, u64, u64),
+    /// p99 of the *service-side* elapsed time of tight-band responses, ms.
+    tight_p99_ms: f64,
 }
 
 impl Outcome {
@@ -79,7 +107,7 @@ impl Outcome {
             self.cache_hits as f64 / self.responses as f64
         };
         format!(
-            "{{\"scenario\": \"{}\", \"requests\": {}, \"responses\": {}, \"lost\": {}, \"elapsed_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \"cache_hit_rate\": {:.3}, \"shed\": {}, \"degraded\": {}, \"errors\": {}, \"workers\": {}, \"admission_budget\": {}}}",
+            "{{\"scenario\": \"{}\", \"requests\": {}, \"responses\": {}, \"lost\": {}, \"elapsed_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \"cache_hit_rate\": {:.3}, \"shed\": {}, \"degraded\": {}, \"errors\": {}, \"workers\": {}, \"admission_budget\": {}, \"auto_exact\": {}, \"auto_anytime\": {}, \"auto_raced\": {}, \"tight_p99_ms\": {:.3}}}",
             self.name,
             self.requests,
             self.responses,
@@ -95,6 +123,10 @@ impl Outcome {
             self.errors,
             self.workers,
             self.admission_budget,
+            self.auto_bands.0,
+            self.auto_bands.1,
+            self.auto_bands.2,
+            self.tight_p99_ms,
         )
     }
 }
@@ -112,8 +144,24 @@ fn run_scenario(s: &Scenario, seed: u64) -> Outcome {
         .map(|(i, c)| {
             let mut req = Request::from(c);
             req.id = Some(i as u64);
+            if s.auto {
+                // Cycle the portfolio's three deadline bands: generous
+                // (no deadline), tight, and mid (between the predicted exact
+                // time and the generous threshold, so the staged race runs).
+                req.algorithm = Some("auto".to_string());
+                req.deadline_ms = match i % 3 {
+                    0 => None,
+                    1 => Some(AUTO_TIGHT_DEADLINE_MS),
+                    _ => Some(InstanceFeatures::of(&req.instance).predicted_exact_ms() * 2),
+                };
+            }
             req
         })
+        .collect();
+    // Sequence numbers of the tight-band requests, for the per-band p99.
+    let tight: Vec<bool> = requests
+        .iter()
+        .map(|r| s.auto && r.deadline_ms == Some(AUTO_TIGHT_DEADLINE_MS))
         .collect();
 
     let service = SchedulingService::new(ServiceConfig {
@@ -153,6 +201,7 @@ fn run_scenario(s: &Scenario, seed: u64) -> Outcome {
     });
     let elapsed = start.elapsed();
     runtime.shutdown();
+    let metrics = service.metrics_snapshot();
 
     let mut latencies_ms: Vec<f64> = received
         .iter()
@@ -160,6 +209,21 @@ fn run_scenario(s: &Scenario, seed: u64) -> Outcome {
         .map(|(seq, at, _)| at.duration_since(submit_at[*seq as usize]).as_secs_f64() * 1e3)
         .collect();
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    // The tight band is judged on *service-side* time (queueing is a
+    // property of the offered load, not of the portfolio's deadline
+    // obedience), nearest-rank p99.
+    let mut tight_ms: Vec<f64> = received
+        .iter()
+        .filter(|(seq, _, resp)| resp.ok && tight[*seq as usize])
+        .map(|(_, _, resp)| resp.elapsed_ms)
+        .collect();
+    tight_ms.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    let tight_p99_ms = if tight_ms.is_empty() {
+        0.0
+    } else {
+        tight_ms[(99 * tight_ms.len() / 100).min(tight_ms.len() - 1)]
+    };
 
     Outcome {
         name: s.name,
@@ -174,6 +238,8 @@ fn run_scenario(s: &Scenario, seed: u64) -> Outcome {
         errors: received.iter().filter(|(_, _, r)| !r.ok).count() as u64,
         workers: s.workers,
         admission_budget: s.admission_budget,
+        auto_bands: (metrics.auto_exact, metrics.auto_anytime, metrics.auto_raced),
+        tight_p99_ms,
     }
 }
 
@@ -201,6 +267,7 @@ fn main() {
             degrade_threshold: 192,
             degrade_deadline_ms: 25,
             rate,
+            auto: false,
         },
         Scenario {
             name: "overload",
@@ -211,6 +278,21 @@ fn main() {
             degrade_threshold: 4,
             degrade_deadline_ms: 5,
             rate: 0.0,
+            auto: false,
+        },
+        Scenario {
+            name: "auto_bands",
+            // At least one request per deadline band.
+            count: count.max(9),
+            workers,
+            // A wide budget keeps the degrade path out of the way: every
+            // request reaches the portfolio, so the band counters account
+            // for the whole corpus.
+            admission_budget: 256,
+            degrade_threshold: 256,
+            degrade_deadline_ms: 25,
+            rate,
+            auto: true,
         },
     ];
 
@@ -220,7 +302,7 @@ fn main() {
     for s in &scenarios {
         let outcome = run_scenario(s, seed);
         println!(
-            "{:<9} {} requests -> {} responses ({} lost) in {:.1} ms | p50 {:.2} ms, p99 {:.2} ms, {} cache hits, {} shed, {} degraded, {} errors",
+            "{:<10} {} requests -> {} responses ({} lost) in {:.1} ms | p50 {:.2} ms, p99 {:.2} ms, {} cache hits, {} shed, {} degraded, {} errors",
             outcome.name,
             outcome.requests,
             outcome.responses,
@@ -233,6 +315,34 @@ fn main() {
             outcome.degraded,
             outcome.errors,
         );
+        if s.auto {
+            let (exact, anytime, raced) = outcome.auto_bands;
+            println!(
+                "{:<10} auto bands: {exact} exact, {anytime} anytime, {raced} raced | tight service-side p99 {:.3} ms",
+                "", outcome.tight_p99_ms,
+            );
+            if has("--expect-auto-bands") {
+                if exact == 0 || anytime == 0 || raced == 0 {
+                    failures.push(format!(
+                        "{}: expected every band >= 1, got {exact} exact / {anytime} anytime / {raced} raced",
+                        outcome.name,
+                    ));
+                }
+                if outcome.errors != 0 {
+                    failures.push(format!("{}: {} error response(s)", outcome.name, outcome.errors));
+                }
+                let bound = AUTO_TIGHT_DEADLINE_MS as f64 + AUTO_TIGHT_SLACK_MS;
+                if outcome.tight_p99_ms > bound {
+                    failures.push(format!(
+                        "{}: tight-band p99 {:.3} ms exceeds deadline {} ms + slack {} ms",
+                        outcome.name,
+                        outcome.tight_p99_ms,
+                        AUTO_TIGHT_DEADLINE_MS,
+                        AUTO_TIGHT_SLACK_MS,
+                    ));
+                }
+            }
+        }
         // The core contract holds in every scenario: open-loop offered load,
         // exactly one response per request.
         if outcome.lost != 0 {

@@ -8,6 +8,7 @@
 //! guaranteed to be within `(1 + ε)` of the optimal schedule length
 //! (Theorem 2), while the search typically expands far fewer states than A*.
 
+use optsched_schedule::Schedule;
 use optsched_taskgraph::Cost;
 
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
@@ -27,6 +28,7 @@ pub struct AEpsScheduler<'a> {
     limits: SearchLimits,
     store: ArenaConfig,
     seed_incumbent: bool,
+    warm_start: Option<Schedule>,
 }
 
 impl<'a> AEpsScheduler<'a> {
@@ -46,6 +48,7 @@ impl<'a> AEpsScheduler<'a> {
             limits: SearchLimits::unlimited(),
             store: ArenaConfig::default(),
             seed_incumbent: false,
+            warm_start: None,
         }
     }
 
@@ -97,6 +100,14 @@ impl<'a> AEpsScheduler<'a> {
         self
     }
 
+    /// Hands the search a complete schedule attained elsewhere as a candidate
+    /// starting incumbent (adopted only when strictly better; must be
+    /// feasible for this problem).
+    pub fn with_warm_start(mut self, warm: Option<Schedule>) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
     /// Largest cost admitted into FOCAL when the smallest OPEN cost is `fmin`.
     pub fn focal_threshold(&self, fmin: Cost) -> Cost {
         focal_threshold(self.epsilon, fmin)
@@ -115,6 +126,7 @@ impl<'a> AEpsScheduler<'a> {
             self.limits,
             self.store,
             self.seed_incumbent,
+            self.warm_start.as_ref(),
         )
     }
 }

@@ -19,6 +19,8 @@
 //! assert_eq!(result.schedule_length, 14);
 //! ```
 
+use optsched_schedule::Schedule;
+
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
 use crate::engine::{run_search, AStarPolicy, ArenaConfig, StoreKind};
 use crate::problem::SchedulingProblem;
@@ -34,6 +36,7 @@ pub struct AStarScheduler<'a> {
     limits: SearchLimits,
     store: ArenaConfig,
     seed_incumbent: bool,
+    warm_start: Option<Schedule>,
 }
 
 impl<'a> AStarScheduler<'a> {
@@ -46,6 +49,7 @@ impl<'a> AStarScheduler<'a> {
             limits: SearchLimits::unlimited(),
             store: ArenaConfig::default(),
             seed_incumbent: false,
+            warm_start: None,
         }
     }
 
@@ -96,6 +100,15 @@ impl<'a> AStarScheduler<'a> {
         self
     }
 
+    /// Hands the search a complete schedule attained elsewhere (a cached
+    /// near-match, an anytime leg of a race) as a candidate starting
+    /// incumbent; adopted only when it beats the incumbent the run would
+    /// otherwise start from.  The schedule must be feasible for this problem.
+    pub fn with_warm_start(mut self, warm: Option<Schedule>) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
     /// The problem being solved.
     pub fn problem(&self) -> &SchedulingProblem {
         self.problem
@@ -111,6 +124,7 @@ impl<'a> AStarScheduler<'a> {
             self.limits,
             self.store,
             self.seed_incumbent,
+            self.warm_start.as_ref(),
         )
     }
 }

@@ -26,6 +26,7 @@
 //! reasonable implementation, to keep memory bounded.
 
 use optsched_procnet::ProcId;
+use optsched_schedule::Schedule;
 use optsched_taskgraph::{Cost, NodeId};
 
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
@@ -54,6 +55,7 @@ pub struct ChenYuScheduler<'a> {
     limits: SearchLimits,
     store: ArenaConfig,
     seed_incumbent: bool,
+    warm_start: Option<Schedule>,
 }
 
 impl<'a> ChenYuScheduler<'a> {
@@ -64,6 +66,7 @@ impl<'a> ChenYuScheduler<'a> {
             limits: SearchLimits::unlimited(),
             store: ArenaConfig::default(),
             seed_incumbent: false,
+            warm_start: None,
         }
     }
 
@@ -98,6 +101,15 @@ impl<'a> ChenYuScheduler<'a> {
     /// default to preserve the faithful-to-Chen-&-Yu baseline.
     pub fn with_seeded_incumbent(mut self, seed: bool) -> Self {
         self.seed_incumbent = seed;
+        self
+    }
+
+    /// Hands the search a complete schedule attained elsewhere as a candidate
+    /// starting incumbent (adopted only when strictly better than the bound
+    /// the run would otherwise start from; must be feasible for this
+    /// problem).
+    pub fn with_warm_start(mut self, warm: Option<Schedule>) -> Self {
+        self.warm_start = warm;
         self
     }
 
@@ -209,6 +221,7 @@ impl<'a> ChenYuScheduler<'a> {
             self.limits,
             self.store,
             self.seed_incumbent,
+            self.warm_start.as_ref(),
         )
     }
 

@@ -142,6 +142,20 @@ pub fn expand_state<D: DuplicateFilter>(
     }
 }
 
+/// Expansions between wall-clock reads when enforcing
+/// [`SearchLimits::max_millis`].  Reading the clock is a syscall; paying it
+/// on every expansion measurably slows deadline runs whose per-expansion
+/// work is cheap.  A cadence of 1024 expansions costs single-digit
+/// milliseconds of overshoot at worst — noise against any budget that is
+/// itself larger than [`TIME_CHECK_ALWAYS_BELOW_MS`].
+const TIME_CHECK_CADENCE: u64 = 1024;
+
+/// Budgets at or below this many milliseconds check the clock on *every*
+/// expansion: one cadence stretch could overshoot such a budget by a
+/// meaningful fraction (a 0 ms deadline must still stop on the first
+/// expansion, the anytime contract the service relies on).
+const TIME_CHECK_ALWAYS_BELOW_MS: u64 = 16;
+
 /// Runs a complete search over `problem` under the given frontier policy.
 ///
 /// This is the only OPEN/CLOSED run loop in the workspace's serial
@@ -167,6 +181,14 @@ pub fn expand_state<D: DuplicateFilter>(
 /// exhaustive enumerator therefore never sets this flag (it effectively
 /// seeds already).  Off by default: with `false` the behaviour is
 /// bit-identical to the pre-knob engine.
+///
+/// `warm_start` optionally hands the search a complete schedule attained by
+/// an earlier run (a cache near-match, a raced anytime leg).  It is adopted
+/// as the starting incumbent only when it beats the incumbent the search
+/// would otherwise start from, so `None` — and any warm schedule that is no
+/// better — leaves the run bit-identical to the unwarmed one.  The caller
+/// must guarantee the schedule is feasible **for this problem**; the engine
+/// trusts it the same way it trusts the list schedule.
 #[allow(clippy::too_many_arguments)]
 pub fn run_search<P: FrontierPolicy>(
     problem: &SchedulingProblem,
@@ -176,6 +198,7 @@ pub fn run_search<P: FrontierPolicy>(
     limits: SearchLimits,
     store: ArenaConfig,
     seed_incumbent: bool,
+    warm_start: Option<&Schedule>,
 ) -> SearchResult {
     let start_time = Instant::now();
     let mut stats = SearchStats::default();
@@ -191,11 +214,18 @@ pub fn run_search<P: FrontierPolicy>(
     // seeded mode caps it at the list upper bound, which that schedule
     // attains.
     let mut incumbent: Schedule = problem.upper_bound_schedule().clone();
-    let initial_len = if seed_incumbent {
+    let mut initial_len = if seed_incumbent {
         policy.initial_incumbent_len(problem).min(problem.upper_bound())
     } else {
         policy.initial_incumbent_len(problem)
     };
+    if let Some(warm) = warm_start {
+        let warm_len = warm.makespan();
+        if warm_len < initial_len {
+            incumbent = warm.clone();
+            initial_len = warm_len;
+        }
+    }
     let incumbent_len = Cell::new(initial_len);
     // The bound handed to the policy: inclusive of the incumbent length
     // normally, strictly below it when the incumbent is known to be attained.
@@ -247,7 +277,13 @@ pub fn run_search<P: FrontierPolicy>(
                     }
                 }
                 if let Some(ms) = limits.max_millis {
-                    if start_time.elapsed().as_millis() as u64 >= ms {
+                    // The clock is read on a cadence, not per expansion: the
+                    // first pop (expanded == 0) always checks, so a 0 ms
+                    // budget still stops before any work, and tiny budgets
+                    // keep the per-expansion check.
+                    let check_now = ms <= TIME_CHECK_ALWAYS_BELOW_MS
+                        || stats.expanded % TIME_CHECK_CADENCE == 0;
+                    if check_now && start_time.elapsed().as_millis() as u64 >= ms {
                         break SearchOutcome::LimitReached;
                     }
                 }
@@ -364,6 +400,7 @@ mod tests {
                 SearchLimits::unlimited(),
                 store.into(),
                 false,
+                None,
             )
         };
         let eager = run(StoreKind::EagerClone);
@@ -392,6 +429,7 @@ mod tests {
             SearchLimits::unlimited(),
             ArenaConfig::default(),
             false,
+            None,
         );
         assert_eq!(r.outcome, SearchOutcome::Exhausted);
         assert_eq!(r.schedule_length, 14);
@@ -412,6 +450,7 @@ mod tests {
                 SearchLimits::unlimited(),
                 cfg,
                 false,
+                None,
             )
         };
         let on = run(ArenaConfig::default());
@@ -456,6 +495,7 @@ mod tests {
                 SearchLimits::unlimited(),
                 ArenaConfig::default(),
                 seed,
+                None,
             )
         };
         let plain = run(false);
@@ -473,5 +513,42 @@ mod tests {
             .expect_schedule()
             .validate(problem.graph(), problem.network())
             .unwrap();
+    }
+
+    /// A warm-start schedule only ever tightens the starting incumbent: a
+    /// warmed run stays exact and expands no more states than the plain
+    /// seeded run, while a warm schedule no better than the list incumbent
+    /// (and `None`) leaves the run unchanged.
+    #[test]
+    fn warm_start_only_ever_tightens_the_incumbent() {
+        let problem = example_problem();
+        let run = |warm: Option<&Schedule>| {
+            run_search(
+                &problem,
+                AStarPolicy::new(true),
+                PruningConfig::all(),
+                HeuristicKind::PaperStaticLevel,
+                SearchLimits::unlimited(),
+                ArenaConfig::default(),
+                true,
+                warm,
+            )
+        };
+        let plain = run(None);
+        assert_eq!(plain.schedule_length, 14);
+        let optimal = plain.expect_schedule().clone();
+        let warmed = run(Some(&optimal));
+        assert_eq!(warmed.schedule_length, 14);
+        assert_eq!(warmed.outcome, SearchOutcome::Optimal);
+        assert!(
+            warmed.stats.expanded <= plain.stats.expanded,
+            "warmed {} vs plain {}",
+            warmed.stats.expanded,
+            plain.stats.expanded
+        );
+        let list = problem.upper_bound_schedule().clone();
+        let ignored = run(Some(&list));
+        assert_eq!(ignored.stats.expanded, plain.stats.expanded);
+        assert_eq!(ignored.schedule_length, plain.schedule_length);
     }
 }

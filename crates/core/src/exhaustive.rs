@@ -78,6 +78,7 @@ impl<'a> ExhaustiveScheduler<'a> {
             self.limits,
             self.store,
             false,
+            None,
         );
         if result.outcome == SearchOutcome::Exhausted {
             result.outcome = SearchOutcome::Optimal;

@@ -30,6 +30,8 @@
 //! assert!(fast.schedule_length <= 28);
 //! ```
 
+use optsched_schedule::Schedule;
+
 use crate::config::{HeuristicKind, PruningConfig, SearchLimits};
 use crate::engine::{run_search, ArenaConfig, StoreKind, WeightedAStarPolicy};
 use crate::problem::SchedulingProblem;
@@ -50,6 +52,7 @@ pub struct WAStarScheduler<'a> {
     limits: SearchLimits,
     store: ArenaConfig,
     seed_incumbent: bool,
+    warm_start: Option<Schedule>,
 }
 
 impl<'a> WAStarScheduler<'a> {
@@ -68,6 +71,7 @@ impl<'a> WAStarScheduler<'a> {
             limits: SearchLimits::unlimited(),
             store: ArenaConfig::default(),
             seed_incumbent: false,
+            warm_start: None,
         }
     }
 
@@ -119,6 +123,14 @@ impl<'a> WAStarScheduler<'a> {
         self
     }
 
+    /// Hands the search a complete schedule attained elsewhere as a candidate
+    /// starting incumbent (adopted only when strictly better; must be
+    /// feasible for this problem).
+    pub fn with_warm_start(mut self, warm: Option<Schedule>) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
     /// Runs the search to completion (or until a limit is hit).
     pub fn run(&self) -> SearchResult {
         run_search(
@@ -129,6 +141,7 @@ impl<'a> WAStarScheduler<'a> {
             self.limits,
             self.store,
             self.seed_incumbent,
+            self.warm_start.as_ref(),
         )
     }
 }

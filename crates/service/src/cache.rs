@@ -77,6 +77,11 @@ pub struct CachedResult {
     pub quality: String,
     /// The algorithm that produced it.
     pub algorithm: String,
+    /// States expanded by the run that produced this result, so a cache hit
+    /// can report the original run's provenance instead of zeros.
+    pub expanded: u64,
+    /// Peak live search records of the producing run.
+    pub peak_live_records: u64,
 }
 
 /// One stored entry: the result plus its recency stamp (LRU) and insertion
@@ -248,6 +253,14 @@ pub struct ResultCache {
 /// default 8 shards this bounds the cache at 8192 memoized schedules.
 pub const DEFAULT_SHARD_CAPACITY: usize = 1024;
 
+/// Smallest [`CanonicalInstance::similarity`] score a cached entry needs for
+/// [`ResultCache::nearest_match`] to offer it as a warm-start donor.
+pub const NEAR_MATCH_MIN_SIMILARITY: f64 = 0.75;
+
+/// Largest number of entries one [`ResultCache::nearest_match`] probe will
+/// visit across all shards, bounding the probe's cost on a hot cache.
+pub const NEAR_MATCH_SCAN_LIMIT: usize = 512;
+
 impl ResultCache {
     /// A cache with `num_shards` lock stripes (rounded up to a power of two,
     /// minimum 1), the [`DEFAULT_SHARD_CAPACITY`] per-shard entry cap and no
@@ -385,6 +398,54 @@ impl ResultCache {
         }
     }
 
+    /// Finds the memoized result whose instance is structurally *nearest* to
+    /// `canon` — a warm-start donor for `algorithm: "auto"`, not an answer.
+    ///
+    /// The probe scans the signature's home shard first (same instance,
+    /// different algorithm/params, lands there), then the remaining shards,
+    /// visiting at most [`NEAR_MATCH_SCAN_LIMIT`] entries in total.  Entries
+    /// past `max_age` and entries below [`NEAR_MATCH_MIN_SIMILARITY`] are
+    /// skipped.  The scan deliberately leaves all cache state alone: no
+    /// hit/miss counters, no LRU refresh, no expiry removal — a probe must
+    /// not perturb what the cache would otherwise do.
+    ///
+    /// The returned schedule comes from a *different* (or differently
+    /// parameterised) problem; the caller **must** validate it against its
+    /// own instance before adopting it as an incumbent.
+    pub fn nearest_match(&self, signature: u64, canon: &CanonicalInstance) -> Option<CachedResult> {
+        let home = (signature & self.mask) as usize;
+        let mut best: Option<(f64, CachedResult)> = None;
+        let mut scanned = 0usize;
+        for offset in 0..self.shards.len() {
+            if scanned >= NEAR_MATCH_SCAN_LIMIT {
+                break;
+            }
+            let shard = &self.shards[(home + offset) & self.mask as usize];
+            let m = shard.map.lock();
+            for (key, entry) in m.entries.iter() {
+                if scanned >= NEAR_MATCH_SCAN_LIMIT {
+                    break;
+                }
+                scanned += 1;
+                if self.max_age.is_some_and(|ttl| entry.inserted.elapsed() >= ttl) {
+                    continue;
+                }
+                let score = canon.similarity(&key.canon);
+                if score < NEAR_MATCH_MIN_SIMILARITY {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((best_score, _)) => score > *best_score,
+                };
+                if better {
+                    best = Some((score, entry.result.clone()));
+                }
+            }
+        }
+        best.map(|(_, result)| result)
+    }
+
     /// Counter snapshot across all shards.
     pub fn stats(&self) -> CacheStats {
         let mut s = CacheStats { num_shards: self.shards.len(), ..Default::default() };
@@ -419,6 +480,8 @@ mod tests {
             schedule_length: 14,
             quality: "optimal".to_string(),
             algorithm: "astar".to_string(),
+            expanded: 37,
+            peak_live_records: 12,
         }
     }
 
@@ -559,6 +622,43 @@ mod tests {
             "filter never hides a published entry"
         );
         assert_eq!(cache.stats().filter_skips, 1, "warm lookup takes the locked path");
+    }
+
+    /// The nearest-match probe returns a same-instance entry stored under a
+    /// *different* algorithm identity (the warm-start case), refuses
+    /// structurally unrelated instances, and leaves every counter and the
+    /// LRU state untouched.
+    #[test]
+    fn nearest_match_finds_structural_neighbours_without_counting() {
+        let cache = ResultCache::new(4);
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "wastar", 1.5f64.to_bits(), dummy_result());
+        let before = cache.stats();
+
+        // Same instance, cached under wastar: a perfect (1.0) neighbour.
+        let found = cache.nearest_match(sig, &canon).expect("same instance is nearest");
+        assert_eq!(found.schedule_length, 14);
+        assert_eq!(found.algorithm, "astar", "the donor carries its own provenance");
+
+        // A structurally unrelated instance (different processor count)
+        // scores 0.0 and must not be offered.
+        let other = Instance::new(paper_example_dag(), ProcNetwork::ring(4));
+        let other_canon = CanonicalInstance::of(&other);
+        assert!(cache.nearest_match(canonical_signature(&other), &other_canon).is_none());
+
+        // Probes are invisible: no hits, misses, or recency changes.
+        assert_eq!(cache.stats(), before);
+    }
+
+    /// A TTL-expired entry is never offered as a donor (but the probe does
+    /// not remove it either — expiry stays lazy on the lookup path).
+    #[test]
+    fn nearest_match_skips_expired_entries() {
+        let cache = ResultCache::with_max_age(1, 8, Some(Duration::ZERO));
+        let (sig, canon) = canon();
+        cache.insert(sig, &canon, "astar", 0, dummy_result());
+        assert!(cache.nearest_match(sig, &canon).is_none());
+        assert_eq!(cache.stats().entries, 1, "probe leaves the stale entry in place");
     }
 
     #[test]

@@ -29,6 +29,16 @@
 //!   schedule.  Requests under deadline pressure default to the weighted-A\*
 //!   `wastar` algorithm, and the service switches the engine's
 //!   `seed_incumbent` pruning on.
+//! * **Algorithm portfolio** ([`portfolio`]) — `algorithm: "auto"` resolves
+//!   a request from cheap instance features (node count, CCR, level widths,
+//!   topology class) and its deadline band: generous deadlines run a seeded
+//!   exact search, tight ones run feature-calibrated weighted A\*, and
+//!   mid-band deadlines run a staged race (a weighted-A\* leg, then the
+//!   remaining budget on an exact search warm-started from the leg and from
+//!   the cache's nearest structural match).  Responses report the resolved
+//!   algorithm plus a `plan` tag; the cache and coalescer key on the
+//!   *resolved* plan, never the literal `auto`, so a tight heuristic answer
+//!   can never serve a generous request.
 //! * **Global runtime** ([`runtime`]) — **one** worker pool shared by every
 //!   connection of every transport: per-connection readers tag requests with
 //!   a sequence number and push them onto one shared MPMC injector, idle
@@ -67,6 +77,7 @@
 pub mod cache;
 pub mod metrics;
 pub mod pool;
+pub mod portfolio;
 pub mod protocol;
 pub mod runtime;
 pub mod service;
@@ -75,7 +86,8 @@ pub mod signature;
 pub use cache::{CacheStats, CachedResult, ResultCache, DEFAULT_SHARD_CAPACITY};
 pub use metrics::{Admission, MetricsSnapshot, ServiceMetrics};
 pub use pool::{run_service, serve_tcp, PoolSummary};
-pub use protocol::{quality, Instance, Request, Response, OVERLOADED};
+pub use portfolio::{DeadlineBand, InstanceFeatures, PlanMode, ResolvedPlan};
+pub use protocol::{plan, quality, Instance, Request, Response, OVERLOADED};
 pub use runtime::{Connection, Reply, ServiceRuntime};
 pub use service::{SchedulingService, ServiceConfig};
 pub use signature::{canonical_signature, CanonicalInstance};

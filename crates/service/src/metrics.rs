@@ -50,6 +50,15 @@ pub struct ServiceMetrics {
     /// High-water mark of `peak_live_records` over every answered request —
     /// the worst per-request state-store footprint the service has seen.
     pub peak_live_records: AtomicU64,
+    /// `algorithm: "auto"` requests resolved to the seeded exact band.
+    pub auto_exact: AtomicU64,
+    /// `auto` requests resolved to the tight-deadline anytime band.
+    pub auto_anytime: AtomicU64,
+    /// `auto` requests resolved to the mid-band staged race.
+    pub auto_raced: AtomicU64,
+    /// `auto` exact searches whose incumbent was warm-started by a cache
+    /// near-match that validated *and* tightened the seeded bound.
+    pub auto_warm_starts: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServiceMetrics`], for printing and asserting.
@@ -71,6 +80,14 @@ pub struct MetricsSnapshot {
     pub workers_spawned: u64,
     /// High-water mark of per-request `peak_live_records`.
     pub peak_live_records: u64,
+    /// `auto` requests resolved to the seeded exact band.
+    pub auto_exact: u64,
+    /// `auto` requests resolved to the tight-deadline anytime band.
+    pub auto_anytime: u64,
+    /// `auto` requests resolved to the mid-band staged race.
+    pub auto_raced: u64,
+    /// `auto` searches that adopted a cache-derived warm start.
+    pub auto_warm_starts: u64,
 }
 
 impl ServiceMetrics {
@@ -120,6 +137,10 @@ impl ServiceMetrics {
             peak_pending: self.peak_pending.load(Ordering::Relaxed),
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
             peak_live_records: self.peak_live_records.load(Ordering::Relaxed),
+            auto_exact: self.auto_exact.load(Ordering::Relaxed),
+            auto_anytime: self.auto_anytime.load(Ordering::Relaxed),
+            auto_raced: self.auto_raced.load(Ordering::Relaxed),
+            auto_warm_starts: self.auto_warm_starts.load(Ordering::Relaxed),
         }
     }
 }

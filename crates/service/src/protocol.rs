@@ -64,9 +64,12 @@ pub struct Request {
     /// The problem instance.
     pub instance: Instance,
     /// Registry name of the algorithm (`astar`, `wastar`, `aeps`, `chenyu`,
-    /// `exhaustive`, `list`, `parallel`).  When absent the service picks
-    /// `astar` — or `wastar`, its deadline-pressure algorithm, if the
-    /// request carries a `deadline_ms`.
+    /// `exhaustive`, `list`, `parallel`), or `auto` to let the service's
+    /// portfolio pick one from the instance's features and the deadline (the
+    /// response's `algorithm` reports what actually ran, `plan` which
+    /// portfolio band chose it).  When absent the service picks `astar` — or
+    /// `wastar`, its deadline-pressure algorithm, if the request carries a
+    /// `deadline_ms`.
     pub algorithm: Option<String>,
     /// Wall-clock budget in milliseconds.  The search returns its best
     /// incumbent when the budget expires, so *every* deadline — even 0 ms —
@@ -109,6 +112,17 @@ pub mod quality {
     pub const HEURISTIC: &str = "heuristic";
 }
 
+/// How `algorithm: "auto"` resolved a request (the response's `plan` tag).
+pub mod plan {
+    /// Generous or absent deadline: a seeded exact search.
+    pub const AUTO_EXACT: &str = "auto_exact";
+    /// Tight deadline: feature-calibrated weighted A\* (anytime).
+    pub const AUTO_ANYTIME: &str = "auto_anytime";
+    /// Mid-band deadline: a staged race — a weighted-A\* leg first, then the
+    /// remaining budget on a warm-started exact search.
+    pub const AUTO_RACED: &str = "auto_raced";
+}
+
 /// One scheduling response (one JSON line).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
@@ -118,6 +132,9 @@ pub struct Response {
     pub ok: bool,
     /// Registry name of the algorithm that produced the schedule.
     pub algorithm: Option<String>,
+    /// For `algorithm: "auto"` requests: which portfolio band resolved the
+    /// request (see [`plan`]); `null` for directly named algorithms.
+    pub plan: Option<String>,
     /// Quality tag: `"optimal"`, `"anytime"` or `"heuristic"` (see
     /// [`quality`]).
     pub quality: Option<String>,
@@ -140,12 +157,14 @@ pub struct Response {
     /// (`ok == true`), but from the cheap anytime path rather than the
     /// requested algorithm.
     pub degraded: bool,
-    /// States the search expanded for this response (0 on a cache hit).
+    /// States the search expanded for this response.  On a cache hit this is
+    /// the producing run's count (provenance), not new work.
     pub expanded: u64,
     /// Peak simultaneously-live state-store records of the search that
-    /// produced this response (0 on a cache hit or error) — the per-request
-    /// memory proxy of the delta arena, surfaced so callers and dashboards
-    /// can see what a request cost beyond wall-clock.
+    /// produced this response (the producing run's value on a cache hit,
+    /// 0 on an error) — the per-request memory proxy of the delta arena,
+    /// surfaced so callers and dashboards can see what a request cost beyond
+    /// wall-clock.
     pub peak_live_records: u64,
     /// Service-side wall-clock time for this request, in milliseconds.
     pub elapsed_ms: f64,
@@ -164,6 +183,7 @@ impl Response {
             id,
             ok: false,
             algorithm: None,
+            plan: None,
             quality: None,
             schedule_length: None,
             schedule: None,

@@ -60,8 +60,10 @@ use crate::protocol::{Request, Response};
 use crate::service::SchedulingService;
 
 /// In-flight coalescing key: requests with equal cache identity are answered
-/// by one search.
-type FlightKey = (u64, String, u64);
+/// by one search.  The trailing byte is the resolved plan band (direct /
+/// auto-exact / auto-anytime / auto-race), so an `auto` request only ever
+/// coalesces with requests its portfolio resolution actually matches.
+type FlightKey = (u64, String, u64, u8);
 
 /// One admitted, tagged request travelling to a worker.
 struct Job {
@@ -370,7 +372,15 @@ impl PoolSummary {
 fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
     shared.service.metrics().workers_spawned.fetch_add(1, Ordering::Relaxed);
     while let Ok(job) = jobs.recv() {
-        let key = shared.service.cache_identity(&job.request);
+        // A request whose parameters fail resolution has no identity to
+        // coalesce on; answer it directly (the structured parameter error).
+        let key = match shared.service.cache_identity(&job.request) {
+            Ok(key) => key,
+            Err(_) => {
+                answer(shared, job);
+                continue;
+            }
+        };
         let job = {
             let mut in_flight = shared.in_flight.lock();
             match in_flight.entry(key.clone()) {
@@ -510,6 +520,29 @@ mod tests {
         let snap = service.metrics_snapshot();
         assert_eq!(snap.degraded, 1);
         assert_eq!(snap.pending, 0);
+    }
+
+    /// A request whose parameters fail resolution (no coalescing identity)
+    /// still gets exactly one structured error response and releases its
+    /// pending slot.
+    #[test]
+    fn invalid_parameters_are_answered_without_coalescing() {
+        let service = SchedulingService::new(ServiceConfig { workers: 1, ..Default::default() });
+        let runtime = ServiceRuntime::start(&service);
+        let (mut conn, replies) = runtime.open();
+        let mut req = example_request(11);
+        req.weight = Some(0.2);
+        let (_, admission) = conn.submit(req);
+        assert_eq!(admission, Admission::Enqueued);
+        drop(conn);
+        let got: Vec<Reply> = replies.iter().collect();
+        assert_eq!(got.len(), 1);
+        let resp = &got[0].response;
+        assert!(!resp.ok);
+        assert_eq!(resp.id, 11);
+        assert!(resp.error.as_deref().unwrap().contains("weight"), "{:?}", resp.error);
+        runtime.shutdown();
+        assert_eq!(service.metrics_snapshot().pending, 0);
     }
 
     /// Queue wait spends the deadline: a job whose admission timestamp lies

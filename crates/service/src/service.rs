@@ -1,14 +1,18 @@
 //! The request handler: parse → intern → cache → dispatch → validate → tag.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use optsched::registry::{SchedulerRegistry, SchedulerSpec};
 use optsched_core::{SchedulingProblem, SearchLimits, SearchOutcome};
+use optsched_schedule::Schedule;
+use optsched_taskgraph::Cost;
 
 use crate::cache::{CacheStats, CachedResult, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::protocol::{quality, Request, Response};
+use crate::portfolio::{self, PlanMode, ResolvedPlan};
+use crate::protocol::{quality, Instance, Request, Response};
 use crate::signature::CanonicalInstance;
 
 /// Configuration of a [`SchedulingService`].
@@ -119,30 +123,44 @@ impl SchedulingService {
         self.metrics.snapshot()
     }
 
-    /// The algorithm this request resolves to: its explicit choice, or the
-    /// service default (`wastar` under deadline pressure, `astar` otherwise).
+    /// The algorithm this request resolves to: its explicit choice (with
+    /// `auto` resolved by the portfolio), or the service default (`wastar`
+    /// under deadline pressure, `astar` otherwise).
+    ///
+    /// Shorthand over [`portfolio::resolve`] for callers that only need the
+    /// name; invalid parameters fall back to the name the portfolio would
+    /// have reported before rejecting them.
     pub fn resolve_algorithm(&self, req: &Request) -> String {
-        match &req.algorithm {
-            Some(a) => a.clone(),
-            None if req.deadline_ms.is_some() => "wastar".to_string(),
-            None => "astar".to_string(),
+        match portfolio::resolve(req, &self.config) {
+            Ok(plan) => plan.algorithm,
+            Err(_) => match &req.algorithm {
+                Some(a) => a.clone(),
+                None if req.deadline_ms.is_some() => "wastar".to_string(),
+                None => "astar".to_string(),
+            },
         }
     }
 
-    /// The cache identity of a request — canonical signature, resolved
-    /// algorithm and quality-relevant parameter bits.  Two requests with
-    /// equal identities are answered by one search (the runtime coalesces
-    /// them in flight; the cache memoizes across time).
-    pub(crate) fn cache_identity(&self, req: &Request) -> (u64, String, u64) {
-        let algorithm = self.resolve_algorithm(req);
-        let epsilon = req.epsilon.unwrap_or(self.config.epsilon);
-        let weight = req.weight.unwrap_or(self.config.deadline_weight);
-        let param_bits = match algorithm.as_str() {
-            "aeps" => epsilon.to_bits(),
-            "wastar" => weight.to_bits(),
-            _ => 0,
-        };
-        (crate::signature::canonical_signature(&req.instance), algorithm, param_bits)
+    /// The cache identity of a request — canonical signature, *resolved*
+    /// algorithm, quality-relevant parameter bits and the plan-band byte.
+    /// Two requests with equal identities are answered by one search (the
+    /// runtime coalesces them in flight; the cache memoizes across time).
+    ///
+    /// The identity comes from the same [`portfolio::resolve`] call that
+    /// [`handle_request`](SchedulingService::handle_request) dispatches on,
+    /// so the two can never disagree — and a request with invalid ε/weight
+    /// fails *here*, before anything coalesces on it.  The literal string
+    /// `"auto"` never appears in an identity: an auto request keys on what
+    /// the portfolio resolved it to, so a tight heuristic answer can never
+    /// alias a generous exact one.
+    pub(crate) fn cache_identity(&self, req: &Request) -> Result<(u64, String, u64, u8), String> {
+        let plan = portfolio::resolve(req, &self.config)?;
+        Ok((
+            crate::signature::canonical_signature(&req.instance),
+            plan.algorithm,
+            plan.param_bits,
+            plan.mode.band_byte(),
+        ))
     }
 
     /// Parses and serves one JSON request line.  A malformed line yields a
@@ -168,28 +186,32 @@ impl SchedulingService {
         let id = req.id.unwrap_or(fallback_id);
         let instance = &req.instance;
 
-        // Deadline pressure defaults to the anytime algorithm.
-        let algorithm = self.resolve_algorithm(req);
-        let epsilon = req.epsilon.unwrap_or(self.config.epsilon);
-        let weight = req.weight.unwrap_or(self.config.deadline_weight);
-        if !epsilon.is_finite() || epsilon < 0.0 {
-            return Response::error(id, format!("epsilon must be a non-negative number, got {epsilon}"));
-        }
-        if !weight.is_finite() || weight < 1.0 {
-            return Response::error(id, format!("weight must be a finite number >= 1, got {weight}"));
-        }
-        // The quality-relevant parameter is part of the cache identity.
-        let param_bits = match algorithm.as_str() {
-            "aeps" => epsilon.to_bits(),
-            "wastar" => weight.to_bits(),
-            _ => 0,
+        // One resolution serves validation, dispatch and the cache identity
+        // alike (the runtime's coalescer calls the same `resolve` through
+        // `cache_identity`, so the two can never diverge).
+        let plan = match portfolio::resolve(req, &self.config) {
+            Ok(plan) => plan,
+            Err(e) => return Response::error(id, e),
         };
+        match plan.mode {
+            PlanMode::Direct => {}
+            PlanMode::AutoExact => {
+                self.metrics.auto_exact.fetch_add(1, Ordering::Relaxed);
+            }
+            PlanMode::AutoAnytime => {
+                self.metrics.auto_anytime.fetch_add(1, Ordering::Relaxed);
+            }
+            PlanMode::AutoRace => {
+                self.metrics.auto_raced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
 
         let canon = CanonicalInstance::of(instance);
         let signature = canon.signature();
         let sig_hex = format!("{signature:016x}");
 
-        if let Some(cached) = self.cache.lookup(signature, &canon, &algorithm, param_bits) {
+        if let Some(cached) = self.cache.lookup(signature, &canon, &plan.algorithm, plan.param_bits)
+        {
             // Validate even the memoized schedule against *this* request's
             // instance: canonical equality guarantees it fits, and the check
             // is cheap insurance against cache corruption.
@@ -198,6 +220,7 @@ impl SchedulingService {
                     id,
                     ok: true,
                     algorithm: Some(cached.algorithm),
+                    plan: plan.mode.plan_tag().map(str::to_string),
                     quality: Some(cached.quality),
                     schedule_length: Some(cached.schedule_length),
                     schedule: Some(cached.schedule),
@@ -205,13 +228,45 @@ impl SchedulingService {
                     cache_hit: true,
                     shed: false,
                     degraded: false,
-                    expanded: 0,
-                    peak_live_records: 0,
+                    // A hit reports the producing run's provenance, not
+                    // zeros: dashboards can still see what the answer cost.
+                    expanded: cached.expanded,
+                    peak_live_records: cached.peak_live_records,
                     elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
                     error: None,
                 };
             }
         }
+
+        match plan.mode {
+            PlanMode::AutoRace => self.run_race(req, &plan, &canon, signature, sig_hex, id, start),
+            _ => self.run_plan(req, &plan, &canon, signature, sig_hex, id, start),
+        }
+    }
+
+    /// Runs a resolved single-search plan (direct, auto-exact or
+    /// auto-anytime) and builds the response.
+    #[allow(clippy::too_many_arguments)]
+    fn run_plan(
+        &self,
+        req: &Request,
+        plan: &ResolvedPlan,
+        canon: &CanonicalInstance,
+        signature: u64,
+        sig_hex: String,
+        id: u64,
+        start: Instant,
+    ) -> Response {
+        let instance = &req.instance;
+        let problem = SchedulingProblem::new(instance.graph.clone(), instance.network.clone());
+        // Only the exact auto band probes the cache for a structurally near
+        // incumbent: the generous deadline is what makes the (possibly
+        // useless) donor worth validating.
+        let warm = if plan.mode == PlanMode::AutoExact {
+            self.warm_start_candidate(signature, canon, instance, problem.upper_bound(), None)
+        } else {
+            None
+        };
 
         let spec = SchedulerSpec {
             limits: SearchLimits {
@@ -219,84 +274,65 @@ impl SchedulingService {
                 max_expansions: req.max_expansions,
                 ..Default::default()
             },
-            epsilon,
-            weight,
+            epsilon: plan.epsilon,
+            weight: plan.weight,
             seed_incumbent: self.config.seed_incumbent,
+            warm_start: warm,
             ..Default::default()
         };
         let registry = SchedulerRegistry::with_spec(spec);
-        let Some(scheduler) = registry.get(&algorithm) else {
+        let Some(scheduler) = registry.get(&plan.algorithm) else {
             return Response::error(
                 id,
                 format!(
-                    "unknown algorithm `{algorithm}` (expected {})",
+                    "unknown algorithm `{}` (expected {}|auto)",
+                    plan.algorithm,
                     registry.names().join("|")
                 ),
             );
         };
 
-        let problem = SchedulingProblem::new(instance.graph.clone(), instance.network.clone());
         let run = scheduler.run(&problem);
         let Some(schedule) = run.result.schedule else {
-            return Response::error(id, format!("`{algorithm}` produced no schedule"));
+            return Response::error(id, format!("`{}` produced no schedule", plan.algorithm));
         };
         if let Err(e) = schedule.validate(&instance.graph, &instance.network) {
             return Response::error(id, format!("internal error: invalid schedule: {e}"));
         }
 
-        // Quality tag: only a proven optimum is tagged `optimal`; a
-        // completed bounded-suboptimal run (`aeps` with ε > 0, `wastar` with
-        // w > 1) is `anytime`, as is any limit-truncated incumbent that
-        // improved on the list schedule; the untouched list incumbent is
-        // `heuristic`.
         let length = schedule.makespan();
-        let completed = matches!(run.result.outcome, SearchOutcome::Optimal | SearchOutcome::Exhausted);
+        let completed =
+            matches!(run.result.outcome, SearchOutcome::Optimal | SearchOutcome::Exhausted);
         // `parallel` always runs exact here: requests cannot set
         // `ParallelConfig::epsilon` (if that knob is ever exposed, its ε must
         // also join `param_bits` so approximate and exact parallel answers
         // never share a cache slot).
-        let bounded_suboptimal = (algorithm == "aeps" && epsilon > 0.0)
-            || (algorithm == "wastar" && weight > 1.0);
-        let tag = match run.result.outcome {
-            SearchOutcome::Heuristic => quality::HEURISTIC,
-            SearchOutcome::LimitReached | SearchOutcome::TargetReached => {
-                if length < problem.upper_bound() {
-                    quality::ANYTIME
-                } else {
-                    quality::HEURISTIC
-                }
-            }
-            SearchOutcome::Optimal | SearchOutcome::Exhausted => {
-                if bounded_suboptimal {
-                    quality::ANYTIME
-                } else {
-                    quality::OPTIMAL
-                }
-            }
-        };
+        let bounded_suboptimal = (plan.algorithm == "aeps" && plan.epsilon > 0.0)
+            || (plan.algorithm == "wastar" && plan.weight > 1.0);
+        let tag = quality_tag(run.result.outcome, length, problem.upper_bound(), bounded_suboptimal);
 
         // Memoize completed runs only: they carry their full guarantee and
         // are deterministic.  A deadline-truncated incumbent is *not*
         // memoized — a later unconstrained request deserves the real search.
         if completed {
-            self.cache.insert(
+            self.memoize(
                 signature,
-                &canon,
-                &algorithm,
-                param_bits,
-                CachedResult {
-                    schedule: schedule.clone(),
-                    schedule_length: length,
-                    quality: tag.to_string(),
-                    algorithm: algorithm.clone(),
-                },
+                canon,
+                &plan.algorithm,
+                plan.param_bits,
+                &schedule,
+                length,
+                tag,
+                run.result.stats.expanded,
+                run.result.stats.peak_live_records,
             );
         }
 
         Response {
             id,
             ok: true,
-            algorithm: Some(algorithm),
+            algorithm: Some(plan.algorithm.clone()),
+            plan: plan.mode.plan_tag().map(str::to_string),
             quality: Some(tag.to_string()),
             schedule_length: Some(length),
             schedule: Some(schedule),
@@ -308,6 +344,252 @@ impl SchedulingService {
             peak_live_records: run.result.stats.peak_live_records,
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             error: None,
+        }
+    }
+
+    /// The mid-band staged race: a short weighted-A\* leg secures a good
+    /// feasible answer, then the remaining budget runs the exact algorithm
+    /// warm-started from that leg (and from the cache's nearest structural
+    /// match, whichever validates better).  The exact leg starts from the
+    /// race leg's incumbent, so the final answer is never worse than what
+    /// plain `wastar` would have returned from the same budget split.
+    #[allow(clippy::too_many_arguments)]
+    fn run_race(
+        &self,
+        req: &Request,
+        plan: &ResolvedPlan,
+        canon: &CanonicalInstance,
+        signature: u64,
+        sig_hex: String,
+        id: u64,
+        start: Instant,
+    ) -> Response {
+        let instance = &req.instance;
+        let problem = SchedulingProblem::new(instance.graph.clone(), instance.network.clone());
+        // The mid band only exists for requests with a deadline.
+        let total = req.deadline_ms.unwrap_or(0);
+        let leg_budget = (total / 4).max(1);
+
+        // Leg 1: calibrated weighted A*, a quarter of the budget.
+        let leg_spec = SchedulerSpec {
+            limits: SearchLimits {
+                max_millis: Some(leg_budget),
+                max_expansions: req.max_expansions,
+                ..Default::default()
+            },
+            epsilon: plan.epsilon,
+            weight: plan.weight,
+            seed_incumbent: self.config.seed_incumbent,
+            ..Default::default()
+        };
+        let leg_registry = SchedulerRegistry::with_spec(leg_spec);
+        let leg_run =
+            leg_registry.get("wastar").expect("wastar is always registered").run(&problem);
+        let leg_schedule = leg_run.result.schedule;
+        if let Some(leg) = &leg_schedule {
+            // A completed leg carries its full w-bounded guarantee: memoize
+            // it under its *own* identity so direct `wastar` requests with
+            // this weight benefit too.
+            if matches!(leg_run.result.outcome, SearchOutcome::Optimal | SearchOutcome::Exhausted)
+            {
+                let leg_len = leg.makespan();
+                let leg_tag = quality_tag(
+                    leg_run.result.outcome,
+                    leg_len,
+                    problem.upper_bound(),
+                    plan.weight > 1.0,
+                );
+                self.memoize(
+                    signature,
+                    canon,
+                    "wastar",
+                    plan.weight.to_bits(),
+                    leg,
+                    leg_len,
+                    leg_tag,
+                    leg_run.result.stats.expanded,
+                    leg_run.result.stats.peak_live_records,
+                );
+            }
+        }
+
+        // Leg 2: the exact algorithm on whatever budget is left, starting
+        // from the best incumbent the race has (leg schedule or a validated
+        // cache near-match).
+        let elapsed_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let remaining = total.saturating_sub(elapsed_ms);
+        let warm = self.warm_start_candidate(
+            signature,
+            canon,
+            instance,
+            problem.upper_bound(),
+            leg_schedule.as_ref(),
+        );
+        let exact_spec = SchedulerSpec {
+            limits: SearchLimits {
+                max_millis: Some(remaining),
+                max_expansions: req.max_expansions,
+                ..Default::default()
+            },
+            epsilon: plan.epsilon,
+            weight: plan.weight,
+            seed_incumbent: self.config.seed_incumbent,
+            warm_start: warm,
+            ..Default::default()
+        };
+        let registry = SchedulerRegistry::with_spec(exact_spec);
+        let Some(scheduler) = registry.get(&plan.algorithm) else {
+            return Response::error(
+                id,
+                format!(
+                    "unknown algorithm `{}` (expected {}|auto)",
+                    plan.algorithm,
+                    registry.names().join("|")
+                ),
+            );
+        };
+        let run = scheduler.run(&problem);
+        let Some(schedule) = run.result.schedule else {
+            return Response::error(id, format!("`{}` produced no schedule", plan.algorithm));
+        };
+        if let Err(e) = schedule.validate(&instance.graph, &instance.network) {
+            return Response::error(id, format!("internal error: invalid schedule: {e}"));
+        }
+
+        let length = schedule.makespan();
+        let completed =
+            matches!(run.result.outcome, SearchOutcome::Optimal | SearchOutcome::Exhausted);
+        let tag = quality_tag(run.result.outcome, length, problem.upper_bound(), false);
+        if completed {
+            // The race proved optimality inside the deadline: memoize under
+            // the exact identity, where generous requests will look.
+            self.memoize(
+                signature,
+                canon,
+                &plan.algorithm,
+                plan.param_bits,
+                &schedule,
+                length,
+                tag,
+                run.result.stats.expanded,
+                run.result.stats.peak_live_records,
+            );
+        }
+
+        Response {
+            id,
+            ok: true,
+            algorithm: Some(plan.algorithm.clone()),
+            plan: plan.mode.plan_tag().map(str::to_string),
+            quality: Some(tag.to_string()),
+            schedule_length: Some(length),
+            schedule: Some(schedule),
+            signature: Some(sig_hex),
+            cache_hit: false,
+            shed: false,
+            degraded: false,
+            // The race's cost is both legs' cost.
+            expanded: leg_run.result.stats.expanded + run.result.stats.expanded,
+            peak_live_records: leg_run
+                .result
+                .stats
+                .peak_live_records
+                .max(run.result.stats.peak_live_records),
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+            error: None,
+        }
+    }
+
+    /// Picks the warm-start incumbent for an exact auto search: the better
+    /// of a validated cache nearest-match donor and the race leg's schedule
+    /// (when there is one).  `auto_warm_starts` counts only the cases where
+    /// the *cache* donor wins and would actually tighten the list-seeded
+    /// incumbent — i.e. where the cache changed the search.
+    fn warm_start_candidate(
+        &self,
+        signature: u64,
+        canon: &CanonicalInstance,
+        instance: &Instance,
+        upper_bound: Cost,
+        leg: Option<&Schedule>,
+    ) -> Option<Schedule> {
+        let donor = self
+            .cache
+            .nearest_match(signature, canon)
+            .map(|c| c.schedule)
+            .filter(|s| s.validate(&instance.graph, &instance.network).is_ok());
+        let donor_wins = match (&donor, leg) {
+            (Some(d), Some(l)) => d.makespan() < l.makespan(),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if donor_wins {
+            let d = donor.expect("donor_wins implies a donor");
+            if d.makespan() < upper_bound {
+                self.metrics.auto_warm_starts.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(d)
+        } else {
+            leg.cloned().or(donor)
+        }
+    }
+
+    /// Inserts a completed run into the memoizing cache with its provenance.
+    #[allow(clippy::too_many_arguments)]
+    fn memoize(
+        &self,
+        signature: u64,
+        canon: &CanonicalInstance,
+        algorithm: &str,
+        param_bits: u64,
+        schedule: &Schedule,
+        length: Cost,
+        tag: &str,
+        expanded: u64,
+        peak_live_records: u64,
+    ) {
+        self.cache.insert(
+            signature,
+            canon,
+            algorithm,
+            param_bits,
+            CachedResult {
+                schedule: schedule.clone(),
+                schedule_length: length,
+                quality: tag.to_string(),
+                algorithm: algorithm.to_string(),
+                expanded,
+                peak_live_records,
+            },
+        );
+    }
+}
+
+/// The quality tag of a run: only a proven optimum is `optimal`; a completed
+/// bounded-suboptimal run (`aeps` with ε > 0, `wastar` with w > 1) is
+/// `anytime`, as is any limit-truncated incumbent that improved on the list
+/// schedule; the untouched list incumbent is `heuristic`.
+fn quality_tag(
+    outcome: SearchOutcome,
+    length: Cost,
+    upper_bound: Cost,
+    bounded_suboptimal: bool,
+) -> &'static str {
+    match outcome {
+        SearchOutcome::Heuristic => quality::HEURISTIC,
+        SearchOutcome::LimitReached | SearchOutcome::TargetReached => {
+            if length < upper_bound {
+                quality::ANYTIME
+            } else {
+                quality::HEURISTIC
+            }
+        }
+        SearchOutcome::Optimal | SearchOutcome::Exhausted => {
+            if bounded_suboptimal {
+                quality::ANYTIME
+            } else {
+                quality::OPTIMAL
+            }
         }
     }
 }
@@ -342,7 +624,10 @@ mod tests {
         let second = svc.handle_request(&example_request(), 1);
         assert!(!first.cache_hit);
         assert!(second.cache_hit);
-        assert_eq!(second.expanded, 0);
+        // A hit carries the producing run's provenance, not zeros.
+        assert_eq!(second.expanded, first.expanded);
+        assert!(second.expanded > 0);
+        assert_eq!(second.peak_live_records, first.peak_live_records);
         assert_eq!(first.schedule_length, second.schedule_length);
         assert_eq!(first.signature, second.signature);
         let stats = svc.cache_stats();

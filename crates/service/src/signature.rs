@@ -57,6 +57,58 @@ impl CanonicalInstance {
         }
     }
 
+    /// A cheap structural similarity in `[0, 1]` between two canonical
+    /// forms, used by the result cache's nearest-signature probe to find a
+    /// warm-start candidate for `algorithm: "auto"`.
+    ///
+    /// Instances with different node counts or processor counts score `0.0`
+    /// outright: a schedule for one cannot even be *validated* against the
+    /// other.  Otherwise the score blends position-wise node-weight
+    /// agreement (0.3), weighted-edge-set overlap (0.5) and network equality
+    /// (0.2).  `1.0` for equal canonical forms; the caller still has to
+    /// validate any schedule it adopts — similarity ranks candidates, it
+    /// proves nothing.
+    pub fn similarity(&self, other: &CanonicalInstance) -> f64 {
+        if self.node_weights.len() != other.node_weights.len()
+            || self.cycle_times.len() != other.cycle_times.len()
+        {
+            return 0.0;
+        }
+        let nodes = self.node_weights.len().max(1);
+        let same_weights =
+            self.node_weights.iter().zip(&other.node_weights).filter(|(a, b)| a == b).count();
+        let node_score = same_weights as f64 / nodes as f64;
+
+        // Both edge lists are sorted, so the intersection is a single merge
+        // walk; score by overlap relative to the larger edge set.
+        let mut common = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.edges.len() && j < other.edges.len() {
+            match self.edges[i].cmp(&other.edges[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let max_edges = self.edges.len().max(other.edges.len());
+        let edge_score = if max_edges == 0 { 1.0 } else { common as f64 / max_edges as f64 };
+
+        let net_score = if self.cycle_times == other.cycle_times
+            && self.links == other.links
+            && self.hop_scaled == other.hop_scaled
+        {
+            1.0
+        } else {
+            0.0
+        };
+
+        0.3 * node_score + 0.5 * edge_score + 0.2 * net_score
+    }
+
     /// The stable 64-bit signature of this canonical form.
     pub fn signature(&self) -> u64 {
         let mut h = Fnv1a::new();
@@ -208,6 +260,40 @@ mod tests {
             ProcNetwork::fully_connected(2).with_cycle_times(&[1, 2]),
         );
         assert_ne!(canonical_signature(&base), canonical_signature(&slow));
+    }
+
+    /// Similarity: 1.0 for identical instances, 0.0 across node-count
+    /// mismatches, and something in between for a single perturbed weight.
+    #[test]
+    fn similarity_ranks_structural_closeness() {
+        let base = CanonicalInstance::of(&example());
+        assert!((base.similarity(&base) - 1.0).abs() < 1e-12);
+
+        // Different processor count: schedules are not even transferable.
+        let other_net = CanonicalInstance::of(&Instance::new(
+            paper_example_dag(),
+            ProcNetwork::ring(4),
+        ));
+        assert_eq!(base.similarity(&other_net), 0.0);
+
+        // Same shape, one node weight nudged: high but below 1.
+        let g = paper_example_dag();
+        let mut b = GraphBuilder::with_capacity(g.num_nodes());
+        for n in g.node_ids() {
+            let w = g.weight(n);
+            b.add_node(if n.0 == 0 { w + 1 } else { w });
+        }
+        for e in g.edges() {
+            b.add_edge(e.src, e.dst, e.weight).unwrap();
+        }
+        let nudged = CanonicalInstance::of(&Instance::new(
+            b.build().unwrap(),
+            ProcNetwork::ring(3),
+        ));
+        let s = base.similarity(&nudged);
+        assert!(s > 0.9 && s < 1.0, "one-weight perturbation scored {s}");
+        // Symmetric.
+        assert!((nudged.similarity(&base) - s).abs() < 1e-12);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use optsched_core::{
 };
 use optsched_listsched::upper_bound_schedule;
 use optsched_parallel::{ParallelAStarScheduler, ParallelConfig, ParallelSearchResult};
+use optsched_schedule::Schedule;
 
 /// An object-safe scheduler: anything that maps a [`SchedulingProblem`] to a
 /// [`SearchResult`].
@@ -86,6 +87,13 @@ pub struct SchedulerSpec {
     /// what the pinned `tests/engine_equivalence.rs` literals measure); the
     /// scheduling service switches it on.
     pub seed_incumbent: bool,
+    /// A complete schedule attained by an earlier run (a cached near-match,
+    /// the anytime leg of a race) handed to the serial searches (`astar`,
+    /// `wastar`, `aeps`, `chenyu`) as a candidate starting incumbent.  The
+    /// engine adopts it only when it beats the incumbent the run would start
+    /// from otherwise; the caller must guarantee it is feasible for the
+    /// problem being solved.  `None` (the default) changes nothing.
+    pub warm_start: Option<Schedule>,
     /// Configuration of the `parallel` family.
     pub parallel: ParallelConfig,
 }
@@ -102,6 +110,7 @@ impl Default for SchedulerSpec {
             epsilon: 0.2,
             weight: 1.0,
             seed_incumbent: false,
+            warm_start: None,
             parallel: ParallelConfig::default(),
         }
     }
@@ -160,6 +169,7 @@ impl Scheduler for AStarEntry {
                 .with_arena_gc(self.0.arena_gc)
                 .with_path_cache(self.0.path_cache)
                 .with_seeded_incumbent(self.0.seed_incumbent)
+                .with_warm_start(self.0.warm_start.clone())
                 .run(),
         )
     }
@@ -182,6 +192,7 @@ impl Scheduler for WAStarEntry {
                 .with_arena_gc(self.0.arena_gc)
                 .with_path_cache(self.0.path_cache)
                 .with_seeded_incumbent(self.0.seed_incumbent)
+                .with_warm_start(self.0.warm_start.clone())
                 .run(),
         )
     }
@@ -204,6 +215,7 @@ impl Scheduler for AEpsEntry {
                 .with_arena_gc(self.0.arena_gc)
                 .with_path_cache(self.0.path_cache)
                 .with_seeded_incumbent(self.0.seed_incumbent)
+                .with_warm_start(self.0.warm_start.clone())
                 .run(),
         )
     }
@@ -224,6 +236,7 @@ impl Scheduler for ChenYuEntry {
                 .with_arena_gc(self.0.arena_gc)
                 .with_path_cache(self.0.path_cache)
                 .with_seeded_incumbent(self.0.seed_incumbent)
+                .with_warm_start(self.0.warm_start.clone())
                 .run(),
         )
     }

@@ -484,6 +484,8 @@ fn cache_fixture() -> (u64, optsched_service::CanonicalInstance, optsched_servic
         schedule_length: 14,
         quality: "optimal".to_string(),
         algorithm: "astar".to_string(),
+        expanded: 0,
+        peak_live_records: 0,
     };
     (canonical_signature(&inst), CanonicalInstance::of(&inst), result)
 }
