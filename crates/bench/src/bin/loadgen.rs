@@ -25,18 +25,26 @@
 //! `--expect-cache-hit` (≥ 1 cache hit over all scenarios), `--expect-shed`
 //! (≥ 1 shed), `--expect-degraded` (≥ 1 degrade), `--expect-auto-bands`
 //! (every auto band observed ≥ 1 response, 0 errors, and the tight band's
-//! p99 inside its deadline plus scheduling slack).
+//! p99 inside its deadline plus scheduling slack), `--expect-stats-agree`
+//! (the steady scenario's server-side `{"type": "stats"}` e2e percentiles
+//! agree with the client-side nearest-rank ones within the histogram's 2×
+//! bucket bound plus slack).
+//!
+//! Every scenario also queries the runtime's `{"type": "stats"}` admin verb
+//! before shutdown and reports the server-side e2e/queue-wait p50/p99 next
+//! to the client-side numbers — the two views of the same run.
 //!
 //! Usage: `cargo run --release -p optsched-bench --bin loadgen --
 //!         [--count N] [--seed S] [--workers W] [--rate RPS]
 //!         [--out FILE] [--expect-cache-hit] [--expect-shed]
-//!         [--expect-degraded] [--expect-auto-bands]`
+//!         [--expect-degraded] [--expect-auto-bands] [--expect-stats-agree]`
 
 use std::time::{Duration, Instant};
 
 use optsched_bench::write_json_rows;
 use optsched_service::{
     InstanceFeatures, Request, Response, SchedulingService, ServiceConfig, ServiceRuntime,
+    StatsReport,
 };
 use optsched_workload::{generate_request_corpus, RequestCorpusConfig};
 use rand::rngs::StdRng;
@@ -88,6 +96,10 @@ struct Outcome {
     auto_bands: (u64, u64, u64),
     /// p99 of the *service-side* elapsed time of tight-band responses, ms.
     tight_p99_ms: f64,
+    /// The service's own stats report (`{"type": "stats"}` admin verb),
+    /// queried over a second connection while the runtime is still up: the
+    /// server-side view of the same run the client-side latencies measured.
+    server_stats: Option<StatsReport>,
 }
 
 impl Outcome {
@@ -107,7 +119,7 @@ impl Outcome {
             self.cache_hits as f64 / self.responses as f64
         };
         format!(
-            "{{\"scenario\": \"{}\", \"requests\": {}, \"responses\": {}, \"lost\": {}, \"elapsed_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \"cache_hit_rate\": {:.3}, \"shed\": {}, \"degraded\": {}, \"errors\": {}, \"workers\": {}, \"admission_budget\": {}, \"auto_exact\": {}, \"auto_anytime\": {}, \"auto_raced\": {}, \"tight_p99_ms\": {:.3}}}",
+            "{{\"scenario\": \"{}\", \"requests\": {}, \"responses\": {}, \"lost\": {}, \"elapsed_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \"cache_hit_rate\": {:.3}, \"shed\": {}, \"degraded\": {}, \"errors\": {}, \"workers\": {}, \"admission_budget\": {}, \"auto_exact\": {}, \"auto_anytime\": {}, \"auto_raced\": {}, \"tight_p99_ms\": {:.3}, \"server_e2e_p50_ms\": {:.3}, \"server_e2e_p99_ms\": {:.3}, \"server_queue_p50_ms\": {:.3}, \"server_queue_p99_ms\": {:.3}}}",
             self.name,
             self.requests,
             self.responses,
@@ -127,6 +139,10 @@ impl Outcome {
             self.auto_bands.1,
             self.auto_bands.2,
             self.tight_p99_ms,
+            self.server_stats.as_ref().map_or(0.0, |s| s.e2e_p50_ms),
+            self.server_stats.as_ref().map_or(0.0, |s| s.e2e_p99_ms),
+            self.server_stats.as_ref().map_or(0.0, |s| s.queue_wait_p50_ms),
+            self.server_stats.as_ref().map_or(0.0, |s| s.queue_wait_p99_ms),
         )
     }
 }
@@ -180,7 +196,10 @@ fn run_scenario(s: &Scenario, seed: u64) -> Outcome {
         let collector = scope.spawn(|| {
             let mut received: Vec<(u64, Instant, Response)> = Vec::new();
             while let Ok(reply) = replies.recv() {
-                received.push((reply.seq, Instant::now(), reply.response));
+                let seq = reply.seq;
+                let response =
+                    reply.into_response().expect("this connection submits no admin lines");
+                received.push((seq, Instant::now(), response));
             }
             received
         });
@@ -200,6 +219,17 @@ fn run_scenario(s: &Scenario, seed: u64) -> Outcome {
         collector.join().expect("reply collector panicked")
     });
     let elapsed = start.elapsed();
+    // The runtime is still serving: query its own view of the run through
+    // the admin protocol, exactly as an external client would.
+    let server_stats = {
+        let (mut stats_conn, stats_replies) = runtime.open();
+        stats_conn.submit_line(r#"{"type": "stats"}"#);
+        drop(stats_conn);
+        stats_replies
+            .recv()
+            .ok()
+            .and_then(|reply| reply.stats().cloned())
+    };
     runtime.shutdown();
     let metrics = service.metrics_snapshot();
 
@@ -240,6 +270,7 @@ fn run_scenario(s: &Scenario, seed: u64) -> Outcome {
         admission_budget: s.admission_budget,
         auto_bands: (metrics.auto_exact, metrics.auto_anytime, metrics.auto_raced),
         tight_p99_ms,
+        server_stats,
     }
 }
 
@@ -315,6 +346,36 @@ fn main() {
             outcome.degraded,
             outcome.errors,
         );
+        if let Some(stats) = &outcome.server_stats {
+            println!(
+                "{:<10} server-side ({{\"type\": \"stats\"}}): e2e p50 {:.2} ms, p99 {:.2} ms | queue p50 {:.2} ms, p99 {:.2} ms | {} measured",
+                "",
+                stats.e2e_p50_ms,
+                stats.e2e_p99_ms,
+                stats.queue_wait_p50_ms,
+                stats.queue_wait_p99_ms,
+                stats.e2e_count,
+            );
+            // The server's histogram percentiles are log2-bucket upper
+            // bounds (≤ 2× the true value); the client's are nearest-rank
+            // over its own clock.  They describe the same population, so
+            // each must bound the other within that 2× plus a little
+            // scheduling noise.
+            if has("--expect-stats-agree") && s.name == "steady" {
+                for (label, server, client) in [
+                    ("p50", stats.e2e_p50_ms, outcome.percentile_ms(50)),
+                    ("p99", stats.e2e_p99_ms, outcome.percentile_ms(99)),
+                ] {
+                    let slack_ms = 50.0;
+                    if server > 2.0 * client + slack_ms || client > 2.0 * server + slack_ms {
+                        failures.push(format!(
+                            "{}: server {label} {server:.3} ms and client {label} {client:.3} ms disagree beyond 2x + {slack_ms} ms",
+                            outcome.name,
+                        ));
+                    }
+                }
+            }
+        }
         if s.auto {
             let (exact, anytime, raced) = outcome.auto_bands;
             println!(

@@ -6,13 +6,13 @@
 //!                   [--weight 1.5] [--seed-incumbent] [--ppes 4] [--dup-detection local|sharded]
 //!                   [--shards N] [--budget-ms N] [--max-expansions N] [--store eager|arena]
 //!                   [--arena-gc on|off] [--path-cache K] [--election-batch B]
-//!                   [--gantt] [--json]
+//!                   [--trace-out trace.json] [--gantt] [--json]
 //! optsched generate --nodes 20 --ccr 1.0 [--seed 7] [--output graph.json]
 //! optsched example
 //! optsched levels --input graph.json
 //! optsched serve [--workers 2] [--listen 127.0.0.1:7878] [--admission-budget N]
 //!                [--degrade-threshold N] [--degrade-deadline-ms N] [--cache-capacity N]
-//!                [--cache-max-age-ms N] [--summary-interval-ms N]
+//!                [--cache-max-age-ms N] [--summary-interval-ms N] [--trace-out trace.json]
 //! optsched batch --requests reqs.jsonl|- [--workers 2] [--min-cache-hits N] [--summary]
 //!                [--admission-budget N] [--degrade-threshold N] [--degrade-deadline-ms N]
 //!                [--cache-capacity N] [--cache-max-age-ms N]
@@ -46,8 +46,16 @@
 //! deadline-clamped `wastar` past the threshold), `--cache-capacity` /
 //! `--cache-max-age-ms` size the LRU result cache and its TTL, and
 //! `serve --summary-interval-ms N` prints a metrics snapshot (pending,
-//! shed, degraded, cache hit rate, evictions, expirations) to stderr every
-//! N milliseconds.
+//! shed, degraded, service-side latency percentiles, cache hit rate,
+//! evictions, expirations) to stderr every N milliseconds.
+//!
+//! `--trace-out PATH` (on `schedule`, `serve` and `batch`) turns on the
+//! `optsched-obs` event/span layer for the run and writes a Chrome
+//! trace-event JSON file at exit — load it in `chrome://tracing` or
+//! Perfetto.  Without the flag the collection layer stays disabled and
+//! costs one relaxed atomic load per would-be event.  A running service
+//! also answers the admin line `{"type": "stats"}` on any connection with
+//! a JSON stats report (counters plus queue-wait/end-to-end p50/p99).
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -106,7 +114,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--weight W] [--seed-incumbent] [--ppes Q] \\\n                    [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] \\\n                    [--arena-gc on|off] [--path-cache K] [--election-batch B] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n  optsched serve [--workers N] [--listen ADDR:PORT] [--admission-budget N] \\\n                 [--degrade-threshold N] [--degrade-deadline-ms N] [--cache-capacity N] \\\n                 [--cache-max-age-ms N] [--summary-interval-ms N]\n  optsched batch --requests file.jsonl|- [--workers N] [--min-cache-hits N] [--summary] \\\n                 [--admission-budget N] [--degrade-threshold N] [--cache-capacity N]\n  optsched requests --count N [--seed S] [--output file.jsonl]\n(`--input -` reads the graph JSON from stdin; algorithms: astar|wastar|aeps|chenyu|exhaustive|list|parallel;\n serve/batch requests may also say \"auto\" to let the deadline-aware portfolio pick)"
+        "usage:\n  optsched schedule --input graph.json|- [--procs P] [--topology T] [--algorithm A] \\\n                    [--epsilon E] [--weight W] [--seed-incumbent] [--ppes Q] \\\n                    [--dup-detection local|sharded] [--shards N] \\\n                    [--budget-ms N] [--max-expansions N] [--store eager|arena] \\\n                    [--arena-gc on|off] [--path-cache K] [--election-batch B] \\\n                    [--trace-out trace.json] [--gantt] [--json]\n  optsched generate --nodes N --ccr C [--seed S] [--output file.json]\n  optsched levels --input graph.json|-\n  optsched example\n  optsched serve [--workers N] [--listen ADDR:PORT] [--admission-budget N] \\\n                 [--degrade-threshold N] [--degrade-deadline-ms N] [--cache-capacity N] \\\n                 [--cache-max-age-ms N] [--summary-interval-ms N] [--trace-out trace.json]\n  optsched batch --requests file.jsonl|- [--workers N] [--min-cache-hits N] [--summary] \\\n                 [--admission-budget N] [--degrade-threshold N] [--cache-capacity N] \\\n                 [--trace-out trace.json]\n  optsched requests --count N [--seed S] [--output file.jsonl]\n(`--input -` reads the graph JSON from stdin; algorithms: astar|wastar|aeps|chenyu|exhaustive|list|parallel;\n serve/batch requests may also say \"auto\" to let the deadline-aware portfolio pick;\n a running serve/batch also answers the admin line {{\"type\": \"stats\"}};\n --trace-out writes a Chrome trace-event JSON of the run's spans at exit)"
     );
     ExitCode::FAILURE
 }
@@ -196,6 +204,13 @@ fn build_spec(args: &Args) -> Result<SchedulerSpec, String> {
 }
 
 fn cmd_schedule(args: &Args, graph: TaskGraph) -> ExitCode {
+    // `--trace-out PATH` turns the event/span layer on for this run and
+    // writes a Chrome trace-event file (load it in `chrome://tracing` or
+    // Perfetto) after the report.
+    let trace_out = args.get("trace-out").map(String::from);
+    if trace_out.is_some() {
+        optsched_obs::set_enabled(true);
+    }
     let net = build_network(args, 4);
     let problem = SchedulingProblem::new(graph.clone(), net.clone());
     let spec = match build_spec(args) {
@@ -237,6 +252,16 @@ fn cmd_schedule(args: &Args, graph: TaskGraph) -> ExitCode {
             println!("{:<15}: {}", "path-cache hit rate", path_cache_hit_rate(s));
             println!("{:<15}: {}", "path-cache ancestor hits", s.path_cache_ancestor_hits);
             println!("{:<15}: {}", "replayed deltas saved", s.replayed_deltas_saved);
+        }
+    }
+    if let Some(path) = trace_out {
+        optsched_obs::set_enabled(false);
+        match optsched_obs::save_chrome_trace(&path) {
+            Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
+            Err(e) => {
+                eprintln!("trace: failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS
@@ -295,6 +320,7 @@ fn service_config_from_args(args: &Args) -> ServiceConfig {
             .min(admission_budget),
         degrade_deadline_ms: args.get_parse("degrade-deadline-ms", d.degrade_deadline_ms),
         seed_incumbent: !args.has("no-seed-incumbent"),
+        trace_path: args.get("trace-out").map(String::from),
         ..d
     }
 }
@@ -304,7 +330,7 @@ fn metrics_line(service: &SchedulingService) -> String {
     let m = service.metrics_snapshot();
     let c = service.cache_stats();
     format!(
-        "submitted {} responses {} pending {} (peak {}) shed {} degraded {} peak_live_records {} | auto: {} exact, {} anytime, {} raced, {} warm starts | cache: {} entries, {:.0}% hit rate, {} evictions, {} expired, {} filter skips",
+        "submitted {} responses {} pending {} (peak {}) shed {} degraded {} peak_live_records {} | auto: {} exact, {} anytime, {} raced, {} warm starts | latency: e2e p50 {:.1} ms p99 {:.1} ms, queue p50 {:.1} ms p99 {:.1} ms | cache: {} entries, {:.0}% hit rate, {} evictions, {} expired, {} filter skips",
         m.submitted,
         m.responses,
         m.pending,
@@ -316,6 +342,10 @@ fn metrics_line(service: &SchedulingService) -> String {
         m.auto_anytime,
         m.auto_raced,
         m.auto_warm_starts,
+        m.e2e_p50_us as f64 / 1e3,
+        m.e2e_p99_us as f64 / 1e3,
+        m.queue_wait_p50_us as f64 / 1e3,
+        m.queue_wait_p99_us as f64 / 1e3,
         c.entries,
         c.hit_rate() * 100.0,
         c.evictions,
@@ -368,6 +398,7 @@ impl Drop for SummaryMonitor {
 /// pool answers every connection.
 fn cmd_serve(args: &Args) -> ExitCode {
     let config = service_config_from_args(args);
+    let (workers, admission_budget) = (config.workers, config.admission_budget);
     let service = SchedulingService::new(config);
     let _monitor = spawn_summary_monitor(args, &service);
     match args.get("listen") {
@@ -380,8 +411,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
                 }
             };
             eprintln!(
-                "optsched-service listening on {addr} ({} shared workers, admission budget {})",
-                config.workers, config.admission_budget
+                "optsched-service listening on {addr} ({workers} shared workers, admission budget {admission_budget})"
             );
             if let Err(e) = serve_tcp(&service, &listener, None) {
                 eprintln!("serve error: {e}");

@@ -33,6 +33,7 @@ use std::cell::Cell;
 use std::collections::HashSet;
 use std::time::Instant;
 
+use optsched_obs as obs;
 use optsched_schedule::Schedule;
 use optsched_taskgraph::Cost;
 
@@ -201,6 +202,12 @@ pub fn run_search<P: FrontierPolicy>(
     warm_start: Option<&Schedule>,
 ) -> SearchResult {
     let start_time = Instant::now();
+    // Observability: one timeline track per run, a span covering the whole
+    // search, instants on every incumbent improvement and on the existing
+    // 1/1024 expansion cadence.  All of it is behind `obs::enabled()` — the
+    // disabled cost per site is a single relaxed atomic load.
+    let obs_track = if obs::enabled() { obs::next_track() } else { 0 };
+    let _obs_span = obs::span("run_search", obs_track);
     let mut stats = SearchStats::default();
     let mut arena = StateArena::new(problem, store);
     let mut dup = SignatureSet::new();
@@ -258,11 +265,13 @@ pub fn run_search<P: FrontierPolicy>(
             if state.is_goal(problem) {
                 if goal_is_final {
                     incumbent = state.to_schedule(problem);
+                    obs::instant("incumbent", obs_track, "makespan", state.g());
                     break SearchOutcome::Optimal;
                 }
                 if state.g() < incumbent_len.get() {
                     incumbent_len.set(state.g());
                     incumbent = state.to_schedule(problem);
+                    obs::instant("incumbent", obs_track, "makespan", state.g());
                 }
             } else {
                 // Limits.
@@ -294,6 +303,9 @@ pub fn run_search<P: FrontierPolicy>(
                 }
 
                 stats.expanded += 1;
+                if obs::enabled() && stats.expanded % TIME_CHECK_CADENCE == 0 {
+                    obs::instant("expansion_rate", obs_track, "expanded", stats.expanded);
+                }
                 expand_state(
                     ExpansionContext { problem, pruning: &pruning, heuristic },
                     state,
@@ -318,6 +330,7 @@ pub fn run_search<P: FrontierPolicy>(
                         {
                             incumbent_len.set(delta.g);
                             incumbent = parent.apply_delta(problem, &delta).to_schedule(problem);
+                            obs::instant("incumbent", obs_track, "makespan", delta.g);
                         }
                         kept.push((delta, value));
                     },

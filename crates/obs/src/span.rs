@@ -1,0 +1,115 @@
+//! RAII span scopes with thread-local parent tracking.
+
+use std::cell::RefCell;
+
+use crate::ring::{record, Event, EventKind};
+use crate::{enabled, now_us};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span scope.  Inert (and allocation-free) when tracing is disabled;
+/// otherwise the guard's `Drop` records one complete-span event covering the
+/// scope's lifetime, parented to the span that was open when it started.
+pub fn span(name: &'static str, track: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name,
+            parent: "",
+            track,
+            start_us: 0,
+            arg_name: "",
+            arg: 0,
+            armed: false,
+        };
+    }
+    let parent = SPAN_STACK
+        .try_with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied().unwrap_or("");
+            stack.push(name);
+            parent
+        })
+        .unwrap_or("");
+    SpanGuard {
+        name,
+        parent,
+        track,
+        start_us: now_us(),
+        arg_name: "",
+        arg: 0,
+        armed: true,
+    }
+}
+
+/// Guard returned by [`span`]; records the span when dropped.
+#[must_use = "a span measures the scope it is bound to — binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    parent: &'static str,
+    track: u64,
+    start_us: u64,
+    arg_name: &'static str,
+    arg: u64,
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// Attaches one numeric payload to the span's eventual event.
+    pub fn with_arg(mut self, arg_name: &'static str, arg: u64) -> Self {
+        self.arg_name = arg_name;
+        self.arg = arg;
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let _ = SPAN_STACK.try_with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if stack.last() == Some(&self.name) {
+                stack.pop();
+            }
+        });
+        let end = now_us();
+        record(Event {
+            name: self.name,
+            parent: self.parent,
+            kind: EventKind::Span,
+            ts_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+            track: self.track,
+            arg_name: self.arg_name,
+            arg: self.arg,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{drain, set_enabled};
+
+    #[test]
+    fn span_created_while_disabled_stays_inert_across_an_enable() {
+        let _g = crate::tests::serial_guard();
+        set_enabled(false);
+        let _ = drain();
+        let guard = span("late", 0);
+        set_enabled(true);
+        drop(guard); // was never pushed: must not record or pop anything
+        {
+            let _live = span("live", 0).with_arg("k", 3);
+        }
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "live");
+        assert_eq!((events[0].arg_name, events[0].arg), ("k", 3));
+    }
+}

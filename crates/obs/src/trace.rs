@@ -1,0 +1,132 @@
+//! Chrome trace-event JSON export (the format `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load directly).
+//!
+//! Spans become complete events (`"ph": "X"`, with `ts`/`dur` in
+//! microseconds), instants become thread-scoped instant events
+//! (`"ph": "i"`).  The [`Event::track`] id is emitted as the `tid`, so each
+//! track gets its own timeline row; `pid` is constant.
+
+use std::io::{self, Write};
+
+use crate::ring::{Event, EventKind};
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one event as a Chrome trace-event JSON object.
+pub fn event_json(ev: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"name\":\"");
+    push_escaped(&mut s, ev.name);
+    s.push_str("\",\"cat\":\"optsched\",\"ph\":");
+    match ev.kind {
+        EventKind::Span => {
+            s.push_str("\"X\"");
+            s.push_str(&format!(",\"dur\":{}", ev.dur_us));
+        }
+        EventKind::Instant => s.push_str("\"i\",\"s\":\"t\""),
+    }
+    s.push_str(&format!(",\"ts\":{},\"pid\":1,\"tid\":{}", ev.ts_us, ev.track));
+    if !ev.arg_name.is_empty() || !ev.parent.is_empty() {
+        s.push_str(",\"args\":{");
+        let mut first = true;
+        if !ev.arg_name.is_empty() {
+            s.push('"');
+            push_escaped(&mut s, ev.arg_name);
+            s.push_str(&format!("\":{}", ev.arg));
+            first = false;
+        }
+        if !ev.parent.is_empty() {
+            if !first {
+                s.push(',');
+            }
+            s.push_str("\"parent\":\"");
+            push_escaped(&mut s, ev.parent);
+            s.push('"');
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+/// Writes `events` as a Chrome trace-event JSON array.
+pub fn write_chrome_trace<W: Write>(out: &mut W, events: &[Event]) -> io::Result<()> {
+    out.write_all(b"[")?;
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",\n")?;
+        }
+        out.write_all(event_json(ev).as_bytes())?;
+    }
+    out.write_all(b"]\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_and_instant_render_as_chrome_events() {
+        let span = Event {
+            name: "search",
+            parent: "request",
+            kind: EventKind::Span,
+            ts_us: 10,
+            dur_us: 25,
+            track: 3,
+            arg_name: "expanded",
+            arg: 42,
+        };
+        let json = event_json(&span);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":25"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"expanded\":42"));
+        assert!(json.contains("\"parent\":\"request\""));
+
+        let instant = Event {
+            name: "incumbent",
+            parent: "",
+            kind: EventKind::Instant,
+            ts_us: 11,
+            dur_us: 0,
+            track: 3,
+            arg_name: "makespan",
+            arg: 14,
+        };
+        let json = event_json(&instant);
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(!json.contains("parent"));
+
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &[span, instant]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with('[') && text.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let ev = Event {
+            name: "quote\"back\\slash",
+            parent: "",
+            kind: EventKind::Instant,
+            ts_us: 0,
+            dur_us: 0,
+            track: 0,
+            arg_name: "",
+            arg: 0,
+        };
+        let json = event_json(&ev);
+        assert!(json.contains("quote\\\"back\\\\slash"));
+    }
+}

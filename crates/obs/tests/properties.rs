@@ -1,0 +1,130 @@
+//! Property tests of the observability primitives: histogram merge laws and
+//! ring-buffer wrap behaviour over randomised inputs.
+
+use optsched_obs::{bucket_of, Event, EventKind, EventRing, Histogram, HistogramSnapshot, NUM_BUCKETS, RING_CAPACITY};
+use proptest::prelude::*;
+
+/// Expands a seed into a stream of latency-like values spanning many buckets
+/// (a splitmix-style generator, so cases are reproducible from the seed).
+fn values(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            // Bias toward small values but keep a heavy tail.
+            z >> (z % 56)
+        })
+        .collect()
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// merge() behaves like counter addition: commutative, associative, and
+    /// total-count preserving.
+    #[test]
+    fn histogram_merge_is_associative_and_count_preserving(
+        (sa, sb, sc) in (any::<u64>(), any::<u64>(), any::<u64>()),
+        (la, lb, lc) in (0usize..200, 0usize..200, 0usize..200),
+    ) {
+        let (a, b, c) = (
+            snapshot_of(&values(sa, la)),
+            snapshot_of(&values(sb, lb)),
+            snapshot_of(&values(sc, lc)),
+        );
+        prop_assert_eq!(a.count(), la as u64, "every recorded value is counted");
+
+        // (a + b) + c == a + (b + c)
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+
+        // a + b == b + a, and counts add.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.count(), a.count() + b.count());
+
+        // Merging is exactly recording the concatenation.
+        let mut all = values(sa, la);
+        all.extend(values(sb, lb));
+        prop_assert_eq!(ab, snapshot_of(&all));
+    }
+
+    /// Bucketing is monotone (v <= w never lands v in a later bucket), and
+    /// percentile never under-reports the recorded maximum's bucket floor.
+    #[test]
+    fn histogram_buckets_and_percentiles_are_monotone(
+        seed in any::<u64>(),
+        len in 1usize..300,
+    ) {
+        let vals = values(seed, len);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            prop_assert!(bucket_of(w[0]) <= bucket_of(w[1]));
+        }
+        let snap = snapshot_of(&vals);
+        let mut last = 0u64;
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = snap.percentile(p);
+            prop_assert!(v >= last, "percentile is monotone in p");
+            last = v;
+        }
+        // p100 is the max's bucket upper bound: >= max, <= 2x max (quantisation).
+        let max = *sorted.last().unwrap();
+        let p100 = snap.percentile(100.0);
+        prop_assert!(p100 >= max);
+        if max > 0 && bucket_of(max) < NUM_BUCKETS - 1 {
+            prop_assert!(p100 < max.saturating_mul(2));
+        }
+    }
+
+    /// A ring that wraps keeps exactly the newest `RING_CAPACITY` events, in
+    /// write order, and take() leaves it empty.
+    #[test]
+    fn ring_wrap_keeps_the_newest_window(extra in 0u64..100) {
+        let ring = EventRing::new();
+        let total = RING_CAPACITY as u64 + extra;
+        for i in 0..total {
+            ring.push(Event {
+                name: "e",
+                parent: "",
+                kind: EventKind::Instant,
+                ts_us: i,
+                dur_us: 0,
+                track: 0,
+                arg_name: "",
+                arg: i,
+            });
+        }
+        let events = ring.take();
+        prop_assert_eq!(events.len(), RING_CAPACITY.min(total as usize));
+        prop_assert_eq!(events[0].ts_us, extra, "oldest surviving event");
+        prop_assert_eq!(events[events.len() - 1].ts_us, total - 1);
+        for w in events.windows(2) {
+            prop_assert_eq!(w[1].ts_us, w[0].ts_us + 1);
+        }
+        prop_assert!(ring.take().is_empty());
+        prop_assert_eq!(ring.dropped(), 0);
+    }
+}

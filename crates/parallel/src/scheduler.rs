@@ -53,6 +53,7 @@ use optsched_core::engine::{
 };
 use optsched_core::state::{ChildDelta, StateSignature};
 use optsched_core::{SchedulingProblem, SearchOutcome, SearchState, SearchStats};
+use optsched_obs as obs;
 use optsched_schedule::Schedule;
 use optsched_taskgraph::Cost;
 
@@ -556,6 +557,11 @@ fn ppe_worker(
     initial: Vec<SearchState>,
     deadline: Option<Instant>,
 ) -> SearchStats {
+    // Observability: each PPE gets its own timeline track — a span covering
+    // the worker's lifetime plus instants on elections, transfers and the
+    // end-of-run duplicate tally.  Disabled cost: one relaxed load per site.
+    let obs_track = if obs::enabled() { obs::next_track() } else { 0 };
+    let _obs_span = obs::span("ppe", obs_track).with_arg("ppe", id as u64);
     let mut stats = SearchStats::default();
     let mut open: BinaryHeap<HeapEntry> = BinaryHeap::new();
     let mut arena = StateArena::new(
@@ -659,6 +665,11 @@ fn ppe_worker(
                 (true, false) => Arrival::OwnedTransfer,
                 (false, _) => Arrival::ElectionCopy,
             };
+            let arrival_name = match arrival {
+                Arrival::ElectionCopy | Arrival::ElectionTransfer => "election_in",
+                _ => "transfer_in",
+            };
+            obs::instant(arrival_name, obs_track, "records", records as u64);
             push_transfer(&mut open, &mut arena, &mut dup, &mut counter, &mut stats, t.payload, arrival);
             let min_f = open.peek().map_or(u64::MAX, |e| e.key.0);
             shared.local_min_f[id].store(min_f, Ordering::SeqCst);
@@ -821,6 +832,7 @@ fn ppe_worker(
                                 shared.in_flight.fetch_sub(records as i64, Ordering::SeqCst);
                             }
                         }
+                        obs::instant("election_send", obs_track, "copies", neighbors.len() as u64);
                     }
                 }
                 DuplicateDetection::ShardedGlobal => {
@@ -847,6 +859,7 @@ fn ppe_worker(
                             let far_worse =
                                 nb_min_f == u64::MAX || nb_min_f > best_f + (best_f >> 2);
                             let batch = if far_worse { cfg.election_batch.max(1) } else { 1 };
+                            let mut shipped = 0u64;
                             for _ in 0..batch {
                                 if !open.peek().is_some_and(|e| e.key.0 < nb_min_f) {
                                     break;
@@ -859,7 +872,9 @@ fn ppe_worker(
                                 if txs[nb].send(t).is_err() {
                                     shared.in_flight.fetch_sub(records as i64, Ordering::SeqCst);
                                 }
+                                shipped += 1;
                             }
+                            obs::instant("election_send", obs_track, "states", shipped);
                         }
                     }
                 }
@@ -913,6 +928,7 @@ fn ppe_worker(
                             shared.in_flight.fetch_sub(records as i64, Ordering::SeqCst);
                         }
                     }
+                    obs::instant("load_share", obs_track, "states", sent as u64);
                 }
             }
         }
@@ -930,6 +946,12 @@ fn ppe_worker(
     stats.path_cache_ancestor_hits = arena.path_cache_ancestor_hits();
     stats.replayed_deltas = arena.replayed_deltas();
     stats.replayed_deltas_saved = arena.replayed_deltas_saved();
+    obs::instant(
+        "ppe_done",
+        obs_track,
+        "duplicates",
+        stats.duplicates + stats.duplicates_global,
+    );
     stats
 }
 

@@ -57,6 +57,13 @@
 //! * **Transports** ([`pool`]) — JSON lines over stdin/stdout
 //!   ([`run_service`]) or a `std::net::TcpListener` ([`serve_tcp`]), both
 //!   thin shells over the runtime.
+//! * **Observability** — every response path goes through one elapsed-time
+//!   helper; always-on log2 histograms record queue-wait and end-to-end
+//!   latency (service-side p50/p99 in [`MetricsSnapshot`]); the admin line
+//!   `{"type": "stats"}` answers with a [`StatsReport`] over the same
+//!   JSON-lines connection; and a configured [`ServiceConfig::trace_path`]
+//!   turns on the `optsched-obs` event/span layer and writes a Chrome
+//!   trace-event file at shutdown.
 //!
 //! ```
 //! use optsched_procnet::ProcNetwork;
@@ -87,7 +94,7 @@ pub use cache::{CacheStats, CachedResult, ResultCache, DEFAULT_SHARD_CAPACITY};
 pub use metrics::{Admission, MetricsSnapshot, ServiceMetrics};
 pub use pool::{run_service, serve_tcp, PoolSummary};
 pub use portfolio::{DeadlineBand, InstanceFeatures, PlanMode, ResolvedPlan};
-pub use protocol::{plan, quality, Instance, Request, Response, OVERLOADED};
-pub use runtime::{Connection, Reply, ServiceRuntime};
+pub use protocol::{plan, quality, AdminRequest, Instance, Request, Response, StatsReport, OVERLOADED};
+pub use runtime::{Connection, Reply, ReplyBody, ServiceRuntime};
 pub use service::{SchedulingService, ServiceConfig};
 pub use signature::{canonical_signature, CanonicalInstance};

@@ -12,6 +12,11 @@
 //! concurrently — the overflow is shed (or degraded) instead of queued.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use optsched_obs::{Histogram, HistogramSnapshot};
+
+use crate::protocol::Response;
 
 /// What admission control decided for one submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +64,13 @@ pub struct ServiceMetrics {
     /// `auto` exact searches whose incumbent was warm-started by a cache
     /// near-match that validated *and* tightened the seeded bound.
     pub auto_warm_starts: AtomicU64,
+    /// Injector-queue wait (admission → worker pickup), in microseconds.
+    /// Histograms are *always on* (a relaxed `fetch_add` per response), unlike
+    /// the event/span layer behind `optsched_obs::enabled()`.
+    pub queue_wait_us: Histogram,
+    /// End-to-end latency (admission → response delivered to the writer), in
+    /// microseconds; includes queue wait, unlike `Response::elapsed_ms`.
+    pub e2e_us: Histogram,
 }
 
 /// A point-in-time copy of [`ServiceMetrics`], for printing and asserting.
@@ -88,6 +100,18 @@ pub struct MetricsSnapshot {
     pub auto_raced: u64,
     /// `auto` searches that adopted a cache-derived warm start.
     pub auto_warm_starts: u64,
+    /// Responses measured by the queue-wait histogram.
+    pub queue_wait_count: u64,
+    /// Queue-wait p50, in microseconds (log2-bucket upper bound, ≤ 2× true).
+    pub queue_wait_p50_us: u64,
+    /// Queue-wait p99, in microseconds (log2-bucket upper bound, ≤ 2× true).
+    pub queue_wait_p99_us: u64,
+    /// Responses measured by the end-to-end histogram.
+    pub e2e_count: u64,
+    /// End-to-end p50, in microseconds (log2-bucket upper bound, ≤ 2× true).
+    pub e2e_p50_us: u64,
+    /// End-to-end p99, in microseconds (log2-bucket upper bound, ≤ 2× true).
+    pub e2e_p99_us: u64,
 }
 
 impl ServiceMetrics {
@@ -126,8 +150,40 @@ impl ServiceMetrics {
         self.peak_live_records.fetch_max(records, Ordering::Relaxed);
     }
 
+    /// The single elapsed-time helper every response path goes through:
+    /// stamps `elapsed_ms` with the *handling* time (what the response's SLA
+    /// semantics have always meant — queue wait is a property of the offered
+    /// load, and is re-based out of the deadline before handling starts).
+    pub fn stamp_elapsed(&self, handling_started: Instant, response: &mut Response) {
+        response.elapsed_ms = handling_started.elapsed().as_secs_f64() * 1e3;
+    }
+
+    /// Records one response's end-to-end latency (admission → delivery).
+    pub fn observe_e2e(&self, admitted: Instant) {
+        let us = u64::try_from(admitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.e2e_us.record(us);
+    }
+
+    /// Records one admitted request's injector-queue wait.
+    pub fn observe_queue_wait(&self, waited: std::time::Duration) {
+        let us = u64::try_from(waited.as_micros()).unwrap_or(u64::MAX);
+        self.queue_wait_us.record(us);
+    }
+
+    /// A point-in-time copy of the queue-wait histogram.
+    pub fn queue_wait_histogram(&self) -> HistogramSnapshot {
+        self.queue_wait_us.snapshot()
+    }
+
+    /// A point-in-time copy of the end-to-end latency histogram.
+    pub fn e2e_histogram(&self) -> HistogramSnapshot {
+        self.e2e_us.snapshot()
+    }
+
     /// Copies every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let queue_wait = self.queue_wait_us.snapshot();
+        let e2e = self.e2e_us.snapshot();
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             responses: self.responses.load(Ordering::Relaxed),
@@ -141,6 +197,12 @@ impl ServiceMetrics {
             auto_anytime: self.auto_anytime.load(Ordering::Relaxed),
             auto_raced: self.auto_raced.load(Ordering::Relaxed),
             auto_warm_starts: self.auto_warm_starts.load(Ordering::Relaxed),
+            queue_wait_count: queue_wait.count(),
+            queue_wait_p50_us: queue_wait.percentile(50.0),
+            queue_wait_p99_us: queue_wait.percentile(99.0),
+            e2e_count: e2e.count(),
+            e2e_p50_us: e2e.percentile(50.0),
+            e2e_p99_us: e2e.percentile(99.0),
         }
     }
 }

@@ -100,20 +100,34 @@ impl InstanceFeatures {
     /// The shape is a calibrated guess, not a model: exact search cost is
     /// dominated by an exponential in the node count past the trivial sizes,
     /// inflated by communication weight (CCR), by wide levels (branching)
-    /// and by non-fully-connected targets (lumpier data-ready times).  The
-    /// constants were sanity-checked against `results/BENCH_auto.json`: most
-    /// corpus cells land within a factor of a few of the measurement, with
-    /// the high-CCR tail under-predicted by up to ~20×.  Banding tolerates
-    /// that spread — the generous band starts at 4× the prediction, and a
-    /// mis-banded request still gets a feasible (race or anytime) answer,
-    /// never an infeasible one.
+    /// and by non-fully-connected targets (lumpier data-ready times).
+    /// High-CCR instances grow *faster per node* than the linear `ccr_factor`
+    /// captures — communication weight multiplies the near-tied data-ready
+    /// alternatives at every branching level — so past the CCR crossover the
+    /// prediction also compounds a per-level tail factor over the levels
+    /// that actually branch (bounded by the level width).  The constants
+    /// were sanity-checked against `results/BENCH_auto.json`: corpus cells
+    /// land within a factor of a few of the measurement in both directions
+    /// (the old linear-only shape under-predicted the wide high-CCR tail by
+    /// ~20×).  Banding tolerates the remaining spread — the generous band
+    /// starts at 4× the prediction, and a mis-banded request still gets a
+    /// feasible (race or anytime) answer, never an infeasible one.
     pub fn predicted_exact_ms(&self) -> u64 {
         let extra_nodes = (self.nodes as f64 - 6.0).max(0.0);
         let base = 0.05 * 6f64.powf(extra_nodes);
         let ccr_factor = 1.0 + 0.25 * self.ccr.min(8.0);
+        let tail_factor = if self.ccr >= 2.0 {
+            // Compound over the branching levels: narrow graphs (small
+            // max_level_width) have few near-tied alternatives per level and
+            // stay close to the linear shape; wide ones balloon.
+            let tail_steps = extra_nodes.min(self.max_level_width.saturating_sub(2) as f64);
+            (1.0 + 0.1 * (self.ccr - 2.0).min(8.0)).powf(tail_steps)
+        } else {
+            1.0
+        };
         let width_factor = 1.0 + 0.15 * self.max_level_width.saturating_sub(2) as f64;
         let topo_factor = if self.fully_connected { 1.0 } else { 1.3 };
-        (base * ccr_factor * width_factor * topo_factor).ceil().max(1.0) as u64
+        (base * ccr_factor * tail_factor * width_factor * topo_factor).ceil().max(1.0) as u64
     }
 
     /// The exact algorithm the portfolio runs when the deadline affords one.

@@ -214,6 +214,158 @@ impl Response {
     }
 }
 
+/// An admin verb on the JSON-lines protocol: a line shaped
+/// `{"type": "<verb>"}` instead of a scheduling request.  Today the only
+/// verb is `stats`, which answers with a [`StatsReport`].  Admin lines are
+/// recognised *after* a line fails to parse as a [`Request`] (they carry no
+/// `instance`), so the scheduling fast path pays nothing for them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminRequest {
+    /// The verb (`"stats"`).
+    pub verb: String,
+    /// Optional correlation id, echoed in the report.
+    pub id: Option<u64>,
+}
+
+// `type` is a Rust keyword and the vendored serde has no field renaming, so
+// the admin shapes (de)serialise by hand.
+impl serde::Deserialize for AdminRequest {
+    fn from_value(v: &serde::Value) -> Result<AdminRequest, serde::Error> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("admin request: expected an object"))?;
+        let verb = match serde::__field(pairs, "type") {
+            serde::Value::String(s) => s.clone(),
+            serde::Value::Null => {
+                return Err(serde::Error::custom("admin request: missing `type`"))
+            }
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "admin request: `type` must be a string, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let id = match serde::__field(pairs, "id") {
+            serde::Value::Null => None,
+            other => Some(other.as_u64().ok_or_else(|| {
+                serde::Error::custom("admin request: `id` must be an unsigned integer")
+            })?),
+        };
+        Ok(AdminRequest { verb, id })
+    }
+}
+
+/// The answer to a `{"type": "stats"}` admin line: a point-in-time copy of
+/// the service's counters, latency histograms (as p50/p99 of the log2
+/// buckets — upper bounds, at most 2× the true value) and cache occupancy.
+/// Serialised with `"type": "stats"` so clients can tell it apart from a
+/// scheduling [`Response`] on the same connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Correlation id (the admin line's `id`, or its submission sequence).
+    pub id: u64,
+    /// Requests submitted (valid scheduling lines; includes shed ones).
+    pub submitted: u64,
+    /// Responses produced, admin replies included.
+    pub responses: u64,
+    /// Requests refused with a structured `overloaded` error.
+    pub shed: u64,
+    /// Requests degraded to deadline-clamped `wastar`.
+    pub degraded: u64,
+    /// Admitted requests not yet answered.
+    pub pending: u64,
+    /// High-water mark of `pending`.
+    pub peak_pending: u64,
+    /// High-water mark of per-request `peak_live_records`.
+    pub peak_live_records: u64,
+    /// Responses measured by the queue-wait histogram.
+    pub queue_wait_count: u64,
+    /// Injector-queue wait p50 in milliseconds.
+    pub queue_wait_p50_ms: f64,
+    /// Injector-queue wait p99 in milliseconds.
+    pub queue_wait_p99_ms: f64,
+    /// Responses measured by the end-to-end histogram.
+    pub e2e_count: u64,
+    /// End-to-end (admission → delivery) p50 in milliseconds.
+    pub e2e_p50_ms: f64,
+    /// End-to-end (admission → delivery) p99 in milliseconds.
+    pub e2e_p99_ms: f64,
+    /// Entries resident in the memoizing result cache.
+    pub cache_entries: u64,
+    /// Result-cache hits served so far.
+    pub cache_hits: u64,
+    /// Events dropped by the tracing rings (0 unless tracing is enabled and
+    /// a drain raced a writer).
+    pub dropped_events: u64,
+}
+
+impl serde::Serialize for StatsReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("type".to_string(), serde::Value::String("stats".to_string())),
+            ("id".to_string(), serde::Value::U64(self.id)),
+            ("submitted".to_string(), serde::Value::U64(self.submitted)),
+            ("responses".to_string(), serde::Value::U64(self.responses)),
+            ("shed".to_string(), serde::Value::U64(self.shed)),
+            ("degraded".to_string(), serde::Value::U64(self.degraded)),
+            ("pending".to_string(), serde::Value::U64(self.pending)),
+            ("peak_pending".to_string(), serde::Value::U64(self.peak_pending)),
+            ("peak_live_records".to_string(), serde::Value::U64(self.peak_live_records)),
+            ("queue_wait_count".to_string(), serde::Value::U64(self.queue_wait_count)),
+            ("queue_wait_p50_ms".to_string(), serde::Value::F64(self.queue_wait_p50_ms)),
+            ("queue_wait_p99_ms".to_string(), serde::Value::F64(self.queue_wait_p99_ms)),
+            ("e2e_count".to_string(), serde::Value::U64(self.e2e_count)),
+            ("e2e_p50_ms".to_string(), serde::Value::F64(self.e2e_p50_ms)),
+            ("e2e_p99_ms".to_string(), serde::Value::F64(self.e2e_p99_ms)),
+            ("cache_entries".to_string(), serde::Value::U64(self.cache_entries)),
+            ("cache_hits".to_string(), serde::Value::U64(self.cache_hits)),
+            ("dropped_events".to_string(), serde::Value::U64(self.dropped_events)),
+        ])
+    }
+}
+
+impl serde::Deserialize for StatsReport {
+    fn from_value(v: &serde::Value) -> Result<StatsReport, serde::Error> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("stats report: expected an object"))?;
+        match serde::__field(pairs, "type") {
+            serde::Value::String(s) if s == "stats" => {}
+            _ => return Err(serde::Error::custom("stats report: missing `\"type\": \"stats\"`")),
+        }
+        let u = |name: &str| -> Result<u64, serde::Error> {
+            serde::__field(pairs, name)
+                .as_u64()
+                .ok_or_else(|| serde::Error::custom(format!("stats report: bad field `{name}`")))
+        };
+        let f = |name: &str| -> Result<f64, serde::Error> {
+            serde::__field(pairs, name)
+                .as_f64()
+                .ok_or_else(|| serde::Error::custom(format!("stats report: bad field `{name}`")))
+        };
+        Ok(StatsReport {
+            id: u("id")?,
+            submitted: u("submitted")?,
+            responses: u("responses")?,
+            shed: u("shed")?,
+            degraded: u("degraded")?,
+            pending: u("pending")?,
+            peak_pending: u("peak_pending")?,
+            peak_live_records: u("peak_live_records")?,
+            queue_wait_count: u("queue_wait_count")?,
+            queue_wait_p50_ms: f("queue_wait_p50_ms")?,
+            queue_wait_p99_ms: f("queue_wait_p99_ms")?,
+            e2e_count: u("e2e_count")?,
+            e2e_p50_ms: f("e2e_p50_ms")?,
+            e2e_p99_ms: f("e2e_p99_ms")?,
+            cache_entries: u("cache_entries")?,
+            cache_hits: u("cache_hits")?,
+            dropped_events: u("dropped_events")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +409,47 @@ mod tests {
         assert_eq!(r.id, 3);
         let back: Response = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn admin_stats_lines_parse_and_reports_round_trip() {
+        let admin: AdminRequest =
+            serde_json::from_str("{\"type\": \"stats\", \"id\": 9}").unwrap();
+        assert_eq!(admin, AdminRequest { verb: "stats".to_string(), id: Some(9) });
+        let bare: AdminRequest = serde_json::from_str("{\"type\": \"stats\"}").unwrap();
+        assert_eq!(bare.id, None);
+        assert!(
+            serde_json::from_str::<Request>("{\"type\": \"stats\"}").is_err(),
+            "admin lines are not scheduling requests"
+        );
+        assert!(
+            serde_json::from_str::<AdminRequest>("{\"id\": 1}").is_err(),
+            "objects without `type` are not admin lines"
+        );
+
+        let report = StatsReport {
+            id: 9,
+            submitted: 10,
+            responses: 11,
+            shed: 1,
+            degraded: 2,
+            pending: 0,
+            peak_pending: 4,
+            peak_live_records: 123,
+            queue_wait_count: 10,
+            queue_wait_p50_ms: 0.255,
+            queue_wait_p99_ms: 2.047,
+            e2e_count: 10,
+            e2e_p50_ms: 8.191,
+            e2e_p99_ms: 32.767,
+            cache_entries: 3,
+            cache_hits: 5,
+            dropped_events: 0,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"type\":\"stats\"") || json.contains("\"type\": \"stats\""));
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -53,10 +53,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use optsched_obs as obs;
 use parking_lot::Mutex;
 
 use crate::metrics::Admission;
-use crate::protocol::{Request, Response};
+use crate::protocol::{AdminRequest, Request, Response, StatsReport};
 use crate::service::SchedulingService;
 
 /// In-flight coalescing key: requests with equal cache identity are answered
@@ -81,14 +82,53 @@ struct Job {
     admitted: Instant,
     /// Reply route back to the owning connection's writer.
     reply: Sender<Reply>,
+    /// The owning connection's tracing track (timeline row).
+    track: u64,
 }
 
-/// One response tagged with its per-connection sequence number.
+/// One reply tagged with its per-connection sequence number.
+#[derive(Debug)]
 pub struct Reply {
     /// The request's per-connection arrival sequence number.
     pub seq: u64,
-    /// The response.
-    pub response: Response,
+    /// What the reply carries.
+    pub body: ReplyBody,
+}
+
+/// The payload of a [`Reply`]: a scheduling response, or the answer to an
+/// admin verb.
+#[derive(Debug)]
+pub enum ReplyBody {
+    /// A scheduling (or structured-error) response.
+    Response(Response),
+    /// The answer to a `{"type": "stats"}` admin line.
+    Stats(StatsReport),
+}
+
+impl Reply {
+    /// The scheduling response, if this reply is one.
+    pub fn response(&self) -> Option<&Response> {
+        match &self.body {
+            ReplyBody::Response(r) => Some(r),
+            ReplyBody::Stats(_) => None,
+        }
+    }
+
+    /// Consumes the reply into its scheduling response, if it is one.
+    pub fn into_response(self) -> Option<Response> {
+        match self.body {
+            ReplyBody::Response(r) => Some(r),
+            ReplyBody::Stats(_) => None,
+        }
+    }
+
+    /// The stats report, if this reply is one.
+    pub fn stats(&self) -> Option<&StatsReport> {
+        match &self.body {
+            ReplyBody::Response(_) => None,
+            ReplyBody::Stats(s) => Some(s),
+        }
+    }
 }
 
 /// State shared between the runtime, its workers and every connection.
@@ -118,6 +158,11 @@ impl ServiceRuntime {
     /// cloned — cache, metrics and configuration stay shared with the
     /// caller's handle.
     pub fn start(service: &SchedulingService) -> ServiceRuntime {
+        // A configured trace path turns event/span collection on for the
+        // runtime's lifetime; shutdown drains the rings into the file.
+        if service.config().trace_path.is_some() {
+            obs::set_enabled(true);
+        }
         let workers = service.config().workers.max(1);
         let shared = Arc::new(Shared {
             service: service.clone(),
@@ -157,6 +202,7 @@ impl ServiceRuntime {
                 injector: self.injector.clone(),
                 reply: reply_tx,
                 seq: 0,
+                track: if obs::enabled() { obs::next_track() } else { 0 },
             },
             reply_rx,
         )
@@ -176,6 +222,7 @@ impl ServiceRuntime {
         W: Write,
     {
         let (mut conn, replies) = self.open();
+        let track = conn.track;
         std::thread::scope(|scope| -> io::Result<PoolSummary> {
             let reader = scope.spawn(move || -> io::Result<()> {
                 for line in input.lines() {
@@ -190,16 +237,29 @@ impl ServiceRuntime {
 
             // Writer: reorder worker completions back into arrival order.
             let mut summary = PoolSummary::default();
-            let mut pending_out: BTreeMap<u64, Response> = BTreeMap::new();
+            let mut pending_out: BTreeMap<u64, ReplyBody> = BTreeMap::new();
             let mut next_seq = 0u64;
             let mut io_result: io::Result<()> = Ok(());
             while let Ok(reply) = replies.recv() {
-                pending_out.insert(reply.seq, reply.response);
-                while let Some(resp) = pending_out.remove(&next_seq) {
+                pending_out.insert(reply.seq, reply.body);
+                while let Some(body) = pending_out.remove(&next_seq) {
+                    let seq = next_seq;
                     next_seq += 1;
-                    summary.tally(&resp);
+                    let line = match &body {
+                        ReplyBody::Response(resp) => {
+                            summary.tally(resp);
+                            serde_json::to_string(resp)
+                        }
+                        ReplyBody::Stats(report) => {
+                            // An admin reply is one response line like any
+                            // other for the one-line-per-request contract.
+                            summary.responses += 1;
+                            serde_json::to_string(report)
+                        }
+                    };
                     if io_result.is_ok() {
-                        io_result = serde_json::to_string(&resp)
+                        let _write_span = obs::span("write", track).with_arg("seq", seq);
+                        io_result = line
                             .map_err(io::Error::other)
                             .and_then(|line| writeln!(output, "{line}"))
                             .and_then(|()| output.flush());
@@ -225,12 +285,22 @@ impl ServiceRuntime {
     }
 
     fn shutdown_in_place(&mut self) {
+        if self.workers.is_empty() {
+            return; // already shut down (Drop after an explicit shutdown)
+        }
         // Replace the held injector with a dangling one so the workers'
         // receive side disconnects as soon as the connections are done.
         let (dangling, _) = unbounded::<Job>();
         drop(std::mem::replace(&mut self.injector, dangling));
         for handle in self.workers.drain(..) {
             handle.join().expect("service worker panicked");
+        }
+        if let Some(path) = &self.shared.service.config().trace_path {
+            obs::set_enabled(false);
+            match obs::save_chrome_trace(path) {
+                Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
+                Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+            }
         }
     }
 }
@@ -248,23 +318,48 @@ pub struct Connection {
     injector: Sender<Job>,
     reply: Sender<Reply>,
     seq: u64,
+    /// The connection's tracing track: its requests' read/queue-wait/search/
+    /// write spans share one timeline row.
+    track: u64,
 }
 
 impl Connection {
-    /// Parses and submits one JSON line.  Malformed lines are answered with
-    /// a structured error immediately (no worker involved).  Returns what
-    /// admission control decided, and the sequence number the reply will
-    /// carry.
+    /// Parses and submits one JSON line.  Malformed lines and admin verbs
+    /// (`{"type": "stats"}`) are answered by the reader immediately (no
+    /// worker involved).  Returns what admission control decided (`None` for
+    /// non-scheduling lines), and the sequence number the reply will carry.
     pub fn submit_line(&mut self, line: &str) -> (u64, Option<Admission>) {
+        let started = Instant::now();
+        let _read_span = obs::span("read", self.track);
         match serde_json::from_str::<Request>(line) {
             Ok(request) => {
-                let (seq, admission) = self.submit(request);
+                let (seq, admission) = self.submit_at(request, started);
                 (seq, Some(admission))
             }
-            Err(e) => {
+            Err(parse_err) => {
                 let seq = self.next_seq();
-                let response = Response::error(seq, format!("malformed request: {e}"));
-                self.deliver(seq, response);
+                // A scheduling request can never reach this branch (it parsed
+                // above), so a line carrying `"type"` is an admin verb.
+                if let Ok(admin) = serde_json::from_str::<AdminRequest>(line) {
+                    if admin.verb == "stats" {
+                        let report =
+                            self.shared.service.stats_report(admin.id.unwrap_or(seq));
+                        self.shared
+                            .service
+                            .metrics()
+                            .responses
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = self.reply.send(Reply { seq, body: ReplyBody::Stats(report) });
+                    } else {
+                        let id = admin.id.unwrap_or(seq);
+                        let response =
+                            Response::error(id, format!("unknown admin verb `{}`", admin.verb));
+                        self.deliver_timed(seq, started, response);
+                    }
+                    return (seq, None);
+                }
+                let response = Response::error(seq, format!("malformed request: {parse_err}"));
+                self.deliver_timed(seq, started, response);
                 (seq, None)
             }
         }
@@ -273,16 +368,24 @@ impl Connection {
     /// Runs admission control on one parsed request and either enqueues it
     /// (possibly degraded) or answers it shed, returning the decision and
     /// the reply's sequence number.
-    pub fn submit(&mut self, mut request: Request) -> (u64, Admission) {
+    pub fn submit(&mut self, request: Request) -> (u64, Admission) {
+        self.submit_at(request, Instant::now())
+    }
+
+    fn submit_at(&mut self, mut request: Request, started: Instant) -> (u64, Admission) {
         let seq = self.next_seq();
         let metrics = self.shared.service.metrics();
-        let config = *self.shared.service.config();
+        let (budget, degrade_threshold, degrade_deadline_ms) = {
+            let config = self.shared.service.config();
+            (config.admission_budget, config.degrade_threshold, config.degrade_deadline_ms)
+        };
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
 
-        if !metrics.try_reserve_pending(config.admission_budget) {
+        if !metrics.try_reserve_pending(budget) {
             metrics.shed.fetch_add(1, Ordering::Relaxed);
+            obs::instant("shed", self.track, "seq", seq);
             let id = request.id.unwrap_or(seq);
-            self.deliver(seq, Response::overloaded(id, config.admission_budget));
+            self.deliver_timed(seq, started, Response::overloaded(id, budget));
             return (seq, Admission::Shed);
         }
 
@@ -291,26 +394,35 @@ impl Connection {
         // deadline-clamped wastar.  (`pending` was just raised past the
         // threshold check value, hence `>`.)
         let pending = metrics.pending.load(Ordering::Relaxed);
-        let degraded = pending > config.degrade_threshold;
+        let degraded = pending > degrade_threshold;
         if degraded {
             metrics.degraded.fetch_add(1, Ordering::Relaxed);
+            obs::instant("degraded", self.track, "seq", seq);
             request.algorithm = Some("wastar".to_string());
             request.deadline_ms = Some(
                 request
                     .deadline_ms
-                    .map_or(config.degrade_deadline_ms, |d| d.min(config.degrade_deadline_ms)),
+                    .map_or(degrade_deadline_ms, |d| d.min(degrade_deadline_ms)),
             );
         }
 
-        let job =
-            Job { seq, request, degraded, admitted: Instant::now(), reply: self.reply.clone() };
+        // Admission is timed from submission entry (`started`), so the queue
+        // wait charged against the deadline includes the reader's own work.
+        let job = Job {
+            seq,
+            request,
+            degraded,
+            admitted: started,
+            reply: self.reply.clone(),
+            track: self.track,
+        };
         // A failed send means the runtime already shut down; answer shed so
         // the caller still gets its one structured response per request.
         if let Err(send_err) = self.injector.send(job) {
             metrics.release_pending();
             metrics.shed.fetch_add(1, Ordering::Relaxed);
             let id = send_err.0.request.id.unwrap_or(seq);
-            self.deliver(seq, Response::overloaded(id, config.admission_budget));
+            self.deliver_timed(seq, started, Response::overloaded(id, budget));
             return (seq, Admission::Shed);
         }
         (seq, if degraded { Admission::Degraded } else { Admission::Enqueued })
@@ -322,11 +434,16 @@ impl Connection {
         seq
     }
 
-    /// Sends a reader-generated (malformed/shed) reply to this connection's
-    /// writer.
-    fn deliver(&self, seq: u64, response: Response) {
-        self.shared.service.metrics().responses.fetch_add(1, Ordering::Relaxed);
-        let _ = self.reply.send(Reply { seq, response });
+    /// Sends a reader-generated (malformed/shed/admin-error) reply to this
+    /// connection's writer — through the same elapsed-time helper and
+    /// end-to-end histogram as worker-answered responses, so *every*
+    /// response is timed uniformly.
+    fn deliver_timed(&self, seq: u64, started: Instant, mut response: Response) {
+        let metrics = self.shared.service.metrics();
+        metrics.stamp_elapsed(started, &mut response);
+        metrics.observe_e2e(started);
+        metrics.responses.fetch_add(1, Ordering::Relaxed);
+        let _ = self.reply.send(Reply { seq, body: ReplyBody::Response(response) });
     }
 }
 
@@ -377,7 +494,7 @@ fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
         let key = match shared.service.cache_identity(&job.request) {
             Ok(key) => key,
             Err(_) => {
-                answer(shared, job);
+                answer(shared, job, false);
                 continue;
             }
         };
@@ -397,12 +514,12 @@ fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
                 }
             }
         };
-        answer(shared, job);
+        answer(shared, job, false);
         // Everything that parked behind this search is a warm-cache answer
         // now (or, for non-memoized deadline runs, a cheap re-run).
         let waiters = shared.in_flight.lock().remove(&key).unwrap_or_default();
         for waiter in waiters {
-            answer(shared, waiter);
+            answer(shared, waiter, true);
         }
     }
 }
@@ -414,20 +531,43 @@ fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
 /// deadline exactly like search time does, so an admitted request that went
 /// stale behind a backlog stops at its original deadline with the anytime
 /// incumbent rather than running its full budget late.
-fn answer(shared: &Shared, job: Job) {
+fn answer(shared: &Shared, job: Job, coalesced: bool) {
     let metrics = shared.service.metrics();
+    let waited = job.admitted.elapsed();
+    metrics.observe_queue_wait(waited);
+    if obs::enabled() {
+        // Reconstruct the wait as a span ending now: the ring only sees
+        // completed spans, so the guard pattern cannot cover a wait that
+        // started on another thread.  Coalesced waiters waited on the
+        // leader's search, not the injector, hence the distinct name.
+        let waited_us = u64::try_from(waited.as_micros()).unwrap_or(u64::MAX);
+        obs::record(obs::Event {
+            name: if coalesced { "coalesce_wait" } else { "queue_wait" },
+            parent: "",
+            kind: obs::EventKind::Span,
+            ts_us: obs::now_us().saturating_sub(waited_us),
+            dur_us: waited_us,
+            track: job.track,
+            arg_name: "seq",
+            arg: job.seq,
+        });
+    }
     let mut request = job.request;
     if let Some(deadline) = request.deadline_ms {
-        let waited = u64::try_from(job.admitted.elapsed().as_millis()).unwrap_or(u64::MAX);
-        request.deadline_ms = Some(deadline.saturating_sub(waited));
+        let waited_ms = u64::try_from(waited.as_millis()).unwrap_or(u64::MAX);
+        request.deadline_ms = Some(deadline.saturating_sub(waited_ms));
     }
-    let mut response = shared.service.handle_request(&request, job.seq);
+    let mut response = {
+        let _search_span = obs::span("search", job.track).with_arg("seq", job.seq);
+        shared.service.handle_request(&request, job.seq)
+    };
     response.degraded = job.degraded;
     metrics.observe_peak_live_records(response.peak_live_records);
+    metrics.observe_e2e(job.admitted);
     metrics.responses.fetch_add(1, Ordering::Relaxed);
     // The send fails only if the connection's writer already went away (a
     // dead client); the request is still accounted as answered.
-    let _ = job.reply.send(Reply { seq: job.seq, response });
+    let _ = job.reply.send(Reply { seq: job.seq, body: ReplyBody::Response(response) });
     metrics.release_pending();
 }
 
@@ -457,18 +597,18 @@ mod tests {
         let got: Vec<Reply> = replies.iter().collect();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].seq, 0);
-        assert!(got[0].response.ok);
-        assert_eq!(got[0].response.id, 7);
+        let resp = got[0].response().expect("scheduling reply");
+        assert!(resp.ok);
+        assert_eq!(resp.id, 7);
         assert!(
-            got[0].response.peak_live_records > 0,
+            resp.peak_live_records > 0,
             "a solved (non-cached) response reports its store footprint"
         );
         runtime.shutdown();
         let snap = service.metrics_snapshot();
         assert_eq!(snap.pending, 0);
         assert_eq!(
-            snap.peak_live_records,
-            got[0].response.peak_live_records,
+            snap.peak_live_records, resp.peak_live_records,
             "the service gauge tracks the worst per-request footprint"
         );
     }
@@ -487,7 +627,7 @@ mod tests {
         drop(conn);
         let got: Vec<Reply> = replies.iter().collect();
         assert_eq!(got.len(), 1);
-        let resp = &got[0].response;
+        let resp = got[0].response().expect("scheduling reply");
         assert!(!resp.ok);
         assert!(resp.shed && resp.is_overloaded());
         assert_eq!(resp.id, 3);
@@ -512,7 +652,7 @@ mod tests {
         drop(conn);
         let got: Vec<Reply> = replies.iter().collect();
         assert_eq!(got.len(), 1);
-        let resp = &got[0].response;
+        let resp = got[0].response().expect("scheduling reply");
         assert!(resp.ok, "{:?}", resp.error);
         assert!(resp.degraded);
         assert_eq!(resp.algorithm.as_deref(), Some("wastar"));
@@ -537,7 +677,7 @@ mod tests {
         drop(conn);
         let got: Vec<Reply> = replies.iter().collect();
         assert_eq!(got.len(), 1);
-        let resp = &got[0].response;
+        let resp = got[0].response().expect("scheduling reply");
         assert!(!resp.ok);
         assert_eq!(resp.id, 11);
         assert!(resp.error.as_deref().unwrap().contains("weight"), "{:?}", resp.error);
@@ -580,9 +720,12 @@ mod tests {
                 degraded: false,
                 admitted: stale_admitted,
                 reply: reply_tx.clone(),
+                track: 0,
             },
+            false,
         );
-        let stale = reply_rx.recv().expect("stale job answered").response;
+        let stale =
+            reply_rx.recv().expect("stale job answered").into_response().expect("scheduling reply");
         assert!(stale.ok, "{:?}", stale.error);
         assert_ne!(
             stale.quality.as_deref(),
@@ -594,10 +737,54 @@ mod tests {
         shared.service.metrics().try_reserve_pending(u64::MAX);
         answer(
             &shared,
-            Job { seq: 1, request, degraded: false, admitted: Instant::now(), reply: reply_tx },
+            Job {
+                seq: 1,
+                request,
+                degraded: false,
+                admitted: Instant::now(),
+                reply: reply_tx,
+                track: 0,
+            },
+            false,
         );
-        let fresh = reply_rx.recv().expect("fresh job answered").response;
+        let fresh =
+            reply_rx.recv().expect("fresh job answered").into_response().expect("scheduling reply");
         assert_eq!(fresh.quality.as_deref(), Some("optimal"), "{:?}", fresh.error);
+    }
+
+    /// The `{"type": "stats"}` admin line is answered by the reader with a
+    /// stats report (no worker, no admission slot), and the report reflects
+    /// the scheduling traffic that preceded it on the same runtime.
+    #[test]
+    fn stats_admin_verb_reports_runtime_counters() {
+        let service = SchedulingService::new(ServiceConfig { workers: 1, ..Default::default() });
+        let runtime = ServiceRuntime::start(&service);
+        let (mut conn, replies) = runtime.open();
+        let line = serde_json::to_string(&example_request(5)).unwrap();
+        conn.submit_line(&line);
+        // Wait for the scheduling response first, so the stats snapshot
+        // deterministically includes it.
+        let first = replies.recv().expect("scheduling reply arrives");
+        assert!(first.response().expect("scheduling reply").ok);
+        let (seq, admission) = conn.submit_line(r#"{"type": "stats", "id": 42}"#);
+        assert_eq!(seq, 1);
+        assert_eq!(admission, None, "admin lines bypass admission control");
+        let (_, admission) = conn.submit_line(r#"{"type": "flush"}"#);
+        assert_eq!(admission, None);
+        drop(conn);
+        let mut got: Vec<Reply> = replies.iter().collect();
+        got.sort_by_key(|r| r.seq);
+        assert_eq!(got.len(), 2);
+        let report = got[0].stats().expect("stats reply");
+        assert_eq!(report.id, 42);
+        assert_eq!(report.submitted, 1, "admin lines are not submissions");
+        assert!(report.e2e_count >= 1);
+        assert!(report.e2e_p99_ms >= report.e2e_p50_ms);
+        let unknown = got[1].response().expect("admin error is a response");
+        assert!(!unknown.ok);
+        assert!(unknown.error.as_deref().unwrap().contains("unknown admin verb"));
+        runtime.shutdown();
+        assert_eq!(service.metrics_snapshot().pending, 0);
     }
 
     #[test]

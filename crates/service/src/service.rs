@@ -12,11 +12,11 @@ use optsched_taskgraph::Cost;
 use crate::cache::{CacheStats, CachedResult, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::portfolio::{self, PlanMode, ResolvedPlan};
-use crate::protocol::{quality, Instance, Request, Response};
+use crate::protocol::{quality, Instance, Request, Response, StatsReport};
 use crate::signature::CanonicalInstance;
 
 /// Configuration of a [`SchedulingService`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Worker threads of the global pool draining the shared request queue
     /// (shared by *all* connections — not a pool per connection).
@@ -54,6 +54,11 @@ pub struct ServiceConfig {
     /// Heuristic weight for `wastar` — the service's deadline-pressure
     /// algorithm — when the request does not specify one.
     pub deadline_weight: f64,
+    /// When set, the runtime enables event/span tracing for its lifetime and
+    /// writes a Chrome trace-event JSON file (Perfetto-loadable) here on
+    /// shutdown.  `None` (the default) keeps tracing disabled: every
+    /// instrumentation site then costs one relaxed atomic load.
+    pub trace_path: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +74,7 @@ impl Default for ServiceConfig {
             seed_incumbent: true,
             epsilon: 0.2,
             deadline_weight: 1.5,
+            trace_path: None,
         }
     }
 }
@@ -91,15 +97,12 @@ pub struct SchedulingService {
 impl SchedulingService {
     /// A service with the given configuration and an empty cache.
     pub fn new(config: ServiceConfig) -> SchedulingService {
-        SchedulingService {
-            config,
-            cache: Arc::new(ResultCache::with_max_age(
-                config.cache_shards,
-                config.cache_capacity,
-                config.cache_max_age_ms.map(Duration::from_millis),
-            )),
-            metrics: Arc::new(ServiceMetrics::default()),
-        }
+        let cache = Arc::new(ResultCache::with_max_age(
+            config.cache_shards,
+            config.cache_capacity,
+            config.cache_max_age_ms.map(Duration::from_millis),
+        ));
+        SchedulingService { config, cache, metrics: Arc::new(ServiceMetrics::default()) }
     }
 
     /// The configuration in force.
@@ -121,6 +124,32 @@ impl SchedulingService {
     /// A point-in-time copy of the runtime counters.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Builds the `{"type": "stats"}` admin report: counters, latency
+    /// percentiles (log2-bucket upper bounds) and cache occupancy.
+    pub fn stats_report(&self, id: u64) -> StatsReport {
+        let m = self.metrics.snapshot();
+        let cache = self.cache_stats();
+        StatsReport {
+            id,
+            submitted: m.submitted,
+            responses: m.responses,
+            shed: m.shed,
+            degraded: m.degraded,
+            pending: m.pending,
+            peak_pending: m.peak_pending,
+            peak_live_records: m.peak_live_records,
+            queue_wait_count: m.queue_wait_count,
+            queue_wait_p50_ms: m.queue_wait_p50_us as f64 / 1e3,
+            queue_wait_p99_ms: m.queue_wait_p99_us as f64 / 1e3,
+            e2e_count: m.e2e_count,
+            e2e_p50_ms: m.e2e_p50_us as f64 / 1e3,
+            e2e_p99_ms: m.e2e_p99_us as f64 / 1e3,
+            cache_entries: cache.entries as u64,
+            cache_hits: cache.hits,
+            dropped_events: optsched_obs::dropped(),
+        }
     }
 
     /// The algorithm this request resolves to: its explicit choice (with
@@ -183,6 +212,15 @@ impl SchedulingService {
     /// sent.
     pub fn handle_request(&self, req: &Request, fallback_id: u64) -> Response {
         let start = Instant::now();
+        let mut response = self.handle_request_inner(req, fallback_id, start);
+        // Every response — served, cache hit, or structured error — leaves
+        // through the one elapsed-time helper, so `elapsed_ms` is never the
+        // 0.0 placeholder some error paths used to carry.
+        self.metrics.stamp_elapsed(start, &mut response);
+        response
+    }
+
+    fn handle_request_inner(&self, req: &Request, fallback_id: u64, start: Instant) -> Response {
         let id = req.id.unwrap_or(fallback_id);
         let instance = &req.instance;
 

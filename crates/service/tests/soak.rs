@@ -77,7 +77,7 @@ fn overload_soak_exactly_one_response_per_request() {
             "connection {conn_idx}: every request answered exactly once"
         );
         for reply in replies {
-            let resp = &reply.response;
+            let resp = reply.response().expect("scheduling reply");
             // Routing isolation: only this connection's ids come back here.
             assert!(
                 (base..base + PER_CONN).contains(&resp.id),
@@ -116,6 +116,12 @@ fn overload_soak_exactly_one_response_per_request() {
     // 4× the budget through a burst: shedding must actually have happened
     // (submission is far faster than solving).
     assert!(m.shed > 0, "4× budget as a burst must shed");
+    // The latency histograms saw every response: admitted requests recorded
+    // a queue wait, and *all* responses (shed included) recorded end-to-end.
+    assert!(m.queue_wait_count > 0, "admitted requests record queue wait");
+    assert_eq!(m.queue_wait_count, 2 * PER_CONN - m.shed);
+    assert_eq!(m.e2e_count, 2 * PER_CONN, "every response is timed, shed included");
+    assert!(m.e2e_p99_us >= m.e2e_p50_us);
 }
 
 #[test]
